@@ -1,0 +1,30 @@
+"""Figure 1 — requests, functions, and pods per region.
+
+Shape targets: sizes span orders of magnitude between regions, and a larger
+function count does not imply more requests (R2 has the most functions but
+not the most requests per function).
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+
+
+def test_fig01_region_sizes(benchmark, study, emit):
+    rows = benchmark(study.fig01_region_sizes)
+    emit("fig01_region_sizes", format_table(rows))
+
+    by_region = {row["region"]: row for row in rows}
+    requests = {name: row["requests"] for name, row in by_region.items()}
+    functions = {name: row["functions"] for name, row in by_region.items()}
+
+    # Orders of magnitude between the largest and smallest region.
+    assert max(requests.values()) / max(min(requests.values()), 1) > 5
+    # More functions != more requests: the function-count leader is not the
+    # request leader.
+    fn_leader = max(functions, key=functions.get)
+    req_leader = max(requests, key=requests.get)
+    assert fn_leader != req_leader
+    # Every pod in the pod stream is one cold start.
+    for row in rows:
+        assert row["pods"] == row["cold_starts"]

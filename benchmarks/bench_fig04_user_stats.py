@@ -1,0 +1,33 @@
+"""Figure 4 — functions per user and requests per user, per region.
+
+Shape targets: 60-90 % of users own a single function; almost all own
+fewer than ~20; request mass concentrates in few users.
+"""
+
+from repro.analysis.region_stats import single_function_user_share
+from repro.analysis.report import format_cdf_rows, format_table
+
+
+def test_fig04a_functions_per_user(benchmark, study, emit):
+    cdfs = benchmark(study.fig04_functions_per_user)
+    rows = format_cdf_rows(cdfs)
+    for row in rows:
+        row["single_fn_share"] = round(
+            single_function_user_share(study.region(str(row["series"]))), 3
+        )
+    emit("fig04a_functions_per_user", format_table(rows))
+
+    for name, cdf in cdfs.items():
+        share = single_function_user_share(study.region(name))
+        assert 0.5 <= share <= 0.95, name
+        assert cdf.quantile(0.95) <= 60, name
+
+
+def test_fig04b_requests_per_user(benchmark, study, emit):
+    cdfs = benchmark(study.fig04_requests_per_user)
+    emit("fig04b_requests_per_user", format_table(format_cdf_rows(cdfs)))
+
+    for name, cdf in cdfs.items():
+        # Heavy concentration: the top users carry orders of magnitude more
+        # requests than the median user.
+        assert cdf.quantile(0.99) / max(cdf.median, 1.0) > 10, name

@@ -1,0 +1,35 @@
+"""Figure 7 — normalized pods and CPU usage around the week-long holiday.
+
+Shape targets: R1/R2/R4/R5 peak on the last working day (13), dip through
+the holiday (days 14-22), and rebound afterwards; R3 instead rises during
+the holiday ('surge' pattern).
+"""
+
+from repro.analysis.report import format_table
+
+
+def test_fig07_holiday(benchmark, study, emit):
+    effects = benchmark(study.fig07_holiday)
+
+    rows = []
+    for name, effect in effects.items():
+        rows.append(
+            {
+                "region": name,
+                "pre_mean": round(effect.pre_holiday_mean("pods"), 3),
+                "holiday_mean": round(effect.holiday_mean("pods"), 3),
+                "rebound": round(effect.rebound_value("pods"), 3),
+                "cpu_holiday_mean": round(effect.holiday_mean("cpu"), 3),
+            }
+        )
+    emit("fig07_holiday", format_table(rows))
+
+    by_region = {row["region"]: row for row in rows}
+    # Dip regions: the holiday mean sits below the pre-holiday mean.
+    for name in ("R1", "R2", "R4", "R5"):
+        row = by_region[name]
+        assert row["holiday_mean"] < row["pre_mean"], name
+        # Post-holiday catch-up rebounds above the holiday level.
+        assert row["rebound"] > row["holiday_mean"], name
+    # R3 surges: holiday mean meets or exceeds the pre-holiday mean.
+    assert by_region["R3"]["holiday_mean"] > 0.85 * by_region["R3"]["pre_mean"]

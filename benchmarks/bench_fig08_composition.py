@@ -1,0 +1,67 @@
+"""Figure 8 — running pods over time and proportions of pods/cold starts/
+functions by trigger type, runtime, and resource configuration (Region 2).
+
+Shape targets: timers ~60 % of functions but a small share of running
+pods; Python3 the largest cold-start contributor; small CPU-MEM configs
+>60 % of cold starts; synchronous/user-driven categories show diurnal
+oscillation while timers stay flat.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_proportions, format_table
+
+
+def test_fig08def_proportions(benchmark, study, emit):
+    def all_proportions():
+        return {
+            by: study.fig08_proportions(by=by, region="R2")
+            for by in ("trigger", "runtime", "config")
+        }
+
+    props = benchmark(all_proportions)
+    for by, table in props.items():
+        emit(f"fig08_proportions_{by}", format_table(format_proportions(table)))
+
+    trigger = props["trigger"]
+    assert trigger["TIMER-A"]["functions"] > 0.45
+    assert trigger["TIMER-A"]["cold_starts"] < 0.45
+    # Timers account for far fewer running pods than functions.
+    assert trigger["TIMER-A"]["pods"] < 0.5 * trigger["TIMER-A"]["functions"]
+
+    runtime = props["runtime"]
+    leader = max(runtime, key=lambda r: runtime[r]["cold_starts"])
+    assert leader == "Python3"
+    assert runtime["Python3"]["cold_starts"] > 0.25
+
+    config = props["config"]
+    small = config.get("300-128", {}).get("cold_starts", 0.0) + config.get(
+        "400-256", {}
+    ).get("cold_starts", 0.0)
+    assert small > 0.5
+
+
+def test_fig08abc_pods_over_time(benchmark, study, emit):
+    series = benchmark(study.fig08_pods_over_time, "trigger", "R2")
+
+    def oscillation(values: np.ndarray) -> float:
+        """Relative day-night swing of an hourly series."""
+        days = values[: (values.size // 24) * 24].reshape(-1, 24)
+        daily_swing = days.max(axis=1) - days.min(axis=1)
+        return float(np.mean(daily_swing) / max(np.mean(days), 1e-9))
+
+    rows = [
+        {
+            "trigger": name,
+            "mean_pods": round(float(np.mean(values)), 1),
+            "oscillation": round(oscillation(values), 3),
+        }
+        for name, values in series.items()
+    ]
+    emit("fig08a_pods_by_trigger", format_table(rows))
+
+    osc = {row["trigger"]: row["oscillation"] for row in rows}
+    # User-driven synchronous traffic oscillates much more than timers
+    # (paper: "the number of pods allocated for timers does not vary much").
+    if "APIG-S" in osc and "TIMER-A" in osc:
+        assert osc["APIG-S"] > osc["TIMER-A"]

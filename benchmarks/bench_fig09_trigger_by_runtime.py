@@ -1,0 +1,31 @@
+"""Figure 9 — trigger-type mix within each runtime (Region 2).
+
+Shape targets: Python3/PHP7.3/Node.js mostly timer-triggered; Java and
+http lean on APIG-S; Custom's most frequent known trigger is OBS.
+"""
+
+from repro.analysis.report import format_table
+
+
+def test_fig09_trigger_by_runtime(benchmark, study, emit):
+    mix = benchmark(study.fig09_trigger_by_runtime, "R2")
+
+    rows = []
+    for runtime in sorted(mix):
+        row = {"runtime": runtime}
+        row.update({k: round(v, 3) for k, v in sorted(mix[runtime].items())})
+        rows.append(row)
+    emit("fig09_trigger_by_runtime", format_table(rows))
+
+    def top_trigger(runtime: str) -> str:
+        return max(mix[runtime], key=mix[runtime].get)
+
+    for timer_heavy in ("Python3", "PHP7.3", "Node.js"):
+        if timer_heavy in mix:
+            assert top_trigger(timer_heavy) == "TIMER-A", timer_heavy
+    for apig_heavy in ("Java", "http"):
+        if apig_heavy in mix:
+            assert top_trigger(apig_heavy) == "APIG-S", apig_heavy
+    if "Custom" in mix:
+        known = {k: v for k, v in mix["Custom"].items() if k != "unknown"}
+        assert max(known, key=known.get) == "OBS-A"

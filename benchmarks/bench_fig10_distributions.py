@@ -1,0 +1,68 @@
+"""Figure 10 — cold-start duration CDFs with a LogNormal fit, and cold-start
+inter-arrival-time CDFs with a Weibull fit.
+
+Shape targets: per-region medians between ~0.1 s and ~2 s with long tails;
+the pooled LogNormal fit lands near the paper's (mean 3.24 s, std 7.10 s);
+inter-arrival times are Weibull with shape k < 1 (heavy-tailed), and the
+median IAT ordering follows region size (R1 shortest).
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_cdf_rows, format_table
+
+
+def test_fig10ab_cold_start_cdfs_and_fit(benchmark, study, emit):
+    cdfs = benchmark(study.fig10_cold_start_cdfs)
+    fit = study.fig10_lognormal_fit()
+
+    rows = format_cdf_rows(cdfs)
+    rows.append(
+        {
+            "series": "LogNormal fit",
+            "n": fit.n,
+            "p50": round(fit.median, 3),
+            "mean": round(fit.mean, 2),
+            "std": round(fit.std, 2),
+            "ks": round(fit.ks_statistic, 4),
+        }
+    )
+    emit("fig10ab_cold_start_fit", format_table(rows))
+
+    medians = {name: cdf.median for name, cdf in cdfs.items()}
+    assert 0.05 <= min(medians.values()) <= 0.6      # fastest region ~0.1 s
+    assert 1.0 <= max(medians.values()) <= 4.0       # slowest region ~2 s
+    assert medians["R1"] == max(medians.values())
+    assert medians["R3"] == min(medians.values())
+    # Pooled fit close to the paper's LogNormal(mean 3.24, std 7.10).
+    assert 1.5 <= fit.mean <= 6.0
+    assert fit.std > fit.mean  # long tail
+    assert fit.ks_statistic < 0.12
+    # Long tails: p99 is way above the median everywhere.
+    for name, cdf in cdfs.items():
+        assert cdf.quantile(0.99) > 5 * cdf.median, name
+
+
+def test_fig10cd_iat_cdfs_and_fit(benchmark, study, emit):
+    cdfs = benchmark(study.fig10_iat_cdfs)
+    fit = study.fig10_weibull_fit()
+
+    rows = format_cdf_rows(cdfs)
+    rows.append(
+        {
+            "series": "Weibull fit",
+            "n": fit.n,
+            "k": round(fit.k, 3),
+            "lambda": round(fit.lam, 3),
+            "mean": round(fit.mean, 2),
+            "ks": round(fit.ks_statistic, 4),
+        }
+    )
+    emit("fig10cd_iat_fit", format_table(rows))
+
+    # Heavy-tailed Weibull, like the paper's fit (k well below 1).
+    assert fit.k < 1.0
+    # R1 (busiest cold-start stream) has the shortest inter-arrivals.
+    medians = {name: cdf.median for name, cdf in cdfs.items()}
+    assert medians["R1"] == min(medians.values())
+    assert medians["R3"] > medians["R1"]

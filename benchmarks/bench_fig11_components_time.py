@@ -1,0 +1,69 @@
+"""Figure 11 — hourly mean cold-start time split into components, plus the
+hourly number of cold starts, per region.
+
+Shape targets: mean cold start ~3 s in R1 down to <0.5 s in R3; R1
+dominated by dependency deployment + scheduling, R2/R4 by pod allocation,
+R3 by scheduling, R5 by dependency deployment; a post-holiday surge in
+both count and duration.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.holiday import post_holiday_cold_start_surge
+from repro.trace.tables import COMPONENT_COLUMNS
+
+
+def test_fig11_components_over_time(benchmark, study, emit):
+    def hourly_all():
+        return {name: study.fig11_hourly_components(name) for name in study.regions}
+
+    hourly = benchmark(hourly_all)
+    dominant = study.fig11_dominant_component()
+
+    rows = []
+    for name in study.regions:
+        data = hourly[name]
+        row = {
+            "region": name,
+            "mean_cold_s": round(float(np.nanmean(data["cold_start_s"])), 3),
+            "dominant": dominant[name],
+            "peak_colds_per_hour": int(np.nanmax(data["count"])),
+        }
+        for column in COMPONENT_COLUMNS:
+            row[column.replace("_us", "_s")] = round(
+                float(np.nanmean(data[column])), 3
+            )
+        rows.append(row)
+    emit("fig11_components", format_table(rows))
+
+    means = {row["region"]: row["mean_cold_s"] for row in rows}
+    assert means["R1"] == max(means.values())
+    assert means["R3"] == min(means.values())
+    assert means["R3"] < 0.6
+    assert means["R1"] > 1.5
+
+    assert dominant["R1"] == "deploy_dep_us"
+    assert dominant["R2"] == "pod_alloc_us"
+    assert dominant["R4"] == "pod_alloc_us"
+    assert dominant["R3"] in ("scheduling_us", "pod_alloc_us")
+    assert dominant["R5"] in ("deploy_dep_us", "scheduling_us")
+
+
+def test_fig11_post_holiday_surge(benchmark, study, emit):
+    def surges():
+        return {
+            name: post_holiday_cold_start_surge(study.region(name))
+            for name in study.regions
+        }
+
+    result = benchmark(surges)
+    rows = [
+        {"region": name, **{k: round(v, 3) for k, v in vals.items()}}
+        for name, vals in result.items()
+    ]
+    emit("fig11_post_holiday_surge", format_table(rows))
+
+    # Dip regions rebound: more cold starts right after the holiday.
+    for name in ("R1", "R2", "R4", "R5"):
+        assert result[name]["count_ratio"] > 1.0, name

@@ -1,0 +1,35 @@
+"""Figure 16 — cold-start time and component CDFs by trigger type (Region 2).
+
+Shape targets: OBS-A has by far the slowest median (~10 s in the paper),
+explained by Custom runtimes clustering on OBS triggers; the other trigger
+categories sit well under ~2 s medians.
+"""
+
+from repro.analysis.report import format_table
+
+
+def test_fig16_by_trigger(benchmark, study, emit):
+    cdfs = benchmark(study.fig16_by_trigger, "R2")
+
+    rows = []
+    for trigger, metrics in sorted(cdfs.items()):
+        rows.append(
+            {
+                "trigger": trigger,
+                "n": metrics["cold_start_s"].n,
+                "total_p50": round(metrics["cold_start_s"].median, 3),
+                "total_p90": round(metrics["cold_start_s"].quantile(0.9), 3),
+                "alloc_p50": round(metrics["pod_alloc_us"].median, 3),
+                "sched_p50": round(metrics["scheduling_us"].median, 4),
+            }
+        )
+    emit("fig16_by_trigger", format_table(rows))
+
+    medians = {
+        row["trigger"]: row["total_p50"] for row in rows if row["trigger"] != "all"
+    }
+    # OBS-A is the slowest trigger category by a wide margin.
+    assert max(medians, key=medians.get) == "OBS-A"
+    others = [v for k, v in medians.items() if k != "OBS-A"]
+    assert medians["OBS-A"] > 2.5 * max(others)
+    assert medians["OBS-A"] > 3.0

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Mitigation shoot-out: every §5 strategy against the production baseline.
+
+Replays one Region-2-like workload under each mitigation policy the paper
+proposes and prints a single comparison table:
+
+* baseline            — fixed 60 s keep-alive, reactive pools;
+* timer-prewarm       — pre-warm pods just before predictable timer firings;
+* histogram-prewarm   — pre-warm from learned inter-arrival histograms;
+* dynamic-keepalive   — per-function keep-alive fitted to observed gaps;
+* peak-shaving        — delay non-latency-critical async work off-peak;
+* cross-region        — route cold-bound requests to an idle region.
+
+Usage::
+
+    python examples/mitigation_comparison.py [--days N] [--scale F]
+"""
+
+import argparse
+
+from repro.analysis.report import format_table
+from repro.mitigation import (
+    AsyncPeakShaver,
+    CrossRegionEvaluator,
+    DynamicKeepAlive,
+    HistogramPrewarmPolicy,
+    RegionEvaluator,
+    RoutingPolicy,
+    TimerPrewarmPolicy,
+    build_workload,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=5)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    print(f"Building an R2 workload ({args.days} days, scale {args.scale}) ...")
+    profile, traces = build_workload(
+        "R2", seed=args.seed, days=args.days, scale=args.scale
+    )
+    n_requests = sum(t.arrivals.size for t in traces)
+    print(f"{len(traces)} functions, {n_requests} requests")
+
+    runs = []
+
+    baseline = RegionEvaluator(profile, seed=1).run(traces, name="baseline")
+    runs.append(baseline)
+
+    runs.append(
+        RegionEvaluator(profile, prewarm_policy=TimerPrewarmPolicy(), seed=1).run(
+            traces, name="timer-prewarm"
+        )
+    )
+    runs.append(
+        RegionEvaluator(
+            profile,
+            prewarm_policy=HistogramPrewarmPolicy(threshold=0.35, min_observations=30),
+            seed=1,
+        ).run(traces, name="histogram-prewarm")
+    )
+    runs.append(
+        RegionEvaluator(profile, keepalive_policy=DynamicKeepAlive(), seed=1).run(
+            traces, name="dynamic-keepalive"
+        )
+    )
+    runs.append(
+        RegionEvaluator(
+            profile, peak_shaver=AsyncPeakShaver(max_delay_s=120.0), seed=1
+        ).run(traces, name="peak-shaving")
+    )
+
+    print("\n== Region-local policies vs baseline ==")
+    rows = [run.summary() for run in runs]
+    for row, run in zip(rows, runs):
+        row["cold_vs_baseline"] = (
+            f"{(run.cold_starts / max(baseline.cold_starts, 1) - 1) * 100:+.1f}%"
+        )
+        row["podtime_vs_baseline"] = (
+            f"{(run.pod_seconds / max(baseline.pod_seconds, 1e-9) - 1) * 100:+.1f}%"
+        )
+    print(format_table(rows))
+
+    print("\n== Cross-region routing (home R1, offload R3) ==")
+    _r1, r1_traces = build_workload("R1", seed=args.seed, days=3, scale=args.scale)
+    evaluator = CrossRegionEvaluator(home="R1", remotes=("R3",), seed=2)
+    home = evaluator.run(r1_traces, policy=RoutingPolicy.HOME_ONLY)
+    routed = CrossRegionEvaluator(home="R1", remotes=("R3",), seed=2).run(
+        r1_traces, policy=RoutingPolicy.BEST_REGION
+    )
+    print(format_table([home.summary(), routed.summary()]))
+    print(
+        f"mean cold wait: {home.mean_cold_wait_s():.2f}s -> "
+        f"{routed.mean_cold_wait_s():.2f}s "
+        f"({(1 - routed.mean_cold_wait_s() / home.mean_cold_wait_s()) * 100:.0f}% lower, "
+        "RTT included)"
+    )
+
+    print(
+        "\nTakeaway (paper §5): no single policy wins everywhere — timer "
+        "pre-warming removes predictable cold starts, dynamic keep-alive "
+        "trades pod time against cold starts for sparse functions, peak "
+        "shaving flattens pod allocation peaks, and cross-region routing "
+        "beats waiting out a congested region."
+    )
+
+
+if __name__ == "__main__":
+    main()

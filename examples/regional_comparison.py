@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Cross-region comparison: why the paper argues for cross-region scheduling.
+
+Reproduces the multi-region analyses of §3-§4 on all five calibrated
+region profiles and prints the evidence behind the paper's "Cross-region
+scheduling potential" box:
+
+* regional size and load spreads (Fig. 1, Fig. 3);
+* peak-time lag between regions (Fig. 5) — the basis for *spatial* peak
+  shaving;
+* cold-start duration spreads and which component dominates each region
+  (Figs. 10-11);
+* a back-of-envelope estimate of the cold-start latency a cross-region
+  scheduler could save, given inter-region RTTs.
+
+Usage::
+
+    python examples/regional_comparison.py [--days N] [--scale F]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import TraceStudy
+from repro.analysis.report import format_table
+from repro.viz import bar_chart, multi_cdf_chart
+
+#: Round-trip times between regions (ms) — the order of magnitude the paper
+#: cites for data centers in developed regions (tens to ~100 ms).
+INTER_REGION_RTT_MS = 60.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    print(f"Generating all five regions for {args.days} days ...")
+    study = TraceStudy.generate(seed=args.seed, days=args.days, scale=args.scale)
+
+    print("\n== Region sizes (Fig. 1) ==")
+    print(format_table(study.fig01_region_sizes()))
+
+    print("\n== Median execution time per region (Fig. 3b: 4ms in R5 ... 100ms in R1) ==")
+    exec_medians = {
+        name: cdf.median * 1e3 for name, cdf in study.fig03_exec_time().items()
+    }
+    print(bar_chart(exec_medians, fmt="{:.3g} ms"))
+
+    print("\n== Daily peak hours (Fig. 5: the peak-time lag) ==")
+    peak_hours = study.fig05_peak_hours()
+    print(bar_chart({name: hour for name, hour in peak_hours.items()}, fmt="{:.1f}h"))
+    lag = max(peak_hours.values()) - min(peak_hours.values())
+    print(f"largest peak-time lag: {lag:.1f} hours -> spatial peak-shaving headroom")
+
+    print("\n== Cold-start time CDFs (Fig. 10a) ==")
+    cdfs = study.fig10_cold_start_cdfs()
+    print(multi_cdf_chart(cdfs, x_label="seconds"))
+
+    print("\n== Dominant cold-start component per region (Fig. 11) ==")
+    dominant = study.fig11_dominant_component()
+    rows = []
+    for name in study.regions:
+        cdf = cdfs[name]
+        rows.append(
+            {
+                "region": name,
+                "median_cold_s": round(cdf.median, 3),
+                "p99_cold_s": round(cdf.quantile(0.99), 2),
+                "dominant_component": dominant[name],
+            }
+        )
+    print(format_table(rows))
+
+    print("\n== Cross-region savings estimate (§5) ==")
+    medians = {name: cdf.median for name, cdf in cdfs.items()}
+    slowest = max(medians, key=medians.get)
+    fastest = min(medians, key=medians.get)
+    saving = medians[slowest] - medians[fastest] - INTER_REGION_RTT_MS / 1e3
+    print(
+        f"routing a {slowest} cold start to {fastest} saves "
+        f"{medians[slowest]:.2f}s - {medians[fastest]:.2f}s - "
+        f"{INTER_REGION_RTT_MS:.0f}ms RTT = {saving:.2f}s per cold start"
+    )
+    if saving > 0:
+        total = len(study.region(slowest).pods)
+        print(
+            f"over {total} {slowest} cold starts that is up to "
+            f"{saving * total / 3600.0:.1f} pod-hours of user-visible wait removed"
+        )
+
+    share = study.fig03_share_at_least_1_per_minute()
+    quiet = min(share, key=share.get)
+    print(
+        f"\nleast-loaded region by frequent-function share: {quiet} "
+        f"({share[quiet]:.1%} of functions above 1 req/min) — "
+        "a natural offload target, echoing the paper's observation that "
+        "less congested regions offer cheaper and faster options."
+    )
+
+
+if __name__ == "__main__":
+    main()

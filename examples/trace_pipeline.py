@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Trace release pipeline: export, anonymise, reload, validate.
+
+Mirrors how the paper's dataset was published: event-level tables with
+hashed identifiers (Table 1 notes "for privacy reasons, all IDs are
+hashed"). The pipeline:
+
+1. generates one region's trace bundle;
+2. validates it (schema, component sums, keep-alive consistency);
+3. saves a *clear* copy and an *anonymised* copy (one-way hashed ids);
+4. reloads the clear copy and proves the round-trip is lossless;
+5. shows that the anonymised copy preserves joins (same function keeps
+   the same digest across streams) while hiding raw ids.
+
+Usage::
+
+    python examples/trace_pipeline.py [--workdir DIR]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.trace.hashing import IdHasher
+from repro.trace.io import load_bundle, read_anonymised_csv, save_bundle
+from repro.trace.tables import PodTable
+from repro.trace.validate import validate_bundle
+from repro.workload.generator import generate_region
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default=None,
+                        help="directory for exports (default: a temp dir)")
+    parser.add_argument("--days", type=int, default=3)
+    parser.add_argument("--scale", type=float, default=0.2)
+    args = parser.parse_args()
+
+    workdir = Path(args.workdir) if args.workdir else Path(tempfile.mkdtemp())
+    print(f"working in {workdir}")
+
+    print("\n[1/5] generating R2 ...")
+    bundle = generate_region("R2", seed=17, days=args.days, scale=args.scale)
+    print(format_table([bundle.summary()]))
+
+    print("\n[2/5] validating ...")
+    report = validate_bundle(bundle)
+    print(f"{report.checks_run} checks, ok={report.ok}")
+    if report.violations:
+        print(format_table(report.summary_rows()))
+
+    print("\n[3/5] exporting clear + anonymised copies ...")
+    clear_dir = save_bundle(bundle, workdir / "clear")
+    anon_dir = save_bundle(
+        bundle, workdir / "anonymised", hasher=IdHasher(salt="release-2024")
+    )
+    for directory in (clear_dir, anon_dir):
+        files = sorted(p.name for p in directory.iterdir())
+        print(f"  {directory}: {', '.join(files)}")
+
+    print("\n[4/5] reloading the clear copy (lossless round-trip) ...")
+    reloaded = load_bundle(clear_dir)
+    assert reloaded.summary() == bundle.summary()
+    assert np.array_equal(
+        reloaded.pods["cold_start_us"], bundle.pods["cold_start_us"]
+    )
+    revalidated = validate_bundle(reloaded)
+    print(f"round-trip summary matches; revalidation ok={revalidated.ok}")
+
+    print("\n[5/5] inspecting the anonymised copy ...")
+    anon_pods = read_anonymised_csv(PodTable, anon_dir / "pods.csv.gz")
+    sample = [
+        {name: col[i] for name, col in anon_pods.items()} for i in range(3)
+    ]
+    print(format_table(sample))
+    clear_functions = {str(v) for v in np.unique(bundle.pods["function"])}
+    anon_functions = set(np.unique(anon_pods["function"]).tolist())
+    assert not (clear_functions & anon_functions), "raw ids leaked!"
+    # Measures survive anonymisation bit-for-bit: total cold-start mass is
+    # identical between the clear and hashed exports.
+    assert int(anon_pods["cold_start_us"].sum()) == int(
+        bundle.pods["cold_start_us"].sum()
+    )
+    print(
+        f"{len(anon_functions)} hashed function ids, none equal to a raw id; "
+        "measures identical; equal raw ids map to equal digests, so "
+        "cross-stream joins survive."
+    )
+
+
+if __name__ == "__main__":
+    main()

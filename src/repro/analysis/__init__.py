@@ -1,0 +1,80 @@
+"""Analysis methodology: the paper's measurement machinery over traces."""
+
+from repro.analysis.cdf import (
+    Cdf,
+    empirical_cdf,
+    evaluate_cdf,
+    log_grid,
+    quantiles,
+)
+from repro.analysis.timeseries import (
+    bin_counts,
+    bin_means,
+    bin_sums,
+    moving_average,
+    normalize_max,
+)
+from repro.analysis.peaks import (
+    daily_peak_minutes,
+    detect_peaks,
+    peak_to_trough_ratio,
+)
+from repro.analysis.region_stats import (
+    cpu_per_minute_cdf,
+    exec_time_per_minute_cdf,
+    functions_per_user_cdf,
+    region_sizes,
+    requests_per_day_per_function,
+    requests_per_user_cdf,
+)
+from repro.analysis.composition import (
+    aggregate_combo_label,
+    function_metadata,
+    pods_over_time_by,
+    proportions_by,
+    trigger_mix_by_runtime,
+)
+from repro.analysis.coldstart_stats import (
+    cold_start_iats,
+    component_cdfs_by,
+    hourly_component_means,
+    pool_size_quantiles,
+    requests_vs_cold_starts,
+)
+from repro.analysis.holiday import holiday_effect
+from repro.analysis.report import ascii_cdf, format_table
+
+__all__ = [
+    "Cdf",
+    "empirical_cdf",
+    "evaluate_cdf",
+    "log_grid",
+    "quantiles",
+    "bin_counts",
+    "bin_means",
+    "bin_sums",
+    "moving_average",
+    "normalize_max",
+    "daily_peak_minutes",
+    "detect_peaks",
+    "peak_to_trough_ratio",
+    "region_sizes",
+    "requests_per_day_per_function",
+    "exec_time_per_minute_cdf",
+    "cpu_per_minute_cdf",
+    "functions_per_user_cdf",
+    "requests_per_user_cdf",
+    "function_metadata",
+    "aggregate_combo_label",
+    "pods_over_time_by",
+    "proportions_by",
+    "trigger_mix_by_runtime",
+    "cold_start_iats",
+    "hourly_component_means",
+    "pool_size_quantiles",
+    "requests_vs_cold_starts",
+    "component_cdfs_by",
+    "holiday_effect",
+    "ascii_cdf",
+    "format_table",
+]

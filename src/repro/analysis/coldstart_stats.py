@@ -1,0 +1,153 @@
+"""Cold-start statistics: Figures 10, 11, 13, 14, 15, 16."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.cdf import Cdf, empirical_cdf, quantiles
+from repro.analysis.composition import function_metadata
+from repro.analysis.timeseries import bin_counts, bin_means
+from repro.trace.tables import COMPONENT_COLUMNS, PodTable, TraceBundle
+
+#: Human-readable component names in the paper's stacking order.
+COMPONENT_NAMES = {
+    "pod_alloc_us": "pod alloc. time",
+    "deploy_code_us": "deploy code time",
+    "deploy_dep_us": "deploy dep. time",
+    "scheduling_us": "scheduling time",
+}
+
+
+def cold_start_cdf(pods: PodTable) -> Cdf:
+    """CDF of total cold-start durations (Fig. 10a)."""
+    return empirical_cdf(pods.cold_start_s)
+
+
+def cold_start_iats(pods: PodTable) -> np.ndarray:
+    """Inter-arrival times between consecutive cold starts (Fig. 10c).
+
+    Computed region-wide over time-sorted cold-start events; zero gaps
+    (events in the same millisecond) are kept, matching event-level data.
+    """
+    if len(pods) < 2:
+        return np.zeros(0)
+    ts = np.sort(pods.timestamps_s)
+    return np.diff(ts)
+
+
+def hourly_component_means(
+    pods: PodTable, horizon_s: float | None = None
+) -> dict[str, np.ndarray]:
+    """Per-hour mean component/total times plus cold-start counts (Fig. 11)."""
+    ts = pods.timestamps_s
+    if horizon_s is None:
+        horizon_s = float(ts.max()) + 3600.0 if ts.size else 3600.0
+    out: dict[str, np.ndarray] = {
+        "count": bin_counts(ts, 3600.0, horizon_s),
+        "cold_start_s": bin_means(ts, pods.cold_start_s, 3600.0, horizon_s),
+    }
+    for column in COMPONENT_COLUMNS:
+        out[column] = bin_means(ts, pods.component_s(column), 3600.0, horizon_s)
+    return out
+
+
+def dominant_component(pods: PodTable) -> str:
+    """The component with the largest mean over the trace (per-region)."""
+    if not len(pods):
+        return "none"
+    means = {col: float(pods.component_s(col).mean()) for col in COMPONENT_COLUMNS}
+    return max(means, key=means.get)
+
+
+def pool_size_quantiles(
+    bundle: TraceBundle, qs=(0.25, 0.5, 0.75)
+) -> dict[str, dict[str, dict[float, float]]]:
+    """Component quantiles split by small/large pool (Fig. 13).
+
+    Returns ``{metric: {"small": {q: v}, "large": {q: v}}}``; dependency
+    deployment excludes zero entries (functions without layers), exactly as
+    the figure caption specifies.
+    """
+    meta = function_metadata(bundle, bundle.pods["function"])
+    out: dict[str, dict[str, dict[float, float]]] = {}
+    metrics = {"cold_start_s": bundle.pods.cold_start_s}
+    for column in COMPONENT_COLUMNS:
+        metrics[column] = bundle.pods.component_s(column)
+    for name, values in metrics.items():
+        per_size = {}
+        for size in ("small", "large"):
+            mask = meta.size_class == size
+            sample = values[mask]
+            if name == "deploy_dep_us":
+                sample = sample[sample > 0]
+            per_size[size] = quantiles(sample, qs)
+        out[name] = per_size
+    return out
+
+
+def requests_vs_cold_starts(bundle: TraceBundle) -> list[dict[str, object]]:
+    """Per-function total requests vs cold starts with trigger label (Fig. 14)."""
+    req_funcs, req_counts = np.unique(bundle.requests["function"], return_counts=True)
+    cold_funcs, cold_counts = np.unique(bundle.pods["function"], return_counts=True)
+    cold_map = dict(zip(cold_funcs.tolist(), cold_counts.tolist()))
+    meta = function_metadata(bundle, req_funcs)
+    rows = []
+    for i, function_id in enumerate(req_funcs.tolist()):
+        rows.append(
+            {
+                "function": function_id,
+                "requests": int(req_counts[i]),
+                "cold_starts": int(cold_map.get(function_id, 0)),
+                "trigger": str(meta.trigger_label[i]),
+            }
+        )
+    return rows
+
+
+def component_cdfs_by(
+    bundle: TraceBundle, by: str = "runtime"
+) -> dict[str, dict[str, Cdf]]:
+    """Total + component CDFs per runtime or trigger category (Figs. 15/16).
+
+    Returns ``{category: {metric: Cdf}}`` with an ``"all"`` category holding
+    the combined distribution, like the yellow 'all' curve in the paper.
+    Dependency CDFs exclude zeros (functions without layers).
+    """
+    if by not in ("runtime", "trigger"):
+        raise ValueError("by must be 'runtime' or 'trigger'")
+    meta = function_metadata(bundle, bundle.pods["function"])
+    categories = meta.runtime if by == "runtime" else meta.trigger_label
+
+    metrics = {"cold_start_s": bundle.pods.cold_start_s}
+    for column in COMPONENT_COLUMNS:
+        metrics[column] = bundle.pods.component_s(column)
+
+    def build(mask: np.ndarray) -> dict[str, Cdf]:
+        out = {}
+        for name, values in metrics.items():
+            sample = values[mask]
+            if name == "deploy_dep_us":
+                sample = sample[sample > 0]
+            out[name] = empirical_cdf(sample)
+        return out
+
+    result = {"all": build(np.ones(len(bundle.pods), dtype=bool))}
+    for category in np.unique(categories):
+        result[str(category)] = build(categories == category)
+    return result
+
+
+def mean_scheduling_dominates(bundle: TraceBundle) -> bool:
+    """Paper §4.4: scheduling overhead is on average the largest component
+    (across default runtimes)."""
+    meta = function_metadata(bundle, bundle.pods["function"])
+    default = ~np.isin(meta.runtime, ("Custom", "http"))
+    if not default.any():
+        return False
+    sched = float(bundle.pods.component_s("scheduling_us")[default].mean())
+    others = [
+        float(bundle.pods.component_s(col)[default].mean())
+        for col in COMPONENT_COLUMNS
+        if col != "scheduling_us"
+    ]
+    return sched >= max(others)

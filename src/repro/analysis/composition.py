@@ -1,0 +1,205 @@
+"""Composition breakdowns: pods / cold starts / functions by trigger type,
+runtime, and resource configuration (paper Figs. 8 and 9).
+
+Also hosts the two fundamental joins every grouped analysis needs:
+
+* :func:`function_metadata` — map pod/request rows to runtime, aggregated
+  trigger label, config name, and pool size class via the function table;
+* :func:`pod_intervals` — per-pod activity intervals reconstructed from the
+  request stream (pod lifetime = first cold start to last request end plus
+  keep-alive), which is exactly how the paper's authors must derive pod
+  lifetimes, since the pod-level stream only logs cold-start events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.timeseries import presence_counts
+from repro.trace.tables import TraceBundle
+from repro.workload.catalog import SizeClass, parse_config
+
+#: Labels kept distinct by the paper's aggregation.
+_DISTINCT = {"TIMER-A", "OBS-A", "APIG-S", "workflow-S", "unknown"}
+_PRIORITY = ("APIG-S", "workflow-S", "other S", "OBS-A", "other A", "TIMER-A", "unknown")
+
+
+def aggregate_combo_label(combo: str) -> str:
+    """Aggregate a stored trigger combo (e.g. ``"CTS-A"``, ``"APIG-S+TIMER-A"``)
+    into the paper's seven analysis categories, picking the primary binding."""
+    best_rank = len(_PRIORITY)
+    best = "unknown"
+    for part in combo.split("+"):
+        if part in _DISTINCT:
+            label = part
+        elif part.endswith("-S"):
+            label = "other S"
+        elif part.endswith("-A"):
+            label = "other A"
+        else:
+            label = "unknown"
+        rank = _PRIORITY.index(label)
+        if rank < best_rank:
+            best_rank = rank
+            best = label
+    return best
+
+
+@dataclass
+class FunctionMetadata:
+    """Row-aligned metadata arrays for an ID column joined on functions."""
+
+    runtime: np.ndarray
+    trigger: np.ndarray
+    trigger_label: np.ndarray
+    cpu_mem: np.ndarray
+    size_class: np.ndarray
+
+
+def function_metadata(bundle: TraceBundle, function_ids: np.ndarray) -> FunctionMetadata:
+    """Join ``function_ids`` against the bundle's function-level stream."""
+    meta = bundle.functions.metadata_for(np.asarray(function_ids))
+    combos = meta["trigger"]
+    unique_combos, inverse = np.unique(combos, return_inverse=True)
+    labels = np.array([aggregate_combo_label(c) for c in unique_combos], dtype="U12")
+    unique_configs, config_inverse = np.unique(meta["cpu_mem"], return_inverse=True)
+    sizes = np.array(
+        [
+            parse_config(c).size_class.value if c != "unknown" else SizeClass.SMALL.value
+            for c in unique_configs
+        ],
+        dtype="U8",
+    )
+    return FunctionMetadata(
+        runtime=meta["runtime"],
+        trigger=combos,
+        trigger_label=labels[inverse],
+        cpu_mem=meta["cpu_mem"],
+        size_class=sizes[config_inverse],
+    )
+
+
+@dataclass
+class PodIntervals:
+    """Activity intervals of every pod observed in the request stream."""
+
+    pod_id: np.ndarray
+    function: np.ndarray
+    start_s: np.ndarray
+    last_end_s: np.ndarray
+    n_requests: np.ndarray
+
+    def lifetime_s(self, keepalive_s: float = 60.0) -> np.ndarray:
+        """Total pod lifetime including the terminal keep-alive wait."""
+        return self.last_end_s - self.start_s + keepalive_s
+
+    def useful_s(self) -> np.ndarray:
+        """Useful lifetime (total minus keep-alive tail, §4.5)."""
+        return self.last_end_s - self.start_s
+
+
+def pod_intervals(bundle: TraceBundle) -> PodIntervals:
+    """Reconstruct per-pod activity intervals from the request stream."""
+    requests = bundle.requests
+    pod_ids = requests["pod_id"]
+    ts = requests.timestamps_s
+    ends = ts + requests.exec_time_s
+    uniques, inverse = np.unique(pod_ids, return_inverse=True)
+    start = np.full(uniques.size, np.inf)
+    last_end = np.full(uniques.size, -np.inf)
+    counts = np.bincount(inverse, minlength=uniques.size)
+    np.minimum.at(start, inverse, ts)
+    np.maximum.at(last_end, inverse, ends)
+
+    function = np.zeros(uniques.size, dtype=np.int64)
+    function[inverse] = requests["function"]
+    return PodIntervals(
+        pod_id=uniques,
+        function=function,
+        start_s=start,
+        last_end_s=last_end,
+        n_requests=counts.astype(np.int64),
+    )
+
+
+def _categories_for(bundle: TraceBundle, function_ids: np.ndarray, by: str) -> np.ndarray:
+    meta = function_metadata(bundle, function_ids)
+    if by == "trigger":
+        return meta.trigger_label
+    if by == "runtime":
+        return meta.runtime
+    if by == "config":
+        grouped = np.where(
+            np.isin(meta.cpu_mem, ("300-128", "400-256", "600-512", "1000-1024")),
+            meta.cpu_mem,
+            "other",
+        )
+        return grouped
+    if by == "size":
+        return meta.size_class
+    raise ValueError(f"unknown grouping {by!r}; use trigger/runtime/config/size")
+
+
+def pods_over_time_by(
+    bundle: TraceBundle,
+    by: str = "trigger",
+    bin_s: float = 3600.0,
+    keepalive_s: float = 60.0,
+) -> dict[str, np.ndarray]:
+    """Running pods per time bin, grouped by category (Fig. 8a–c)."""
+    intervals = pod_intervals(bundle)
+    horizon = float(intervals.last_end_s.max()) + keepalive_s if intervals.pod_id.size else bin_s
+    categories = _categories_for(bundle, intervals.function, by)
+    out: dict[str, np.ndarray] = {}
+    for category in np.unique(categories):
+        mask = categories == category
+        out[str(category)] = presence_counts(
+            intervals.start_s[mask],
+            intervals.last_end_s[mask] + keepalive_s,
+            bin_s,
+            horizon,
+        )
+    return out
+
+
+def proportions_by(bundle: TraceBundle, by: str = "trigger") -> dict[str, dict[str, float]]:
+    """Shares of pod-time, cold starts, and functions per category (Fig. 8d–f).
+
+    The paper computes the pod share from the mean number of active pods per
+    minute — equivalent to each category's share of total pod-seconds — and
+    the cold-start share from the number of newly started pods.
+    """
+    intervals = pod_intervals(bundle)
+    pod_categories = _categories_for(bundle, intervals.function, by)
+    pod_seconds = np.maximum(intervals.useful_s(), 0.0) + 60.0
+
+    cold_categories = _categories_for(bundle, bundle.pods["function"], by)
+    func_categories = _categories_for(bundle, bundle.functions["function"], by)
+
+    out: dict[str, dict[str, float]] = {}
+    total_pod_seconds = float(pod_seconds.sum()) or 1.0
+    n_cold = max(len(bundle.pods), 1)
+    n_funcs = max(len(bundle.functions), 1)
+    for category in np.unique(np.concatenate([pod_categories, cold_categories, func_categories])):
+        out[str(category)] = {
+            "pods": float(pod_seconds[pod_categories == category].sum()) / total_pod_seconds,
+            "cold_starts": float((cold_categories == category).sum()) / n_cold,
+            "functions": float((func_categories == category).sum()) / n_funcs,
+        }
+    return out
+
+
+def trigger_mix_by_runtime(bundle: TraceBundle) -> dict[str, dict[str, float]]:
+    """Share of each trigger category within each runtime (Fig. 9)."""
+    meta = function_metadata(bundle, bundle.functions["function"])
+    out: dict[str, dict[str, float]] = {}
+    for runtime in np.unique(meta.runtime):
+        mask = meta.runtime == runtime
+        labels, counts = np.unique(meta.trigger_label[mask], return_counts=True)
+        total = counts.sum()
+        out[str(runtime)] = {
+            str(label): float(count) / total for label, count in zip(labels, counts)
+        }
+    return out

@@ -1,0 +1,115 @@
+"""Time-series utilities: binning, smoothing, normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bin_counts(
+    times_s: np.ndarray, bin_s: float, horizon_s: float | None = None
+) -> np.ndarray:
+    """Event counts per fixed-width bin.
+
+    Args:
+        times_s: event timestamps (seconds), any order.
+        bin_s: bin width in seconds.
+        horizon_s: total covered span; inferred from the data when omitted.
+    """
+    times_s = np.asarray(times_s, dtype=np.float64)
+    if bin_s <= 0:
+        raise ValueError("bin_s must be positive")
+    if horizon_s is None:
+        horizon_s = float(times_s.max()) + bin_s if times_s.size else bin_s
+    n_bins = max(int(np.ceil(horizon_s / bin_s)), 1)
+    if times_s.size == 0:
+        return np.zeros(n_bins)
+    idx = np.clip((times_s // bin_s).astype(np.int64), 0, n_bins - 1)
+    return np.bincount(idx, minlength=n_bins).astype(np.float64)
+
+
+def bin_sums(
+    times_s: np.ndarray,
+    values: np.ndarray,
+    bin_s: float,
+    horizon_s: float | None = None,
+) -> np.ndarray:
+    """Sum of ``values`` per bin."""
+    times_s = np.asarray(times_s, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if times_s.shape != values.shape:
+        raise ValueError("times and values must align")
+    if bin_s <= 0:
+        raise ValueError("bin_s must be positive")
+    if horizon_s is None:
+        horizon_s = float(times_s.max()) + bin_s if times_s.size else bin_s
+    n_bins = max(int(np.ceil(horizon_s / bin_s)), 1)
+    if times_s.size == 0:
+        return np.zeros(n_bins)
+    idx = np.clip((times_s // bin_s).astype(np.int64), 0, n_bins - 1)
+    return np.bincount(idx, weights=values, minlength=n_bins)
+
+
+def bin_means(
+    times_s: np.ndarray,
+    values: np.ndarray,
+    bin_s: float,
+    horizon_s: float | None = None,
+) -> np.ndarray:
+    """Mean of ``values`` per bin; empty bins are NaN."""
+    sums = bin_sums(times_s, values, bin_s, horizon_s)
+    counts = bin_counts(times_s, bin_s, horizon_s)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+
+def moving_average(series: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average; NaNs are treated as missing."""
+    series = np.asarray(series, dtype=np.float64)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if window == 1 or series.size == 0:
+        return series.copy()
+    valid = ~np.isnan(series)
+    filled = np.where(valid, series, 0.0)
+    kernel = np.ones(window)
+    sums = np.convolve(filled, kernel, mode="same")
+    counts = np.convolve(valid.astype(np.float64), kernel, mode="same")
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+
+def normalize_max(series: np.ndarray) -> np.ndarray:
+    """Scale a series to [0, 1] by its max (NaN-safe); all-zero stays zero."""
+    series = np.asarray(series, dtype=np.float64)
+    peak = np.nanmax(series) if series.size else 0.0
+    if not np.isfinite(peak) or peak == 0:
+        return np.zeros_like(series)
+    return series / peak
+
+
+def presence_counts(
+    starts_s: np.ndarray,
+    ends_s: np.ndarray,
+    bin_s: float,
+    horizon_s: float,
+) -> np.ndarray:
+    """Number of intervals overlapping each bin (running pods per hour).
+
+    Uses a +1/-1 difference array over bin indices, so counting millions of
+    pod lifetimes is O(n + bins).
+    """
+    starts_s = np.asarray(starts_s, dtype=np.float64)
+    ends_s = np.asarray(ends_s, dtype=np.float64)
+    if starts_s.shape != ends_s.shape:
+        raise ValueError("starts and ends must align")
+    if np.any(ends_s < starts_s):
+        raise ValueError("interval ends must not precede starts")
+    n_bins = max(int(np.ceil(horizon_s / bin_s)), 1)
+    if starts_s.size == 0:
+        return np.zeros(n_bins)
+    start_idx = np.clip((starts_s // bin_s).astype(np.int64), 0, n_bins - 1)
+    end_idx = np.clip((ends_s // bin_s).astype(np.int64), 0, n_bins - 1) + 1
+    delta = np.zeros(n_bins + 1)
+    np.add.at(delta, start_idx, 1.0)
+    np.add.at(delta, end_idx, -1.0)
+    return np.cumsum(delta[:-1])

@@ -1,0 +1,293 @@
+"""``repro`` command-line interface.
+
+Every command works on either freshly generated traces (``--seed/--days/
+--scale/--regions``) or a directory of saved bundles (``--load``), so the
+whole paper reproduction is drivable without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.core.findings import extract_findings
+from repro.core.study import TraceStudy
+from repro.trace.hashing import IdHasher
+from repro.trace.io import load_bundle, save_bundle
+from repro.trace.validate import validate_bundle
+from repro.viz import figures as viz_figures
+from repro.workload.calibration import calibration_passed, check_calibration
+from repro.workload.generator import generate_multi_region
+from repro.workload.regions import REGION_NAMES
+
+_DEFAULT_REGIONS = ",".join(REGION_NAMES)
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_argument_group("dataset")
+    source.add_argument(
+        "--load",
+        metavar="DIR",
+        help="load bundles saved by 'repro generate' instead of generating",
+    )
+    source.add_argument("--regions", default=_DEFAULT_REGIONS,
+                        help=f"comma-separated region names (default {_DEFAULT_REGIONS})")
+    source.add_argument("--seed", type=int, default=0, help="RNG root seed")
+    source.add_argument("--days", type=int, default=31,
+                        help="trace horizon in days (the paper spans 31)")
+    source.add_argument("--scale", type=float, default=0.2,
+                        help="function-count scale factor (rates stay real)")
+
+
+def _load_study(args: argparse.Namespace) -> TraceStudy:
+    if args.load:
+        root = Path(args.load)
+        bundles = {}
+        for directory in sorted(p for p in root.iterdir() if p.is_dir()):
+            bundle = load_bundle(directory)
+            bundles[bundle.region] = bundle
+        if not bundles:
+            raise SystemExit(f"no bundles found under {root}")
+        return TraceStudy(bundles)
+    regions = tuple(name.strip() for name in args.regions.split(",") if name.strip())
+    started = time.time()
+    study = TraceStudy.generate(
+        regions=regions, seed=args.seed, days=args.days, scale=args.scale
+    )
+    print(f"generated {len(regions)} region(s) in {time.time() - started:.1f}s",
+          file=sys.stderr)
+    return study
+
+
+# --- commands ------------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    regions = tuple(name.strip() for name in args.regions.split(",") if name.strip())
+    bundles = generate_multi_region(
+        regions, seed=args.seed, days=args.days, scale=args.scale
+    )
+    out_root = Path(args.output)
+    hasher = IdHasher(salt=str(args.seed)) if args.anonymize else None
+    rows = []
+    for name, bundle in bundles.items():
+        directory = save_bundle(bundle, out_root / name, hasher=hasher)
+        row = {"region": name, "path": str(directory)}
+        row.update(bundle.summary())
+        rows.append(row)
+    print(format_table(rows))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    study = _load_study(args)
+    rows = study.fig01_region_sizes()
+    print("== dataset overview (Fig. 1 axes) ==")
+    print(format_table(rows))
+    print()
+    print("== paper findings re-derived from this dataset ==")
+    findings = extract_findings(study)
+    print(format_table([finding.summary_row() for finding in findings]))
+    return 0 if all(f.supported for f in findings) else 1
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    study = _load_study(args)
+    wanted = args.figure or sorted(viz_figures.FIGURES)
+    unknown = [fig_id for fig_id in wanted if fig_id not in viz_figures.FIGURES]
+    if unknown:
+        raise SystemExit(
+            f"unknown figures {unknown}; available: {sorted(viz_figures.FIGURES)}"
+        )
+    out_dir = Path(args.output) if args.output else None
+    for fig_id in wanted:
+        text = viz_figures.render(fig_id, study)
+        if out_dir is not None:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{fig_id}.txt").write_text(text + "\n")
+            print(f"wrote {out_dir / f'{fig_id}.txt'}", file=sys.stderr)
+        else:
+            print(text)
+            print()
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    study = _load_study(args)
+    lognormal = study.fig10_lognormal_fit()
+    weibull = study.fig10_weibull_fit()
+    rows = [
+        {
+            "distribution": "LogNormal (cold-start time)",
+            "param1": f"mean={lognormal.mean:.3f}s",
+            "param2": f"std={lognormal.std:.3f}s",
+            "paper": "mean=3.24 std=7.10",
+            "ks": round(lognormal.ks_statistic, 4),
+            "n": lognormal.n,
+        },
+        {
+            "distribution": "Weibull (cold-start IAT)",
+            "param1": f"k={weibull.k:.3f}",
+            "param2": f"lambda={weibull.lam:.3f}",
+            "paper": "mean=1.25 std=3.66",
+            "ks": round(weibull.ks_statistic, 4),
+            "n": weibull.n,
+        },
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    study = _load_study(args)
+    all_ok = True
+    for name in study.regions:
+        report = validate_bundle(study.region(name), keepalive_s=args.keepalive)
+        status = "OK" if report.ok else "FAILED"
+        print(f"== {name}: {report.checks_run} checks, {status} ==")
+        if report.violations:
+            print(format_table(report.summary_rows()))
+        all_ok &= report.ok
+    return 0 if all_ok else 1
+
+
+#: Mitigation policies runnable from the CLI, with their §5 labels.
+_MITIGATION_POLICIES = ("baseline", "timer-prewarm", "histogram-prewarm",
+                        "dynamic-keepalive", "peak-shaving")
+
+
+def cmd_mitigate(args: argparse.Namespace) -> int:
+    from repro.mitigation import (
+        AsyncPeakShaver,
+        DynamicKeepAlive,
+        HistogramPrewarmPolicy,
+        RegionEvaluator,
+        TimerPrewarmPolicy,
+        build_workload,
+    )
+
+    region = args.regions.split(",")[0].strip()
+    profile, traces = build_workload(
+        region, seed=args.seed, days=args.days, scale=args.scale
+    )
+    print(
+        f"replaying {sum(t.arrivals.size for t in traces)} requests over "
+        f"{len(traces)} {region} functions",
+        file=sys.stderr,
+    )
+    wanted = args.policy or list(_MITIGATION_POLICIES)
+    unknown = [p for p in wanted if p not in _MITIGATION_POLICIES]
+    if unknown:
+        raise SystemExit(f"unknown policies {unknown}; available: {_MITIGATION_POLICIES}")
+
+    def evaluator(policy: str) -> RegionEvaluator:
+        if policy == "timer-prewarm":
+            return RegionEvaluator(profile, prewarm_policy=TimerPrewarmPolicy(), seed=1)
+        if policy == "histogram-prewarm":
+            return RegionEvaluator(
+                profile,
+                prewarm_policy=HistogramPrewarmPolicy(threshold=0.35, min_observations=30),
+                seed=1,
+            )
+        if policy == "dynamic-keepalive":
+            return RegionEvaluator(profile, keepalive_policy=DynamicKeepAlive(), seed=1)
+        if policy == "peak-shaving":
+            return RegionEvaluator(
+                profile, peak_shaver=AsyncPeakShaver(max_delay_s=120.0), seed=1
+            )
+        return RegionEvaluator(profile, seed=1)
+
+    rows = [evaluator(policy).run(traces, name=policy).summary() for policy in wanted]
+    print(format_table(rows))
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    study = _load_study(args)
+    results = check_calibration(study)
+    print(format_table([result.summary_row() for result in results]))
+    passed = calibration_passed(results)
+    print()
+    print(f"{sum(r.passed for r in results)}/{len(results)} shape targets hold")
+    return 0 if passed else 1
+
+
+# --- parser --------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Serverless Cold Starts and Where to "
+            "Find Them' (EuroSys '25)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesise per-region traces and save them"
+    )
+    _add_dataset_arguments(generate)
+    generate.add_argument("--output", "-o", required=True, metavar="DIR",
+                          help="directory receiving one subdirectory per region")
+    generate.add_argument("--anonymize", action="store_true",
+                          help="hash all ids on export (one-way, like the release)")
+    generate.set_defaults(func=cmd_generate)
+
+    analyze = commands.add_parser(
+        "analyze", help="overview and re-derived paper findings"
+    )
+    _add_dataset_arguments(analyze)
+    analyze.set_defaults(func=cmd_analyze)
+
+    figures = commands.add_parser("figures", help="render paper figures as ASCII")
+    _add_dataset_arguments(figures)
+    figures.add_argument("--figure", "-f", action="append", metavar="figNN",
+                         help="figure id (repeatable); default: all")
+    figures.add_argument("--output", "-o", metavar="DIR",
+                         help="write figN.txt files instead of stdout")
+    figures.set_defaults(func=cmd_figures)
+
+    fit = commands.add_parser(
+        "fit", help="fit the paper's LogNormal/Weibull distributions"
+    )
+    _add_dataset_arguments(fit)
+    fit.set_defaults(func=cmd_fit)
+
+    validate = commands.add_parser(
+        "validate", help="integrity-check trace bundles"
+    )
+    _add_dataset_arguments(validate)
+    validate.add_argument("--keepalive", type=float, default=60.0,
+                          help="keep-alive seconds used by consistency checks")
+    validate.set_defaults(func=cmd_validate)
+
+    calibrate = commands.add_parser(
+        "calibrate", help="check traces against the paper's shape targets"
+    )
+    _add_dataset_arguments(calibrate)
+    calibrate.set_defaults(func=cmd_calibrate)
+
+    mitigate = commands.add_parser(
+        "mitigate", help="replay a region under the §5 mitigation policies"
+    )
+    _add_dataset_arguments(mitigate)
+    mitigate.add_argument("--policy", "-p", action="append",
+                          metavar="NAME", help="policy name (repeatable); default: all")
+    mitigate.set_defaults(func=cmd_mitigate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

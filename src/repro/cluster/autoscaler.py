@@ -1,0 +1,72 @@
+"""Autoscaling decisions and keep-alive policies.
+
+The production autoscaler is reactive: a request that finds no warm slot
+triggers a cold start, and idle pods die after a fixed one-minute
+keep-alive. Keep-alive policies are pluggable here because the paper (§5)
+proposes *dynamic* keep-alives for timer functions whose period exceeds the
+default (keeping such pods warm for a full minute is pure waste).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.lifecycle import DEFAULT_KEEPALIVE_S
+from repro.workload.function import FunctionSpec
+
+
+class KeepAlivePolicy:
+    """Decides how long an idle pod of a function stays warm."""
+
+    def keepalive_for(self, spec: FunctionSpec, now: float) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class FixedKeepAlive(KeepAlivePolicy):
+    """Production default: the same keep-alive for every function."""
+
+    keepalive_s: float = DEFAULT_KEEPALIVE_S
+
+    def __post_init__(self) -> None:
+        if self.keepalive_s <= 0:
+            raise ValueError("keepalive_s must be positive")
+
+    def keepalive_for(self, spec: FunctionSpec, now: float) -> float:
+        return self.keepalive_s
+
+    def describe(self) -> str:
+        return f"fixed({self.keepalive_s:g}s)"
+
+
+@dataclass
+class ScalingDecision:
+    """What the autoscaler decided for one incoming request."""
+
+    cold_start: bool
+    reason: str = ""
+
+
+@dataclass
+class Autoscaler:
+    """Reactive autoscaler with a pluggable keep-alive policy."""
+
+    keepalive_policy: KeepAlivePolicy = field(default_factory=FixedKeepAlive)
+    cold_starts_triggered: int = 0
+
+    def decide(self, cluster: Cluster, spec: FunctionSpec) -> ScalingDecision:
+        """Cold start iff no warm pod of the function has a free slot."""
+        pod = cluster.find_warm_pod(spec.function_id)
+        if pod is not None:
+            return ScalingDecision(cold_start=False, reason="warm slot available")
+        self.cold_starts_triggered += 1
+        if cluster.warm_pod_count(spec.function_id) > 0:
+            return ScalingDecision(cold_start=True, reason="all warm pods saturated")
+        return ScalingDecision(cold_start=True, reason="no warm pod")
+
+    def keepalive_for(self, spec: FunctionSpec, now: float) -> float:
+        return self.keepalive_policy.keepalive_for(spec, now)

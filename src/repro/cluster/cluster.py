@@ -1,0 +1,151 @@
+"""A cluster: nodes, resource pools, and the warm-pod index.
+
+Regions are divided into (typically four) clusters providing virtual and
+physical separation (§2.1). Each cluster owns resource pools per CPU-MEM
+configuration and tracks which warm pods currently host which function.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod, PodState
+from repro.cluster.pool import PoolSet, SearchOutcome
+from repro.workload.catalog import CONFIG_CATALOG, ResourceConfig, Runtime
+
+
+@dataclass
+class ClusterStats:
+    cold_starts: int = 0
+    warm_hits: int = 0
+    expired_pods: int = 0
+
+    @property
+    def requests_routed(self) -> int:
+        return self.cold_starts + self.warm_hits
+
+
+class Cluster:
+    """One cluster of a region."""
+
+    def __init__(
+        self,
+        name: str,
+        n_nodes: int = 8,
+        configs: tuple[ResourceConfig, ...] = CONFIG_CATALOG,
+        initial_pool_free: int = 64,
+        pod_id_start: int = 0,
+    ):
+        self.name = name
+        self.nodes = [Node(node_id=i) for i in range(n_nodes)]
+        self.pools = PoolSet(configs, initial_free=initial_pool_free)
+        self.stats = ClusterStats()
+        self._warm: dict[int, list[Pod]] = {}
+        self._pod_seq = itertools.count(pod_id_start)
+        self._pods: dict[int, Pod] = {}
+        self.in_flight = 0
+
+    # -- warm path -------------------------------------------------------------
+
+    def find_warm_pod(self, function_id: int) -> Pod | None:
+        """A warm pod of this function with a free concurrency slot, if any."""
+        for pod in self._warm.get(function_id, ()):
+            if pod.can_accept:
+                return pod
+        return None
+
+    def warm_pod_count(self, function_id: int | None = None) -> int:
+        if function_id is not None:
+            return len(self._warm.get(function_id, ()))
+        return sum(len(pods) for pods in self._warm.values())
+
+    # -- cold path ---------------------------------------------------------------
+
+    def start_cold(
+        self,
+        function_id: int,
+        runtime: Runtime,
+        config: ResourceConfig,
+        concurrency: int,
+        now: float,
+    ) -> tuple[Pod, SearchOutcome]:
+        """Begin a cold start: staged pool search + node placement.
+
+        Returns the (initialising) pod and the search stage that found it.
+        The caller prices the latency and later calls ``finish_cold``.
+        """
+        outcome = self.pools.checkout(config, pooled=runtime.has_reserved_pool)
+        pod = Pod(
+            pod_id=next(self._pod_seq),
+            config=config,
+            cluster=self.name,
+            concurrency=concurrency,
+        )
+        placed = False
+        for node in self.nodes:
+            if node.allocate(pod.pod_id, config):
+                placed = True
+                break
+        if not placed:
+            # Oversubscribed cluster: spill onto the least-loaded node anyway
+            # (production clusters autoscale nodes; we keep capacity soft).
+            node = min(self.nodes, key=lambda n: n.cpu_utilization)
+            node.pods.add(pod.pod_id)
+            node.cpu_used += config.cpu_millicores
+            node.memory_used += config.memory_mb
+        pod.begin_init(function_id, runtime, now)
+        self._pods[pod.pod_id] = pod
+        self.stats.cold_starts += 1
+        return pod, outcome
+
+    def finish_cold(self, pod: Pod, now: float, cold_start_s: float) -> None:
+        """Complete a cold start; the pod joins the warm index."""
+        pod.finish_init(now, cold_start_s)
+        self._warm.setdefault(pod.function_id, []).append(pod)
+
+    # -- expiry -------------------------------------------------------------------
+
+    def expire_pod(self, pod: Pod) -> bool:
+        """Remove an idle pod whose keep-alive lapsed; False if not present."""
+        pods = self._warm.get(pod.function_id)
+        if not pods or pod not in pods:
+            return False
+        pods.remove(pod)
+        if not pods:
+            del self._warm[pod.function_id]
+        for node in self.nodes:
+            if pod.pod_id in node.pods:
+                node.release(pod.pod_id, pod.config)
+                break
+        pod.delete()
+        del self._pods[pod.pod_id]
+        self.stats.expired_pods += 1
+        # The pod's slot returns to the pool for reuse.
+        if pod.runtime is not None and pod.runtime.has_reserved_pool:
+            self.pools.pool(pod.config).give_back()
+        return True
+
+    def expire_idle(self, now: float, keepalive_s: float) -> int:
+        """Expire every idle pod past its deadline; returns the count."""
+        doomed = [
+            pod
+            for pods in self._warm.values()
+            for pod in pods
+            if pod.should_expire(now, keepalive_s)
+        ]
+        for pod in doomed:
+            self.expire_pod(pod)
+        return len(doomed)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def pod(self, pod_id: int) -> Pod:
+        return self._pods[pod_id]
+
+    def all_pods(self) -> list[Pod]:
+        return list(self._pods.values())
+
+    def busy_pod_count(self) -> int:
+        return sum(1 for p in self._pods.values() if p.state is PodState.BUSY)

@@ -1,0 +1,68 @@
+"""Request routing across a region's clusters (§2.1).
+
+The production platform hashes each function to one cluster when load is
+even, and spills to other clusters when the chosen cluster develops a
+hot-spot. Load balancers track dispatched-but-unreturned requests per
+cluster, which is exactly the signal used here.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.trace.hashing import stable_hash
+
+
+class LoadBalancer:
+    """Hash-affine router with hot-spot spill.
+
+    Args:
+        clusters: the region's clusters, order-stable.
+        hotspot_ratio: a cluster is *hot* when its in-flight count exceeds
+            this multiple of the across-cluster mean (and is non-trivial).
+    """
+
+    def __init__(self, clusters: list[Cluster], hotspot_ratio: float = 2.0):
+        if not clusters:
+            raise ValueError("need at least one cluster")
+        if hotspot_ratio <= 1.0:
+            raise ValueError("hotspot_ratio must exceed 1")
+        self.clusters = list(clusters)
+        self.hotspot_ratio = hotspot_ratio
+        self.spills = 0
+        self.routed = 0
+
+    def home_cluster(self, function_id: int) -> Cluster:
+        """The hash-affine cluster of a function."""
+        digest = stable_hash(function_id, salt="lb-routing", chars=8)
+        return self.clusters[int(digest, 16) % len(self.clusters)]
+
+    def _least_loaded(self) -> Cluster:
+        return min(self.clusters, key=lambda c: c.in_flight)
+
+    def route(self, function_id: int, single_cluster: bool = False) -> Cluster:
+        """Pick the cluster that should serve this request.
+
+        Single-cluster functions always go home. Otherwise the home cluster
+        is used unless it is a hot-spot, in which case the request spills to
+        the least-loaded cluster (starting pods there if necessary — that is
+        the caller's concern).
+        """
+        self.routed += 1
+        home = self.home_cluster(function_id)
+        if single_cluster or len(self.clusters) == 1:
+            return home
+        mean_inflight = sum(c.in_flight for c in self.clusters) / len(self.clusters)
+        if home.in_flight > self.hotspot_ratio * max(mean_inflight, 1.0):
+            spill = self._least_loaded()
+            if spill is not home:
+                self.spills += 1
+                return spill
+        return home
+
+    def on_dispatch(self, cluster: Cluster) -> None:
+        cluster.in_flight += 1
+
+    def on_complete(self, cluster: Cluster) -> None:
+        if cluster.in_flight <= 0:
+            raise RuntimeError(f"in-flight underflow on cluster {cluster.name}")
+        cluster.in_flight -= 1

@@ -1,0 +1,59 @@
+"""Worker nodes: finite CPU/memory capacity hosting pods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workload.catalog import ResourceConfig
+
+
+class CapacityError(RuntimeError):
+    """Raised when releasing resources that were never allocated."""
+
+
+@dataclass
+class Node:
+    """A worker node with CPU (millicores) and memory (MB) capacity."""
+
+    node_id: int
+    cpu_millicores: int = 64_000
+    memory_mb: int = 262_144
+    cpu_used: int = 0
+    memory_used: int = 0
+    pods: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.cpu_millicores <= 0 or self.memory_mb <= 0:
+            raise ValueError("node capacity must be positive")
+
+    def fits(self, config: ResourceConfig) -> bool:
+        return (
+            self.cpu_used + config.cpu_millicores <= self.cpu_millicores
+            and self.memory_used + config.memory_mb <= self.memory_mb
+        )
+
+    def allocate(self, pod_id: int, config: ResourceConfig) -> bool:
+        """Reserve resources for a pod; False if it does not fit."""
+        if not self.fits(config):
+            return False
+        self.cpu_used += config.cpu_millicores
+        self.memory_used += config.memory_mb
+        self.pods.add(pod_id)
+        return True
+
+    def release(self, pod_id: int, config: ResourceConfig) -> None:
+        if pod_id not in self.pods:
+            raise CapacityError(f"pod {pod_id} not on node {self.node_id}")
+        self.pods.remove(pod_id)
+        self.cpu_used -= config.cpu_millicores
+        self.memory_used -= config.memory_mb
+        if self.cpu_used < 0 or self.memory_used < 0:
+            raise CapacityError(f"negative usage on node {self.node_id}")
+
+    @property
+    def cpu_utilization(self) -> float:
+        return self.cpu_used / self.cpu_millicores
+
+    @property
+    def memory_utilization(self) -> float:
+        return self.memory_used / self.memory_mb

@@ -1,0 +1,82 @@
+"""The multi-region platform: regions plus an inter-region routing fabric.
+
+Inter-region latency matters for the paper's cross-region scheduling
+discussion (§5): data centers in developed regions sit tens to a few
+hundred milliseconds apart, often *less* than the cold-start gap between a
+congested and an idle region. The platform exposes that latency matrix so
+routing policies can weigh it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.region import Region
+from repro.sim.rng import RngFactory
+from repro.workload.regions import REGION_PROFILES, RegionProfile
+
+
+#: Default one-way inter-region network latency in seconds (paper cites tens
+#: to a few hundred milliseconds between developed regions).
+DEFAULT_INTER_REGION_LATENCY_S = 0.060
+
+
+class Platform:
+    """A set of regions sharing a serverless control plane."""
+
+    def __init__(
+        self,
+        profiles: list[RegionProfile] | None = None,
+        seed: int = 0,
+        inter_region_latency_s: float | dict[tuple[str, str], float] = (
+            DEFAULT_INTER_REGION_LATENCY_S
+        ),
+        **region_kwargs,
+    ):
+        if profiles is None:
+            profiles = list(REGION_PROFILES.values())
+        if not profiles:
+            raise ValueError("platform needs at least one region")
+        self.rngs = RngFactory(seed)
+        self.regions: dict[str, Region] = {
+            profile.name: Region(profile, self.rngs, **region_kwargs)
+            for profile in profiles
+        }
+        self._latency = inter_region_latency_s
+
+    def region(self, name: str) -> Region:
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown region {name!r}; have {sorted(self.regions)}"
+            ) from None
+
+    def region_names(self) -> list[str]:
+        return list(self.regions)
+
+    def inter_region_latency(self, src: str, dst: str) -> float:
+        """One-way network latency between two regions (0 within a region)."""
+        if src == dst:
+            return 0.0
+        if isinstance(self._latency, dict):
+            key = (src, dst)
+            if key in self._latency:
+                return self._latency[key]
+            return self._latency.get((dst, src), DEFAULT_INTER_REGION_LATENCY_S)
+        return float(self._latency)
+
+    def latency_matrix(self) -> np.ndarray:
+        """Full pairwise latency matrix in region-name order."""
+        names = self.region_names()
+        matrix = np.zeros((len(names), len(names)))
+        for i, src in enumerate(names):
+            for j, dst in enumerate(names):
+                matrix[i, j] = self.inter_region_latency(src, dst)
+        return matrix
+
+    def total_cold_starts(self) -> int:
+        return sum(region.cold_start_count() for region in self.regions.values())
+
+    def total_warm_pods(self) -> int:
+        return sum(region.warm_pod_count() for region in self.regions.values())

@@ -1,0 +1,151 @@
+"""Pod lifecycle state machine (paper Fig. 2).
+
+A pod starts life *pooled* (pre-provisioned, no function loaded). A cold
+start takes it through *initialising* (runtime/code/dependency deployment)
+to *idle*; requests flip it between *idle* and *busy*; after the keep-alive
+expires with no traffic it is *deleted*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.workload.catalog import ResourceConfig, Runtime
+
+
+class PodState(str, enum.Enum):
+    POOLED = "pooled"
+    INITIALIZING = "initializing"
+    IDLE = "idle"
+    BUSY = "busy"
+    DELETED = "deleted"
+
+
+_VALID_TRANSITIONS: dict[PodState, set[PodState]] = {
+    PodState.POOLED: {PodState.INITIALIZING, PodState.DELETED},
+    PodState.INITIALIZING: {PodState.IDLE, PodState.BUSY, PodState.DELETED},
+    PodState.IDLE: {PodState.BUSY, PodState.DELETED},
+    PodState.BUSY: {PodState.IDLE, PodState.BUSY, PodState.DELETED},
+    PodState.DELETED: set(),
+}
+
+
+class PodStateError(RuntimeError):
+    """Raised on an illegal pod state transition or request accounting bug."""
+
+
+@dataclass
+class Pod:
+    """One pod instance.
+
+    Attributes:
+        pod_id: unique identifier.
+        config: CPU-MEM configuration the pod was provisioned with.
+        cluster: name of the hosting cluster.
+        concurrency: maximum simultaneous requests (user-set per function).
+        state: current lifecycle state.
+        function_id: loaded function, None while pooled.
+        runtime: loaded runtime, None while pooled.
+        created_at: when the pod was first provisioned.
+        ready_at: when the cold start finished (None while pooled).
+        cold_start_s: total cold-start duration paid to ready this pod.
+        last_active: last request completion (drives keep-alive expiry).
+        requests_served: completed request count.
+    """
+
+    pod_id: int
+    config: ResourceConfig
+    cluster: str = ""
+    concurrency: int = 1
+    state: PodState = PodState.POOLED
+    function_id: int | None = None
+    runtime: Runtime | None = None
+    created_at: float = 0.0
+    ready_at: float | None = None
+    cold_start_s: float = 0.0
+    last_active: float = 0.0
+    requests_served: int = 0
+    active_requests: int = field(default=0)
+
+    def _transition(self, to: PodState) -> None:
+        if to not in _VALID_TRANSITIONS[self.state]:
+            raise PodStateError(f"illegal transition {self.state.value} -> {to.value}")
+        self.state = to
+
+    # -- cold start -----------------------------------------------------------
+
+    def begin_init(self, function_id: int, runtime: Runtime, now: float) -> None:
+        """Start loading a function into this pod (cold start begins)."""
+        self._transition(PodState.INITIALIZING)
+        self.function_id = function_id
+        self.runtime = runtime
+        self.created_at = now
+
+    def finish_init(self, now: float, cold_start_s: float) -> None:
+        """Cold start complete; the pod is ready to serve."""
+        if self.state is not PodState.INITIALIZING:
+            raise PodStateError(f"finish_init in state {self.state.value}")
+        self.ready_at = now
+        self.cold_start_s = cold_start_s
+        self.last_active = now
+        self._transition(PodState.IDLE)
+
+    # -- request serving ------------------------------------------------------
+
+    @property
+    def can_accept(self) -> bool:
+        """True when a warm slot is free for another request."""
+        return (
+            self.state in (PodState.IDLE, PodState.BUSY)
+            and self.active_requests < self.concurrency
+        )
+
+    def begin_request(self, now: float) -> None:
+        if not self.can_accept:
+            raise PodStateError(
+                f"pod {self.pod_id} cannot accept (state={self.state.value}, "
+                f"active={self.active_requests}/{self.concurrency})"
+            )
+        self.active_requests += 1
+        self.last_active = now
+        if self.state is PodState.IDLE:
+            self._transition(PodState.BUSY)
+
+    def end_request(self, now: float) -> None:
+        if self.state is not PodState.BUSY or self.active_requests <= 0:
+            raise PodStateError(f"end_request with no active request on pod {self.pod_id}")
+        self.active_requests -= 1
+        self.requests_served += 1
+        self.last_active = now
+        if self.active_requests == 0:
+            self._transition(PodState.IDLE)
+
+    # -- expiry ---------------------------------------------------------------
+
+    def idle_deadline(self, keepalive_s: float) -> float:
+        """Time at which the pod dies if it stays idle."""
+        return self.last_active + keepalive_s
+
+    def should_expire(self, now: float, keepalive_s: float) -> bool:
+        return (
+            self.state is PodState.IDLE
+            and now >= self.idle_deadline(keepalive_s) - 1e-9
+        )
+
+    def delete(self) -> None:
+        self._transition(PodState.DELETED)
+
+    # -- accounting -----------------------------------------------------------
+
+    def useful_lifetime_s(self) -> float:
+        """Useful lifetime: last activity minus readiness (paper §4.5)."""
+        if self.ready_at is None:
+            return 0.0
+        return max(self.last_active - self.ready_at, 0.0)
+
+    def utility_ratio(self) -> float:
+        """Useful lifetime over cold-start time (inf for free pods)."""
+        if self.cold_start_s <= 0:
+            return float("inf")
+        return self.useful_lifetime_s() / self.cold_start_s

@@ -1,0 +1,164 @@
+"""Resource pools of pre-provisioned pods, with the staged search of §4.2.
+
+The platform keeps pools of inactive pods per CPU-MEM configuration. A cold
+start first searches the local pool (stage 1); if empty, the search expands
+to sibling pools (stage 2); if that also fails, a pod is created from
+scratch (stage 3). The paper observes these stages as the multimodal pod-
+allocation distributions of Fig. 13b, with large-pod searches expanding
+more often.
+
+Custom-runtime functions skip the pool entirely (no reserved pool exists
+for custom images) and always pay stage 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.workload.catalog import ResourceConfig
+
+
+class SearchOutcome(enum.IntEnum):
+    """Which stage of the staged pool search satisfied the request."""
+
+    LOCAL_HIT = 1
+    EXPANDED = 2
+    FROM_SCRATCH = 3
+
+
+@dataclass
+class PoolStats:
+    """Checkout accounting for one pool."""
+
+    local_hits: int = 0
+    expansions: int = 0
+    creations: int = 0
+    returns: int = 0
+    refills: int = 0
+
+    @property
+    def checkouts(self) -> int:
+        return self.local_hits + self.expansions + self.creations
+
+    def hit_rate(self) -> float:
+        total = self.checkouts
+        return self.local_hits / total if total else 0.0
+
+
+@dataclass
+class ResourcePool:
+    """Pool of inactive pods of one configuration.
+
+    ``free`` counts immediately-available pods; ``target`` is the size the
+    refill loop aims for (set by resource-pool prediction policies).
+    """
+
+    config: ResourceConfig
+    free: int = 0
+    target: int = 0
+    stats: PoolStats = field(default_factory=PoolStats)
+
+    def __post_init__(self) -> None:
+        if self.free < 0 or self.target < 0:
+            raise ValueError("pool sizes must be non-negative")
+
+    @property
+    def deficit(self) -> int:
+        """Pods missing relative to the target size."""
+        return max(self.target - self.free, 0)
+
+    def try_take(self) -> bool:
+        """Stage-1 checkout from this pool; False when empty."""
+        if self.free <= 0:
+            return False
+        self.free -= 1
+        self.stats.local_hits += 1
+        return True
+
+    def take_expanded(self) -> None:
+        """Record a stage-2 checkout satisfied by a sibling pool."""
+        self.stats.expansions += 1
+
+    def take_from_sibling(self) -> bool:
+        """Remove one pod on behalf of another pool's expanded search."""
+        if self.free <= 0:
+            return False
+        self.free -= 1
+        return True
+
+    def take_scratch(self) -> None:
+        """Record a stage-3 from-scratch creation."""
+        self.stats.creations += 1
+
+    def give_back(self, count: int = 1) -> None:
+        """Return pods to the pool (e.g. after a scale-down)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.free += count
+        self.stats.returns += count
+
+    def refill_to_target(self) -> int:
+        """Provision pods up to the target; returns how many were added."""
+        added = self.deficit
+        self.free += added
+        self.stats.refills += added
+        return added
+
+
+class PoolSet:
+    """All pools of one cluster, with the staged search across them."""
+
+    def __init__(self, configs: tuple[ResourceConfig, ...], initial_free: int = 0):
+        self._pools: dict[str, ResourcePool] = {
+            config.name: ResourcePool(config, free=initial_free, target=initial_free)
+            for config in configs
+        }
+
+    def pool(self, config: ResourceConfig) -> ResourcePool:
+        try:
+            return self._pools[config.name]
+        except KeyError:
+            raise KeyError(f"no pool for config {config.name}") from None
+
+    def pools(self) -> dict[str, ResourcePool]:
+        return dict(self._pools)
+
+    def checkout(
+        self, config: ResourceConfig, pooled: bool = True
+    ) -> SearchOutcome:
+        """Run the staged search for one pod of ``config``.
+
+        Args:
+            config: requested CPU-MEM configuration.
+            pooled: False for custom images (no reserved pool → stage 3).
+        """
+        pool = self.pool(config)
+        if not pooled:
+            pool.take_scratch()
+            return SearchOutcome.FROM_SCRATCH
+        if pool.try_take():
+            return SearchOutcome.LOCAL_HIT
+        # Stage 2: expand to sibling pools with spare capacity, preferring
+        # the closest (>=) configuration so the pod can actually host the
+        # function's resource limit.
+        for sibling in sorted(
+            self._pools.values(), key=lambda p: (p.config.cpu_millicores, p.config.memory_mb)
+        ):
+            if sibling.config.name == config.name:
+                continue
+            if (
+                sibling.config.cpu_millicores >= config.cpu_millicores
+                and sibling.config.memory_mb >= config.memory_mb
+                and sibling.take_from_sibling()
+            ):
+                pool.take_expanded()
+                return SearchOutcome.EXPANDED
+        pool.take_scratch()
+        return SearchOutcome.FROM_SCRATCH
+
+    def total_free(self) -> int:
+        return sum(pool.free for pool in self._pools.values())
+
+    def refill_all(self) -> int:
+        return sum(pool.refill_to_target() for pool in self._pools.values())

@@ -1,0 +1,74 @@
+"""A region: clusters + load balancer + latency regime + metrics."""
+
+from __future__ import annotations
+
+from repro.cluster.autoscaler import Autoscaler, KeepAlivePolicy
+from repro.cluster.cluster import Cluster
+from repro.cluster.loadbalancer import LoadBalancer
+from repro.sim.latency import LatencyModel
+from repro.sim.metrics import MetricRegistry
+from repro.sim.rng import RngFactory
+from repro.workload.regions import RegionProfile
+
+
+class Region:
+    """Runtime counterpart of a :class:`RegionProfile` for DES experiments."""
+
+    def __init__(
+        self,
+        profile: RegionProfile,
+        rngs: RngFactory,
+        keepalive_policy: KeepAlivePolicy | None = None,
+        initial_pool_free: int = 64,
+        nodes_per_cluster: int = 8,
+    ):
+        self.profile = profile
+        self.name = profile.name
+        self.clusters = [
+            Cluster(
+                name=f"{profile.name}-c{i}",
+                n_nodes=nodes_per_cluster,
+                initial_pool_free=initial_pool_free,
+                pod_id_start=i * 10_000_000,
+            )
+            for i in range(profile.clusters)
+        ]
+        self.balancer = LoadBalancer(self.clusters)
+        self.autoscaler = Autoscaler() if keepalive_policy is None else Autoscaler(
+            keepalive_policy=keepalive_policy
+        )
+        self.latency = LatencyModel(
+            profile.latency, rngs.stream(f"des-latency/{profile.name}")
+        )
+        self.metrics = MetricRegistry()
+        # Sliding congestion signal: cold starts begun in the last minute,
+        # normalised against the long-run mean.
+        self._recent_cold_starts: list[float] = []
+        self._total_cold_starts = 0
+        self._first_event_ts: float | None = None
+
+    def congestion(self, now: float) -> float:
+        """Excess cold-start intensity vs the run's mean (>= 0)."""
+        window = 60.0
+        self._recent_cold_starts = [
+            t for t in self._recent_cold_starts if now - t < window
+        ]
+        if self._first_event_ts is None or now <= self._first_event_ts:
+            return 0.0
+        elapsed_minutes = max((now - self._first_event_ts) / window, 1.0)
+        mean_per_minute = self._total_cold_starts / elapsed_minutes
+        if mean_per_minute <= 0:
+            return 0.0
+        return max(len(self._recent_cold_starts) / mean_per_minute - 1.0, 0.0)
+
+    def note_cold_start(self, now: float) -> None:
+        if self._first_event_ts is None:
+            self._first_event_ts = now
+        self._recent_cold_starts.append(now)
+        self._total_cold_starts += 1
+
+    def warm_pod_count(self) -> int:
+        return sum(cluster.warm_pod_count() for cluster in self.clusters)
+
+    def cold_start_count(self) -> int:
+        return sum(cluster.stats.cold_starts for cluster in self.clusters)

@@ -1,0 +1,95 @@
+"""Spearman correlations between cold-start components (paper Fig. 12).
+
+The paper aggregates component times into per-minute means across all
+functions of a region, adds the per-minute number of cold starts, and
+reports the Spearman rank correlation matrix, starring cells with p < 0.05.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.timeseries import bin_counts, bin_means
+from repro.trace.tables import COMPONENT_COLUMNS, PodTable
+
+#: Matrix row/column order, matching the paper's figure.
+CORRELATION_FIELDS = (
+    "cold_start_time",
+    "deploy_code_time",
+    "deploy_dep_time",
+    "scheduling_time",
+    "pod_alloc_time",
+    "num_cold_starts",
+)
+
+_FIELD_TO_COLUMN = {
+    "deploy_code_time": "deploy_code_us",
+    "deploy_dep_time": "deploy_dep_us",
+    "scheduling_time": "scheduling_us",
+    "pod_alloc_time": "pod_alloc_us",
+}
+
+
+@dataclass
+class CorrelationMatrix:
+    """Spearman rho and p-values over the six per-minute series."""
+
+    fields: tuple[str, ...]
+    rho: np.ndarray
+    pvalues: np.ndarray
+    n_minutes: int
+
+    def get(self, field_a: str, field_b: str) -> float:
+        return float(self.rho[self.fields.index(field_a), self.fields.index(field_b)])
+
+    def significant(self, alpha: float = 0.05) -> np.ndarray:
+        """Boolean mask of cells with p below ``alpha`` (the paper's stars)."""
+        return self.pvalues < alpha
+
+    def rows(self) -> list[dict[str, object]]:
+        """Printable rows: one per field, starred like the paper."""
+        out = []
+        significant = self.significant()
+        for i, field in enumerate(self.fields):
+            row: dict[str, object] = {"field": field}
+            for j, other in enumerate(self.fields):
+                star = "*" if significant[i, j] else ""
+                row[other] = f"{self.rho[i, j]:+.1f}{star}"
+            out.append(row)
+        return out
+
+
+def component_correlations(pods: PodTable, bin_s: float = 60.0) -> CorrelationMatrix:
+    """Per-minute-mean Spearman correlation matrix for one region."""
+    ts = pods.timestamps_s
+    horizon = float(ts.max()) + bin_s if ts.size else bin_s
+    counts = bin_counts(ts, bin_s, horizon)
+    active = counts > 0
+    series = {
+        "cold_start_time": bin_means(ts, pods.cold_start_s, bin_s, horizon)[active],
+        "num_cold_starts": counts[active],
+    }
+    for field, column in _FIELD_TO_COLUMN.items():
+        series[field] = bin_means(ts, pods.component_s(column), bin_s, horizon)[active]
+
+    n_fields = len(CORRELATION_FIELDS)
+    rho = np.eye(n_fields)
+    pvalues = np.zeros((n_fields, n_fields))
+    n_minutes = int(active.sum())
+    if n_minutes < 3:
+        return CorrelationMatrix(CORRELATION_FIELDS, rho, np.ones((n_fields, n_fields)), n_minutes)
+    for i, field_a in enumerate(CORRELATION_FIELDS):
+        for j, field_b in enumerate(CORRELATION_FIELDS):
+            if j < i:
+                rho[i, j] = rho[j, i]
+                pvalues[i, j] = pvalues[j, i]
+                continue
+            if i == j:
+                continue
+            result = stats.spearmanr(series[field_a], series[field_b])
+            rho[i, j] = float(result.statistic)
+            pvalues[i, j] = float(result.pvalue)
+    return CorrelationMatrix(CORRELATION_FIELDS, rho, pvalues, n_minutes)

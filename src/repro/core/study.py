@@ -1,0 +1,259 @@
+"""TraceStudy: one façade, one method per paper figure.
+
+Benches, examples, and EXPERIMENTS.md all go through this class so each
+figure's reproduction has exactly one authoritative entry point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.cdf import Cdf, empirical_cdf
+from repro.analysis.coldstart_stats import (
+    cold_start_cdf,
+    cold_start_iats,
+    component_cdfs_by,
+    dominant_component,
+    hourly_component_means,
+    pool_size_quantiles,
+    requests_vs_cold_starts,
+)
+from repro.analysis.composition import (
+    pods_over_time_by,
+    proportions_by,
+    trigger_mix_by_runtime,
+)
+from repro.analysis.holiday import HolidayEffect, holiday_effect
+from repro.analysis.peaks import daily_peak_minutes, peak_to_trough_ratio
+from repro.analysis.region_stats import (
+    cpu_per_minute_cdf,
+    exec_time_per_minute_cdf,
+    functions_per_user_cdf,
+    region_sizes,
+    requests_per_day_per_function,
+    requests_per_user_cdf,
+    share_at_least_one_per_minute,
+)
+from repro.analysis.timeseries import bin_counts, moving_average, normalize_max
+from repro.core.correlations import CorrelationMatrix, component_correlations
+from repro.core.fits import LogNormalFit, WeibullFit, fit_cold_start_iats, fit_cold_start_times
+from repro.core.utility import utility_by_category
+from repro.trace.tables import TraceBundle
+from repro.workload.generator import generate_multi_region
+
+_SECONDS_PER_DAY = 86_400.0
+
+
+class TraceStudy:
+    """Analysis façade over one or more per-region trace bundles."""
+
+    def __init__(self, bundles: dict[str, TraceBundle], keepalive_s: float = 60.0):
+        if not bundles:
+            raise ValueError("need at least one region bundle")
+        self.bundles = dict(bundles)
+        self.keepalive_s = keepalive_s
+
+    @classmethod
+    def generate(
+        cls,
+        regions: tuple[str, ...] = ("R1", "R2", "R3", "R4", "R5"),
+        seed: int = 0,
+        days: int = 31,
+        scale: float = 1.0,
+    ) -> "TraceStudy":
+        """Generate fresh synthetic traces and wrap them."""
+        return cls(generate_multi_region(regions, seed=seed, days=days, scale=scale))
+
+    def region(self, name: str) -> TraceBundle:
+        try:
+            return self.bundles[name]
+        except KeyError:
+            raise KeyError(f"region {name!r} not loaded; have {sorted(self.bundles)}") from None
+
+    @property
+    def regions(self) -> list[str]:
+        return list(self.bundles)
+
+    def _deep_dive_region(self, name: str | None) -> TraceBundle:
+        """Default to R2 — the region the paper studies in depth."""
+        if name is not None:
+            return self.region(name)
+        if "R2" in self.bundles:
+            return self.bundles["R2"]
+        return next(iter(self.bundles.values()))
+
+    # ---- Figure 1 / Table 1 -----------------------------------------------
+
+    def fig01_region_sizes(self) -> list[dict[str, object]]:
+        """Requests, functions, pods per region (Fig. 1)."""
+        return region_sizes(self.bundles)
+
+    # ---- Figure 3 ------------------------------------------------------------
+
+    def fig03_requests_per_day(self) -> dict[str, Cdf]:
+        return {
+            name: empirical_cdf(requests_per_day_per_function(bundle))
+            for name, bundle in self.bundles.items()
+        }
+
+    def fig03_exec_time(self) -> dict[str, Cdf]:
+        return {name: exec_time_per_minute_cdf(b) for name, b in self.bundles.items()}
+
+    def fig03_cpu_usage(self) -> dict[str, Cdf]:
+        return {name: cpu_per_minute_cdf(b) for name, b in self.bundles.items()}
+
+    def fig03_share_at_least_1_per_minute(self) -> dict[str, float]:
+        return {
+            name: share_at_least_one_per_minute(bundle)
+            for name, bundle in self.bundles.items()
+        }
+
+    # ---- Figure 4 --------------------------------------------------------------
+
+    def fig04_functions_per_user(self) -> dict[str, Cdf]:
+        return {name: functions_per_user_cdf(b) for name, b in self.bundles.items()}
+
+    def fig04_requests_per_user(self) -> dict[str, Cdf]:
+        return {name: requests_per_user_cdf(b) for name, b in self.bundles.items()}
+
+    # ---- Figure 5 ----------------------------------------------------------------
+
+    def fig05_request_series(self, smooth_minutes: int = 60) -> dict[str, dict[str, np.ndarray]]:
+        """Normalised per-minute request series + daily peak minutes."""
+        out = {}
+        for name, bundle in self.bundles.items():
+            ts = bundle.requests.timestamps_s
+            horizon = float(bundle.meta.get("days", int(np.ceil(bundle.requests.span_days())))) * _SECONDS_PER_DAY
+            per_minute = bin_counts(ts, 60.0, horizon)
+            smoothed = moving_average(per_minute, smooth_minutes)
+            out[name] = {
+                "normalised": normalize_max(smoothed),
+                "daily_peak_minute": daily_peak_minutes(per_minute, smooth_minutes),
+            }
+        return out
+
+    def fig05_peak_hours(self) -> dict[str, float]:
+        """Median daily-peak hour per region (the peak-time lag)."""
+        series = self.fig05_request_series()
+        return {
+            name: float(np.median(data["daily_peak_minute"])) / 60.0
+            for name, data in series.items()
+        }
+
+    # ---- Figure 6 ------------------------------------------------------------------
+
+    def fig06_peak_trough(self, region: str | None = None) -> list[dict[str, object]]:
+        """Per-function: median req/day, peak-to-trough ratio, cold starts."""
+        rows: list[dict[str, object]] = []
+        names = [region] if region else self.regions
+        for name in names:
+            bundle = self.region(name)
+            requests = bundle.requests
+            ts = requests.timestamps_s
+            horizon = float(ts.max()) + 60.0 if len(requests) else 60.0
+            per_day = requests_per_day_per_function(bundle)
+            uniques = np.unique(requests["function"])
+            cold_funcs, cold_counts = np.unique(bundle.pods["function"], return_counts=True)
+            cold_map = dict(zip(cold_funcs.tolist(), cold_counts.tolist()))
+            for i, (function_id, idx) in enumerate(
+                zip(uniques, _group_indices(requests["function"], uniques))
+            ):
+                per_minute = bin_counts(ts[idx], 60.0, horizon)
+                rows.append(
+                    {
+                        "region": name,
+                        "function": int(function_id),
+                        "requests_per_day": float(per_day[i]),
+                        "peak_to_trough": peak_to_trough_ratio(per_minute),
+                        "cold_starts": int(cold_map.get(int(function_id), 0)),
+                    }
+                )
+        return rows
+
+    # ---- Figure 7 ---------------------------------------------------------------------
+
+    def fig07_holiday(self) -> dict[str, HolidayEffect]:
+        return {name: holiday_effect(b) for name, b in self.bundles.items()}
+
+    # ---- Figures 8 & 9 ---------------------------------------------------------------
+
+    def fig08_pods_over_time(
+        self, by: str = "trigger", region: str | None = None
+    ) -> dict[str, np.ndarray]:
+        return pods_over_time_by(self._deep_dive_region(region), by=by,
+                                 keepalive_s=self.keepalive_s)
+
+    def fig08_proportions(
+        self, by: str = "trigger", region: str | None = None
+    ) -> dict[str, dict[str, float]]:
+        return proportions_by(self._deep_dive_region(region), by=by)
+
+    def fig09_trigger_by_runtime(self, region: str | None = None) -> dict[str, dict[str, float]]:
+        return trigger_mix_by_runtime(self._deep_dive_region(region))
+
+    # ---- Figure 10 ---------------------------------------------------------------------
+
+    def fig10_cold_start_cdfs(self) -> dict[str, Cdf]:
+        return {name: cold_start_cdf(b.pods) for name, b in self.bundles.items()}
+
+    def fig10_iat_cdfs(self) -> dict[str, Cdf]:
+        return {name: empirical_cdf(cold_start_iats(b.pods)) for name, b in self.bundles.items()}
+
+    def fig10_lognormal_fit(self) -> LogNormalFit:
+        """LogNormal fit to all regions' cold-start durations pooled."""
+        pooled = np.concatenate([b.pods.cold_start_s for b in self.bundles.values()])
+        return fit_cold_start_times(pooled)
+
+    def fig10_weibull_fit(self) -> WeibullFit:
+        """Weibull fit to all regions' cold-start inter-arrival times pooled."""
+        pooled = np.concatenate(
+            [cold_start_iats(b.pods) for b in self.bundles.values()]
+        )
+        return fit_cold_start_iats(pooled)
+
+    # ---- Figure 11 --------------------------------------------------------------------
+
+    def fig11_hourly_components(self, region: str) -> dict[str, np.ndarray]:
+        bundle = self.region(region)
+        horizon = float(bundle.meta.get("days", 31)) * _SECONDS_PER_DAY
+        return hourly_component_means(bundle.pods, horizon)
+
+    def fig11_dominant_component(self) -> dict[str, str]:
+        return {name: dominant_component(b.pods) for name, b in self.bundles.items()}
+
+    # ---- Figure 12 --------------------------------------------------------------------
+
+    def fig12_correlations(self, region: str) -> CorrelationMatrix:
+        return component_correlations(self.region(region).pods)
+
+    # ---- Figure 13 --------------------------------------------------------------------
+
+    def fig13_pool_split(self, region: str | None = None) -> dict:
+        if region is not None:
+            return pool_size_quantiles(self.region(region))
+        return {name: pool_size_quantiles(b) for name, b in self.bundles.items()}
+
+    # ---- Figures 14-16 ----------------------------------------------------------------
+
+    def fig14_requests_vs_cold_starts(self, region: str | None = None) -> list[dict[str, object]]:
+        return requests_vs_cold_starts(self._deep_dive_region(region))
+
+    def fig15_by_runtime(self, region: str | None = None) -> dict[str, dict[str, Cdf]]:
+        return component_cdfs_by(self._deep_dive_region(region), by="runtime")
+
+    def fig16_by_trigger(self, region: str | None = None) -> dict[str, dict[str, Cdf]]:
+        return component_cdfs_by(self._deep_dive_region(region), by="trigger")
+
+    # ---- Figure 17 --------------------------------------------------------------------
+
+    def fig17_utility(self, by: str = "runtime", region: str | None = None) -> dict:
+        return utility_by_category(self._deep_dive_region(region), by=by)
+
+
+def _group_indices(values: np.ndarray, uniques: np.ndarray) -> list[np.ndarray]:
+    """Index arrays per unique value, aligned with ``uniques`` (sorted)."""
+    order = np.argsort(values, kind="stable")
+    sorted_vals = values[order]
+    bounds = np.searchsorted(sorted_vals, uniques)
+    bounds = np.append(bounds, values.size)
+    return [order[bounds[i] : bounds[i + 1]] for i in range(uniques.size)]

@@ -1,0 +1,64 @@
+"""Mitigation strategies from the paper's §5, with production baselines.
+
+The paper is a measurement study; it closes by proposing concrete
+directions. This package implements them and evaluates each against the
+production defaults (fixed 60 s keep-alive, reactive pools, home-region
+routing, on-demand pod allocation):
+
+* **pre-warming** by learned invocation histograms and timer schedules
+  (:mod:`~repro.mitigation.prewarm`);
+* **dynamic keep-alive** for functions whose period exceeds the default
+  keep-alive (:mod:`~repro.mitigation.keepalive`);
+* **peak shaving** by delaying non-latency-critical asynchronous requests
+  (:mod:`~repro.mitigation.peak_shaving`);
+* **cross-region scheduling** exploiting peak-time lag between regions
+  (:mod:`~repro.mitigation.cross_region`);
+* **resource-pool prediction** sizing per-config pod pools ahead of demand
+  (:mod:`~repro.mitigation.pool_prediction`);
+* **workflow call-chain prediction** pre-warming downstream functions
+  (:mod:`~repro.mitigation.callchain`);
+* **concurrency adjustment** packing more requests per pod
+  (:mod:`~repro.mitigation.concurrency`).
+"""
+
+from repro.mitigation.base import EvalMetrics, PeakShaver, PrewarmPolicy
+from repro.mitigation.evaluator import RegionEvaluator, build_workload
+from repro.mitigation.keepalive import DynamicKeepAlive
+from repro.mitigation.prewarm import (
+    HistogramPrewarmPolicy,
+    NoPrewarm,
+    TimerPrewarmPolicy,
+)
+from repro.mitigation.peak_shaving import AsyncPeakShaver
+from repro.mitigation.cross_region import CrossRegionEvaluator, RoutingPolicy
+from repro.mitigation.pool_prediction import (
+    PoolSimulationResult,
+    PredictivePoolPolicy,
+    ReactivePoolPolicy,
+    simulate_pool,
+)
+from repro.mitigation.callchain import CallChainPredictor, evaluate_callchain_prefetch
+from repro.mitigation.concurrency import ConcurrencyAdvisor, evaluate_concurrency
+
+__all__ = [
+    "EvalMetrics",
+    "PrewarmPolicy",
+    "PeakShaver",
+    "RegionEvaluator",
+    "build_workload",
+    "DynamicKeepAlive",
+    "NoPrewarm",
+    "HistogramPrewarmPolicy",
+    "TimerPrewarmPolicy",
+    "AsyncPeakShaver",
+    "CrossRegionEvaluator",
+    "RoutingPolicy",
+    "ReactivePoolPolicy",
+    "PredictivePoolPolicy",
+    "PoolSimulationResult",
+    "simulate_pool",
+    "CallChainPredictor",
+    "evaluate_callchain_prefetch",
+    "ConcurrencyAdvisor",
+    "evaluate_concurrency",
+]

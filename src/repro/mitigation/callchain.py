@@ -1,0 +1,179 @@
+"""Workflow call-chain prediction (paper §5).
+
+"A significant number of cold starts occur due to synchronous workflow
+functions which can be predicted using function calls earlier in the
+chain. Resources for downstream functions could be allocated based on the
+invocations of function calls that will invoke it later."
+
+:class:`CallChainPredictor` learns parent→child invocation edges;
+:func:`evaluate_callchain_prefetch` replays synchronous workflow chains and
+counts how many downstream cold starts a prefetch-on-parent-arrival policy
+hides (a child's cold start overlaps the parent's execution, so it is
+hidden whenever the parent runs at least as long as the child's cold
+start).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.latency import LatencyModel
+from repro.sim.rng import RngFactory
+from repro.workload.catalog import SizeClass
+from repro.workload.function import FunctionSpec
+from repro.workload.regions import REGION_PROFILES, RegionProfile
+
+
+class CallChainPredictor:
+    """Learns which children a workflow parent invokes, with probabilities."""
+
+    def __init__(self, min_confidence: float = 0.3):
+        if not 0 <= min_confidence <= 1:
+            raise ValueError("min_confidence must be in [0, 1]")
+        self.min_confidence = min_confidence
+        self._parent_counts: dict[int, int] = defaultdict(int)
+        self._edge_counts: dict[tuple[int, int], int] = defaultdict(int)
+
+    def observe(self, parent_id: int, child_ids: tuple[int, ...]) -> None:
+        """Record one parent invocation and the children it triggered."""
+        self._parent_counts[parent_id] += 1
+        for child in child_ids:
+            self._edge_counts[(parent_id, child)] += 1
+
+    def confidence(self, parent_id: int, child_id: int) -> float:
+        total = self._parent_counts.get(parent_id, 0)
+        if total == 0:
+            return 0.0
+        return self._edge_counts.get((parent_id, child_id), 0) / total
+
+    def predict(self, parent_id: int) -> list[int]:
+        """Children worth prefetching when ``parent_id`` is invoked."""
+        total = self._parent_counts.get(parent_id, 0)
+        if total == 0:
+            return []
+        return [
+            child
+            for (parent, child), count in self._edge_counts.items()
+            if parent == parent_id and count / total >= self.min_confidence
+        ]
+
+
+@dataclass
+class CallChainResult:
+    """Prefetching outcome over a replayed workflow workload."""
+
+    policy: str
+    chain_invocations: int
+    child_cold_starts: int
+    hidden_cold_starts: int
+    wasted_prefetches: int
+    mean_child_wait_s: float
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "policy": self.policy,
+            "chains": self.chain_invocations,
+            "child_cold_starts": self.child_cold_starts,
+            "hidden": self.hidden_cold_starts,
+            "wasted": self.wasted_prefetches,
+            "mean_child_wait_s": round(self.mean_child_wait_s, 3),
+        }
+
+
+def evaluate_callchain_prefetch(
+    parents: list[FunctionSpec],
+    specs_by_id: dict[int, FunctionSpec],
+    parent_arrivals: dict[int, np.ndarray],
+    region: str | RegionProfile = "R2",
+    prefetch: bool = True,
+    invoke_probability: float = 0.85,
+    keepalive_s: float = 60.0,
+    seed: int = 0,
+) -> CallChainResult:
+    """Replay synchronous workflow chains with or without child prefetch.
+
+    For each parent arrival, each wired child is invoked with
+    ``invoke_probability`` at ``parent_arrival + parent_exec``. Without
+    prefetch the child pays its full cold start (if its pod went cold);
+    with prefetch the pod starts warming at *parent* arrival, so the child
+    waits only for the part of the cold start that exceeds the parent's
+    execution time. Prefetching an ultimately-not-invoked child counts as
+    waste.
+    """
+    profile = REGION_PROFILES[region] if isinstance(region, str) else region
+    rngs = RngFactory(seed)
+    rng = rngs.stream("callchain")
+    latency = LatencyModel(profile.latency, rngs.stream("callchain-latency"))
+    predictor = CallChainPredictor()
+    for parent in parents:
+        predictor.observe(parent.function_id, parent.workflow_children)
+
+    warm_until: dict[int, float] = {}
+    chain_invocations = 0
+    child_cold = 0
+    hidden = 0
+    wasted = 0
+    waits: list[float] = []
+
+    def child_cold_time(spec: FunctionSpec) -> float:
+        sample = latency.sample_one(
+            runtime=spec.runtime,
+            is_large=spec.config.size_class is SizeClass.LARGE,
+            has_deps=spec.has_dependencies,
+            code_size_mb=spec.code_size_mb,
+            dep_size_mb=max(spec.dep_size_mb, 0.5),
+        )
+        return sample["total_s"]
+
+    events: list[tuple[float, FunctionSpec]] = []
+    for parent in parents:
+        for t in parent_arrivals.get(parent.function_id, ()):  # sorted
+            events.append((float(t), parent))
+    events.sort(key=lambda pair: pair[0])
+
+    for t, parent in events:
+        chain_invocations += 1
+        parent_exec = parent.mean_exec_s
+        predicted = predictor.predict(parent.function_id) if prefetch else []
+        invoked = {
+            child: rng.random() < invoke_probability
+            for child in parent.workflow_children
+        }
+        for child_id in predicted:
+            if not invoked.get(child_id, False):
+                wasted += 1
+        for child_id, fired in invoked.items():
+            if not fired:
+                continue
+            child = specs_by_id.get(child_id)
+            if child is None:
+                continue
+            invoke_at = t + parent_exec
+            if warm_until.get(child_id, -np.inf) > invoke_at:
+                waits.append(0.0)
+            else:
+                cold = child_cold_time(child)
+                child_cold += 1
+                if prefetch and child_id in predicted:
+                    # Prefetch started at parent arrival: the child only
+                    # waits for the cold-start tail beyond the parent exec.
+                    wait = max(cold - parent_exec, 0.0)
+                    if wait == 0.0:
+                        hidden += 1
+                else:
+                    wait = cold
+                waits.append(wait)
+            end = invoke_at + child.mean_exec_s
+            warm_until[child_id] = end + keepalive_s
+
+    return CallChainResult(
+        policy="prefetch" if prefetch else "on-demand",
+        chain_invocations=chain_invocations,
+        child_cold_starts=child_cold,
+        hidden_cold_starts=hidden,
+        wasted_prefetches=wasted,
+        mean_child_wait_s=float(np.mean(waits)) if waits else 0.0,
+    )

@@ -1,0 +1,170 @@
+"""Cross-region workload scheduling (paper §5).
+
+"The most popular regions consistently have much longer average, median,
+and tail cold-start times ... the latency between regions can be
+insignificant compared to the longer cold starts and execution times in
+the more popular regions."
+
+The evaluator replays one region's workload over several regions. Warm
+requests stay wherever their pod lives; when a request is cold-bound, the
+routing policy may place the new pod in a remote region, paying the
+inter-region network latency but enjoying that region's (possibly much
+faster) cold-start regime. The baseline pins everything to the home region.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.mitigation.base import EvalMetrics
+from repro.sim.latency import LatencyModel
+from repro.sim.rng import RngFactory
+from repro.workload.catalog import SizeClass
+from repro.workload.generator import FunctionTrace
+from repro.workload.regions import REGION_PROFILES, RegionProfile
+
+DEFAULT_INTER_REGION_RTT_S = 0.120  # round trip, tens-to-hundreds of ms
+
+
+class RoutingPolicy(str, enum.Enum):
+    """Where cold-bound requests may start their pod."""
+
+    HOME_ONLY = "home-only"
+    BEST_REGION = "best-region"
+
+
+class _RegionState:
+    def __init__(self, profile: RegionProfile, rngs: RngFactory):
+        self.profile = profile
+        self.latency = LatencyModel(profile.latency, rngs.stream(f"xr/{profile.name}"))
+        # EMA of observed cold-start durations, seeded with the regime's
+        # rough baseline so routing has an estimate before any sample.
+        regime = profile.latency
+        self.cold_ema = (
+            regime.alloc_median_s
+            + regime.code_median_s
+            + regime.dep_median_s * 0.5
+            + regime.sched_median_s
+        )
+        self.cold_starts = 0
+
+    def sample_cold(self, spec) -> float:
+        sample = self.latency.sample_one(
+            runtime=spec.runtime,
+            is_large=spec.config.size_class is SizeClass.LARGE,
+            has_deps=spec.has_dependencies,
+            code_size_mb=spec.code_size_mb,
+            dep_size_mb=max(spec.dep_size_mb, 0.5),
+        )
+        total = sample["total_s"]
+        self.cold_ema += 0.05 * (total - self.cold_ema)
+        self.cold_starts += 1
+        return total
+
+
+class CrossRegionEvaluator:
+    """Replays a workload with optional cross-region cold-start routing."""
+
+    def __init__(
+        self,
+        home: str | RegionProfile = "R1",
+        remotes: tuple[str, ...] = ("R3",),
+        rtt_s: float = DEFAULT_INTER_REGION_RTT_S,
+        seed: int = 0,
+    ):
+        if rtt_s < 0:
+            raise ValueError("rtt_s must be non-negative")
+        rngs = RngFactory(seed)
+        home_profile = REGION_PROFILES[home] if isinstance(home, str) else home
+        self.home = _RegionState(home_profile, rngs)
+        self.remotes = [
+            _RegionState(REGION_PROFILES[r] if isinstance(r, str) else r, rngs)
+            for r in remotes
+        ]
+        self.rtt_s = rtt_s
+
+    #: a remote region must beat home by this factor before a cold start is
+    #: routed away (hysteresis against marginal, latency-costly moves).
+    improvement_gate: float = 0.85
+
+    def _best_region(self, spec) -> tuple[_RegionState, float]:
+        """Region minimising expected cold start + network penalty."""
+        best, penalty = self.home, 0.0
+        best_cost = self.home.cold_ema * self.improvement_gate
+        for remote in self.remotes:
+            cost = remote.cold_ema + self.rtt_s
+            if cost < best_cost:
+                best, best_cost, penalty = remote, cost, self.rtt_s
+        return best, penalty
+
+    def run(
+        self,
+        traces: list[FunctionTrace],
+        policy: RoutingPolicy = RoutingPolicy.HOME_ONLY,
+        keepalive_s: float = 60.0,
+    ) -> EvalMetrics:
+        """Replay; request latency = cold wait + network penalty (if routed).
+
+        Warm-pod bookkeeping is per (function, region): a function routed
+        to R3 keeps its warm pod there, so follow-up requests within the
+        keep-alive stay remote and pay only the RTT.
+        """
+        metrics = EvalMetrics(name=f"xregion:{policy.value}")
+        extra_latency: list[float] = []
+
+        merged_t = np.concatenate([t.arrivals for t in traces])
+        merged_fn = np.concatenate(
+            [np.full(t.arrivals.size, i, dtype=np.int64) for i, t in enumerate(traces)]
+        )
+        merged_exec = np.concatenate([t.exec_s for t in traces])
+        order = np.argsort(merged_t, kind="stable")
+        merged_t, merged_fn, merged_exec = (
+            merged_t[order], merged_fn[order], merged_exec[order],
+        )
+
+        # Per function, per region: list of pods as [warm_until, busy_until].
+        warm: list[dict[int, list[list[float]]]] = [dict() for _ in traces]
+        region_states = [self.home] + self.remotes
+
+        for t, fn, exec_s in zip(merged_t, merged_fn, merged_exec):
+            t = float(t)
+            spec = traces[fn].spec
+            metrics.requests += 1
+            served = False
+            for ridx in range(len(region_states)):
+                pods = warm[fn].get(ridx, [])
+                pods[:] = [p for p in pods if p[0] > t]  # drop expired
+                for pod in pods:
+                    if pod[1] <= t:
+                        pod[1] = t + float(exec_s)
+                        pod[0] = pod[1] + keepalive_s
+                        metrics.warm_hits += 1
+                        extra_latency.append(self.rtt_s if ridx > 0 else 0.0)
+                        served = True
+                        break
+                if served:
+                    break
+            if served:
+                continue
+            if policy is RoutingPolicy.HOME_ONLY:
+                state, penalty, ridx = self.home, 0.0, 0
+            else:
+                state, penalty = self._best_region(spec)
+                ridx = region_states.index(state)
+            cold = state.sample_cold(spec)
+            metrics.cold_starts += 1
+            metrics.cold_wait_s.append(cold + penalty)
+            extra_latency.append(penalty)
+            end = t + cold + float(exec_s)
+            warm[fn].setdefault(ridx, []).append([end + keepalive_s, end])
+
+        metrics.total_delay_s = float(np.sum(extra_latency))
+        return metrics
+
+    def remote_share(self, metrics: EvalMetrics) -> float:
+        """Fraction of cold starts placed away from home in the last run."""
+        remote = sum(r.cold_starts for r in self.remotes)
+        total = remote + self.home.cold_starts
+        return remote / total if total else 0.0

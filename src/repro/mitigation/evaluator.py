@@ -1,0 +1,322 @@
+"""Event-driven policy evaluator.
+
+Replays generated request streams against a modelled region under a chosen
+combination of keep-alive policy, pre-warming policy, and peak shaver, and
+reports :class:`~repro.mitigation.base.EvalMetrics`. The production
+baseline is ``RegionEvaluator(profile)`` with all defaults (fixed 60 s
+keep-alive, no pre-warming, no shaving).
+
+The evaluator is intentionally function-centric: cluster placement does not
+change *whether* a cold start happens (only pools do, covered separately in
+:mod:`~repro.mitigation.pool_prediction`), so pods are tracked per function
+with the same keep-alive semantics as the trace generator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.autoscaler import FixedKeepAlive, KeepAlivePolicy
+from repro.mitigation.base import EvalMetrics, PeakShaver, PrewarmPolicy
+from repro.sim.latency import LatencyModel, runtime_code, ComponentParams
+from repro.sim.rng import RngFactory
+from repro.workload.catalog import SizeClass
+from repro.workload.generator import FunctionTrace, WorkloadGenerator
+from repro.workload.regions import REGION_PROFILES, RegionProfile
+
+
+def build_workload(
+    region: str | RegionProfile,
+    seed: int = 0,
+    days: int = 3,
+    scale: float = 0.3,
+) -> tuple[RegionProfile, list[FunctionTrace]]:
+    """Generate a (profile, traces) workload for policy experiments."""
+    profile = REGION_PROFILES[region] if isinstance(region, str) else region
+    if scale != 1.0:
+        profile = profile.scaled(scale)
+    generator = WorkloadGenerator(profile, seed=seed, days=days)
+    return profile, generator.function_traces()
+
+
+@dataclass
+class _Pod:
+    """Lightweight pod record inside the evaluator."""
+
+    created: float
+    ready_at: float
+    last_activity: float
+    ends: list = field(default_factory=list)
+    prewarmed: bool = False
+    touched: bool = False
+
+
+class RegionEvaluator:
+    """Replays a workload under pluggable mitigation policies."""
+
+    def __init__(
+        self,
+        profile: RegionProfile,
+        keepalive_policy: KeepAlivePolicy | None = None,
+        prewarm_policy: PrewarmPolicy | None = None,
+        peak_shaver: PeakShaver | None = None,
+        seed: int = 0,
+        concurrency_override=None,
+        queue_patience_s: float = 30.0,
+        prewarm_grace_s: float = 150.0,
+    ):
+        self.profile = profile
+        self.keepalive_policy = keepalive_policy or FixedKeepAlive()
+        self.prewarm_policy = prewarm_policy
+        self.peak_shaver = peak_shaver
+        self.concurrency_override = concurrency_override
+        #: A request will queue behind a busy/initialising pod rather than
+        #: trigger another cold start when it would run within this wait —
+        #: the load balancers track in-flight requests and dispatch queued
+        #: work to the pod being started (§2.1).
+        self.queue_patience_s = queue_patience_s
+        #: Untouched pre-warmed pods survive at least this long, even under
+        #: aggressive keep-alive policies (they exist *for* a future
+        #: request; releasing them defeats the pre-warming).
+        self.prewarm_grace_s = prewarm_grace_s
+        self._rngs = RngFactory(seed)
+        self._latency = LatencyModel(
+            profile.latency, self._rngs.stream(f"eval/{profile.name}")
+        )
+
+    # -- latency --------------------------------------------------------------
+
+    def _sample_cold_start(self, spec, congestion: float) -> float:
+        sample = self._latency.sample_one(
+            runtime=spec.runtime,
+            is_large=spec.config.size_class is SizeClass.LARGE,
+            has_deps=spec.has_dependencies,
+            code_size_mb=spec.code_size_mb,
+            dep_size_mb=max(spec.dep_size_mb, 0.5),
+            congestion=congestion,
+        )
+        return sample["total_s"]
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(
+        self,
+        traces: list[FunctionTrace],
+        horizon_s: float | None = None,
+        name: str = "",
+    ) -> EvalMetrics:
+        """Replay ``traces``; returns the metrics of this policy run."""
+        if horizon_s is None:
+            horizon_s = max(
+                (float(t.arrivals[-1]) for t in traces if t.arrivals.size), default=0.0
+            ) + 120.0
+        metrics = EvalMetrics(name=name or self._default_name())
+
+        specs = [t.spec for t in traces]
+        spec_by_id = {s.function_id: i for i, s in enumerate(specs)}
+        all_t = np.concatenate([t.arrivals for t in traces]) if traces else np.zeros(0)
+        all_fn = np.concatenate(
+            [np.full(t.arrivals.size, i, dtype=np.int64) for i, t in enumerate(traces)]
+        ) if traces else np.zeros(0, dtype=np.int64)
+        all_exec = np.concatenate([t.exec_s for t in traces]) if traces else np.zeros(0)
+        order = np.argsort(all_t, kind="stable")
+        all_t, all_fn, all_exec = all_t[order], all_fn[order], all_exec[order]
+
+        pods: list[list[_Pod]] = [[] for _ in specs]
+        delayed: list[tuple[float, int, int, float]] = []  # (time, seq, fn, exec)
+        seq = 0
+
+        # Congestion bookkeeping (rolling minute of cold starts vs run mean).
+        recent_colds: list[float] = []
+        total_colds = 0
+        first_cold: float | None = None
+
+        def congestion(now: float) -> float:
+            nonlocal recent_colds
+            recent_colds = [t for t in recent_colds if now - t < 60.0]
+            if first_cold is None or now <= first_cold:
+                return 0.0
+            mean = total_colds / max((now - first_cold) / 60.0, 1.0)
+            if mean <= 0:
+                return 0.0
+            return float(np.clip(len(recent_colds) / mean - 1.0, 0.0, 3.0))
+
+        def keepalive(spec) -> float:
+            return self.keepalive_policy.keepalive_for(spec, 0.0)
+
+        def expire(fn: int, now: float) -> None:
+            spec = specs[fn]
+            ka = keepalive(spec)
+            alive = []
+            for pod in pods[fn]:
+                pod.ends = [e for e in pod.ends if e > now]
+                pod_ka = ka
+                if pod.prewarmed and not pod.touched:
+                    pod_ka = max(ka, self.prewarm_grace_s)
+                active_until = pod.last_activity + pod_ka
+                if not pod.ends and now >= active_until:
+                    death = min(active_until, horizon_s)
+                    metrics.pod_seconds += max(death - pod.created, 0.0)
+                    if pod.prewarmed:
+                        metrics.prewarm_pod_seconds += max(death - pod.created, 0.0)
+                else:
+                    alive.append(pod)
+            pods[fn] = alive
+
+        def find_slot(fn: int, now: float) -> tuple[_Pod | None, float]:
+            """Best (pod, service-start) for a request of function ``fn``.
+
+            Ready pods with free slots serve immediately; initialising pods
+            serve once ready; fully-busy pods accept queued work when the
+            wait stays within ``queue_patience_s`` (FIFO on the earliest
+            finishing slot). Returns (None, now) when only a new cold start
+            can serve the request.
+            """
+            spec = specs[fn]
+            conc = (
+                self.concurrency_override(spec)
+                if self.concurrency_override
+                else spec.concurrency
+            )
+            best: _Pod | None = None
+            best_start = np.inf
+            for pod in pods[fn]:
+                if len(pod.ends) < conc:
+                    start = max(now, pod.ready_at)
+                else:
+                    start = max(min(pod.ends), pod.ready_at)
+                    if start - now > self.queue_patience_s:
+                        continue
+                if start < best_start:
+                    best, best_start = pod, start
+            return best, (best_start if best is not None else now)
+
+        def handle_request(fn: int, now: float, exec_s: float, was_delayed: bool) -> None:
+            nonlocal seq, total_colds, first_cold
+            spec = specs[fn]
+            metrics.requests += 1
+            if self.prewarm_policy is not None:
+                self.prewarm_policy.observe(spec, now)
+            expire(fn, now)
+            pod, start = find_slot(fn, now)
+            if pod is not None:
+                if pod.prewarmed and not pod.touched:
+                    metrics.prewarm_hits += 1
+                pod.touched = True
+                conc = (
+                    self.concurrency_override(spec)
+                    if self.concurrency_override
+                    else spec.concurrency
+                )
+                if len(pod.ends) >= conc:
+                    # FIFO queueing: take over the earliest-finishing slot.
+                    pod.ends.remove(min(pod.ends))
+                pod.ends.append(start + exec_s)
+                pod.last_activity = max(pod.last_activity, start + exec_s)
+                metrics.warm_hits += 1
+                return
+            # Cold-bound: maybe shave the peak instead.
+            if (
+                self.peak_shaver is not None
+                and not was_delayed
+                and not spec.synchronous
+            ):
+                delay = self.peak_shaver.delay_for(spec, now, congestion(now))
+                if delay > 0:
+                    metrics.delayed_requests += 1
+                    metrics.total_delay_s += delay
+                    metrics.requests -= 1  # re-counted when it re-arrives
+                    heapq.heappush(delayed, (now + delay, seq, fn, exec_s))
+                    seq += 1
+                    return
+            cold = self._sample_cold_start(spec, congestion(now))
+            if first_cold is None:
+                first_cold = now
+            recent_colds.append(now)
+            total_colds += 1
+            metrics.cold_starts += 1
+            metrics.cold_wait_s.append(cold)
+            metrics.cold_start_times.append(now)
+            ready = now + cold
+            pods[fn].append(
+                _Pod(
+                    created=now,
+                    ready_at=ready,
+                    last_activity=ready + exec_s,
+                    ends=[ready + exec_s],
+                    touched=True,
+                )
+            )
+
+        def do_tick(now: float) -> None:
+            alive = 0
+            for fn in range(len(specs)):
+                expire(fn, now)
+                alive += len(pods[fn])
+            metrics.pods_series.append(alive)
+            metrics.peak_pods = max(metrics.peak_pods, alive)
+            if self.peak_shaver is not None:
+                self.peak_shaver.observe_load(now, alive)
+            if self.prewarm_policy is None:
+                return
+            plan = self.prewarm_policy.plan(now)
+            for function_id, target in plan.items():
+                fn = spec_by_id.get(function_id)
+                if fn is None or target <= 0:
+                    continue
+                idle = sum(
+                    1 for p in pods[fn] if p.ready_at <= now and not p.ends
+                )
+                for _ in range(target - idle):
+                    metrics.prewarm_creations += 1
+                    pods[fn].append(
+                        _Pod(
+                            created=now,
+                            ready_at=now,
+                            last_activity=now,
+                            prewarmed=True,
+                        )
+                    )
+
+        # Merge arrivals, delayed re-arrivals, and minute ticks.
+        ai = 0
+        n = all_t.size
+        tick_time = 0.0
+        interval = (
+            self.prewarm_policy.interval_s if self.prewarm_policy is not None else 60.0
+        )
+        while ai < n or delayed:
+            t_arrival = all_t[ai] if ai < n else np.inf
+            t_delayed = delayed[0][0] if delayed else np.inf
+            t_event = min(t_arrival, t_delayed)
+            while tick_time <= t_event and tick_time <= horizon_s:
+                do_tick(tick_time)
+                tick_time += interval
+            if t_delayed < t_arrival:
+                t, _seq, fn, exec_s = heapq.heappop(delayed)
+                handle_request(fn, float(t), float(exec_s), was_delayed=True)
+            else:
+                handle_request(
+                    int(all_fn[ai]), float(all_t[ai]), float(all_exec[ai]),
+                    was_delayed=False,
+                )
+                ai += 1
+
+        # Close out: account every pod still alive at the horizon.
+        for fn in range(len(specs)):
+            for pod in pods[fn]:
+                metrics.pod_seconds += max(horizon_s - pod.created, 0.0)
+                if pod.prewarmed:
+                    metrics.prewarm_pod_seconds += max(horizon_s - pod.created, 0.0)
+        return metrics
+
+    def _default_name(self) -> str:
+        parts = [self.keepalive_policy.describe()]
+        if self.prewarm_policy is not None:
+            parts.append(self.prewarm_policy.describe())
+        if self.peak_shaver is not None:
+            parts.append(self.peak_shaver.describe())
+        return "+".join(parts)

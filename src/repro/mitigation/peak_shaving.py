@@ -1,0 +1,83 @@
+"""Temporal peak shaving for asynchronous triggers (paper §3.3 / §5).
+
+"Delaying pod allocation for asynchronously invoked functions could reduce
+peaks if they are not latency critical ... Given the narrow peak widths,
+even a short delay could significantly reduce peak pod allocations."
+
+The shaver watches the alive-pod gauge; when the platform runs above a
+multiple of its long-run mean, cold-bound asynchronous requests are pushed
+back by a bounded, load-proportional delay.
+"""
+
+from __future__ import annotations
+
+from repro.mitigation.base import PeakShaver
+from repro.workload.function import FunctionSpec
+
+
+class AsyncPeakShaver(PeakShaver):
+    """Delays cold-bound async requests while the pod gauge is peaking.
+
+    Attributes:
+        max_delay_s: upper bound on added latency (the async deadline).
+            Keep this *below* the pod keep-alive: then the first delayed
+            request's pod is still warm when its peers re-arrive, so
+            shaving consolidates allocations instead of fragmenting them.
+            (The ablation bench shows delays beyond the keep-alive
+            *increase* peak allocations.)
+        trigger_ratio: shaving starts when the gauge exceeds this multiple
+            of the long-run mean gauge.
+        ema_alpha: smoothing for the long-run mean.
+    """
+
+    def __init__(
+        self,
+        max_delay_s: float = 45.0,
+        trigger_ratio: float = 1.3,
+        ema_alpha: float = 0.02,
+    ):
+        if max_delay_s <= 0:
+            raise ValueError("max_delay_s must be positive")
+        if trigger_ratio <= 1.0:
+            raise ValueError("trigger_ratio must exceed 1")
+        if not 0 < ema_alpha <= 1:
+            raise ValueError("ema_alpha must be in (0, 1]")
+        self.max_delay_s = max_delay_s
+        self.trigger_ratio = trigger_ratio
+        self.ema_alpha = ema_alpha
+        self._mean_pods: float | None = None
+        self._current_pods: float = 0.0
+        self._stagger = 0
+
+    def observe_load(self, now: float, alive_pods: int) -> None:
+        self._current_pods = float(alive_pods)
+        if self._mean_pods is None:
+            self._mean_pods = float(alive_pods)
+        else:
+            self._mean_pods += self.ema_alpha * (alive_pods - self._mean_pods)
+
+    @property
+    def load_ratio(self) -> float:
+        """Current gauge over long-run mean (1.0 when unknown)."""
+        if not self._mean_pods:
+            return 1.0
+        return self._current_pods / self._mean_pods
+
+    #: excess cold-start intensity beyond which shaving kicks in, whatever
+    #: the standing pod gauge says (detects allocation stampedes).
+    congestion_trigger: float = 0.5
+
+    def delay_for(self, spec: FunctionSpec, now: float, congestion: float = 0.0) -> float:
+        gauge_peaking = self.load_ratio > self.trigger_ratio
+        stampeding = congestion > self.congestion_trigger
+        if not gauge_peaking and not stampeding:
+            return 0.0
+        # Stagger deterministically (golden-ratio low-discrepancy sequence)
+        # across the full delay budget so shaved requests re-arrive as a
+        # smear, not as a second stampede.
+        self._stagger += 1
+        spread = 0.1 + 0.9 * ((self._stagger * 0.6180339887) % 1.0)
+        return self.max_delay_s * spread
+
+    def describe(self) -> str:
+        return f"peak-shave(max={self.max_delay_s:g}s@{self.trigger_ratio:g}x)"

@@ -1,0 +1,160 @@
+"""Resource-pool prediction (paper §5).
+
+"Due to predictable time-varying patterns of various pod configurations
+... it may be possible to predict the required number of reserved pods so
+that user demand is met without unnecessary overallocation."
+
+The simulation operates at the pool level: per-minute cold-start demand for
+one CPU-MEM configuration is replayed against a pool whose target size is
+set by a policy. A demand hit means the staged search ends at stage 1
+(fast); a miss means a from-scratch creation (slow). Cost is idle
+pool-pod-minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_MINUTES_PER_DAY = 1440
+
+
+class PoolPolicy:
+    """Sets the pool's target size for the coming minute."""
+
+    def target(self, minute: int, history: np.ndarray) -> int:
+        """Pods to keep reserved; ``history`` is demand up to ``minute``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class ReactivePoolPolicy(PoolPolicy):
+    """Production-style baseline: a fixed reserve, whatever the time of day."""
+
+    fixed_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.fixed_size < 0:
+            raise ValueError("fixed_size must be non-negative")
+
+    def target(self, minute: int, history: np.ndarray) -> int:
+        return self.fixed_size
+
+    def describe(self) -> str:
+        return f"reactive(fixed={self.fixed_size})"
+
+
+@dataclass(frozen=True)
+class PredictivePoolPolicy(PoolPolicy):
+    """Minute-of-day quantile predictor with a safety margin.
+
+    For minute *m*, the target is the ``quantile`` of historical demand at
+    the same minute-of-day (over full past days), inflated by ``margin``.
+    Falls back to a trailing-hour max while less than one day of history
+    exists.
+    """
+
+    quantile: float = 0.9
+    margin: float = 1.25
+    min_pool: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.quantile <= 1:
+            raise ValueError("quantile must be in (0, 1]")
+        if self.margin < 1.0:
+            raise ValueError("margin must be >= 1")
+
+    def target(self, minute: int, history: np.ndarray) -> int:
+        if history.size == 0:
+            return self.min_pool
+        minute_of_day = minute % _MINUTES_PER_DAY
+        past = history[minute_of_day::_MINUTES_PER_DAY]
+        if past.size >= 2:
+            predicted = float(np.quantile(past, self.quantile))
+        else:
+            recent = history[-60:]
+            predicted = float(recent.max()) if recent.size else 0.0
+        return max(int(np.ceil(predicted * self.margin)), self.min_pool)
+
+    def describe(self) -> str:
+        return f"predictive(q={self.quantile:g},x{self.margin:g})"
+
+
+@dataclass
+class PoolSimulationResult:
+    """Outcome of replaying demand against a pool policy."""
+
+    policy: str
+    demand_total: int
+    stage1_hits: int
+    scratch_misses: int
+    idle_pod_minutes: float
+    mean_alloc_s: float
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stage1_hits / self.demand_total if self.demand_total else 1.0
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "policy": self.policy,
+            "demand": self.demand_total,
+            "hit_rate": round(self.hit_rate, 4),
+            "scratch": self.scratch_misses,
+            "idle_pod_minutes": round(self.idle_pod_minutes, 1),
+            "mean_alloc_s": round(self.mean_alloc_s, 3),
+        }
+
+
+def simulate_pool(
+    demand_per_minute: np.ndarray,
+    policy: PoolPolicy,
+    hit_alloc_s: float = 0.1,
+    scratch_alloc_s: float = 7.0,
+) -> PoolSimulationResult:
+    """Replay per-minute cold-start demand against a pool policy.
+
+    Each minute the pool refills to the policy target (the refill happens
+    ahead of demand); demand within the minute consumes pooled pods first,
+    and overflow pays the from-scratch allocation time.
+    """
+    demand = np.asarray(demand_per_minute, dtype=np.int64)
+    if (demand < 0).any():
+        raise ValueError("demand must be non-negative")
+    hits = 0
+    misses = 0
+    idle_minutes = 0.0
+    for minute, d in enumerate(demand):
+        target = policy.target(minute, demand[:minute])
+        served = min(int(d), target)
+        hits += served
+        misses += int(d) - served
+        idle_minutes += max(target - int(d), 0)
+    total = int(demand.sum())
+    mean_alloc = (
+        (hits * hit_alloc_s + misses * scratch_alloc_s) / total if total else 0.0
+    )
+    return PoolSimulationResult(
+        policy=policy.describe(),
+        demand_total=total,
+        stage1_hits=hits,
+        scratch_misses=misses,
+        idle_pod_minutes=float(idle_minutes),
+        mean_alloc_s=float(mean_alloc),
+    )
+
+
+def demand_from_bundle(bundle, config_name: str) -> np.ndarray:
+    """Per-minute cold-start demand for one CPU-MEM config from a trace."""
+    from repro.analysis.composition import function_metadata
+    from repro.analysis.timeseries import bin_counts
+
+    meta = function_metadata(bundle, bundle.pods["function"])
+    mask = meta.cpu_mem == config_name
+    ts = bundle.pods.timestamps_s[mask]
+    horizon = float(bundle.meta.get("days", 31)) * 86_400.0
+    return bin_counts(ts, 60.0, horizon).astype(np.int64)

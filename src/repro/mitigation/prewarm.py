@@ -1,0 +1,141 @@
+"""Pre-warming policies (paper §3.3 / §5).
+
+"Function invocations follow periodic patterns that could be leveraged to
+pre-warm pods with popular configurations, thus reducing cold starts" and
+"functions running on timer triggers could be pre-warmed before their next
+invocation."
+
+Two policies:
+
+* :class:`TimerPrewarmPolicy` — exact schedule knowledge: the platform can
+  read a timer's cron spec, so it warms a pod shortly before each firing.
+* :class:`HistogramPrewarmPolicy` — learned minute-of-day invocation
+  histograms (the FaaS analogue of Shahrad et al.'s histogram policies),
+  for user-driven functions with strong diurnal patterns.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.mitigation.base import PrewarmPolicy
+from repro.workload.function import FunctionSpec
+
+_MINUTES_PER_DAY = 1440
+
+
+class NoPrewarm(PrewarmPolicy):
+    """Baseline: never pre-warm."""
+
+    def plan(self, now: float) -> dict[int, int]:
+        return {}
+
+    def describe(self) -> str:
+        return "no-prewarm"
+
+
+class TimerPrewarmPolicy(PrewarmPolicy):
+    """Warms a pod shortly before each known timer firing.
+
+    The policy learns each timer's (period, phase) online from observed
+    firings — equivalent to reading the cron spec, but robust to drift.
+    """
+
+    def __init__(self, lead_s: float = 30.0, min_period_s: float = 90.0):
+        if lead_s <= 0:
+            raise ValueError("lead_s must be positive")
+        self.lead_s = lead_s
+        self.min_period_s = min_period_s
+        self._last_seen: dict[int, float] = {}
+        self._period: dict[int, float] = {}
+
+    def observe(self, spec: FunctionSpec, t: float) -> None:
+        if not spec.is_timer_driven:
+            return
+        fid = spec.function_id
+        last = self._last_seen.get(fid)
+        if last is not None:
+            gap = t - last
+            if gap > 1.0:
+                prev = self._period.get(fid)
+                # Robust EMA of the firing period.
+                self._period[fid] = gap if prev is None else 0.7 * prev + 0.3 * gap
+        self._last_seen[fid] = t
+
+    def plan(self, now: float) -> dict[int, int]:
+        plan: dict[int, int] = {}
+        for fid, period in self._period.items():
+            if period < self.min_period_s:
+                continue  # keep-alive already covers fast timers
+            last = self._last_seen.get(fid)
+            if last is None:
+                continue
+            next_fire = last + period
+            if 0.0 <= next_fire - now <= self.lead_s + self.interval_s:
+                plan[fid] = 1
+        return plan
+
+    def describe(self) -> str:
+        return f"timer-prewarm(lead={self.lead_s:g}s)"
+
+
+class HistogramPrewarmPolicy(PrewarmPolicy):
+    """Minute-of-day histogram pre-warming for diurnal workloads.
+
+    Counts arrivals per function per minute-of-day; once a function has at
+    least ``min_observations`` arrivals, the policy keeps a warm pod during
+    minutes whose historical arrival probability exceeds ``threshold``.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.4,
+        min_observations: int = 50,
+        smooth_minutes: int = 5,
+    ):
+        if not 0 < threshold <= 1:
+            raise ValueError("threshold must be in (0, 1]")
+        self.threshold = threshold
+        self.min_observations = min_observations
+        self.smooth_minutes = smooth_minutes
+        self._histograms: dict[int, np.ndarray] = defaultdict(
+            lambda: np.zeros(_MINUTES_PER_DAY)
+        )
+        self._observations: dict[int, int] = defaultdict(int)
+        self._days_seen: float = 1.0
+        self._start: float | None = None
+
+    def observe(self, spec: FunctionSpec, t: float) -> None:
+        if self._start is None:
+            self._start = t
+        self._days_seen = max((t - self._start) / 86_400.0, 1.0)
+        minute = int((t % 86_400.0) // 60.0)
+        self._histograms[spec.function_id][minute] += 1.0
+        self._observations[spec.function_id] += 1
+
+    def _probability(self, fid: int, minute: int) -> float:
+        hist = self._histograms[fid]
+        lo = minute
+        hi = minute + self.smooth_minutes
+        if hi <= _MINUTES_PER_DAY:
+            window = hist[lo:hi]
+        else:
+            window = np.concatenate((hist[lo:], hist[: hi - _MINUTES_PER_DAY]))
+        # Probability of at least one arrival in the window on a given day.
+        expected = float(window.sum()) / self._days_seen
+        return 1.0 - float(np.exp(-expected))
+
+    def plan(self, now: float) -> dict[int, int]:
+        minute = int((now % 86_400.0) // 60.0)
+        plan: dict[int, int] = {}
+        for fid, count in self._observations.items():
+            if count < self.min_observations:
+                continue
+            if self._probability(fid, minute) >= self.threshold:
+                plan[fid] = 1
+        return plan
+
+    def describe(self) -> str:
+        return f"histogram-prewarm(p>{self.threshold:g})"

@@ -1,0 +1,158 @@
+"""Minimal deterministic discrete-event engine.
+
+The trace generator is fully vectorised and does not need an event loop; the
+engine exists for the *policy* experiments (:mod:`repro.mitigation`), where
+pre-warming, keep-alive, peak-shaving, and cross-region decisions interact
+with request arrivals in ways that are awkward to vectorise.
+
+Events execute in (time, priority, sequence) order; ties broken by insertion
+sequence keep runs deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+class EventKind(str, enum.Enum):
+    """Well-known event kinds (free-form kinds are allowed too)."""
+
+    REQUEST_ARRIVAL = "request_arrival"
+    REQUEST_COMPLETE = "request_complete"
+    POD_READY = "pod_ready"
+    POD_EXPIRE = "pod_expire"
+    PREWARM = "prewarm"
+    POLICY_TICK = "policy_tick"
+    GENERIC = "generic"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; comparable by (time, priority, seq)."""
+
+    time: float
+    priority: int
+    seq: int
+    kind: EventKind = field(compare=False)
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class SimClock:
+    """Monotonic simulation clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(f"clock cannot move backwards ({t} < {self._now})")
+        self._now = t
+
+
+class Simulator:
+    """Event heap + clock.
+
+    Usage:
+        >>> sim = Simulator()
+        >>> hits = []
+        >>> _ = sim.schedule(5.0, lambda: hits.append(sim.now))
+        >>> sim.run()
+        >>> hits
+        [5.0]
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.clock = SimClock(start)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        kind: EventKind = EventKind.GENERIC,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time``; returns a cancellable handle."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past ({time} < {self.clock.now})"
+            )
+        event = Event(time, priority, next(self._seq), kind, callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        kind: EventKind = EventKind.GENERIC,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self.clock.now + delay, callback, kind, priority)
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event; False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events until the heap drains, ``until`` passes, or the budget ends.
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            nxt = self._heap[0]
+            if nxt.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and nxt.time > until:
+                break
+            self.step()
+            executed += 1
+        if until is not None and self.clock.now < until and (
+            not self._heap or self._heap[0].time > until
+        ):
+            self.clock.advance_to(until)
+        return executed

@@ -1,0 +1,305 @@
+"""Cold-start component latency models.
+
+A cold start in the paper's platform (Fig. 2) pays four measured components:
+
+* **pod allocation** — a *staged* pool search: hit the local pool (fast),
+  expand the search (slower), or create a pod from scratch (slowest). The
+  stages produce the multimodal allocation distributions of Fig. 13b, and
+  deeper stages are more likely for large pods and under congestion.
+  Custom runtimes have no reserved pool, so they always pay from-scratch
+  creation (paper §4.4: medians above 10 s); http runtimes additionally
+  boot an HTTP server.
+* **deploy code** — download/extract/deploy of the compressed function
+  package; scales sublinearly with package size and is slower in large pods.
+* **deploy dependencies** — zero for functions without layers; otherwise
+  scales with layer size, slower in large pods (Fig. 13d).
+* **scheduling** — networking/routing/scheduling overhead; on average the
+  largest component for default runtimes (Fig. 15e) and the one most
+  correlated with the number of concurrent cold starts (Fig. 12).
+
+Congestion coupling: every component median can be scaled by
+``1 + gain * congestion`` where ``congestion`` is the region-wide per-minute
+cold-start intensity normalised to its mean. This reproduces both the
+time-of-day oscillation of components (Fig. 11) and the positive Spearman
+correlations with the number of cold starts (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.catalog import Runtime
+
+#: Reference sizes for the sublinear size scaling of the deploy components.
+_REF_CODE_MB = 5.0
+_REF_DEP_MB = 20.0
+_SIZE_EXPONENT = 0.7
+
+
+@dataclass(frozen=True)
+class LatencyRegime:
+    """Per-region cold-start latency regime.
+
+    Medians are seconds for a small pod of a default runtime at zero
+    congestion. ``deep_search_p2``/``p3`` are the probabilities that the
+    staged pool search expands to stage 2 / stage 3 for small pods; large
+    pods expand roughly twice as often (Fig. 13b: deeper stages for larger
+    pools, consistently across regions).
+    """
+
+    alloc_median_s: float
+    alloc_sigma: float
+    deep_search_p2: float
+    deep_search_p3: float
+    stage2_median_s: float
+    stage3_median_s: float
+    code_median_s: float
+    code_sigma: float
+    dep_median_s: float
+    dep_sigma: float
+    sched_median_s: float
+    sched_sigma: float
+    congestion_gain_alloc: float = 0.0
+    congestion_gain_code: float = 0.0
+    congestion_gain_dep: float = 0.0
+    congestion_gain_sched: float = 0.0
+    large_pod_alloc_factor: float = 2.0
+    large_pod_deploy_factor: float = 2.5
+    large_pod_sched_factor: float = 1.3
+    large_pod_stage_factor: float = 2.0
+    custom_alloc_median_s: float = 12.0
+    http_boot_median_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "alloc_median_s", "stage2_median_s", "stage3_median_s",
+            "code_median_s", "dep_median_s", "sched_median_s",
+            "custom_alloc_median_s", "http_boot_median_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0 <= self.deep_search_p2 <= 1 or not 0 <= self.deep_search_p3 <= 1:
+            raise ValueError("stage probabilities must be in [0, 1]")
+        if self.deep_search_p2 + self.deep_search_p3 > 1:
+            raise ValueError("stage probabilities must sum to <= 1")
+
+
+#: Per-runtime multipliers (alloc, code, dep, sched) shaping Fig. 15:
+#: Go pays heavy code+dependency deployment; Node.js is scheduling-bound;
+#: Java's managed runtime inflates allocation and code deploy; Custom and
+#: http are handled structurally (no pool / server boot) rather than here.
+RUNTIME_FACTORS: dict[Runtime, tuple[float, float, float, float]] = {
+    Runtime.CSHARP: (1.1, 1.2, 1.1, 1.0),
+    Runtime.CUSTOM: (1.0, 0.8, 0.8, 0.9),
+    Runtime.GO: (0.8, 4.2, 3.6, 0.55),
+    Runtime.JAVA: (1.4, 1.6, 1.0, 1.1),
+    Runtime.NODEJS: (0.9, 0.9, 1.0, 1.5),
+    Runtime.PHP: (1.0, 1.0, 1.0, 1.0),
+    Runtime.PYTHON2: (1.0, 1.0, 1.1, 0.95),
+    Runtime.PYTHON3: (0.9, 0.9, 1.0, 0.9),
+    Runtime.HTTP: (1.0, 1.0, 0.9, 1.0),
+    Runtime.UNKNOWN: (1.0, 1.0, 1.0, 1.0),
+}
+
+#: Stable integer codes for vectorised runtime dispatch.
+RUNTIME_CODES: dict[Runtime, int] = {rt: i for i, rt in enumerate(RUNTIME_FACTORS)}
+_CODE_TO_RUNTIME: tuple[Runtime, ...] = tuple(RUNTIME_FACTORS)
+_FACTOR_TABLE = np.array([RUNTIME_FACTORS[rt] for rt in _CODE_TO_RUNTIME])
+_CUSTOM_CODE = RUNTIME_CODES[Runtime.CUSTOM]
+_HTTP_CODE = RUNTIME_CODES[Runtime.HTTP]
+
+
+def runtime_code(runtime: Runtime) -> int:
+    """Integer code of a runtime for vectorised sampling."""
+    return RUNTIME_CODES[runtime]
+
+
+def _lognormal(
+    rng: np.random.Generator, median: np.ndarray, sigma: float | np.ndarray, size: int
+) -> np.ndarray:
+    """Lognormal with the given median (exp(mu)) and log-space sigma."""
+    return np.exp(rng.normal(np.log(median), sigma, size=size))
+
+
+@dataclass
+class ComponentParams:
+    """Inputs describing one batch of cold starts to be priced."""
+
+    runtime_codes: np.ndarray
+    is_large: np.ndarray
+    has_deps: np.ndarray
+    code_size_mb: np.ndarray
+    dep_size_mb: np.ndarray
+    congestion: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.runtime_codes)
+        for name in ("is_large", "has_deps", "code_size_mb", "dep_size_mb", "congestion"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} length mismatch ({len(getattr(self, name))} != {n})")
+
+    def __len__(self) -> int:
+        return len(self.runtime_codes)
+
+
+class LatencyModel:
+    """Samples the four cold-start components for batches of cold starts."""
+
+    def __init__(self, regime: LatencyRegime, rng: np.random.Generator):
+        self.regime = regime
+        self._rng = rng
+
+    # -- individual components ----------------------------------------------
+
+    def sample_pod_alloc(self, params: ComponentParams) -> np.ndarray:
+        """Pod allocation time: staged pool search / from-scratch / boot."""
+        regime = self.regime
+        n = len(params)
+        rng = self._rng
+        alloc_factor = _FACTOR_TABLE[params.runtime_codes, 0]
+        congest = 1.0 + regime.congestion_gain_alloc * params.congestion
+
+        # Staged search for pool-backed runtimes. Escalation probabilities
+        # are capped so that even a large pod cold-starting at peak
+        # congestion keeps the *majority* of its allocations in stage 1 —
+        # the paper's Fig. 13b shows deeper stages as a multimodal minority,
+        # never the common case.
+        stage_boost = np.where(params.is_large, regime.large_pod_stage_factor, 1.0)
+        stage_boost = stage_boost * (1.0 + 0.5 * regime.congestion_gain_alloc * params.congestion)
+        p3 = np.clip(regime.deep_search_p3 * stage_boost, 0.0, 0.18)
+        p2 = np.clip(regime.deep_search_p2 * stage_boost, 0.0, 0.45 - p3)
+        u = rng.random(n)
+        stage3 = u < p3
+        stage2 = (~stage3) & (u < p3 + p2)
+
+        median = np.full(n, regime.alloc_median_s)
+        median = np.where(stage2, regime.stage2_median_s, median)
+        median = np.where(stage3, regime.stage3_median_s, median)
+        median = median * np.where(params.is_large, regime.large_pod_alloc_factor, 1.0)
+        median = median * alloc_factor * congest
+        out = _lognormal(rng, median, regime.alloc_sigma, n)
+
+        # Custom images: no reserved pool, always created from scratch. The
+        # from-scratch path does not compete for pool capacity, so it is not
+        # congestion-scaled (§4.4: pod allocation accounts for nearly the
+        # entire cold start, independent of platform load).
+        is_custom = params.runtime_codes == _CUSTOM_CODE
+        if is_custom.any():
+            out[is_custom] = _lognormal(
+                rng,
+                np.full(int(is_custom.sum()), regime.custom_alloc_median_s),
+                0.5,
+                int(is_custom.sum()),
+            )
+        # http runtimes boot an HTTP server inside the pod during allocation;
+        # the boot is pod-local work, also independent of pool congestion.
+        is_http = params.runtime_codes == _HTTP_CODE
+        if is_http.any():
+            out[is_http] = out[is_http] + _lognormal(
+                rng,
+                np.full(int(is_http.sum()), regime.http_boot_median_s),
+                0.4,
+                int(is_http.sum()),
+            )
+        return out
+
+    def sample_deploy_code(self, params: ComponentParams) -> np.ndarray:
+        """Code deployment time; sublinear in package size."""
+        regime = self.regime
+        size_scale = (np.maximum(params.code_size_mb, 0.1) / _REF_CODE_MB) ** _SIZE_EXPONENT
+        median = regime.code_median_s * size_scale
+        median = median * _FACTOR_TABLE[params.runtime_codes, 1]
+        median = median * np.where(params.is_large, regime.large_pod_deploy_factor, 1.0)
+        median = median * (1.0 + regime.congestion_gain_code * params.congestion)
+        return _lognormal(self._rng, median, regime.code_sigma, len(params))
+
+    def sample_deploy_dep(self, params: ComponentParams) -> np.ndarray:
+        """Dependency deployment; exactly zero for functions without layers."""
+        regime = self.regime
+        n = len(params)
+        size_scale = (np.maximum(params.dep_size_mb, 0.5) / _REF_DEP_MB) ** _SIZE_EXPONENT
+        median = regime.dep_median_s * size_scale
+        median = median * _FACTOR_TABLE[params.runtime_codes, 2]
+        median = median * np.where(params.is_large, regime.large_pod_deploy_factor, 1.0)
+        median = median * (1.0 + regime.congestion_gain_dep * params.congestion)
+        out = _lognormal(self._rng, median, regime.dep_sigma, n)
+        return np.where(params.has_deps, out, 0.0)
+
+    def sample_scheduling(self, params: ComponentParams) -> np.ndarray:
+        """Scheduling / routing / networking overhead."""
+        regime = self.regime
+        median = np.full(len(params), regime.sched_median_s)
+        median = median * _FACTOR_TABLE[params.runtime_codes, 3]
+        median = median * np.where(params.is_large, regime.large_pod_sched_factor, 1.0)
+        median = median * (1.0 + regime.congestion_gain_sched * params.congestion)
+        return _lognormal(self._rng, median, regime.sched_sigma, len(params))
+
+    # -- full cold start -----------------------------------------------------
+
+    def sample_components(self, params: ComponentParams) -> dict[str, np.ndarray]:
+        """All four components plus the total, in seconds.
+
+        The total includes a small unattributed residual (1–5 %), matching
+        production logging where component times are measured independently
+        and do not sum exactly to the total.
+        """
+        alloc = self.sample_pod_alloc(params)
+        code = self.sample_deploy_code(params)
+        dep = self.sample_deploy_dep(params)
+        sched = self.sample_scheduling(params)
+        parts = alloc + code + dep + sched
+        residual = parts * self._rng.uniform(0.01, 0.05, size=len(params))
+        return {
+            "pod_alloc_s": alloc,
+            "deploy_code_s": code,
+            "deploy_dep_s": dep,
+            "scheduling_s": sched,
+            "total_s": parts + residual,
+        }
+
+    def sample_one(
+        self,
+        runtime: Runtime,
+        is_large: bool,
+        has_deps: bool,
+        code_size_mb: float = _REF_CODE_MB,
+        dep_size_mb: float = _REF_DEP_MB,
+        congestion: float = 0.0,
+    ) -> dict[str, float]:
+        """Scalar convenience for the discrete-event simulator."""
+        params = ComponentParams(
+            runtime_codes=np.array([runtime_code(runtime)]),
+            is_large=np.array([is_large]),
+            has_deps=np.array([has_deps]),
+            code_size_mb=np.array([code_size_mb]),
+            dep_size_mb=np.array([dep_size_mb]),
+            congestion=np.array([float(congestion)]),
+        )
+        batch = self.sample_components(params)
+        return {key: float(val[0]) for key, val in batch.items()}
+
+
+class ColdStartSampler:
+    """Samples total cold-start durations from a fitted distribution.
+
+    The paper (§4.1) fits a LogNormal to cold-start durations and a Weibull
+    to their inter-arrival times "for simulation purposes"; this class is the
+    consumer side of those fits, used by tests and by the simulator when a
+    full component model is not needed.
+    """
+
+    def __init__(self, mean_s: float = 3.24, std_s: float = 7.10):
+        if mean_s <= 0 or std_s <= 0:
+            raise ValueError("mean and std must be positive")
+        # Convert mean/std of the LogNormal to (mu, sigma) of the log.
+        variance_ratio = 1.0 + (std_s / mean_s) ** 2
+        self.sigma = float(np.sqrt(np.log(variance_ratio)))
+        self.mu = float(np.log(mean_s) - 0.5 * self.sigma**2)
+        self.mean_s = mean_s
+        self.std_s = std_s
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` cold-start durations (seconds)."""
+        return np.exp(rng.normal(self.mu, self.sigma, size=n))

@@ -1,0 +1,178 @@
+"""Lightweight metric primitives for simulation runs.
+
+The discrete-event experiments need counters (cold starts), gauges (warm
+pods), histograms (latency distributions), and binned time series (pods per
+hour). These are deliberately simple — plain Python/numpy, no background
+threads — so results are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Instantaneous value with min/max tracking."""
+
+    def __init__(self, name: str = "", initial: float = 0.0):
+        self.name = name
+        self.value = float(initial)
+        self.max_seen = float(initial)
+        self.min_seen = float(initial)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.max_seen = max(self.max_seen, self.value)
+        self.min_seen = min(self.min_seen, self.value)
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Append-only sample store with percentile queries."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    def extend(self, values) -> None:
+        self._values.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    def mean(self) -> float:
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 100]."""
+        if not self._values:
+            return 0.0
+        return float(np.percentile(self._values, q))
+
+    def summary(self) -> dict[str, float]:
+        if not self._values:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class TimeSeriesRecorder:
+    """Records (time, value) points and bins them on demand."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._times)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self._times, dtype=np.float64),
+            np.asarray(self._values, dtype=np.float64),
+        )
+
+    def binned(
+        self, bin_s: float, horizon_s: float | None = None, reduce: str = "mean"
+    ) -> np.ndarray:
+        """Aggregate values into fixed bins; empty bins are 0 (or nan for mean)."""
+        times, values = self.arrays()
+        if horizon_s is None:
+            horizon_s = float(times.max()) + bin_s if times.size else bin_s
+        n_bins = int(np.ceil(horizon_s / bin_s))
+        if times.size == 0:
+            return np.zeros(n_bins)
+        idx = np.clip((times // bin_s).astype(np.int64), 0, n_bins - 1)
+        sums = np.bincount(idx, weights=values, minlength=n_bins)
+        if reduce == "sum":
+            return sums
+        if reduce == "count":
+            return np.bincount(idx, minlength=n_bins).astype(np.float64)
+        if reduce == "mean":
+            counts = np.bincount(idx, minlength=n_bins)
+            with np.errstate(invalid="ignore"):
+                return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        raise ValueError(f"unknown reduce: {reduce!r}")
+
+
+@dataclass
+class MetricRegistry:
+    """Namespaced container for a simulation run's metrics."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    series: dict[str, TimeSeriesRecorder] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def timeseries(self, name: str) -> TimeSeriesRecorder:
+        if name not in self.series:
+            self.series[name] = TimeSeriesRecorder(name)
+        return self.series[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat scalar view: counters, gauges, histogram means."""
+        out: dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[f"counter/{name}"] = counter.value
+        for name, gauge in self.gauges.items():
+            out[f"gauge/{name}"] = gauge.value
+        for name, hist in self.histograms.items():
+            out[f"hist/{name}/mean"] = hist.mean()
+            out[f"hist/{name}/count"] = float(hist.count)
+        return out

@@ -1,0 +1,69 @@
+"""Stable, salted ID anonymisation mirroring the paper's hashed identifiers.
+
+The production trace hashes every pod/function/user/request identifier before
+release. Internally we keep IDs as ``int64`` for vectorised joins; this module
+provides the deterministic mapping from internal integers (or any string) to
+short hex digests used when exporting traces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_DEFAULT_SALT = "sir-lab-data-release"
+_DIGEST_CHARS = 16
+
+
+def stable_hash(value: object, salt: str = _DEFAULT_SALT, chars: int = _DIGEST_CHARS) -> str:
+    """Return a deterministic hex digest for ``value``.
+
+    Uses BLAKE2b, which is stable across processes and Python versions
+    (unlike builtin :func:`hash`). The digest is truncated to ``chars``
+    hex characters, matching the short opaque IDs of the public release.
+    """
+    if chars <= 0 or chars > 128:
+        raise ValueError("chars must be in 1..128")
+    payload = f"{salt}:{value}".encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=32).hexdigest()[:chars]
+
+
+class IdHasher:
+    """Vectorised anonymiser with a per-namespace salt and memoisation.
+
+    Each identifier column gets its own namespace (for example ``"pod_id"``)
+    so equal integers in different columns do not collide into the same
+    digest, mirroring per-stream hashing in the production pipeline.
+    """
+
+    def __init__(self, salt: str = _DEFAULT_SALT, chars: int = _DIGEST_CHARS):
+        self._salt = salt
+        self._chars = chars
+        self._memo: dict[tuple[str, int], str] = {}
+
+    @property
+    def salt(self) -> str:
+        return self._salt
+
+    def hash_one(self, namespace: str, value: int) -> str:
+        """Hash a single identifier within ``namespace``."""
+        key = (namespace, int(value))
+        digest = self._memo.get(key)
+        if digest is None:
+            digest = stable_hash(f"{namespace}/{int(value)}", self._salt, self._chars)
+            self._memo[key] = digest
+        return digest
+
+    def hash_array(self, namespace: str, values: np.ndarray) -> np.ndarray:
+        """Hash an int64 array; repeated values hash once via np.unique."""
+        values = np.asarray(values)
+        uniques, inverse = np.unique(values, return_inverse=True)
+        digests = np.array(
+            [self.hash_one(namespace, v) for v in uniques], dtype=f"U{self._chars}"
+        )
+        return digests[inverse]
+
+    def clear(self) -> None:
+        """Drop the memoisation table (frees memory between exports)."""
+        self._memo.clear()

@@ -1,0 +1,167 @@
+"""Schemas for the three monitoring streams of the paper's Table 1.
+
+Units follow the paper exactly:
+
+* timestamps are integer **milliseconds** since the trace epoch,
+* request execution time and all cold-start component times are integer
+  **microseconds**,
+* CPU usage is in **millicores**, memory usage in **bytes**.
+
+Identifier columns (pod/function/user/request IDs) are stored as ``int64``
+internally for speed and anonymised to hex digests only on export, mirroring
+the paper's "all IDs are hashed" policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Sentinel value for "not logged"; the paper notes a small proportion of
+#: functions have no runtime or trigger type recorded.
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Description of a single trace column.
+
+    Attributes:
+        name: column name as used in the in-memory tables.
+        dtype: numpy dtype the column is stored with.
+        description: human-readable meaning (mirrors Table 1's wording).
+        unit: measurement unit, ``"-"`` for unitless columns.
+        identifier: True when the column is an ID that must be hashed
+            on export for anonymisation.
+    """
+
+    name: str
+    dtype: np.dtype
+    description: str
+    unit: str = "-"
+    identifier: bool = False
+
+    def empty(self, capacity: int = 0) -> np.ndarray:
+        """Return an empty (or zeroed) array of this column's dtype."""
+        return np.zeros(capacity, dtype=self.dtype)
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered collection of :class:`ColumnSpec` forming one table."""
+
+    name: str
+    columns: tuple[ColumnSpec, ...]
+    description: str = ""
+    _by_name: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        names = [col.name for col in self.columns]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate column names in schema {self.name!r}")
+        self._by_name.update({col.name: col for col in self.columns})
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    @property
+    def identifier_columns(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns if col.identifier)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        return self._by_name[name]
+
+    def validate(self, data: dict[str, np.ndarray]) -> None:
+        """Check that ``data`` has exactly the schema's columns, equal length.
+
+        Raises:
+            KeyError: missing or unexpected columns.
+            ValueError: ragged column lengths or wrong dtype kind.
+        """
+        missing = [name for name in self.column_names if name not in data]
+        if missing:
+            raise KeyError(f"{self.name}: missing columns {missing}")
+        extra = [name for name in data if name not in self]
+        if extra:
+            raise KeyError(f"{self.name}: unexpected columns {extra}")
+        lengths = {name: len(col) for name, col in data.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"{self.name}: ragged columns {lengths}")
+        for name, col in data.items():
+            want = self[name].dtype
+            got = np.asarray(col).dtype
+            if got.kind != np.dtype(want).kind:
+                raise ValueError(
+                    f"{self.name}.{name}: dtype kind {got.kind!r} != {np.dtype(want).kind!r}"
+                )
+
+
+def _id_col(name: str, description: str) -> ColumnSpec:
+    return ColumnSpec(name, np.dtype(np.int64), description, identifier=True)
+
+
+#: Request level table -- one row per user request (paper: 85 billion rows,
+#: five regions, 31 days).
+REQUEST_SCHEMA = TableSchema(
+    name="requests",
+    description="Request level monitoring stream (Table 1, top).",
+    columns=(
+        ColumnSpec("timestamp_ms", np.dtype(np.int64), "timestamp at worker", "ms"),
+        _id_col("pod_id", "hashed pod ID"),
+        ColumnSpec("cluster", np.dtype(np.int16), "cluster name", "-"),
+        _id_col("function", "hashed function name"),
+        _id_col("user", "hashed user ID"),
+        _id_col("request_id", "hashed request ID"),
+        ColumnSpec("exec_time_us", np.dtype(np.int64), "execution time", "us"),
+        ColumnSpec(
+            "cpu_millicores", np.dtype(np.float64), "CPU usage", "millicores"
+        ),
+        ColumnSpec("memory_bytes", np.dtype(np.int64), "memory usage", "bytes"),
+    ),
+)
+
+#: Pod level table -- one row per cold start (paper: 11.9 million rows).
+POD_SCHEMA = TableSchema(
+    name="pods",
+    description="Pod level monitoring stream logged on cold starts (Table 1, middle).",
+    columns=(
+        ColumnSpec("timestamp_ms", np.dtype(np.int64), "timestamp", "ms"),
+        _id_col("pod_id", "hashed pod ID"),
+        ColumnSpec("cluster", np.dtype(np.int16), "cluster name", "-"),
+        _id_col("function", "hashed function name"),
+        _id_col("user", "hashed user ID"),
+        ColumnSpec("cold_start_us", np.dtype(np.int64), "total cold start time", "us"),
+        ColumnSpec(
+            "pod_alloc_us", np.dtype(np.int64), "time to get pod from pool", "us"
+        ),
+        ColumnSpec("deploy_code_us", np.dtype(np.int64), "time to deploy code", "us"),
+        ColumnSpec(
+            "deploy_dep_us", np.dtype(np.int64), "deploy dependency time", "us"
+        ),
+        ColumnSpec(
+            "scheduling_us", np.dtype(np.int64), "scheduling overhead time", "us"
+        ),
+    ),
+)
+
+#: Function level table -- static metadata (paper releases it for one region;
+#: we emit it for every generated region).
+FUNCTION_SCHEMA = TableSchema(
+    name="functions",
+    description="Function level metadata stream (Table 1, bottom).",
+    columns=(
+        _id_col("function", "hashed function name"),
+        ColumnSpec("runtime", np.dtype("U16"), "runtime", "-"),
+        ColumnSpec("trigger", np.dtype("U24"), "trigger type", "-"),
+        ColumnSpec("cpu_mem", np.dtype("U16"), "CPU-MEM config", "-"),
+    ),
+)
+
+ALL_SCHEMAS: dict[str, TableSchema] = {
+    schema.name: schema for schema in (REQUEST_SCHEMA, POD_SCHEMA, FUNCTION_SCHEMA)
+}

@@ -1,0 +1,298 @@
+"""Columnar trace tables with vectorised filtering, sorting, and group-by.
+
+A :class:`ColumnTable` stores one monitoring stream as a dict of equal-length
+numpy arrays validated against a :class:`~repro.trace.schema.TableSchema`.
+Tables are immutable by convention: every transformation returns a new view
+or copy, never mutates in place (callers may rely on sharing).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.schema import (
+    FUNCTION_SCHEMA,
+    POD_SCHEMA,
+    REQUEST_SCHEMA,
+    TableSchema,
+)
+
+MS_PER_SECOND = 1_000
+US_PER_SECOND = 1_000_000
+
+
+def group_runs(values: np.ndarray) -> Iterator[tuple[object, np.ndarray]]:
+    """Yield ``(value, row_indices)`` for each distinct value in ``values``.
+
+    Implemented with a single argsort so grouping a multi-million row column
+    stays O(n log n) with no Python-level per-row work.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return
+    order = np.argsort(values, kind="stable")
+    sorted_vals = values[order]
+    boundaries = np.flatnonzero(sorted_vals[1:] != sorted_vals[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [values.size]))
+    for start, end in zip(starts, ends):
+        yield sorted_vals[start], order[start:end]
+
+
+class ColumnTable:
+    """Base columnar table bound to a :class:`TableSchema`.
+
+    Subclasses set :attr:`schema`. Construction validates column names,
+    lengths, and dtype kinds.
+    """
+
+    schema: TableSchema
+
+    def __init__(self, data: Mapping[str, np.ndarray]):
+        if not hasattr(self, "schema") or self.schema is None:
+            raise TypeError("ColumnTable subclasses must define a schema")
+        arrays = {
+            name: np.ascontiguousarray(np.asarray(col, dtype=self.schema[name].dtype))
+            for name, col in data.items()
+        }
+        self.schema.validate(arrays)
+        self._data = arrays
+        first = next(iter(arrays.values()), None)
+        self._length = 0 if first is None else len(first)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "ColumnTable":
+        """Return a zero-row table."""
+        return cls({col.name: col.empty(0) for col in cls.schema.columns})
+
+    @classmethod
+    def from_columns(cls, **columns: np.ndarray) -> "ColumnTable":
+        """Build a table from keyword columns."""
+        return cls(columns)
+
+    @classmethod
+    def concat(cls, tables: Sequence["ColumnTable"]) -> "ColumnTable":
+        """Concatenate tables row-wise; an empty sequence gives an empty table."""
+        tables = [t for t in tables if len(t)]
+        if not tables:
+            return cls.empty()
+        merged = {
+            name: np.concatenate([t._data[name] for t in tables])
+            for name in cls.schema.column_names
+        }
+        return cls(merged)
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._data[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} rows={self._length}>"
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.schema.column_names
+
+    def column(self, name: str) -> np.ndarray:
+        """Return a column array (shared, do not mutate)."""
+        return self._data[name]
+
+    # -- transformations -----------------------------------------------------
+
+    def filter(self, mask: np.ndarray) -> "ColumnTable":
+        """Return rows where boolean ``mask`` (or an index array) selects."""
+        mask = np.asarray(mask)
+        return type(self)({name: col[mask] for name, col in self._data.items()})
+
+    def where(self, **conditions: object) -> "ColumnTable":
+        """Return rows matching all equality ``conditions`` (column=value)."""
+        if not conditions:
+            return self
+        mask = np.ones(self._length, dtype=bool)
+        for name, value in conditions.items():
+            mask &= self._data[name] == value
+        return self.filter(mask)
+
+    def sort_by(self, *names: str) -> "ColumnTable":
+        """Return a copy sorted by the given columns (last name is primary)."""
+        if not names:
+            raise ValueError("sort_by requires at least one column name")
+        order = np.arange(self._length)
+        for name in names:
+            order = order[np.argsort(self._data[name][order], kind="stable")]
+        return self.filter(order)
+
+    def head(self, n: int = 10) -> "ColumnTable":
+        """Return the first ``n`` rows."""
+        return self.filter(np.arange(min(n, self._length)))
+
+    def groupby(self, name: str) -> Iterator[tuple[object, "ColumnTable"]]:
+        """Yield ``(value, sub_table)`` per distinct value of column ``name``."""
+        for value, idx in group_runs(self._data[name]):
+            yield value, self.filter(idx)
+
+    def group_indices(self, name: str) -> Iterator[tuple[object, np.ndarray]]:
+        """Yield ``(value, row_indices)`` per distinct value; cheaper than groupby."""
+        return group_runs(self._data[name])
+
+    def to_records(self, limit: int | None = None) -> list[dict[str, object]]:
+        """Materialise rows as dicts (testing / serialisation helper)."""
+        stop = self._length if limit is None else min(limit, self._length)
+        names = self.columns
+        cols = [self._data[name] for name in names]
+        return [
+            {name: col[i].item() if hasattr(col[i], "item") else col[i]
+             for name, col in zip(names, cols)}
+            for i in range(stop)
+        ]
+
+    def nunique(self, name: str) -> int:
+        """Number of distinct values in a column."""
+        return int(np.unique(self._data[name]).size)
+
+
+class RequestTable(ColumnTable):
+    """Request-level stream: one row per user request."""
+
+    schema = REQUEST_SCHEMA
+
+    @property
+    def timestamps_s(self) -> np.ndarray:
+        """Timestamps converted to float seconds since the trace epoch."""
+        return self._data["timestamp_ms"].astype(np.float64) / MS_PER_SECOND
+
+    @property
+    def exec_time_s(self) -> np.ndarray:
+        """Execution time in float seconds."""
+        return self._data["exec_time_us"].astype(np.float64) / US_PER_SECOND
+
+    def span_days(self) -> float:
+        """Trace duration covered by this table, in days."""
+        if not len(self):
+            return 0.0
+        ts = self._data["timestamp_ms"]
+        return float(ts.max() - ts.min()) / (MS_PER_SECOND * 86_400)
+
+
+#: Names of the four cold-start component columns, in the paper's stacking order.
+COMPONENT_COLUMNS = (
+    "pod_alloc_us",
+    "deploy_code_us",
+    "deploy_dep_us",
+    "scheduling_us",
+)
+
+
+class PodTable(ColumnTable):
+    """Pod-level stream: one row per cold start with its component times."""
+
+    schema = POD_SCHEMA
+
+    @property
+    def timestamps_s(self) -> np.ndarray:
+        return self._data["timestamp_ms"].astype(np.float64) / MS_PER_SECOND
+
+    @property
+    def cold_start_s(self) -> np.ndarray:
+        """Total cold-start durations in float seconds."""
+        return self._data["cold_start_us"].astype(np.float64) / US_PER_SECOND
+
+    def component_s(self, column: str) -> np.ndarray:
+        """One component column in float seconds."""
+        if column not in COMPONENT_COLUMNS:
+            raise KeyError(f"not a component column: {column!r}")
+        return self._data[column].astype(np.float64) / US_PER_SECOND
+
+    def components_s(self) -> dict[str, np.ndarray]:
+        """All four components in float seconds keyed by column name."""
+        return {name: self.component_s(name) for name in COMPONENT_COLUMNS}
+
+    def component_residual_us(self) -> np.ndarray:
+        """cold_start_us minus the sum of the four logged components.
+
+        The production pipeline logs components independently, so the total
+        can exceed the sum (unattributed time). Negative residuals indicate
+        a malformed table.
+        """
+        total = sum(self._data[name] for name in COMPONENT_COLUMNS)
+        return self._data["cold_start_us"] - total
+
+
+class FunctionTable(ColumnTable):
+    """Function-level metadata: runtime, trigger type, CPU-MEM configuration."""
+
+    schema = FUNCTION_SCHEMA
+
+    def metadata_for(self, function_ids: np.ndarray) -> dict[str, np.ndarray]:
+        """Map ``function_ids`` to runtime/trigger/cpu_mem arrays.
+
+        Unknown functions map to the string ``"unknown"`` for each field,
+        mirroring the paper's note that some functions lack logged metadata.
+        """
+        own = self._data["function"]
+        order = np.argsort(own)
+        sorted_ids = own[order]
+        pos = np.searchsorted(sorted_ids, function_ids)
+        pos = np.clip(pos, 0, max(len(own) - 1, 0))
+        if len(own):
+            found = sorted_ids[pos] == function_ids
+        else:
+            found = np.zeros(len(function_ids), dtype=bool)
+        out = {}
+        for column in ("runtime", "trigger", "cpu_mem"):
+            values = self._data[column][order][pos] if len(own) else np.full(
+                len(function_ids), "unknown", dtype="U24"
+            )
+            values = values.copy()
+            values[~found] = "unknown"
+            out[column] = values
+        return out
+
+
+@dataclass
+class TraceBundle:
+    """A full per-region trace: the three Table 1 streams plus identity.
+
+    Attributes:
+        region: region name, e.g. ``"R1"``.
+        requests: request-level stream.
+        pods: pod-level (cold start) stream.
+        functions: function-level metadata stream.
+        meta: free-form generation metadata (seed, scale, profile name).
+    """
+
+    region: str
+    requests: RequestTable
+    pods: PodTable
+    functions: FunctionTable
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.requests, RequestTable):
+            raise TypeError("requests must be a RequestTable")
+        if not isinstance(self.pods, PodTable):
+            raise TypeError("pods must be a PodTable")
+        if not isinstance(self.functions, FunctionTable):
+            raise TypeError("functions must be a FunctionTable")
+
+    def summary(self) -> dict[str, int]:
+        """Headline sizes, matching the paper's Figure 1 axes."""
+        return {
+            "requests": len(self.requests),
+            "cold_starts": len(self.pods),
+            "functions": len(self.functions),
+            "pods": self.pods.nunique("pod_id") if len(self.pods) else 0,
+            "users": self.requests.nunique("user") if len(self.requests) else 0,
+        }

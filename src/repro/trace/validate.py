@@ -1,0 +1,277 @@
+"""Trace integrity validation.
+
+Checks a :class:`~repro.trace.tables.TraceBundle` for the invariants that
+production Table 1 data must satisfy: schema conformance, sorted and
+non-negative timestamps, component times that never exceed the logged
+total, referential integrity between the three streams, and keep-alive
+consistency (no two requests served by the same pod more than a keep-alive
+apart).
+
+Every violated invariant becomes a :class:`Violation`; the validator never
+raises on bad data so a report can list everything at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.tables import COMPONENT_COLUMNS, TraceBundle
+
+#: Validation severities, mild to fatal.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant.
+
+    Attributes:
+        check: machine-readable check id, e.g. ``"pods.component_sum"``.
+        severity: one of :data:`SEVERITIES`.
+        message: human-readable description with counts.
+        count: how many rows violate the invariant.
+    """
+
+    check: str
+    severity: str
+    message: str
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one bundle."""
+
+    region: str
+    checks_run: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity violation was found."""
+        return not any(v.severity == "error" for v in self.violations)
+
+    def errors(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity == "error"]
+
+    def warnings(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity == "warning"]
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        """Printable rows for :func:`repro.analysis.report.format_table`."""
+        return [
+            {
+                "check": v.check,
+                "severity": v.severity,
+                "count": v.count,
+                "message": v.message,
+            }
+            for v in self.violations
+        ]
+
+
+class BundleValidator:
+    """Runs all integrity checks over one bundle."""
+
+    def __init__(self, keepalive_s: float = 60.0):
+        if keepalive_s <= 0:
+            raise ValueError("keepalive_s must be positive")
+        self.keepalive_s = keepalive_s
+
+    # -- public API -----------------------------------------------------------
+
+    def validate(self, bundle: TraceBundle) -> ValidationReport:
+        """Run every check; collect violations instead of raising."""
+        report = ValidationReport(region=bundle.region)
+        for check in (
+            self._check_request_timestamps,
+            self._check_request_values,
+            self._check_pod_timestamps,
+            self._check_component_sum,
+            self._check_component_signs,
+            self._check_pod_ids_unique,
+            self._check_function_metadata,
+            self._check_referential_integrity,
+            self._check_keepalive_consistency,
+        ):
+            report.checks_run += 1
+            violation = check(bundle)
+            if violation is not None:
+                report.violations.append(violation)
+        return report
+
+    # -- individual checks -----------------------------------------------------
+
+    def _check_request_timestamps(self, bundle: TraceBundle) -> Violation | None:
+        ts = bundle.requests["timestamp_ms"]
+        if len(ts) == 0:
+            return Violation("requests.empty", "warning", "request stream is empty")
+        bad = int((np.diff(ts) < 0).sum())
+        if bad:
+            return Violation(
+                "requests.sorted",
+                "error",
+                f"{bad} request timestamps out of order",
+                bad,
+            )
+        if int((ts < 0).sum()):
+            return Violation(
+                "requests.nonnegative", "error", "negative request timestamps"
+            )
+        return None
+
+    def _check_request_values(self, bundle: TraceBundle) -> Violation | None:
+        requests = bundle.requests
+        if len(requests) == 0:
+            return None
+        bad_exec = int((requests["exec_time_us"] < 0).sum())
+        bad_cpu = int((requests["cpu_millicores"] < 0).sum())
+        bad_mem = int((requests["memory_bytes"] < 0).sum())
+        total = bad_exec + bad_cpu + bad_mem
+        if total:
+            return Violation(
+                "requests.values",
+                "error",
+                f"negative usage values: exec={bad_exec} cpu={bad_cpu} mem={bad_mem}",
+                total,
+            )
+        return None
+
+    def _check_pod_timestamps(self, bundle: TraceBundle) -> Violation | None:
+        ts = bundle.pods["timestamp_ms"]
+        if len(ts) == 0:
+            return Violation("pods.empty", "warning", "pod stream is empty")
+        if int((ts < 0).sum()):
+            return Violation("pods.nonnegative", "error", "negative pod timestamps")
+        return None
+
+    def _check_component_sum(self, bundle: TraceBundle) -> Violation | None:
+        """Components must not exceed the total cold-start time.
+
+        The production pipeline measures components independently so the sum
+        may fall *short* of the total (unattributed time), but a component
+        sum above the total means a malformed row.
+        """
+        if len(bundle.pods) == 0:
+            return None
+        residual = bundle.pods.component_residual_us()
+        bad = int((residual < 0).sum())
+        if bad:
+            return Violation(
+                "pods.component_sum",
+                "error",
+                f"{bad} cold starts whose components exceed the total",
+                bad,
+            )
+        return None
+
+    def _check_component_signs(self, bundle: TraceBundle) -> Violation | None:
+        if len(bundle.pods) == 0:
+            return None
+        bad = 0
+        for column in COMPONENT_COLUMNS + ("cold_start_us",):
+            bad += int((bundle.pods[column] < 0).sum())
+        if bad:
+            return Violation(
+                "pods.component_signs",
+                "error",
+                f"{bad} negative component entries",
+                bad,
+            )
+        return None
+
+    def _check_pod_ids_unique(self, bundle: TraceBundle) -> Violation | None:
+        """Each pod is born exactly once: pod ids are unique per cold start."""
+        if len(bundle.pods) == 0:
+            return None
+        n_unique = bundle.pods.nunique("pod_id")
+        duplicates = len(bundle.pods) - n_unique
+        if duplicates:
+            return Violation(
+                "pods.unique_ids",
+                "error",
+                f"{duplicates} duplicate pod ids in the cold-start stream",
+                duplicates,
+            )
+        return None
+
+    def _check_function_metadata(self, bundle: TraceBundle) -> Violation | None:
+        functions = bundle.functions
+        if len(functions) == 0:
+            return Violation("functions.empty", "warning", "function stream is empty")
+        n_unique = functions.nunique("function")
+        duplicates = len(functions) - n_unique
+        if duplicates:
+            return Violation(
+                "functions.unique",
+                "error",
+                f"{duplicates} duplicate function rows",
+                duplicates,
+            )
+        return None
+
+    def _check_referential_integrity(self, bundle: TraceBundle) -> Violation | None:
+        """Requests and pods must reference known functions.
+
+        The paper notes a small share of functions lack logged metadata, so
+        unknown references are a warning, not an error — unless *most*
+        references are dangling, which indicates stream misalignment.
+        """
+        if len(bundle.requests) == 0 or len(bundle.functions) == 0:
+            return None
+        known = np.unique(bundle.functions["function"])
+        referenced = np.unique(
+            np.concatenate((bundle.requests["function"], bundle.pods["function"]))
+        )
+        dangling = int((~np.isin(referenced, known)).sum())
+        if dangling == 0:
+            return None
+        share = dangling / referenced.size
+        severity = "error" if share > 0.5 else "warning"
+        return Violation(
+            "bundle.referential",
+            severity,
+            f"{dangling}/{referenced.size} referenced functions lack metadata",
+            dangling,
+        )
+
+    def _check_keepalive_consistency(self, bundle: TraceBundle) -> Violation | None:
+        """No pod may serve two requests far beyond a keep-alive apart.
+
+        A pod is deleted after ``keepalive_s`` of idleness, so consecutive
+        requests on the same pod id must arrive within the keep-alive window
+        (plus the previous request's execution time). Multi-pod functions
+        are reconstructed at keep-alive-window granularity, so gaps of up to
+        two windows are indistinguishable from a live pod; the threshold is
+        ``2 * keepalive_s`` accordingly.
+        """
+        requests = bundle.requests
+        if len(requests) == 0:
+            return None
+        order = np.lexsort((requests["timestamp_ms"], requests["pod_id"]))
+        pod_ids = requests["pod_id"][order]
+        ts = requests["timestamp_ms"][order].astype(np.float64) / 1e3
+        exec_s = requests["exec_time_us"][order].astype(np.float64) / 1e6
+        same_pod = pod_ids[1:] == pod_ids[:-1]
+        idle_gap = ts[1:] - (ts[:-1] + exec_s[:-1])
+        slack = 1.0  # logging timestamp granularity
+        bad = int((same_pod & (idle_gap > 2 * self.keepalive_s + slack)).sum())
+        if bad:
+            return Violation(
+                "requests.keepalive",
+                "error",
+                f"{bad} same-pod request pairs idle beyond the keep-alive",
+                bad,
+            )
+        return None
+
+
+def validate_bundle(bundle: TraceBundle, keepalive_s: float = 60.0) -> ValidationReport:
+    """Convenience wrapper: validate one bundle with default settings."""
+    return BundleValidator(keepalive_s=keepalive_s).validate(bundle)

@@ -1,0 +1,29 @@
+"""ASCII visualization toolkit.
+
+The environment has no plotting stack, so the paper's figures are rendered
+as plain text: multi-series CDF plots, time-series charts, stacked
+proportion bars, quantile strips (the violin plots of Fig. 13), and
+correlation heatmaps (Fig. 12). :mod:`repro.viz.figures` composes these
+primitives into one renderer per paper figure, shared by the CLI and the
+examples.
+"""
+
+from repro.viz.scale import LinearScale, LogScale, make_scale, nice_ticks
+from repro.viz.chart import line_chart, multi_cdf_chart, sparkline, stacked_area_legend
+from repro.viz.bars import bar_chart, proportions_bars, quantile_strip
+from repro.viz.grid import correlation_heatmap
+
+__all__ = [
+    "LinearScale",
+    "LogScale",
+    "make_scale",
+    "nice_ticks",
+    "line_chart",
+    "multi_cdf_chart",
+    "sparkline",
+    "stacked_area_legend",
+    "bar_chart",
+    "proportions_bars",
+    "quantile_strip",
+    "correlation_heatmap",
+]

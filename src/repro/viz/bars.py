@@ -1,0 +1,105 @@
+"""Horizontal bars, stacked proportion bars, and quantile strips."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Fill characters for stacked proportion segments, one per category.
+STACK_GLYPHS = "#=+:*%@~-."
+
+
+def bar_chart(
+    values: dict[str, float],
+    width: int = 50,
+    fmt: str = "{:.3g}",
+    sort: bool = False,
+) -> str:
+    """Horizontal bar chart of labelled scalar values."""
+    if not values:
+        return "(no data)"
+    items = sorted(values.items(), key=lambda kv: -kv[1]) if sort else list(values.items())
+    label_width = max(len(name) for name, _ in items)
+    peak = max((v for _, v in items if np.isfinite(v)), default=0.0)
+    lines = []
+    for name, value in items:
+        if not np.isfinite(value) or peak <= 0:
+            bar = ""
+        else:
+            bar = "#" * max(int(round(value / peak * width)), 0)
+        lines.append(f"{name.rjust(label_width)} |{bar.ljust(width)}| " + fmt.format(value))
+    return "\n".join(lines)
+
+
+def proportions_bars(
+    proportions: dict[str, dict[str, float]],
+    width: int = 60,
+) -> str:
+    """Stacked horizontal bars of category shares (Fig. 8d-f).
+
+    ``proportions`` maps category -> {measure: share}; the output draws one
+    stacked bar per *measure* with a segment per category, plus a legend.
+    """
+    if not proportions:
+        return "(no data)"
+    categories = sorted(proportions)
+    measures: list[str] = sorted({m for shares in proportions.values() for m in shares})
+    label_width = max(len(m) for m in measures)
+    lines = []
+    for measure in measures:
+        segments = []
+        for index, category in enumerate(categories):
+            share = proportions[category].get(measure, 0.0)
+            n_chars = int(round(share * width))
+            segments.append(STACK_GLYPHS[index % len(STACK_GLYPHS)] * n_chars)
+        bar = "".join(segments)[:width]
+        lines.append(f"{measure.rjust(label_width)} |{bar.ljust(width)}|")
+    legend = "   ".join(
+        f"{STACK_GLYPHS[i % len(STACK_GLYPHS)]}={category}"
+        for i, category in enumerate(categories)
+    )
+    return "\n".join(lines + [legend])
+
+
+def quantile_strip(
+    groups: dict[str, dict[float, float]],
+    width: int = 60,
+    log_x: bool = True,
+) -> str:
+    """Quantile strips standing in for violin plots (Fig. 13).
+
+    ``groups`` maps a label to {quantile: value}; each strip draws a line
+    from its lowest to highest quantile with ``|`` marks at quartiles and
+    ``O`` at the median, on a shared (log) axis.
+    """
+    if not groups:
+        return "(no data)"
+    all_values = [v for qs in groups.values() for v in qs.values() if v > 0]
+    if not all_values:
+        return "(no positive data)"
+    lo, hi = min(all_values), max(all_values)
+    if hi <= lo:
+        hi = lo * 10 if log_x else lo + 1
+
+    def column(x: float) -> int:
+        if log_x:
+            frac = (np.log10(max(x, lo)) - np.log10(lo)) / (np.log10(hi) - np.log10(lo))
+        else:
+            frac = (x - lo) / (hi - lo)
+        return int(np.clip(round(frac * (width - 1)), 0, width - 1))
+
+    label_width = max(len(name) for name in groups)
+    lines = []
+    for name, quantiles in groups.items():
+        strip = [" "] * width
+        values = sorted(quantiles.items())
+        left, right = column(values[0][1]), column(values[-1][1])
+        for col in range(left, right + 1):
+            strip[col] = "-"
+        for q, value in values:
+            marker = "O" if abs(q - 0.5) < 1e-9 else "|"
+            strip[column(value)] = marker
+        lines.append(f"{name.rjust(label_width)} |{''.join(strip)}|")
+    lo_text, hi_text = f"{lo:.3g}", f"{hi:.3g}"
+    gap = max(width - len(lo_text) - len(hi_text), 1)
+    lines.append(" " * (label_width + 2) + lo_text + " " * gap + hi_text)
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Line charts and sparklines rendered as plain text.
+
+``multi_cdf_chart`` is the workhorse: the paper's figures are mostly CDF
+overlays of several series (regions, runtimes, trigger types), and this
+renders them into a character grid with one glyph per series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.cdf import Cdf
+from repro.viz.scale import make_scale
+
+#: Glyphs assigned to series in order; readable in any terminal.
+SERIES_GLYPHS = "ox+*#@%&$~"
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """One-line intensity sketch of a series (downsampled by averaging)."""
+    values = np.asarray(values, dtype=np.float64)
+    values = np.where(np.isfinite(values), values, 0.0)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        # Average into `width` buckets; ragged tail folds into the last one.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array(
+            [values[a:b].mean() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(values.min()), float(values.max())
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * values.size
+    scaled = (values - lo) / (hi - lo)
+    indices = np.clip((scaled * (len(_SPARK_LEVELS) - 1)).round().astype(int), 0, 9)
+    return "".join(_SPARK_LEVELS[i] for i in indices)
+
+
+def _render_grid(grid: list[list[str]], y_labels: list[str]) -> list[str]:
+    label_width = max(len(label) for label in y_labels)
+    lines = []
+    for label, row in zip(y_labels, grid):
+        lines.append(label.rjust(label_width) + " |" + "".join(row))
+    return lines
+
+
+def line_chart(
+    series: dict[str, np.ndarray],
+    width: int = 72,
+    height: int = 14,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Overlay several equally-spaced series in one character grid.
+
+    Series are resampled to ``width`` columns; the y-axis is shared and
+    linear. Each series draws with its own glyph; collisions keep the glyph
+    drawn last (legend order).
+    """
+    if not series:
+        return "(no series)"
+    resampled: dict[str, np.ndarray] = {}
+    for name, values in series.items():
+        values = np.asarray(values, dtype=np.float64)
+        values = np.where(np.isfinite(values), values, np.nan)
+        if values.size == 0:
+            continue
+        columns = np.linspace(0, values.size - 1, width)
+        resampled[name] = np.interp(columns, np.arange(values.size), values)
+    if not resampled:
+        return "(no data)"
+
+    all_values = np.concatenate(list(resampled.values()))
+    finite = all_values[np.isfinite(all_values)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    if hi <= lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(resampled.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for col in range(width):
+            value = values[col]
+            if not np.isfinite(value):
+                continue
+            row = int(round((1.0 - (value - lo) / (hi - lo)) * (height - 1)))
+            grid[row][col] = glyph
+
+    y_labels = []
+    for row in range(height):
+        value = hi - (hi - lo) * row / (height - 1)
+        y_labels.append(f"{value:.3g}")
+    lines = _render_grid(grid, y_labels)
+    axis_pad = max(len(label) for label in y_labels)
+    lines.append(" " * axis_pad + " +" + "-" * width)
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}"
+        for i, name in enumerate(resampled)
+    )
+    header = [title] if title else []
+    if y_label:
+        header.append(f"[y: {y_label}]")
+    return "\n".join(header + lines + [legend])
+
+
+def multi_cdf_chart(
+    cdfs: dict[str, Cdf],
+    width: int = 72,
+    height: int = 14,
+    log_x: bool = True,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Overlay several CDFs (the paper's standard figure shape)."""
+    populated = {name: cdf for name, cdf in cdfs.items() if cdf.n > 0}
+    if not populated:
+        return "(no data)"
+    support = np.concatenate([cdf.values for cdf in populated.values()])
+    scale = make_scale(support, width, log=log_x)
+    xs = scale.grid()
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, cdf) in enumerate(populated.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for col, x in enumerate(xs):
+            p = cdf.at(float(x))
+            row = int(round((1.0 - p) * (height - 1)))
+            grid[row][col] = glyph
+
+    y_labels = [f"{1.0 - row / (height - 1):.2f}" for row in range(height)]
+    lines = _render_grid(grid, y_labels)
+    pad = max(len(label) for label in y_labels)
+    lines.append(" " * pad + " +" + "-" * width)
+    lo_text, hi_text = f"{xs[0]:.3g}", f"{xs[-1]:.3g}"
+    gap = max(width - len(lo_text) - len(hi_text), 1)
+    lines.append(" " * (pad + 2) + lo_text + " " * gap + hi_text)
+    if x_label:
+        lines.append(" " * (pad + 2) + f"[x: {x_label}{', log' if log_x else ''}]")
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}"
+        for i, name in enumerate(populated)
+    )
+    header = [title] if title else []
+    return "\n".join(header + lines + [legend])
+
+
+def stacked_area_legend(components: dict[str, np.ndarray], width: int = 60) -> str:
+    """Compact stacked view: one sparkline per component plus its mean.
+
+    A true stacked-area plot does not survive character resolution, so each
+    component gets its own intensity line (Fig. 11's stacked components).
+    """
+    if not components:
+        return "(no components)"
+    label_width = max(len(name) for name in components)
+    lines = []
+    for name, values in components.items():
+        values = np.asarray(values, dtype=np.float64)
+        mean = float(np.nanmean(values)) if values.size else float("nan")
+        lines.append(
+            f"{name.rjust(label_width)} |{sparkline(values, width)}| mean={mean:.3g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Matrix heatmaps rendered as character intensity grids (Fig. 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _cell(value: float, significant: bool) -> str:
+    """Five-level intensity cell, starred when significant."""
+    if not np.isfinite(value):
+        return " ?? "
+    if value <= -0.6:
+        body = "--"
+    elif value <= -0.2:
+        body = "- "
+    elif value < 0.2:
+        body = ". "
+    elif value < 0.6:
+        body = "+ "
+    else:
+        body = "++"
+    star = "*" if significant else " "
+    return f"{body}{star}"
+
+
+def correlation_heatmap(
+    fields: tuple[str, ...],
+    rho: np.ndarray,
+    significant: np.ndarray | None = None,
+    short_labels: int = 9,
+) -> str:
+    """Render a correlation matrix as an aligned glyph grid.
+
+    Cells show ``--``/``-``/``.``/``+``/``++`` by correlation strength and a
+    trailing ``*`` where the correlation is statistically significant —
+    mirroring the paper's starred Spearman matrices.
+    """
+    rho = np.asarray(rho, dtype=np.float64)
+    n = len(fields)
+    if rho.shape != (n, n):
+        raise ValueError(f"rho must be {n}x{n}, got {rho.shape}")
+    if significant is None:
+        significant = np.zeros_like(rho, dtype=bool)
+
+    labels = [field[:short_labels] for field in fields]
+    label_width = max(len(label) for label in labels)
+    header = " " * (label_width + 1) + " ".join(
+        label[:4].center(4) for label in labels
+    )
+    lines = [header]
+    for i, label in enumerate(labels):
+        cells = " ".join(_cell(float(rho[i, j]), bool(significant[i, j])) for j in range(n))
+        lines.append(label.rjust(label_width) + " " + cells)
+    lines.append("")
+    lines.append("legend: ++ rho>=0.6   +  0.2..0.6   .  -0.2..0.2   -  -0.6..-0.2   -- <=-0.6   * p<0.05")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Axis scales for ASCII charts: linear and logarithmic mapping to columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearScale:
+    """Maps [lo, hi] linearly onto [0, width - 1] integer columns."""
+
+    lo: float
+    hi: float
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width < 2:
+            raise ValueError("width must be at least 2")
+        if not np.isfinite(self.lo) or not np.isfinite(self.hi):
+            raise ValueError("scale bounds must be finite")
+        if self.hi <= self.lo:
+            raise ValueError("hi must exceed lo")
+
+    def column(self, x: float) -> int:
+        """Column index for value ``x``, clipped to the axis."""
+        frac = (x - self.lo) / (self.hi - self.lo)
+        return int(np.clip(round(frac * (self.width - 1)), 0, self.width - 1))
+
+    def value(self, column: int) -> float:
+        """Representative value at a column (inverse of :meth:`column`)."""
+        frac = column / (self.width - 1)
+        return self.lo + frac * (self.hi - self.lo)
+
+    def grid(self) -> np.ndarray:
+        """One representative value per column."""
+        return np.linspace(self.lo, self.hi, self.width)
+
+
+@dataclass(frozen=True)
+class LogScale:
+    """Maps [lo, hi] (both positive) log10-linearly onto columns."""
+
+    lo: float
+    hi: float
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width < 2:
+            raise ValueError("width must be at least 2")
+        if self.lo <= 0 or self.hi <= 0:
+            raise ValueError("log scale needs positive bounds")
+        if self.hi <= self.lo:
+            raise ValueError("hi must exceed lo")
+
+    def column(self, x: float) -> int:
+        if x <= 0:
+            return 0
+        frac = (np.log10(x) - np.log10(self.lo)) / (np.log10(self.hi) - np.log10(self.lo))
+        return int(np.clip(round(frac * (self.width - 1)), 0, self.width - 1))
+
+    def value(self, column: int) -> float:
+        frac = column / (self.width - 1)
+        return float(10 ** (np.log10(self.lo) + frac * (np.log10(self.hi) - np.log10(self.lo))))
+
+    def grid(self) -> np.ndarray:
+        return np.logspace(np.log10(self.lo), np.log10(self.hi), self.width)
+
+
+def _pad_degenerate(lo: float, hi: float) -> tuple[float, float]:
+    """Widen a zero-span range; padding scales with magnitude so it never
+    underflows float64 resolution (lo + 1.0 == lo above ~2**53)."""
+    if hi > lo:
+        return lo, hi
+    pad = max(1.0, abs(lo) * 1e-6)
+    return lo, lo + pad
+
+
+def make_scale(values: np.ndarray, width: int, log: bool = False) -> LinearScale | LogScale:
+    """Build the right scale for ``values``, with degenerate-range padding."""
+    values = np.asarray(values, dtype=np.float64)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return LinearScale(0.0, 1.0, width)
+    if log:
+        positive = finite[finite > 0]
+        if positive.size:
+            lo, hi = float(positive.min()), float(positive.max())
+            if hi <= lo:
+                hi = lo * 10.0
+            return LogScale(lo, hi, width)
+        # fall through: no positive support, use a linear axis
+    lo, hi = _pad_degenerate(float(finite.min()), float(finite.max()))
+    return LinearScale(lo, hi, width)
+
+
+def nice_ticks(lo: float, hi: float, max_ticks: int = 6) -> list[float]:
+    """Round tick positions covering [lo, hi] ("nice numbers" algorithm)."""
+    if hi <= lo:
+        return [lo]
+    span = hi - lo
+    raw_step = span / max(max_ticks - 1, 1)
+    magnitude = 10 ** np.floor(np.log10(raw_step))
+    residual = raw_step / magnitude
+    if residual < 1.5:
+        step = 1.0
+    elif residual < 3.0:
+        step = 2.0
+    elif residual < 7.0:
+        step = 5.0
+    else:
+        step = 10.0
+    step *= magnitude
+    start = np.ceil(lo / step) * step
+    ticks = []
+    tick = start
+    while tick <= hi + 1e-12 * span:
+        ticks.append(float(tick))
+        tick += step
+    return ticks or [lo]

@@ -1,0 +1,59 @@
+"""Workload substrate: the function/trigger/runtime catalog, diurnal shapes,
+arrival processes, user population, calibrated region profiles, and the
+trace generator that replaces the proprietary production dataset."""
+
+from repro.workload.catalog import (
+    CONFIG_CATALOG,
+    MAIN_CONFIGS,
+    Runtime,
+    ResourceConfig,
+    SizeClass,
+    Trigger,
+    TriggerKind,
+    aggregate_trigger_label,
+    parse_config,
+    primary_trigger,
+)
+from repro.workload.shapes import DiurnalShape, HolidayCalendar, RateShape, WeeklyShape
+from repro.workload.users import UserPopulation, assign_users
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstyProcess,
+    CronTimerProcess,
+    ModulatedPoissonProcess,
+    make_arrival_process,
+)
+from repro.workload.function import FunctionSpec
+from repro.workload.regions import REGION_PROFILES, RegionProfile, region_profile
+from repro.workload.generator import WorkloadGenerator, generate_multi_region, generate_region
+
+__all__ = [
+    "Runtime",
+    "Trigger",
+    "TriggerKind",
+    "ResourceConfig",
+    "SizeClass",
+    "CONFIG_CATALOG",
+    "MAIN_CONFIGS",
+    "parse_config",
+    "primary_trigger",
+    "aggregate_trigger_label",
+    "RateShape",
+    "DiurnalShape",
+    "WeeklyShape",
+    "HolidayCalendar",
+    "UserPopulation",
+    "assign_users",
+    "ArrivalProcess",
+    "ModulatedPoissonProcess",
+    "CronTimerProcess",
+    "BurstyProcess",
+    "make_arrival_process",
+    "FunctionSpec",
+    "RegionProfile",
+    "REGION_PROFILES",
+    "region_profile",
+    "WorkloadGenerator",
+    "generate_region",
+    "generate_multi_region",
+]

@@ -1,0 +1,303 @@
+"""Arrival processes: modulated Poisson, cron timers, and bursty on-off.
+
+Three processes cover the invocation behaviours the paper identifies:
+
+* **ModulatedPoissonProcess** — user-driven diurnal traffic (APIG, workflow,
+  OBS, ...), a non-homogeneous Poisson process whose intensity follows a
+  :class:`~repro.workload.shapes.RateShape`;
+* **CronTimerProcess** — timer triggers firing on a fixed period with small
+  jitter; deliberately *unmodulated* (the paper: timer load is flat across
+  weekends and the holiday);
+* **BurstyProcess** — two-state (on/off) modulated Poisson yielding the
+  large peak-to-trough ratios of Fig. 6 (up to >1000).
+
+All processes generate sorted absolute arrival times (float seconds) over a
+horizon, using day-level Poisson totals plus inverse-CDF intra-day placement
+so that million-row traces stay cheap to sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workload.shapes import RateShape, SECONDS_PER_DAY
+
+_MINUTES_PER_DAY = 1440
+
+
+class ArrivalProcess:
+    """Interface: generate sorted arrival times over ``[0, horizon_s)``."""
+
+    def generate(self, horizon_s: float, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def expected_count(self, horizon_s: float) -> float:
+        """Approximate expected number of arrivals (used by tests/benches)."""
+        raise NotImplementedError
+
+
+def _intraday_cdf(shape: RateShape) -> np.ndarray:
+    """Cumulative intra-day intensity over 1440 minute bins (diurnal only).
+
+    Weekly and holiday factors are constant within a day, so only the diurnal
+    component shapes where arrivals land inside a day.
+    """
+    minute_centers = np.arange(_MINUTES_PER_DAY, dtype=np.float64) * 60.0 + 30.0
+    weights = shape.diurnal.factor(minute_centers)
+    cdf = np.cumsum(weights)
+    return cdf / cdf[-1]
+
+
+def _place_in_days(
+    day_rates: np.ndarray,
+    intraday_cdf: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample Poisson counts per day, place each arrival via inverse CDF."""
+    counts = rng.poisson(day_rates)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.float64)
+    day_of = np.repeat(np.arange(day_rates.size, dtype=np.float64), counts)
+    u = rng.random(total)
+    minute = np.searchsorted(intraday_cdf, u, side="left").astype(np.float64)
+    within = rng.random(total)
+    times = day_of * SECONDS_PER_DAY + (minute + within) * 60.0
+    times.sort(kind="stable")
+    return times
+
+
+def _day_level_rates(shape: RateShape, daily_rate: float, days: int) -> np.ndarray:
+    """Expected arrivals per day including weekly/holiday/diurnal mass."""
+    day_starts = np.arange(days, dtype=np.float64) * SECONDS_PER_DAY + SECONDS_PER_DAY / 2
+    weekly = shape.weekly.factor(day_starts)
+    holiday = shape.holiday.factor(day_starts)
+    minute_centers = np.arange(_MINUTES_PER_DAY, dtype=np.float64) * 60.0 + 30.0
+    diurnal_mean = float(np.mean(shape.diurnal.factor(minute_centers)))
+    return daily_rate * weekly * holiday * diurnal_mean
+
+
+def expand_sessions(
+    session_starts: np.ndarray,
+    rng: np.random.Generator,
+    mean_requests: float,
+    duration_median_s: float,
+    duration_sigma: float = 1.0,
+) -> np.ndarray:
+    """Expand session-start times into per-request times.
+
+    User-driven invocations arrive in short correlated bursts (retries, page
+    loads, chained calls), not as isolated events: each session brings
+    ``1 + Poisson(mean_requests - 1)`` requests spread uniformly over a
+    lognormal session duration. This burstiness is what gives warm pods
+    their useful lifetime (paper §4.5: median pod utility ratio ≈ 4).
+    """
+    if mean_requests < 1.0:
+        raise ValueError("mean_requests must be >= 1")
+    if session_starts.size == 0 or mean_requests == 1.0:
+        return session_starts
+    extra = rng.poisson(mean_requests - 1.0, size=session_starts.size)
+    counts = 1 + extra
+    total = int(counts.sum())
+    start_of = np.repeat(session_starts, counts)
+    durations = np.exp(
+        rng.normal(np.log(duration_median_s), duration_sigma, size=session_starts.size)
+    )
+    duration_of = np.repeat(durations, counts)
+    # The first request of each session fires at the session start; the rest
+    # spread across the session window.
+    first = np.zeros(total, dtype=bool)
+    first[np.concatenate(([0], np.cumsum(counts)[:-1]))] = True
+    offsets = rng.random(total) * duration_of
+    offsets[first] = 0.0
+    times = start_of + offsets
+    times.sort(kind="stable")
+    return times
+
+
+@dataclass(frozen=True)
+class ModulatedPoissonProcess(ArrivalProcess):
+    """Non-homogeneous Poisson with a :class:`RateShape` intensity.
+
+    ``daily_rate`` is the expected *requests* per day; when sessions are
+    enabled (``session_mean_requests > 1``) the process draws session starts
+    at ``daily_rate / session_mean_requests`` and expands each into a burst,
+    keeping the request volume calibrated while clustering arrivals.
+    """
+
+    daily_rate: float
+    shape: RateShape = field(default_factory=RateShape)
+    session_mean_requests: float = 1.0
+    session_duration_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.daily_rate < 0:
+            raise ValueError("daily_rate must be non-negative")
+        if self.session_mean_requests < 1.0:
+            raise ValueError("session_mean_requests must be >= 1")
+        if self.session_duration_s <= 0:
+            raise ValueError("session_duration_s must be positive")
+
+    def generate(self, horizon_s: float, rng: np.random.Generator) -> np.ndarray:
+        days = int(np.ceil(horizon_s / SECONDS_PER_DAY))
+        if days <= 0 or self.daily_rate == 0:
+            return np.zeros(0, dtype=np.float64)
+        session_rate = self.daily_rate / self.session_mean_requests
+        rates = _day_level_rates(self.shape, session_rate, days)
+        starts = _place_in_days(rates, _intraday_cdf(self.shape), rng)
+        times = expand_sessions(
+            starts, rng, self.session_mean_requests, self.session_duration_s
+        )
+        return times[times < horizon_s]
+
+    def expected_count(self, horizon_s: float) -> float:
+        days = horizon_s / SECONDS_PER_DAY
+        full = int(np.floor(days))
+        rates = _day_level_rates(self.shape, self.daily_rate, max(full, 1))
+        if full == 0:
+            return float(rates[0] * days)
+        return float(rates[:full].sum())
+
+
+@dataclass(frozen=True)
+class CronTimerProcess(ArrivalProcess):
+    """Cron-style timer firing every ``period_s`` with bounded jitter.
+
+    Timers fire regardless of weekday or holiday. A small per-firing jitter
+    models trigger-service dispatch noise; ``miss_probability`` models rare
+    skipped firings.
+    """
+
+    period_s: float
+    phase_s: float = 0.0
+    jitter_s: float = 1.0
+    miss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.jitter_s < 0:
+            raise ValueError("jitter_s must be non-negative")
+        if not 0.0 <= self.miss_probability < 1.0:
+            raise ValueError("miss_probability must be in [0, 1)")
+
+    def generate(self, horizon_s: float, rng: np.random.Generator) -> np.ndarray:
+        if horizon_s <= self.phase_s:
+            return np.zeros(0, dtype=np.float64)
+        firings = np.arange(self.phase_s, horizon_s, self.period_s, dtype=np.float64)
+        if self.miss_probability > 0 and firings.size:
+            firings = firings[rng.random(firings.size) >= self.miss_probability]
+        if self.jitter_s > 0 and firings.size:
+            firings = firings + rng.uniform(0.0, self.jitter_s, size=firings.size)
+        firings = firings[(firings >= 0.0) & (firings < horizon_s)]
+        firings.sort(kind="stable")
+        return firings
+
+    def expected_count(self, horizon_s: float) -> float:
+        n = max(np.ceil((horizon_s - self.phase_s) / self.period_s), 0.0)
+        return float(n * (1.0 - self.miss_probability))
+
+
+@dataclass(frozen=True)
+class BurstyProcess(ArrivalProcess):
+    """Two-state modulated Poisson producing large peak-to-trough ratios.
+
+    The process alternates between an *off* state at ``daily_rate`` and an
+    *on* state at ``daily_rate * burst_factor``. State dwell times are
+    geometric with the given mean lengths (in minutes). The diurnal/weekly/
+    holiday shape applies on top, so bursts ride the daily wave.
+    """
+
+    daily_rate: float
+    burst_factor: float = 50.0
+    mean_on_minutes: float = 30.0
+    mean_off_minutes: float = 360.0
+    shape: RateShape = field(default_factory=RateShape)
+    session_mean_requests: float = 1.0
+    session_duration_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.daily_rate < 0:
+            raise ValueError("daily_rate must be non-negative")
+        if self.burst_factor < 1:
+            raise ValueError("burst_factor must be >= 1")
+        if self.mean_on_minutes <= 0 or self.mean_off_minutes <= 0:
+            raise ValueError("state dwell times must be positive")
+        if self.session_mean_requests < 1.0:
+            raise ValueError("session_mean_requests must be >= 1")
+
+    def _state_runs(self, total_minutes: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean per-minute on/off state vector from alternating runs."""
+        states = np.zeros(total_minutes, dtype=bool)
+        pos = 0
+        on = rng.random() < self.mean_on_minutes / (
+            self.mean_on_minutes + self.mean_off_minutes
+        )
+        while pos < total_minutes:
+            mean = self.mean_on_minutes if on else self.mean_off_minutes
+            run = int(rng.geometric(1.0 / mean))
+            states[pos : pos + run] = on
+            pos += run
+            on = not on
+        return states
+
+    def generate(self, horizon_s: float, rng: np.random.Generator) -> np.ndarray:
+        days = int(np.ceil(horizon_s / SECONDS_PER_DAY))
+        if days <= 0 or self.daily_rate == 0:
+            return np.zeros(0, dtype=np.float64)
+        total_minutes = days * _MINUTES_PER_DAY
+        minute_centers = np.arange(total_minutes, dtype=np.float64) * 60.0 + 30.0
+        session_rate = self.daily_rate / self.session_mean_requests
+        base_per_minute = session_rate / _MINUTES_PER_DAY
+        rate = base_per_minute * self.shape.multiplier(minute_centers)
+        states = self._state_runs(total_minutes, rng)
+        rate = rate * np.where(states, self.burst_factor, 1.0)
+        counts = rng.poisson(rate)
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.float64)
+        minute_of = np.repeat(np.arange(total_minutes, dtype=np.float64), counts)
+        starts = (minute_of + rng.random(total)) * 60.0
+        starts.sort(kind="stable")
+        times = expand_sessions(
+            starts, rng, self.session_mean_requests, self.session_duration_s
+        )
+        times = times[times < horizon_s]
+        return times
+
+    def expected_count(self, horizon_s: float) -> float:
+        on_share = self.mean_on_minutes / (self.mean_on_minutes + self.mean_off_minutes)
+        effective = self.daily_rate * (1.0 + (self.burst_factor - 1.0) * on_share)
+        days = horizon_s / SECONDS_PER_DAY
+        minute_centers = np.arange(_MINUTES_PER_DAY, dtype=np.float64) * 60.0 + 30.0
+        mean_mult = float(np.mean(self.shape.diurnal.factor(minute_centers)))
+        return effective * days * mean_mult
+
+
+def make_arrival_process(spec, shape: RateShape) -> ArrivalProcess:
+    """Build the right process for a :class:`~repro.workload.function.FunctionSpec`.
+
+    Timer-driven specs ignore ``shape`` entirely (flat by construction).
+    """
+    if spec.arrival_kind == "timer":
+        # Deterministic phase derived from the function id spreads timer
+        # firings across the whole period; synchronised cron fleets would
+        # otherwise create artificial once-per-hour cold-start stampedes.
+        phase = (spec.function_id * 7919.0) % spec.timer_period_s
+        return CronTimerProcess(period_s=spec.timer_period_s, phase_s=phase)
+    if spec.arrival_kind == "bursty":
+        return BurstyProcess(
+            daily_rate=spec.daily_rate,
+            burst_factor=spec.burst_factor,
+            shape=shape,
+            session_mean_requests=spec.session_mean_requests,
+            session_duration_s=spec.session_duration_s,
+        )
+    return ModulatedPoissonProcess(
+        daily_rate=spec.daily_rate,
+        shape=shape,
+        session_mean_requests=spec.session_mean_requests,
+        session_duration_s=spec.session_duration_s,
+    )

@@ -1,0 +1,274 @@
+"""Static catalog of runtimes, trigger types, and CPU-MEM configurations.
+
+Mirrors §2.1/§3.3 of the paper:
+
+* preinstalled runtimes: C#, Go 1.x, Java, Node.js, PHP 7.3, Python 2,
+  Python 3, and "http"; any other runtime ships as a *Custom* container image
+  (no reserved pool → started from scratch, hence the paper's >10 s medians);
+* trigger types: APIG (sync or async), Timer, CTS, DIS, LTS, OBS, SMN, Kafka,
+  and Workflow (sync or async); CTS/DIS/LTS/OBS/SMN are async-only;
+* resource limits grouped into CPU-memory configurations such as ``300-128``
+  (300 millicores, 128 MB), from 300 m/128 MB up to 26 cores/32 GB.
+
+The analysis aggregates seldom-used triggers into ``other S`` / ``other A``,
+keeping TIMER-A, OBS-A, APIG-S and workflow-S distinct, exactly as §3.3 does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Runtime(str, enum.Enum):
+    """Function runtime language as logged in the function-level stream."""
+
+    CSHARP = "C#"
+    CUSTOM = "Custom"
+    GO = "Go1.x"
+    JAVA = "Java"
+    NODEJS = "Node.js"
+    PHP = "PHP7.3"
+    PYTHON2 = "Python2"
+    PYTHON3 = "Python3"
+    HTTP = "http"
+    UNKNOWN = "unknown"
+
+    @property
+    def has_reserved_pool(self) -> bool:
+        """Custom images have no reserved resource pool (paper §4.4)."""
+        return self is not Runtime.CUSTOM
+
+    @property
+    def needs_server_boot(self) -> bool:
+        """http functions must start an HTTP server during the cold start."""
+        return self is Runtime.HTTP
+
+
+#: Runtimes shown as distinct series in the paper's Region 2 figures.
+DEFAULT_RUNTIMES: tuple[Runtime, ...] = (
+    Runtime.CSHARP,
+    Runtime.CUSTOM,
+    Runtime.GO,
+    Runtime.JAVA,
+    Runtime.NODEJS,
+    Runtime.PHP,
+    Runtime.PYTHON2,
+    Runtime.PYTHON3,
+    Runtime.HTTP,
+)
+
+
+class TriggerKind(str, enum.Enum):
+    """Raw trigger service (before synchronicity is attached)."""
+
+    APIG = "APIG"
+    TIMER = "TIMER"
+    CTS = "CTS"
+    DIS = "DIS"
+    LTS = "LTS"
+    OBS = "OBS"
+    SMN = "SMN"
+    KAFKA = "KAFKA"
+    WORKFLOW = "WORKFLOW"
+    UNKNOWN = "UNKNOWN"
+
+
+#: Trigger services that can only fire asynchronously (paper §3.3).
+_ASYNC_ONLY = {
+    TriggerKind.TIMER,
+    TriggerKind.CTS,
+    TriggerKind.DIS,
+    TriggerKind.LTS,
+    TriggerKind.OBS,
+    TriggerKind.SMN,
+}
+#: Trigger services that support both synchronous and asynchronous calls.
+_DUAL = {TriggerKind.APIG, TriggerKind.WORKFLOW, TriggerKind.KAFKA}
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """A trigger binding: service kind plus synchronicity.
+
+    ``synchronous=True`` means the invoking program waits for the response.
+    """
+
+    kind: TriggerKind
+    synchronous: bool = False
+
+    def __post_init__(self) -> None:
+        if self.synchronous and self.kind in _ASYNC_ONLY:
+            raise ValueError(f"{self.kind.value} triggers are async-only")
+
+    @property
+    def label(self) -> str:
+        """Short label such as ``TIMER-A`` or ``APIG-S``."""
+        if self.kind is TriggerKind.UNKNOWN:
+            return "unknown"
+        suffix = "S" if self.synchronous else "A"
+        name = "workflow" if self.kind is TriggerKind.WORKFLOW else self.kind.value
+        return f"{name}-{suffix}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.label
+
+
+# Canonical trigger instances used throughout the library.
+TIMER_A = Trigger(TriggerKind.TIMER, synchronous=False)
+APIG_S = Trigger(TriggerKind.APIG, synchronous=True)
+APIG_A = Trigger(TriggerKind.APIG, synchronous=False)
+OBS_A = Trigger(TriggerKind.OBS, synchronous=False)
+WORKFLOW_S = Trigger(TriggerKind.WORKFLOW, synchronous=True)
+WORKFLOW_A = Trigger(TriggerKind.WORKFLOW, synchronous=False)
+CTS_A = Trigger(TriggerKind.CTS, synchronous=False)
+DIS_A = Trigger(TriggerKind.DIS, synchronous=False)
+LTS_A = Trigger(TriggerKind.LTS, synchronous=False)
+SMN_A = Trigger(TriggerKind.SMN, synchronous=False)
+KAFKA_A = Trigger(TriggerKind.KAFKA, synchronous=False)
+KAFKA_S = Trigger(TriggerKind.KAFKA, synchronous=True)
+UNKNOWN_TRIGGER = Trigger(TriggerKind.UNKNOWN, synchronous=False)
+
+#: Categories kept distinct by the paper's aggregation (§3.3); everything else
+#: folds into ``other S`` / ``other A``.
+DISTINCT_TRIGGER_LABELS = ("TIMER-A", "OBS-A", "APIG-S", "workflow-S")
+AGGREGATED_TRIGGER_LABELS = (
+    "APIG-S",
+    "OBS-A",
+    "TIMER-A",
+    "other A",
+    "other S",
+    "unknown",
+    "workflow-S",
+)
+
+
+def aggregate_trigger_label(trigger: Trigger) -> str:
+    """Fold a trigger into the paper's seven analysis categories."""
+    label = trigger.label
+    if label in DISTINCT_TRIGGER_LABELS:
+        return label
+    if trigger.kind is TriggerKind.UNKNOWN:
+        return "unknown"
+    return "other S" if trigger.synchronous else "other A"
+
+
+#: Priority used to pick the *primary* trigger of a multi-trigger function
+#: (synchronous, latency-critical bindings dominate a function's behaviour).
+_PRIMARY_PRIORITY = (
+    "APIG-S",
+    "workflow-S",
+    "other S",
+    "OBS-A",
+    "other A",
+    "TIMER-A",
+    "unknown",
+)
+
+
+def primary_trigger(triggers: tuple[Trigger, ...]) -> Trigger:
+    """Return the dominant trigger of a (possibly multi-trigger) function.
+
+    The paper colours each function by a single trigger type even though a
+    handful of functions bind several (e.g. the 13 % APIG-S + TIMER-A combo);
+    synchronous bindings take precedence because they drive load patterns.
+    """
+    if not triggers:
+        return UNKNOWN_TRIGGER
+    ranked = sorted(
+        triggers, key=lambda t: _PRIMARY_PRIORITY.index(aggregate_trigger_label(t))
+    )
+    return ranked[0]
+
+
+def combo_label(triggers: tuple[Trigger, ...]) -> str:
+    """Stable label for a trigger combination, e.g. ``APIG-S+TIMER-A``."""
+    if not triggers:
+        return "unknown"
+    return "+".join(sorted(t.label for t in triggers))
+
+
+class SizeClass(str, enum.Enum):
+    """The paper's two-way pool aggregation (§4.2, Fig. 13)."""
+
+    SMALL = "small"
+    LARGE = "large"
+
+
+#: Split point: small pods have at most 400 millicores AND 256 MB.
+SMALL_MAX_CPU_MILLICORES = 400
+SMALL_MAX_MEMORY_MB = 256
+
+
+@dataclass(frozen=True, order=True)
+class ResourceConfig:
+    """A CPU-memory configuration such as ``300-128``.
+
+    Attributes:
+        cpu_millicores: CPU limit in millicores (300 = 0.3 cores).
+        memory_mb: memory limit in MB.
+    """
+
+    cpu_millicores: int
+    memory_mb: int
+
+    def __post_init__(self) -> None:
+        if self.cpu_millicores <= 0 or self.memory_mb <= 0:
+            raise ValueError("resource config values must be positive")
+
+    @property
+    def name(self) -> str:
+        """Paper-style name, e.g. ``"300-128"``."""
+        return f"{self.cpu_millicores}-{self.memory_mb}"
+
+    @property
+    def size_class(self) -> SizeClass:
+        if (
+            self.cpu_millicores <= SMALL_MAX_CPU_MILLICORES
+            and self.memory_mb <= SMALL_MAX_MEMORY_MB
+        ):
+            return SizeClass.SMALL
+        return SizeClass.LARGE
+
+    @property
+    def cores(self) -> float:
+        return self.cpu_millicores / 1000.0
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.memory_mb * 1024 * 1024
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.name
+
+
+def parse_config(name: str) -> ResourceConfig:
+    """Parse ``"300-128"`` into a :class:`ResourceConfig`."""
+    try:
+        cpu_text, mem_text = name.split("-")
+        return ResourceConfig(int(cpu_text), int(mem_text))
+    except (ValueError, AttributeError) as exc:
+        raise ValueError(f"malformed CPU-MEM config name: {name!r}") from exc
+
+
+#: Full pool catalog, 300 m/128 MB up to 26 cores/32 GB (paper §4.2).
+CONFIG_CATALOG: tuple[ResourceConfig, ...] = (
+    ResourceConfig(300, 128),
+    ResourceConfig(400, 256),
+    ResourceConfig(600, 512),
+    ResourceConfig(1000, 1024),
+    ResourceConfig(2000, 2048),
+    ResourceConfig(4000, 4096),
+    ResourceConfig(8000, 8192),
+    ResourceConfig(16000, 16384),
+    ResourceConfig(26000, 32768),
+)
+
+#: The four configurations the paper shows individually (Fig. 8c/f);
+#: everything else is grouped as ``other``.
+MAIN_CONFIGS: tuple[ResourceConfig, ...] = CONFIG_CATALOG[:4]
+
+
+def config_group(config: ResourceConfig) -> str:
+    """Figure 8's grouping: one of the four main configs, or ``"other"``."""
+    return config.name if config in MAIN_CONFIGS else "other"

@@ -1,0 +1,223 @@
+"""Time-varying rate shapes: diurnal peaks, weekly rhythm, holiday effects.
+
+The paper observes (§3.2, §3.3):
+
+* clear daily periodicity in every region, with the main peak at a
+  *different local hour per region* (Fig. 5 — the basis for spatial
+  peak shaving);
+* ~30 % more pods on weekdays than weekends;
+* a week-long holiday: most regions dip during it, with a pre-holiday rush
+  on the last working day (day 13) and a post-holiday catch-up starting
+  around day 23–24; Region 3 instead *rises* at the start of the holiday;
+* timer-triggered workloads are almost flat — unaffected by weekends or
+  the holiday.
+
+A :class:`RateShape` composes these three multiplicative factors and is
+evaluated vectorised over absolute trace time in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_HOUR = 3_600.0
+
+#: Weekday index of trace day 0. With day 0 = Tuesday (index 1), day 13 is a
+#: Monday (the paper's "last working day before the holiday") and days 23/24
+#: are Thursday/Friday (the post-holiday working days).
+TRACE_DAY0_WEEKDAY = 1
+
+#: Holiday span used throughout the library (inclusive day indices).
+HOLIDAY_FIRST_DAY = 14
+HOLIDAY_LAST_DAY = 22
+PRE_HOLIDAY_RUSH_DAY = 13
+POST_HOLIDAY_REBOUND_DAY = 23
+
+
+def day_index(t_s: np.ndarray) -> np.ndarray:
+    """Trace day index (0-based) for absolute times in seconds."""
+    return (np.asarray(t_s, dtype=np.float64) // SECONDS_PER_DAY).astype(np.int64)
+
+
+def hour_of_day(t_s: np.ndarray) -> np.ndarray:
+    """Float hour-of-day in [0, 24) for absolute times in seconds."""
+    return (np.asarray(t_s, dtype=np.float64) % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+
+
+def weekday_of(day_idx: np.ndarray, day0_weekday: int = TRACE_DAY0_WEEKDAY) -> np.ndarray:
+    """Weekday index (0=Monday .. 6=Sunday) of each trace day."""
+    return (np.asarray(day_idx, dtype=np.int64) + day0_weekday) % 7
+
+
+def _circular_gauss(hours: np.ndarray, center: float, width: float) -> np.ndarray:
+    """Gaussian bump on the 24 h circle, peak value 1 at ``center``."""
+    delta = np.abs(hours - center)
+    delta = np.minimum(delta, 24.0 - delta)
+    return np.exp(-0.5 * (delta / width) ** 2)
+
+
+@dataclass(frozen=True)
+class DiurnalShape:
+    """Daily rate profile: baseline plus one or two Gaussian peaks.
+
+    ``amplitude`` is relative to the baseline of 1; an amplitude of 2 means
+    the peak rate is 3x the overnight trough, giving peak-to-trough ratios
+    in the range the paper reports for diurnal functions.
+    """
+
+    peak_hour: float = 14.0
+    amplitude: float = 1.5
+    width_hours: float = 3.0
+    secondary_peak_hour: float | None = None
+    secondary_amplitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.peak_hour < 24.0:
+            raise ValueError("peak_hour must be in [0, 24)")
+        if self.amplitude < 0 or self.secondary_amplitude < 0:
+            raise ValueError("amplitudes must be non-negative")
+        if self.width_hours <= 0:
+            raise ValueError("width_hours must be positive")
+
+    def factor(self, t_s: np.ndarray) -> np.ndarray:
+        """Multiplier per timestamp; trough level 1, peak 1 + amplitude."""
+        hours = hour_of_day(t_s)
+        out = 1.0 + self.amplitude * _circular_gauss(hours, self.peak_hour, self.width_hours)
+        if self.secondary_peak_hour is not None and self.secondary_amplitude > 0:
+            out = out + self.secondary_amplitude * _circular_gauss(
+                hours, self.secondary_peak_hour, self.width_hours
+            )
+        return out
+
+    @staticmethod
+    def flat() -> "DiurnalShape":
+        """A shape with no daily oscillation (timer-like workloads)."""
+        return DiurnalShape(peak_hour=0.0, amplitude=0.0, width_hours=1.0)
+
+
+@dataclass(frozen=True)
+class WeeklyShape:
+    """Weekday/weekend modulation.
+
+    The default weekend factor of 0.77 reproduces the paper's "approximately
+    30 % more pods allocated during weekdays compared to weekends".
+    """
+
+    weekend_factor: float = 0.77
+    day0_weekday: int = TRACE_DAY0_WEEKDAY
+
+    def __post_init__(self) -> None:
+        if self.weekend_factor <= 0:
+            raise ValueError("weekend_factor must be positive")
+        if not 0 <= self.day0_weekday <= 6:
+            raise ValueError("day0_weekday must be 0..6")
+
+    def factor(self, t_s: np.ndarray) -> np.ndarray:
+        weekdays = weekday_of(day_index(t_s), self.day0_weekday)
+        return np.where(weekdays >= 5, self.weekend_factor, 1.0)
+
+    def is_weekend(self, day_idx: np.ndarray) -> np.ndarray:
+        return weekday_of(day_idx, self.day0_weekday) >= 5
+
+    @staticmethod
+    def flat() -> "WeeklyShape":
+        return WeeklyShape(weekend_factor=1.0)
+
+
+@dataclass(frozen=True)
+class HolidayCalendar:
+    """Holiday effect: pre-rush, dip (or surge), and catch-up rebound.
+
+    ``pattern="dip"`` reproduces Regions 1/2/4/5 (peak on the last working
+    day, reduced load during the holiday, rebound peak afterwards);
+    ``pattern="surge"`` reproduces Region 3 (load *increases* at the start
+    of the holiday then falls off towards its end).
+    """
+
+    first_day: int = HOLIDAY_FIRST_DAY
+    last_day: int = HOLIDAY_LAST_DAY
+    pattern: str = "dip"
+    holiday_factor: float = 0.65
+    pre_rush_factor: float = 1.12
+    rebound_factor: float = 1.18
+    rebound_days: int = 2
+
+    def __post_init__(self) -> None:
+        if self.first_day > self.last_day:
+            raise ValueError("first_day must not exceed last_day")
+        if self.pattern not in ("dip", "surge"):
+            raise ValueError("pattern must be 'dip' or 'surge'")
+        if min(self.holiday_factor, self.pre_rush_factor, self.rebound_factor) <= 0:
+            raise ValueError("factors must be positive")
+
+    def day_factor(self, day_idx: np.ndarray) -> np.ndarray:
+        """Per-day multiplier implementing the holiday phases."""
+        day_idx = np.asarray(day_idx, dtype=np.int64)
+        out = np.ones(day_idx.shape, dtype=np.float64)
+        out[day_idx == self.first_day - 1] = self.pre_rush_factor
+        in_holiday = (day_idx >= self.first_day) & (day_idx <= self.last_day)
+        if self.pattern == "dip":
+            out[in_holiday] = self.holiday_factor
+        else:
+            # Surge: ramp up in the first half of the holiday, decay below
+            # baseline by its end (Region 3's shape in Fig. 7).
+            span = max(self.last_day - self.first_day, 1)
+            progress = (day_idx[in_holiday] - self.first_day) / span
+            surge_peak = 1.0 + (self.rebound_factor - 1.0) * 2.0
+            out[in_holiday] = surge_peak - (surge_peak - self.holiday_factor) * progress
+        rebound_start = self.last_day + 1
+        for offset in range(self.rebound_days):
+            decay = self.rebound_factor - offset * (self.rebound_factor - 1.0) / max(
+                self.rebound_days, 1
+            )
+            out[day_idx == rebound_start + offset] = decay
+        return out
+
+    def factor(self, t_s: np.ndarray) -> np.ndarray:
+        return self.day_factor(day_index(t_s))
+
+    def is_holiday(self, day_idx: np.ndarray) -> np.ndarray:
+        day_idx = np.asarray(day_idx, dtype=np.int64)
+        return (day_idx >= self.first_day) & (day_idx <= self.last_day)
+
+    @staticmethod
+    def none() -> "HolidayCalendar":
+        """Calendar with no holiday effect (factors all 1)."""
+        return HolidayCalendar(
+            holiday_factor=1.0, pre_rush_factor=1.0, rebound_factor=1.0, rebound_days=0
+        )
+
+
+@dataclass(frozen=True)
+class RateShape:
+    """Composite multiplicative rate modulation: diurnal x weekly x holiday."""
+
+    diurnal: DiurnalShape = field(default_factory=DiurnalShape)
+    weekly: WeeklyShape = field(default_factory=WeeklyShape)
+    holiday: HolidayCalendar = field(default_factory=HolidayCalendar)
+
+    def multiplier(self, t_s: np.ndarray) -> np.ndarray:
+        """Combined multiplier at absolute times ``t_s`` (seconds)."""
+        t_s = np.asarray(t_s, dtype=np.float64)
+        return (
+            self.diurnal.factor(t_s)
+            * self.weekly.factor(t_s)
+            * self.holiday.factor(t_s)
+        )
+
+    def minute_multipliers(self, days: int) -> np.ndarray:
+        """Multiplier for every minute of a ``days``-long horizon."""
+        minutes = np.arange(days * 1440, dtype=np.float64)
+        return self.multiplier(minutes * 60.0 + 30.0)
+
+    @staticmethod
+    def flat() -> "RateShape":
+        """No modulation at all — used for timer-driven workloads."""
+        return RateShape(
+            diurnal=DiurnalShape.flat(),
+            weekly=WeeklyShape.flat(),
+            holiday=HolidayCalendar.none(),
+        )

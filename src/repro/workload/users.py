@@ -1,0 +1,106 @@
+"""User population model.
+
+Figure 4 of the paper: 60–90 % of users own a single function (depending on
+the region), nearly all own fewer than 20, and a tiny minority own hundreds
+to ~1000. Request mass is more concentrated in fewer users in the smaller
+regions. We model the functions-per-user distribution as a mixture of a
+point mass at one function and a truncated discrete Pareto tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UserPopulation:
+    """Parameters of the functions-per-user distribution.
+
+    Attributes:
+        single_function_share: probability a user owns exactly one function
+            (0.6–0.9 in the paper, varying by region).
+        tail_alpha: Pareto tail index for multi-function users; smaller
+            values give heavier tails (more giant users).
+        max_functions: hard cap on functions per user (~1000 in Fig. 4a).
+    """
+
+    single_function_share: float = 0.75
+    tail_alpha: float = 1.6
+    max_functions: int = 1000
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.single_function_share < 1.0:
+            raise ValueError("single_function_share must be in (0, 1)")
+        if self.tail_alpha <= 0:
+            raise ValueError("tail_alpha must be positive")
+        if self.max_functions < 2:
+            raise ValueError("max_functions must be at least 2")
+
+    def sample_functions_per_user(
+        self, n_users: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw a functions-owned count for each of ``n_users`` users."""
+        if n_users <= 0:
+            return np.zeros(0, dtype=np.int64)
+        counts = np.ones(n_users, dtype=np.int64)
+        multi = rng.random(n_users) >= self.single_function_share
+        n_multi = int(multi.sum())
+        if n_multi:
+            # Discrete Pareto on {2, 3, ...} truncated at max_functions.
+            raw = 1.0 + rng.pareto(self.tail_alpha, size=n_multi)
+            counts[multi] = np.clip(
+                np.floor(raw + 1.0).astype(np.int64), 2, self.max_functions
+            )
+        return counts
+
+
+def assign_users(
+    n_functions: int,
+    population: UserPopulation,
+    rng: np.random.Generator,
+    first_user_id: int = 0,
+) -> np.ndarray:
+    """Assign an owner user_id to each of ``n_functions`` functions.
+
+    Draws users one batch at a time until the owned-function counts cover
+    ``n_functions``; the final user's count is truncated to fit exactly, so
+    the returned array always has length ``n_functions``.
+    """
+    if n_functions < 0:
+        raise ValueError("n_functions must be non-negative")
+    if n_functions == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    owners: list[np.ndarray] = []
+    assigned = 0
+    next_user = first_user_id
+    # Expected functions/user is a small constant, so one or two batches
+    # of roughly the right size almost always suffice.
+    while assigned < n_functions:
+        remaining = n_functions - assigned
+        batch_users = max(int(remaining * (population.single_function_share + 0.1)), 16)
+        counts = population.sample_functions_per_user(batch_users, rng)
+        for count in counts:
+            take = int(min(count, n_functions - assigned))
+            if take <= 0:
+                break
+            owners.append(np.full(take, next_user, dtype=np.int64))
+            next_user += 1
+            assigned += take
+            if assigned >= n_functions:
+                break
+    owner_ids = np.concatenate(owners)
+    # Shuffle so a user's functions are not all contiguous in id space
+    # (function ids are assigned sequentially by the generator).
+    rng.shuffle(owner_ids)
+    return owner_ids
+
+
+def functions_per_user(owner_ids: np.ndarray) -> np.ndarray:
+    """Inverse summary: counts of functions owned per distinct user."""
+    if owner_ids.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    _, counts = np.unique(owner_ids, return_counts=True)
+    return counts

@@ -1,0 +1,47 @@
+"""Shared fixtures: small, session-scoped synthetic traces.
+
+Generation is deterministic (fixed seeds), so every test sees identical
+data; session scope keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mitigation.evaluator import build_workload
+from repro.workload.generator import WorkloadGenerator, generate_multi_region, generate_region
+from repro.workload.regions import region_profile
+
+
+@pytest.fixture(scope="session")
+def r2_bundle():
+    """A 3-day Region-2 trace at reduced scale (rich composition)."""
+    return generate_region("R2", seed=1234, days=3, scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def r1_bundle():
+    """A 2-day Region-1 trace (dep/sched-dominated regime)."""
+    return generate_region("R1", seed=1234, days=2, scale=0.3)
+
+
+@pytest.fixture(scope="session")
+def multi_bundles():
+    """All five regions, 2 days, small scale — for cross-region figures."""
+    return generate_multi_region(
+        ("R1", "R2", "R3", "R4", "R5"), seed=99, days=2, scale=0.15
+    )
+
+
+@pytest.fixture(scope="session")
+def r2_traces():
+    """Function traces (spec + arrivals + lifecycle) for policy replays."""
+    profile, traces = build_workload("R2", seed=7, days=2, scale=0.12)
+    return profile, traces
+
+
+@pytest.fixture(scope="session")
+def r2_population():
+    """A sampled Region-2 function population (no arrivals)."""
+    generator = WorkloadGenerator(region_profile("R2").scaled(0.5), seed=42, days=1)
+    return generator.population()

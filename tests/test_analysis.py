@@ -1,0 +1,179 @@
+"""Analysis toolkit: CDFs, time series, peaks, report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import Cdf, empirical_cdf, evaluate_cdf, log_grid, quantiles
+from repro.analysis.peaks import (
+    daily_peak_minutes,
+    detect_peaks,
+    peak_to_trough_ratio,
+)
+from repro.analysis.report import ascii_cdf, format_cdf_rows, format_table
+from repro.analysis.timeseries import (
+    bin_counts,
+    bin_means,
+    bin_sums,
+    moving_average,
+    normalize_max,
+    presence_counts,
+)
+
+
+class TestCdf:
+    def test_empirical_properties(self):
+        cdf = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        assert cdf.n == 3
+        assert cdf.probabilities[-1] == 1.0
+        assert cdf.median == 2.0
+
+    def test_quantile_interpolation_free(self):
+        cdf = empirical_cdf(np.arange(1, 101, dtype=float))
+        assert cdf.quantile(0.25) == 25.0
+        assert cdf.quantile(1.0) == 100.0
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_at(self):
+        cdf = empirical_cdf(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(2.0) == 0.5
+        assert cdf.at(10.0) == 1.0
+
+    def test_nan_dropped(self):
+        cdf = empirical_cdf(np.array([1.0, np.nan, 3.0]))
+        assert cdf.n == 2
+
+    def test_empty(self):
+        cdf = empirical_cdf(np.zeros(0))
+        assert cdf.n == 0
+        assert np.isnan(cdf.quantile(0.5))
+
+    def test_sample_points(self):
+        cdf = empirical_cdf(np.logspace(0, 3, 100))
+        points = cdf.sample_points(10)
+        probs = [p for _, p in points]
+        assert probs == sorted(probs)
+
+    def test_evaluate_cdf_grid(self):
+        values = np.arange(1, 11, dtype=float)
+        grid = np.array([0.0, 5.0, 20.0])
+        assert evaluate_cdf(values, grid).tolist() == [0.0, 0.5, 1.0]
+
+    def test_log_grid(self):
+        grid = log_grid(0.1, 100.0, 4)
+        assert grid[0] == pytest.approx(0.1)
+        assert grid[-1] == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            log_grid(0.0, 1.0)
+
+    def test_quantiles_helper(self):
+        result = quantiles(np.arange(1, 101, dtype=float), (0.5,))
+        assert result[0.5] == pytest.approx(50.5)
+
+
+class TestTimeseries:
+    def test_bin_counts(self):
+        counts = bin_counts(np.array([0.0, 30.0, 61.0]), 60.0, 180.0)
+        assert counts.tolist() == [2.0, 1.0, 0.0]
+
+    def test_bin_counts_infer_horizon(self):
+        counts = bin_counts(np.array([10.0, 130.0]), 60.0)
+        assert counts.size == 4  # ceil((130+60)/60)
+
+    def test_bin_sums_and_means(self):
+        times = np.array([0.0, 30.0, 61.0])
+        values = np.array([1.0, 3.0, 5.0])
+        assert bin_sums(times, values, 60.0, 120.0).tolist() == [4.0, 5.0]
+        means = bin_means(times, values, 60.0, 180.0)
+        assert means[0] == pytest.approx(2.0)
+        assert np.isnan(means[2])
+
+    def test_bin_validation(self):
+        with pytest.raises(ValueError):
+            bin_counts(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            bin_sums(np.array([1.0]), np.array([1.0, 2.0]), 60.0)
+
+    def test_moving_average_constant(self):
+        series = np.full(10, 4.0)
+        assert np.allclose(moving_average(series, 3), 4.0)
+
+    def test_moving_average_handles_nan(self):
+        series = np.array([1.0, np.nan, 3.0])
+        smoothed = moving_average(series, 3)
+        assert smoothed[1] == pytest.approx(2.0)
+
+    def test_normalize_max(self):
+        assert normalize_max(np.array([1.0, 2.0, 4.0])).max() == 1.0
+        assert normalize_max(np.zeros(3)).tolist() == [0.0, 0.0, 0.0]
+
+    def test_presence_counts(self):
+        starts = np.array([0.0, 30.0])
+        ends = np.array([90.0, 150.0])
+        counts = presence_counts(starts, ends, 60.0, 240.0)
+        assert counts.tolist() == [2.0, 2.0, 1.0, 0.0]
+
+    def test_presence_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            presence_counts(np.array([10.0]), np.array([5.0]), 60.0, 120.0)
+
+
+class TestPeaks:
+    def test_detect_peaks_sine(self):
+        minutes = np.arange(2 * 1440)
+        series = 10 + 5 * np.sin(2 * np.pi * minutes / 1440)
+        peaks = detect_peaks(series, smooth_window=30)
+        assert peaks.size >= 1
+
+    def test_daily_peak_minutes_location(self):
+        minutes = np.arange(3 * 1440)
+        # Peak at minute 720 (noon) every day.
+        series = np.exp(-0.5 * ((minutes % 1440 - 720) / 60.0) ** 2)
+        peaks = daily_peak_minutes(series, smooth_window=10)
+        assert peaks.shape == (3,)
+        assert np.abs(peaks - 720).max() < 30
+
+    def test_ptt_low_rate_is_one(self):
+        sparse = np.zeros(1440)
+        sparse[100] = 3.0
+        assert peak_to_trough_ratio(sparse) == 1.0
+
+    def test_ptt_constant_high_rate_near_one(self):
+        constant = np.full(1440 * 2, 2.0)  # 2 req/min constant
+        assert peak_to_trough_ratio(constant) == pytest.approx(1.0, abs=0.05)
+
+    def test_ptt_bursty_large(self):
+        series = np.ones(1440 * 2)
+        series[700:760] = 300.0
+        series[700 + 1440 : 760 + 1440] = 300.0
+        assert peak_to_trough_ratio(series, smooth_window=30) > 20
+
+    def test_ptt_empty(self):
+        assert peak_to_trough_ratio(np.zeros(0)) == 1.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 222, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty)"
+
+    def test_ascii_cdf_renders(self):
+        cdf = empirical_cdf(np.logspace(0, 2, 200))
+        art = ascii_cdf(cdf, width=40, height=6)
+        assert "#" in art
+        assert len(art.splitlines()) == 8
+
+    def test_ascii_cdf_empty(self):
+        assert ascii_cdf(empirical_cdf(np.zeros(0))) == "(no data)"
+
+    def test_format_cdf_rows(self):
+        rows = format_cdf_rows({"x": empirical_cdf(np.arange(1.0, 101.0))})
+        assert rows[0]["series"] == "x"
+        assert rows[0]["p50"] == 50.0

@@ -1,0 +1,107 @@
+"""Tests for the ``repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+#: Small, fast dataset arguments shared by the CLI tests.
+_FAST = ["--regions", "R3", "--days", "2", "--scale", "0.15", "--seed", "5"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("generate", "analyze", "figures", "fit", "validate", "calibrate"):
+            args = parser.parse_args(
+                [command, "--regions", "R1"]
+                + (["--output", "x"] if command == "generate" else [])
+            )
+            assert args.command == command
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestCommands:
+    def test_generate_then_load_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "traces"
+        rc = main(["generate", *_FAST, "--output", str(out)])
+        assert rc == 0
+        assert (out / "R3" / "meta.json").exists()
+        captured = capsys.readouterr()
+        assert "R3" in captured.out
+
+        rc = main(["validate", "--load", str(out)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "OK" in captured.out
+
+    def test_generate_anonymized(self, tmp_path):
+        out = tmp_path / "anon"
+        rc = main(["generate", *_FAST, "--anonymize", "--output", str(out)])
+        assert rc == 0
+        meta = (out / "R3" / "meta.json").read_text()
+        assert '"anonymised": true' in meta
+
+    def test_figures_to_directory(self, tmp_path):
+        out = tmp_path / "figs"
+        rc = main(
+            ["figures", *_FAST, "-f", "fig01", "-f", "fig10", "--output", str(out)]
+        )
+        assert rc == 0
+        assert (out / "fig01.txt").exists()
+        assert (out / "fig10.txt").exists()
+
+    def test_figures_unknown_id(self):
+        with pytest.raises(SystemExit):
+            main(["figures", *_FAST, "-f", "fig99"])
+
+    def test_fit_prints_both_distributions(self, capsys):
+        rc = main(["fit", *_FAST])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "LogNormal" in captured.out
+        assert "Weibull" in captured.out
+
+    def test_validate_fresh_generation(self, capsys):
+        rc = main(["validate", *_FAST])
+        assert rc == 0
+
+    def test_calibrate_reports_targets(self, capsys):
+        # Tiny single-region dataset: some shape targets will fail, but the
+        # command must run and print one row per target.
+        main(["calibrate", *_FAST])
+        captured = capsys.readouterr()
+        assert "shape targets hold" in captured.out
+
+    def test_analyze_prints_findings(self, capsys):
+        main(["analyze", *_FAST])
+        captured = capsys.readouterr()
+        assert "findings" in captured.out
+        # R3 has almost no Custom functions, but the timer/keep-alive
+        # mismatch holds in every region.
+        assert "timer_keepalive_mismatch" in captured.out
+
+    def test_load_missing_directory_fails(self, tmp_path):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["analyze", "--load", str(empty)])
+
+    def test_mitigate_runs_selected_policies(self, capsys):
+        rc = main(["mitigate", *_FAST, "-p", "baseline", "-p", "dynamic-keepalive"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "baseline" in captured.out
+        assert "dynamic-keepalive" in captured.out
+
+    def test_mitigate_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["mitigate", *_FAST, "-p", "teleportation"])

@@ -1,0 +1,320 @@
+"""Platform substrate: pods, pools, nodes, clusters, LB, autoscaler, platform."""
+
+import pytest
+
+from repro.cluster.autoscaler import Autoscaler, FixedKeepAlive
+from repro.cluster.cluster import Cluster
+from repro.cluster.loadbalancer import LoadBalancer
+from repro.cluster.node import CapacityError, Node
+from repro.cluster.platform import Platform
+from repro.cluster.pod import Pod, PodState, PodStateError
+from repro.cluster.pool import PoolSet, ResourcePool, SearchOutcome
+from repro.cluster.region import Region
+from repro.sim.rng import RngFactory
+from repro.workload.catalog import (
+    APIG_S,
+    CONFIG_CATALOG,
+    ResourceConfig,
+    Runtime,
+)
+from repro.workload.function import FunctionSpec
+from repro.workload.regions import region_profile
+
+SMALL = ResourceConfig(300, 128)
+LARGE = ResourceConfig(1000, 1024)
+
+
+def make_spec(function_id=1, runtime=Runtime.PYTHON3, config=SMALL, concurrency=1):
+    return FunctionSpec(
+        function_id=function_id,
+        user_id=1,
+        runtime=runtime,
+        triggers=(APIG_S,),
+        config=config,
+        mean_exec_s=0.05,
+        cpu_millicores=100.0,
+        memory_mb=64.0,
+        concurrency=concurrency,
+    )
+
+
+class TestPodStateMachine:
+    def _ready_pod(self) -> Pod:
+        pod = Pod(pod_id=1, config=SMALL)
+        pod.begin_init(function_id=7, runtime=Runtime.PYTHON3, now=0.0)
+        pod.finish_init(now=1.0, cold_start_s=1.0)
+        return pod
+
+    def test_happy_path(self):
+        pod = self._ready_pod()
+        assert pod.state is PodState.IDLE
+        pod.begin_request(2.0)
+        assert pod.state is PodState.BUSY
+        pod.end_request(2.5)
+        assert pod.state is PodState.IDLE
+        assert pod.requests_served == 1
+
+    def test_concurrency_limit(self):
+        pod = self._ready_pod()
+        pod.concurrency = 2
+        pod.begin_request(2.0)
+        pod.begin_request(2.1)
+        assert not pod.can_accept
+        with pytest.raises(PodStateError):
+            pod.begin_request(2.2)
+
+    def test_finish_init_requires_initializing(self):
+        pod = Pod(pod_id=1, config=SMALL)
+        with pytest.raises(PodStateError):
+            pod.finish_init(1.0, 1.0)
+
+    def test_end_without_begin_rejected(self):
+        pod = self._ready_pod()
+        with pytest.raises(PodStateError):
+            pod.end_request(3.0)
+
+    def test_expiry_rules(self):
+        pod = self._ready_pod()
+        pod.begin_request(2.0)
+        assert not pod.should_expire(1000.0, 60.0)  # busy pods never expire
+        pod.end_request(3.0)
+        assert not pod.should_expire(62.9, 60.0)
+        assert pod.should_expire(63.0, 60.0)
+
+    def test_utility_ratio(self):
+        pod = self._ready_pod()
+        pod.begin_request(2.0)
+        pod.end_request(5.0)
+        assert pod.useful_lifetime_s() == pytest.approx(4.0)
+        assert pod.utility_ratio() == pytest.approx(4.0)
+
+    def test_deleted_is_terminal(self):
+        pod = self._ready_pod()
+        pod.delete()
+        with pytest.raises(PodStateError):
+            pod.begin_request(1.0)
+
+
+class TestResourcePool:
+    def test_take_until_empty(self):
+        pool = ResourcePool(SMALL, free=2, target=2)
+        assert pool.try_take()
+        assert pool.try_take()
+        assert not pool.try_take()
+        assert pool.stats.local_hits == 2
+
+    def test_give_back_and_refill(self):
+        pool = ResourcePool(SMALL, free=0, target=3)
+        assert pool.deficit == 3
+        added = pool.refill_to_target()
+        assert added == 3
+        assert pool.free == 3
+        pool.give_back(2)
+        assert pool.free == 5
+
+    def test_hit_rate(self):
+        pool = ResourcePool(SMALL, free=1)
+        pool.try_take()
+        pool.take_scratch()
+        assert pool.stats.hit_rate() == pytest.approx(0.5)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ResourcePool(SMALL, free=-1)
+
+
+class TestPoolSet:
+    def test_stage1_hit(self):
+        pools = PoolSet((SMALL, LARGE), initial_free=1)
+        assert pools.checkout(SMALL) is SearchOutcome.LOCAL_HIT
+
+    def test_stage2_expands_to_bigger_sibling(self):
+        pools = PoolSet((SMALL, LARGE), initial_free=1)
+        pools.checkout(SMALL)  # drain the small pool
+        outcome = pools.checkout(SMALL)
+        assert outcome is SearchOutcome.EXPANDED
+        assert pools.pool(LARGE).free == 0
+
+    def test_stage2_never_shrinks_config(self):
+        # A LARGE request cannot be satisfied from the SMALL pool.
+        pools = PoolSet((SMALL, LARGE), initial_free=1)
+        pools.checkout(LARGE)
+        outcome = pools.checkout(LARGE)
+        assert outcome is SearchOutcome.FROM_SCRATCH
+        assert pools.pool(SMALL).free == 1
+
+    def test_custom_images_skip_pool(self):
+        pools = PoolSet((SMALL,), initial_free=5)
+        outcome = pools.checkout(SMALL, pooled=False)
+        assert outcome is SearchOutcome.FROM_SCRATCH
+        assert pools.pool(SMALL).free == 5
+
+    def test_unknown_config_rejected(self):
+        pools = PoolSet((SMALL,))
+        with pytest.raises(KeyError):
+            pools.pool(LARGE)
+
+
+class TestNode:
+    def test_allocate_release(self):
+        node = Node(node_id=1, cpu_millicores=1000, memory_mb=1024)
+        assert node.allocate(1, SMALL)
+        assert node.cpu_used == 300
+        node.release(1, SMALL)
+        assert node.cpu_used == 0
+
+    def test_capacity_exhaustion(self):
+        node = Node(node_id=1, cpu_millicores=500, memory_mb=512)
+        assert node.allocate(1, SMALL)
+        assert not node.allocate(2, SMALL)  # 600 > 500 millicores
+
+    def test_release_unknown_pod_rejected(self):
+        node = Node(node_id=1)
+        with pytest.raises(CapacityError):
+            node.release(42, SMALL)
+
+    def test_utilization(self):
+        node = Node(node_id=1, cpu_millicores=600, memory_mb=256)
+        node.allocate(1, SMALL)
+        assert node.cpu_utilization == pytest.approx(0.5)
+        assert node.memory_utilization == pytest.approx(0.5)
+
+
+class TestCluster:
+    def _cluster(self) -> Cluster:
+        return Cluster("c0", n_nodes=2, configs=CONFIG_CATALOG, initial_pool_free=4)
+
+    def test_cold_then_warm(self):
+        cluster = self._cluster()
+        pod, outcome = cluster.start_cold(1, Runtime.PYTHON3, SMALL, 1, now=0.0)
+        assert outcome is SearchOutcome.LOCAL_HIT
+        cluster.finish_cold(pod, now=0.5, cold_start_s=0.5)
+        assert cluster.find_warm_pod(1) is pod
+        assert cluster.stats.cold_starts == 1
+
+    def test_warm_pod_respects_concurrency(self):
+        cluster = self._cluster()
+        pod, _ = cluster.start_cold(1, Runtime.PYTHON3, SMALL, 1, now=0.0)
+        cluster.finish_cold(pod, 0.5, 0.5)
+        pod.begin_request(1.0)
+        assert cluster.find_warm_pod(1) is None
+
+    def test_expiry_returns_pod_to_pool(self):
+        cluster = self._cluster()
+        free_before = cluster.pools.pool(SMALL).free
+        pod, _ = cluster.start_cold(1, Runtime.PYTHON3, SMALL, 1, now=0.0)
+        cluster.finish_cold(pod, 0.5, 0.5)
+        expired = cluster.expire_idle(now=100.0, keepalive_s=60.0)
+        assert expired == 1
+        assert cluster.warm_pod_count() == 0
+        assert cluster.pools.pool(SMALL).free == free_before
+
+    def test_busy_pods_not_expired(self):
+        cluster = self._cluster()
+        pod, _ = cluster.start_cold(1, Runtime.PYTHON3, SMALL, 1, now=0.0)
+        cluster.finish_cold(pod, 0.5, 0.5)
+        pod.begin_request(1.0)
+        assert cluster.expire_idle(now=1000.0, keepalive_s=60.0) == 0
+
+
+class TestLoadBalancer:
+    def _region(self):
+        clusters = [Cluster(f"c{i}", n_nodes=1) for i in range(4)]
+        return clusters, LoadBalancer(clusters)
+
+    def test_home_cluster_stable(self):
+        _, balancer = self._region()
+        assert balancer.home_cluster(42) is balancer.home_cluster(42)
+
+    def test_hotspot_spill(self):
+        clusters, balancer = self._region()
+        home = balancer.home_cluster(42)
+        home.in_flight = 100
+        for cluster in clusters:
+            if cluster is not home:
+                cluster.in_flight = 1
+        routed = balancer.route(42)
+        assert routed is not home
+        assert balancer.spills == 1
+
+    def test_single_cluster_functions_never_spill(self):
+        clusters, balancer = self._region()
+        home = balancer.home_cluster(42)
+        home.in_flight = 100
+        assert balancer.route(42, single_cluster=True) is home
+
+    def test_inflight_accounting(self):
+        clusters, balancer = self._region()
+        balancer.on_dispatch(clusters[0])
+        assert clusters[0].in_flight == 1
+        balancer.on_complete(clusters[0])
+        assert clusters[0].in_flight == 0
+        with pytest.raises(RuntimeError):
+            balancer.on_complete(clusters[0])
+
+
+class TestAutoscaler:
+    def test_cold_start_when_no_pod(self):
+        cluster = Cluster("c0", n_nodes=1)
+        scaler = Autoscaler()
+        decision = scaler.decide(cluster, make_spec())
+        assert decision.cold_start
+        assert decision.reason == "no warm pod"
+
+    def test_warm_hit(self):
+        cluster = Cluster("c0", n_nodes=1)
+        pod, _ = cluster.start_cold(1, Runtime.PYTHON3, SMALL, 1, now=0.0)
+        cluster.finish_cold(pod, 0.5, 0.5)
+        decision = Autoscaler().decide(cluster, make_spec())
+        assert not decision.cold_start
+
+    def test_saturated_pods_trigger_scale_out(self):
+        cluster = Cluster("c0", n_nodes=1)
+        pod, _ = cluster.start_cold(1, Runtime.PYTHON3, SMALL, 1, now=0.0)
+        cluster.finish_cold(pod, 0.5, 0.5)
+        pod.begin_request(1.0)
+        decision = Autoscaler().decide(cluster, make_spec())
+        assert decision.cold_start
+        assert "saturated" in decision.reason
+
+    def test_fixed_keepalive(self):
+        policy = FixedKeepAlive(60.0)
+        assert policy.keepalive_for(make_spec(), 0.0) == 60.0
+        assert "60" in policy.describe()
+
+
+class TestRegionAndPlatform:
+    def test_region_structure(self):
+        region = Region(region_profile("R2"), RngFactory(0))
+        assert len(region.clusters) == region_profile("R2").clusters
+        assert region.warm_pod_count() == 0
+
+    def test_region_congestion_signal(self):
+        region = Region(region_profile("R2"), RngFactory(0))
+        assert region.congestion(0.0) == 0.0
+        for t in range(10):
+            region.note_cold_start(float(t))
+        assert region.congestion(10.0) >= 0.0
+
+    def test_platform_defaults_all_regions(self):
+        platform = Platform()
+        assert sorted(platform.region_names()) == ["R1", "R2", "R3", "R4", "R5"]
+
+    def test_latency_matrix_symmetric_zero_diag(self):
+        platform = Platform()
+        matrix = platform.latency_matrix()
+        assert (matrix.diagonal() == 0).all()
+        assert (matrix == matrix.T).all()
+
+    def test_latency_dict_override(self):
+        platform = Platform(
+            profiles=[region_profile("R1"), region_profile("R3")],
+            inter_region_latency_s={("R1", "R3"): 0.2},
+        )
+        assert platform.inter_region_latency("R1", "R3") == 0.2
+        assert platform.inter_region_latency("R3", "R1") == 0.2
+
+    def test_unknown_region_rejected(self):
+        platform = Platform()
+        with pytest.raises(KeyError):
+            platform.region("R9")

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs end-to-end at a tiny scale."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, extra CLI args keeping the run small and fast)
+_CASES = [
+    ("quickstart.py", ["--days", "2", "--scale", "0.08", "--seed", "2"]),
+    ("regional_comparison.py", ["--days", "2", "--scale", "0.08", "--seed", "2"]),
+    ("mitigation_comparison.py", ["--days", "2", "--scale", "0.08", "--seed", "2"]),
+    ("capacity_planning.py", ["--days", "2", "--scale", "0.1", "--seed", "2"]),
+    ("trace_pipeline.py", ["--days", "1", "--scale", "0.1"]),
+]
+
+
+@pytest.mark.parametrize("script,args", _CASES, ids=[c[0] for c in _CASES])
+def test_example_runs(script, args, tmp_path):
+    extra = list(args)
+    if script == "trace_pipeline.py":
+        extra += ["--workdir", str(tmp_path)]
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES / script), *extra],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"

@@ -1,0 +1,148 @@
+"""Trace generator: bundle invariants, determinism, calibration sanity."""
+
+import numpy as np
+import pytest
+
+from repro.workload.catalog import Runtime
+from repro.workload.generator import WorkloadGenerator, generate_region
+from repro.workload.regions import region_profile
+
+
+class TestPopulation:
+    def test_population_size(self, r2_population):
+        assert len(r2_population) == region_profile("R2").scaled(0.5).n_functions
+
+    def test_function_ids_unique(self, r2_population):
+        ids = [spec.function_id for spec in r2_population]
+        assert len(set(ids)) == len(ids)
+
+    def test_runtime_mix_roughly_respected(self, r2_population):
+        python3 = sum(1 for s in r2_population if s.runtime is Runtime.PYTHON3)
+        share = python3 / len(r2_population)
+        target = region_profile("R2").runtime_mix[Runtime.PYTHON3]
+        assert share == pytest.approx(target, abs=0.12)
+
+    def test_timer_share_near_target(self, r2_population):
+        timers = sum(1 for s in r2_population if s.is_timer_driven)
+        share = timers / len(r2_population)
+        assert share == pytest.approx(region_profile("R2").timer_share, abs=0.12)
+
+    def test_workflow_functions_have_children(self, r2_population):
+        workflow = [
+            s for s in r2_population if "workflow-S" in s.trigger_combo
+        ]
+        with_children = [s for s in workflow if s.workflow_children]
+        assert len(with_children) >= len(workflow) * 0.5
+
+    def test_timers_have_no_sessions(self, r2_population):
+        for spec in r2_population:
+            if spec.is_timer_driven:
+                assert spec.session_mean_requests == 1.0
+
+
+class TestBundleInvariants:
+    def test_pods_equal_cold_starts(self, r2_bundle):
+        # Every pod row is one cold start (pods are born cold).
+        assert r2_bundle.pods.nunique("pod_id") == len(r2_bundle.pods)
+
+    def test_request_pods_exist_in_pod_table(self, r2_bundle):
+        request_pods = np.unique(r2_bundle.requests["pod_id"])
+        pod_ids = np.unique(r2_bundle.pods["pod_id"])
+        assert np.isin(request_pods, pod_ids).all()
+
+    def test_every_pod_serves_a_request(self, r2_bundle):
+        request_pods = np.unique(r2_bundle.requests["pod_id"])
+        assert request_pods.size == len(r2_bundle.pods)
+
+    def test_functions_cover_request_functions(self, r2_bundle):
+        req_functions = np.unique(r2_bundle.requests["function"])
+        catalog = np.unique(r2_bundle.functions["function"])
+        assert np.isin(req_functions, catalog).all()
+
+    def test_pod_timestamp_at_or_before_first_request(self, r2_bundle):
+        pods = r2_bundle.pods
+        requests = r2_bundle.requests
+        order = np.argsort(requests["pod_id"], kind="stable")
+        sorted_pods = requests["pod_id"][order]
+        first_req_idx = np.searchsorted(sorted_pods, pods["pod_id"])
+        first_ts = np.minimum.reduceat(
+            requests["timestamp_ms"][order],
+            np.searchsorted(sorted_pods, np.sort(np.unique(sorted_pods))),
+        )
+        # Cold start timestamp equals the triggering request's arrival.
+        pod_order = np.argsort(pods["pod_id"])
+        assert (pods["timestamp_ms"][pod_order] <= first_ts).all()
+
+    def test_timestamps_within_horizon(self, r2_bundle):
+        days = r2_bundle.meta["days"]
+        assert r2_bundle.requests["timestamp_ms"].max() < days * 86_400_000
+        assert (r2_bundle.requests["timestamp_ms"] >= 0).all()
+
+    def test_component_sum_below_total(self, r2_bundle):
+        assert (r2_bundle.pods.component_residual_us() >= 0).all()
+
+    def test_requests_sorted_by_time(self, r2_bundle):
+        assert (np.diff(r2_bundle.requests["timestamp_ms"]) >= 0).all()
+
+    def test_cpu_usage_within_config_limits(self, r2_bundle):
+        meta = r2_bundle.functions.metadata_for(r2_bundle.requests["function"])
+        limits = np.array([int(c.split("-")[0]) for c in meta["cpu_mem"]])
+        assert (r2_bundle.requests["cpu_millicores"] <= limits + 1e-6).all()
+
+    def test_memory_within_config_limits(self, r2_bundle):
+        meta = r2_bundle.functions.metadata_for(r2_bundle.requests["function"])
+        limits_mb = np.array([int(c.split("-")[1]) for c in meta["cpu_mem"]])
+        assert (r2_bundle.requests["memory_bytes"] <= limits_mb * (1 << 20)).all()
+
+    def test_dependency_time_zero_without_layers(self, r2_bundle):
+        # Functions without layers log exactly zero dependency time.
+        dep = r2_bundle.pods["deploy_dep_us"]
+        assert (dep == 0).sum() > 0
+        assert (dep >= 0).all()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_region("R3", seed=11, days=1, scale=0.3)
+        b = generate_region("R3", seed=11, days=1, scale=0.3)
+        assert len(a.requests) == len(b.requests)
+        assert (a.requests["timestamp_ms"] == b.requests["timestamp_ms"]).all()
+        assert (a.pods["cold_start_us"] == b.pods["cold_start_us"]).all()
+
+    def test_different_seed_differs(self):
+        a = generate_region("R3", seed=11, days=1, scale=0.3)
+        b = generate_region("R3", seed=12, days=1, scale=0.3)
+        assert len(a.requests) != len(b.requests) or (
+            a.requests["timestamp_ms"] != b.requests["timestamp_ms"]
+        ).any()
+
+    def test_meta_recorded(self):
+        bundle = generate_region("R3", seed=5, days=1, scale=0.3)
+        assert bundle.meta["seed"] == 5
+        assert bundle.meta["days"] == 1
+        assert bundle.region == "R3"
+
+
+class TestKeepaliveEffect:
+    def test_longer_keepalive_fewer_cold_starts(self):
+        short = generate_region("R3", seed=4, days=1, scale=0.3, keepalive_s=30.0)
+        long = generate_region("R3", seed=4, days=1, scale=0.3, keepalive_s=600.0)
+        assert len(long.pods) < len(short.pods)
+
+
+class TestGeneratorValidation:
+    def test_bad_days_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(region_profile("R3"), days=0)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_region("R3", scale=-1.0)
+
+    def test_function_traces_public_api(self):
+        generator = WorkloadGenerator(region_profile("R3").scaled(0.2), seed=1, days=1)
+        traces = generator.function_traces()
+        assert traces
+        for trace in traces:
+            assert trace.arrivals.size == trace.exec_s.size
+            assert trace.lifecycle.n_requests == trace.arrivals.size

@@ -1,0 +1,348 @@
+"""Mitigation policies: every §5 strategy beats (or trades off against) its
+production baseline on the metric the paper motivates it with."""
+
+import numpy as np
+import pytest
+
+from repro.mitigation import (
+    AsyncPeakShaver,
+    CallChainPredictor,
+    ConcurrencyAdvisor,
+    CrossRegionEvaluator,
+    DynamicKeepAlive,
+    HistogramPrewarmPolicy,
+    NoPrewarm,
+    PredictivePoolPolicy,
+    ReactivePoolPolicy,
+    RegionEvaluator,
+    RoutingPolicy,
+    TimerPrewarmPolicy,
+    evaluate_callchain_prefetch,
+    evaluate_concurrency,
+    simulate_pool,
+)
+from repro.mitigation.evaluator import build_workload
+from repro.workload.catalog import APIG_S, TIMER_A, ResourceConfig, Runtime, WORKFLOW_S
+from repro.workload.function import FunctionSpec
+
+
+@pytest.fixture(scope="module")
+def workload(r2_traces):
+    return r2_traces
+
+
+class TestEvaluatorBasics:
+    def test_deterministic(self, workload):
+        profile, traces = workload
+        a = RegionEvaluator(profile, seed=3).run(traces)
+        b = RegionEvaluator(profile, seed=3).run(traces)
+        assert a.cold_starts == b.cold_starts
+        assert a.pod_seconds == pytest.approx(b.pod_seconds)
+
+    def test_requests_conserved(self, workload):
+        profile, traces = workload
+        metrics = RegionEvaluator(profile, seed=3).run(traces)
+        expected = sum(t.arrivals.size for t in traces)
+        assert metrics.requests == expected
+        assert metrics.cold_starts + metrics.warm_hits == expected
+
+    def test_summary_fields(self, workload):
+        profile, traces = workload
+        summary = RegionEvaluator(profile, seed=3).run(traces, name="x").summary()
+        assert summary["policy"] == "x"
+        assert summary["cold_ratio"] == pytest.approx(
+            summary["cold_starts"] / summary["requests"], abs=1e-3
+        )
+
+
+class TestDynamicKeepAlive:
+    def test_saves_pod_seconds_without_new_cold_starts(self, workload):
+        profile, traces = workload
+        base = RegionEvaluator(profile, seed=3).run(traces)
+        dyn = RegionEvaluator(
+            profile, keepalive_policy=DynamicKeepAlive(), seed=3
+        ).run(traces)
+        assert dyn.pod_seconds < base.pod_seconds
+        assert dyn.cold_starts <= base.cold_starts * 1.02
+
+    def test_policy_values(self):
+        policy = DynamicKeepAlive()
+        slow_timer = FunctionSpec(
+            function_id=1, user_id=1, runtime=Runtime.PYTHON3, triggers=(TIMER_A,),
+            config=ResourceConfig(300, 128), mean_exec_s=0.1, cpu_millicores=100,
+            memory_mb=64, arrival_kind="timer", timer_period_s=3600.0,
+        )
+        fast_timer = FunctionSpec(
+            function_id=2, user_id=1, runtime=Runtime.PYTHON3, triggers=(TIMER_A,),
+            config=ResourceConfig(300, 128), mean_exec_s=0.1, cpu_millicores=100,
+            memory_mb=64, arrival_kind="timer", timer_period_s=60.0,
+        )
+        assert policy.keepalive_for(slow_timer, 0.0) == policy.released_s
+        assert policy.keepalive_for(fast_timer, 0.0) == policy.default_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicKeepAlive(released_s=120.0, default_s=60.0)
+
+
+class TestPrewarm:
+    def test_timer_prewarm_reduces_cold_starts(self, workload):
+        profile, traces = workload
+        base = RegionEvaluator(profile, prewarm_policy=NoPrewarm(), seed=3).run(traces)
+        warm = RegionEvaluator(
+            profile, prewarm_policy=TimerPrewarmPolicy(), seed=3
+        ).run(traces)
+        assert warm.cold_starts < base.cold_starts
+        assert warm.prewarm_hits > 0
+
+    def test_histogram_prewarm_learns(self, workload):
+        profile, traces = workload
+        policy = HistogramPrewarmPolicy(threshold=0.3, min_observations=20)
+        metrics = RegionEvaluator(profile, prewarm_policy=policy, seed=3).run(traces)
+        assert metrics.prewarm_creations >= 0  # runs end-to-end
+
+    def test_timer_policy_predicts_next_fire(self):
+        policy = TimerPrewarmPolicy(lead_s=30.0)
+        spec = FunctionSpec(
+            function_id=9, user_id=1, runtime=Runtime.PYTHON3, triggers=(TIMER_A,),
+            config=ResourceConfig(300, 128), mean_exec_s=0.1, cpu_millicores=100,
+            memory_mb=64, arrival_kind="timer", timer_period_s=600.0,
+        )
+        for k in range(4):
+            policy.observe(spec, 600.0 * k)
+        plan = policy.plan(now=2370.0)  # next fire at 2400
+        assert plan.get(9) == 1
+        assert policy.plan(now=2000.0) == {}
+
+
+class TestPeakShaving:
+    def test_shaver_delays_only_under_load(self):
+        shaver = AsyncPeakShaver(max_delay_s=100.0, trigger_ratio=1.5)
+        spec = FunctionSpec(
+            function_id=1, user_id=1, runtime=Runtime.PYTHON3, triggers=(TIMER_A,),
+            config=ResourceConfig(300, 128), mean_exec_s=0.1, cpu_millicores=100,
+            memory_mb=64, arrival_kind="timer", timer_period_s=600.0,
+        )
+        for _ in range(50):
+            shaver.observe_load(0.0, 10)
+        assert shaver.delay_for(spec, 0.0) == 0.0
+        shaver.observe_load(60.0, 100)
+        assert 0.0 < shaver.delay_for(spec, 60.0) <= 100.0
+
+    @staticmethod
+    def _stampede_workload(n_functions=100, hours=6):
+        """Async functions that all fire within the same half-minute every
+        hour (a cron-style allocation stampede), plus a steady background
+        function so the congestion baseline is established early."""
+        from repro.cluster.lifecycle import reconstruct_function_pods
+        from repro.workload.catalog import OBS_A
+        from repro.workload.generator import FunctionTrace
+
+        def make_trace(fid, arrivals, exec_s=1.0, timer=False):
+            spec = FunctionSpec(
+                function_id=fid, user_id=1, runtime=Runtime.PYTHON3,
+                triggers=(TIMER_A,) if timer else (OBS_A,),
+                config=ResourceConfig(300, 128), mean_exec_s=exec_s,
+                cpu_millicores=100, memory_mb=64,
+                arrival_kind="timer" if timer else "poisson",
+                timer_period_s=120.0, daily_rate=24.0,
+            )
+            execs = np.full(arrivals.size, exec_s)
+            return FunctionTrace(
+                spec=spec, arrivals=arrivals, exec_s=execs,
+                lifecycle=reconstruct_function_pods(arrivals, execs),
+            )
+
+        traces = [
+            make_trace(
+                1000 + i,
+                np.arange(1, hours + 1) * 3600.0 + 30.0 + i * 0.25,
+            )
+            for i in range(n_functions)
+        ]
+        background = make_trace(
+            1, np.arange(0.0, (hours + 1) * 3600.0, 120.0), timer=True
+        )
+        return [background] + traces
+
+    def test_shaving_flattens_allocation_stampede(self):
+        from repro.workload.regions import region_profile
+
+        profile = region_profile("R2")
+        traces = self._stampede_workload()
+        base = RegionEvaluator(profile, seed=3).run(traces)
+        shaved = RegionEvaluator(
+            profile, peak_shaver=AsyncPeakShaver(max_delay_s=120.0), seed=3
+        ).run(traces)
+        assert shaved.delayed_requests > 0
+        assert shaved.requests == base.requests  # nothing lost
+        assert (
+            shaved.peak_allocations_per_minute()
+            < 0.8 * base.peak_allocations_per_minute()
+        )
+
+    def test_long_delay_fragments_session_pods(self):
+        """Ablation: delays beyond the keep-alive break warm-pod sharing
+        within sessions, creating extra cold starts."""
+        from repro.cluster.lifecycle import reconstruct_function_pods
+        from repro.workload.catalog import OBS_A
+        from repro.workload.generator import FunctionTrace
+        from repro.workload.regions import region_profile
+
+        traces = []
+        for i in range(30):
+            # Sessions of 8 requests over 5 s, every 10 minutes, all
+            # functions in phase (stampede triggers the shaver).
+            session_starts = np.arange(1, 7) * 600.0
+            arrivals = np.sort(
+                np.concatenate([session_starts + k * 0.7 for k in range(8)])
+            )
+            spec = FunctionSpec(
+                function_id=2000 + i, user_id=1, runtime=Runtime.PYTHON3,
+                triggers=(OBS_A,), config=ResourceConfig(300, 128),
+                mean_exec_s=0.2, cpu_millicores=100, memory_mb=64,
+                arrival_kind="poisson", daily_rate=50.0,
+            )
+            execs = np.full(arrivals.size, 0.2)
+            traces.append(
+                FunctionTrace(
+                    spec=spec, arrivals=arrivals, exec_s=execs,
+                    lifecycle=reconstruct_function_pods(arrivals, execs),
+                )
+            )
+        profile = region_profile("R2")
+        short = RegionEvaluator(
+            profile, peak_shaver=AsyncPeakShaver(max_delay_s=45.0), seed=3
+        ).run(traces)
+        long = RegionEvaluator(
+            profile, peak_shaver=AsyncPeakShaver(max_delay_s=400.0), seed=3
+        ).run(traces)
+        assert long.cold_starts > short.cold_starts
+
+
+class TestCrossRegion:
+    def test_best_region_beats_home_mean_latency(self):
+        profile, traces = build_workload("R1", seed=6, days=1, scale=0.1)
+        home = CrossRegionEvaluator(home="R1", remotes=("R3",), seed=2).run(
+            traces, policy=RoutingPolicy.HOME_ONLY
+        )
+        evaluator = CrossRegionEvaluator(home="R1", remotes=("R3",), seed=2)
+        routed = evaluator.run(traces, policy=RoutingPolicy.BEST_REGION)
+        assert routed.mean_cold_wait_s() < home.mean_cold_wait_s()
+        assert 0.0 < evaluator.remote_share(routed) <= 1.0
+
+    def test_requests_conserved(self):
+        profile, traces = build_workload("R1", seed=6, days=1, scale=0.1)
+        evaluator = CrossRegionEvaluator(home="R1", remotes=("R3",), seed=2)
+        metrics = evaluator.run(traces, policy=RoutingPolicy.BEST_REGION)
+        assert metrics.requests == sum(t.arrivals.size for t in traces)
+        assert metrics.cold_starts + metrics.warm_hits == metrics.requests
+
+
+class TestPoolPrediction:
+    def _demand(self):
+        rng = np.random.default_rng(8)
+        minutes = np.arange(3 * 1440)
+        diurnal = 3.0 + 2.5 * np.sin(2 * np.pi * minutes / 1440)
+        return rng.poisson(np.maximum(diurnal, 0.1))
+
+    def test_predictive_beats_reactive_tradeoff(self):
+        demand = self._demand()
+        reactive = simulate_pool(demand, ReactivePoolPolicy(fixed_size=3))
+        predictive = simulate_pool(demand, PredictivePoolPolicy(quantile=0.9))
+        assert predictive.hit_rate > reactive.hit_rate
+        assert predictive.mean_alloc_s < reactive.mean_alloc_s
+
+    def test_oversized_reactive_wastes_pods(self):
+        demand = self._demand()
+        small = simulate_pool(demand, ReactivePoolPolicy(fixed_size=3))
+        huge = simulate_pool(demand, ReactivePoolPolicy(fixed_size=50))
+        assert huge.hit_rate >= small.hit_rate
+        assert huge.idle_pod_minutes > small.idle_pod_minutes
+
+    def test_summary_fields(self):
+        result = simulate_pool(np.array([1, 0, 2]), ReactivePoolPolicy(fixed_size=1))
+        summary = result.summary()
+        assert summary["demand"] == 3
+        assert 0 <= summary["hit_rate"] <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_pool(np.array([-1]), ReactivePoolPolicy())
+        with pytest.raises(ValueError):
+            PredictivePoolPolicy(quantile=0.0)
+
+
+class TestCallChain:
+    def _specs(self):
+        child = FunctionSpec(
+            function_id=2, user_id=1, runtime=Runtime.PYTHON3, triggers=(WORKFLOW_S,),
+            config=ResourceConfig(300, 128), mean_exec_s=0.2, cpu_millicores=100,
+            memory_mb=64, arrival_kind="poisson", daily_rate=10.0,
+        )
+        parent = FunctionSpec(
+            function_id=1, user_id=1, runtime=Runtime.PYTHON3, triggers=(WORKFLOW_S,),
+            config=ResourceConfig(300, 128), mean_exec_s=5.0, cpu_millicores=100,
+            memory_mb=64, arrival_kind="poisson", daily_rate=10.0,
+            workflow_children=(2,),
+        )
+        return parent, child
+
+    def test_predictor_confidence(self):
+        predictor = CallChainPredictor()
+        predictor.observe(1, (2,))
+        predictor.observe(1, (2,))
+        predictor.observe(1, ())
+        assert predictor.confidence(1, 2) == pytest.approx(2 / 3)
+        assert predictor.predict(1) == [2]
+        assert predictor.predict(99) == []
+
+    def test_prefetch_hides_cold_starts(self):
+        parent, child = self._specs()
+        arrivals = {1: np.arange(0, 86_400, 600.0)}
+        specs = {1: parent, 2: child}
+        on_demand = evaluate_callchain_prefetch(
+            [parent], specs, arrivals, prefetch=False, seed=3
+        )
+        prefetched = evaluate_callchain_prefetch(
+            [parent], specs, arrivals, prefetch=True, seed=3
+        )
+        assert prefetched.mean_child_wait_s < on_demand.mean_child_wait_s
+        assert prefetched.hidden_cold_starts > 0
+
+
+class TestConcurrency:
+    def test_higher_concurrency_fewer_pod_hours(self):
+        # Concurrency pays off where requests overlap: a steady stream whose
+        # in-flight load sits well above one request per pod.
+        from types import SimpleNamespace
+
+        rng = np.random.default_rng(7)
+        traces = []
+        for _ in range(6):
+            gaps = rng.exponential(4.0, size=20_000)
+            arrivals = np.cumsum(gaps)
+            exec_s = rng.lognormal(np.log(6.0), 0.4, size=arrivals.size)
+            traces.append(SimpleNamespace(arrivals=arrivals, exec_s=exec_s))
+        outcomes = evaluate_concurrency(traces, (1, 4), contention_alpha=0.03)
+        assert outcomes[1].pod_seconds < outcomes[0].pod_seconds
+        assert outcomes[1].exec_inflation > outcomes[0].exec_inflation
+
+    def test_advisor_respects_inflation_budget(self):
+        advisor = ConcurrencyAdvisor(max_inflation=1.1, contention_alpha=0.08)
+        assert max(advisor.allowed_levels()) == 2
+
+    def test_advisor_recommends_for_overlapping_workload(self):
+        rng = np.random.default_rng(4)
+        arrivals = np.sort(rng.uniform(0, 3600, size=300))
+        execs = np.full(300, 60.0)
+        from repro.workload.generator import FunctionTrace
+        from repro.cluster.lifecycle import reconstruct_function_pods
+
+        parent, _child = TestCallChain()._specs()
+        trace = FunctionTrace(
+            spec=parent, arrivals=arrivals, exec_s=execs,
+            lifecycle=reconstruct_function_pods(arrivals, execs),
+        )
+        advisor = ConcurrencyAdvisor(max_inflation=2.0)
+        assert advisor.recommend(trace) > 1

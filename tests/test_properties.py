@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.cdf import empirical_cdf
+from repro.analysis.peaks import peak_to_trough_ratio
+from repro.analysis.timeseries import bin_counts, bin_sums, moving_average, presence_counts
+from repro.cluster.lifecycle import peak_inflight, reconstruct_function_pods
+from repro.sim.rng import RngFactory
+from repro.trace.hashing import IdHasher, stable_hash
+from repro.workload.arrivals import CronTimerProcess, expand_sessions
+
+# -- strategies ---------------------------------------------------------------
+
+sorted_times = st.lists(
+    st.floats(min_value=0.0, max_value=86_400.0, allow_nan=False),
+    min_size=1,
+    max_size=200,
+).map(sorted).map(np.array)
+
+positive_floats = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=200),
+    elements=st.floats(min_value=1e-3, max_value=100.0),
+)
+
+
+@st.composite
+def arrivals_and_execs(draw):
+    times = draw(sorted_times)
+    execs = draw(
+        hnp.arrays(
+            np.float64,
+            times.size,
+            elements=st.floats(min_value=1e-3, max_value=120.0),
+        )
+    )
+    return times, execs
+
+
+# -- lifecycle invariants ----------------------------------------------------
+
+
+class TestLifecycleProperties:
+    @given(arrivals_and_execs())
+    @settings(max_examples=60, deadline=None)
+    def test_every_request_assigned_to_exactly_one_pod(self, data):
+        arrivals, execs = data
+        life = reconstruct_function_pods(arrivals, execs)
+        assert life.request_pod.size == arrivals.size
+        assert life.pod_n_requests.sum() == arrivals.size
+        counts = np.bincount(life.request_pod, minlength=life.n_pods)
+        assert (counts == life.pod_n_requests).all()
+
+    @given(arrivals_and_execs())
+    @settings(max_examples=60, deadline=None)
+    def test_pod_count_bounds(self, data):
+        arrivals, execs = data
+        life = reconstruct_function_pods(arrivals, execs)
+        assert 1 <= life.n_pods <= arrivals.size
+
+    @given(arrivals_and_execs())
+    @settings(max_examples=60, deadline=None)
+    def test_useful_lifetime_non_negative(self, data):
+        arrivals, execs = data
+        life = reconstruct_function_pods(arrivals, execs)
+        assert (life.pod_useful_s >= -1e-9).all()
+
+    @given(arrivals_and_execs(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_concurrency_never_increases_pods(self, data, concurrency):
+        arrivals, execs = data
+        low = reconstruct_function_pods(arrivals, execs, concurrency=1)
+        high = reconstruct_function_pods(arrivals, execs, concurrency=concurrency)
+        assert high.n_pods <= low.n_pods + 1  # +1 window-edge tolerance
+
+    @given(arrivals_and_execs())
+    @settings(max_examples=40, deadline=None)
+    def test_peak_inflight_bounds(self, data):
+        arrivals, execs = data
+        peak = peak_inflight(arrivals, execs)
+        assert 1 <= peak <= arrivals.size
+
+
+# -- CDF invariants -------------------------------------------------------------
+
+
+class TestCdfProperties:
+    @given(positive_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_monotone_ending_at_one(self, values):
+        cdf = empirical_cdf(values)
+        assert (np.diff(cdf.probabilities) >= 0).all()
+        assert cdf.probabilities[-1] == 1.0
+
+    @given(positive_floats, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_within_support(self, values, q):
+        cdf = empirical_cdf(values)
+        quantile = cdf.quantile(q)
+        assert values.min() <= quantile <= values.max()
+
+    @given(positive_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_at_is_inverse_of_quantile(self, values):
+        cdf = empirical_cdf(values)
+        median = cdf.quantile(0.5)
+        assert cdf.at(median) >= 0.5 - 1e-9
+
+
+# -- time series invariants ------------------------------------------------------
+
+
+class TestTimeSeriesProperties:
+    @given(sorted_times, st.floats(min_value=1.0, max_value=3600.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bin_counts_conserve_mass(self, times, bin_s):
+        counts = bin_counts(times, bin_s, 86_400.0 + bin_s)
+        assert counts.sum() == times.size
+
+    @given(arrivals_and_execs(), st.floats(min_value=10.0, max_value=3600.0))
+    @settings(max_examples=40, deadline=None)
+    def test_bin_sums_conserve_mass(self, data, bin_s):
+        times, values = data
+        sums = bin_sums(times, values, bin_s, 86_400.0 + bin_s)
+        assert sums.sum() == np.float64(values.sum()).item() or np.isclose(
+            sums.sum(), values.sum()
+        )
+
+    @given(positive_floats, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_moving_average_preserves_range(self, values, window):
+        smoothed = moving_average(values, window)
+        assert np.nanmin(smoothed) >= values.min() - 1e-9
+        assert np.nanmax(smoothed) <= values.max() + 1e-9
+
+    @given(arrivals_and_execs())
+    @settings(max_examples=40, deadline=None)
+    def test_presence_counts_non_negative(self, data):
+        starts, durations = data
+        counts = presence_counts(starts, starts + durations, 60.0, 90_000.0)
+        assert (counts >= 0).all()
+        assert counts.max() <= starts.size
+
+
+# -- peak-to-trough invariants ---------------------------------------------------
+
+
+class TestPeakTroughProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1440, max_value=2 * 1440),
+            elements=st.floats(min_value=0.0, max_value=50.0),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ratio_at_least_one(self, per_minute):
+        assert peak_to_trough_ratio(per_minute) >= 1.0
+
+
+# -- determinism / hashing --------------------------------------------------------
+
+
+class TestDeterminismProperties:
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_rng_streams_reproducible(self, seed, path):
+        a = RngFactory(seed).fresh(path).random(4)
+        b = RngFactory(seed).fresh(path).random(4)
+        assert np.allclose(a, b)
+
+    @given(st.text(min_size=0, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_stable_hash_fixed_width(self, value):
+        digest = stable_hash(value)
+        assert len(digest) == 16
+        assert digest == stable_hash(value)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_hash_array_injective_on_sample(self, ids):
+        hasher = IdHasher()
+        values = np.array(ids, dtype=np.int64)
+        digests = hasher.hash_array("ns", values)
+        mapping = {}
+        for value, digest in zip(values, digests):
+            assert mapping.setdefault(int(value), digest) == digest
+
+
+# -- arrivals -----------------------------------------------------------------------
+
+
+class TestArrivalProperties:
+    @given(
+        st.floats(min_value=61.0, max_value=86_400.0),
+        st.floats(min_value=0.0, max_value=60.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cron_counts_match_formula(self, period, phase):
+        process = CronTimerProcess(period_s=period, phase_s=phase, jitter_s=0.0)
+        times = process.generate(86_400.0, RngFactory(1).fresh("t"))
+        expected = len(np.arange(phase, 86_400.0, period))
+        assert times.size == expected
+
+    @given(
+        sorted_times,
+        st.floats(min_value=1.0, max_value=20.0),
+        st.floats(min_value=0.5, max_value=120.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sessions_sorted_and_not_fewer(self, starts, mean_requests, duration):
+        expanded = expand_sessions(
+            starts, RngFactory(2).fresh("s"), mean_requests, duration
+        )
+        assert expanded.size >= starts.size
+        assert (np.diff(expanded) >= 0).all()

@@ -1,0 +1,199 @@
+"""Property-based tests for the newer subsystems.
+
+Covers the invariants introduced after the first build-out: exact-
+proportion allocation, viz scale mappings, validator soundness on
+arbitrary well-formed bundles, distribution-fit stability, and latency
+model positivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.latency import ComponentParams, LatencyModel
+from repro.viz.scale import LinearScale, LogScale, make_scale, nice_ticks
+from repro.workload.generator import _allocate_counts
+from repro.workload.regions import region_profile
+
+# --- largest-remainder allocation ------------------------------------------------
+
+_weight_dicts = st.dictionaries(
+    keys=st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    values=st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestAllocation:
+    @given(weights=_weight_dicts, n=st.integers(min_value=0, max_value=500))
+    def test_counts_sum_to_n(self, weights, n):
+        counts = _allocate_counts(weights, n, np.random.default_rng(0))
+        assert sum(counts.values()) == n
+        assert all(c >= 0 for c in counts.values())
+
+    @given(weights=_weight_dicts, n=st.integers(min_value=1, max_value=500))
+    def test_counts_within_one_of_exact(self, weights, n):
+        """Largest remainder never strays more than 1 from the exact share."""
+        counts = _allocate_counts(weights, n, np.random.default_rng(1))
+        total_weight = sum(weights.values())
+        for name, count in counts.items():
+            exact = weights[name] / total_weight * n
+            assert exact - 1.0 <= count <= exact + 1.0
+
+    @given(n=st.integers(min_value=1, max_value=300))
+    def test_dominant_category_stays_dominant(self, n):
+        """The modal category of the weights is the modal category of the
+        allocation whenever it gets at least one item — the property the
+        i.i.d. sampler lacked."""
+        weights = {"major": 0.7, "minor": 0.2, "rare": 0.1}
+        counts = _allocate_counts(weights, n, np.random.default_rng(2))
+        assert counts["major"] == max(counts.values())
+
+    def test_single_category_takes_all(self):
+        counts = _allocate_counts({"only": 3.0}, 17, np.random.default_rng(0))
+        assert counts == {"only": 17}
+
+
+# --- viz scales -------------------------------------------------------------------
+
+
+class TestScaleProperties:
+    @given(
+        lo=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        span=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+        width=st.integers(min_value=2, max_value=200),
+    )
+    def test_linear_columns_in_range(self, lo, span, width):
+        scale = LinearScale(lo, lo + span, width)
+        for x in (lo - span, lo, lo + span / 2, lo + span, lo + 2 * span):
+            assert 0 <= scale.column(x) <= width - 1
+
+    @given(
+        lo=st.floats(min_value=1e-6, max_value=1e3, allow_nan=False),
+        factor=st.floats(min_value=1.5, max_value=1e6, allow_nan=False),
+        width=st.integers(min_value=2, max_value=200),
+    )
+    def test_log_columns_monotone(self, lo, factor, width):
+        scale = LogScale(lo, lo * factor, width)
+        xs = np.geomspace(lo, lo * factor, 20)
+        columns = [scale.column(float(x)) for x in xs]
+        assert columns == sorted(columns)
+
+    @given(values=st.lists(st.floats(allow_nan=True, allow_infinity=True,
+                                     width=32), max_size=50))
+    def test_make_scale_never_raises(self, values):
+        scale = make_scale(np.array(values, dtype=np.float64), 30)
+        assert scale.width == 30
+
+    @given(
+        lo=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        span=st.floats(min_value=1e-3, max_value=1e4, allow_nan=False),
+    )
+    def test_nice_ticks_inside_range(self, lo, span):
+        ticks = nice_ticks(lo, lo + span)
+        assert all(lo - 1e-6 * span <= t <= lo + span + 1e-6 * span for t in ticks)
+
+
+# --- latency model ---------------------------------------------------------------
+
+
+class TestLatencyProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**16),
+        congestion=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_components_positive_and_total_exceeds_sum(self, n, seed, congestion):
+        rng = np.random.default_rng(seed)
+        model = LatencyModel(region_profile("R2").latency, rng)
+        params = ComponentParams(
+            runtime_codes=rng.integers(0, 9, size=n),
+            is_large=rng.random(n) < 0.5,
+            has_deps=rng.random(n) < 0.5,
+            code_size_mb=rng.uniform(0.5, 40.0, size=n),
+            dep_size_mb=rng.uniform(2.0, 80.0, size=n),
+            congestion=np.full(n, congestion),
+        )
+        sample = model.sample_components(params)
+        parts = (
+            sample["pod_alloc_s"]
+            + sample["deploy_code_s"]
+            + sample["deploy_dep_s"]
+            + sample["scheduling_s"]
+        )
+        assert (sample["pod_alloc_s"] > 0).all()
+        assert (sample["deploy_code_s"] > 0).all()
+        assert (sample["deploy_dep_s"] >= 0).all()  # zero without layers
+        assert (sample["scheduling_s"] > 0).all()
+        # The logged total includes a non-negative unattributed residual.
+        assert (sample["total_s"] >= parts).all()
+
+    def test_no_deps_means_zero_dep_time(self):
+        rng = np.random.default_rng(3)
+        model = LatencyModel(region_profile("R1").latency, rng)
+        params = ComponentParams(
+            runtime_codes=np.zeros(16, dtype=np.int64),
+            is_large=np.zeros(16, dtype=bool),
+            has_deps=np.zeros(16, dtype=bool),
+            code_size_mb=np.full(16, 5.0),
+            dep_size_mb=np.full(16, 20.0),
+            congestion=np.zeros(16),
+        )
+        assert (model.sample_deploy_dep(params) == 0).all()
+
+
+# --- validator soundness ----------------------------------------------------------
+
+
+class TestValidatorProperties:
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=8, deadline=None)
+    def test_generated_bundles_always_validate(self, seed):
+        """Every generator output satisfies the production invariants."""
+        from repro.trace.validate import validate_bundle
+        from repro.workload.generator import generate_region
+
+        bundle = generate_region("R3", seed=seed, days=1, scale=0.1)
+        report = validate_bundle(bundle)
+        assert report.ok, [v.message for v in report.errors()]
+
+
+# --- distribution fits -------------------------------------------------------------
+
+
+class TestFitProperties:
+    @given(
+        mu=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+        sigma=st.floats(min_value=0.2, max_value=1.5, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_lognormal_fit_recovers_parameters(self, mu, sigma, seed):
+        from repro.core.fits import fit_cold_start_times
+
+        rng = np.random.default_rng(seed)
+        samples = np.exp(rng.normal(mu, sigma, size=4000))
+        fit = fit_cold_start_times(samples)
+        assert fit.mu == pytest.approx(mu, abs=0.15)
+        assert fit.sigma == pytest.approx(sigma, abs=0.15)
+        assert fit.ks_statistic < 0.05
+
+    @given(
+        k=st.floats(min_value=0.4, max_value=2.0, allow_nan=False),
+        lam=st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_weibull_fit_recovers_shape(self, k, lam, seed):
+        from repro.core.fits import fit_cold_start_iats
+
+        rng = np.random.default_rng(seed)
+        samples = lam * rng.weibull(k, size=4000)
+        fit = fit_cold_start_iats(samples)
+        assert fit.k == pytest.approx(k, rel=0.15)
+        assert fit.lam == pytest.approx(lam, rel=0.15)

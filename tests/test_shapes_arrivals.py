@@ -1,0 +1,263 @@
+"""Rate shapes and arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngFactory
+from repro.workload.arrivals import (
+    BurstyProcess,
+    CronTimerProcess,
+    ModulatedPoissonProcess,
+    expand_sessions,
+    make_arrival_process,
+)
+from repro.workload.function import FunctionSpec
+from repro.workload.catalog import ResourceConfig, Runtime, TIMER_A, APIG_S
+from repro.workload.shapes import (
+    DiurnalShape,
+    HolidayCalendar,
+    RateShape,
+    WeeklyShape,
+    day_index,
+    hour_of_day,
+    weekday_of,
+)
+
+DAY = 86_400.0
+
+
+def rng():
+    return RngFactory(7).fresh("test")
+
+
+class TestShapeHelpers:
+    def test_day_index(self):
+        assert day_index(np.array([0.0, DAY - 1, DAY])).tolist() == [0, 0, 1]
+
+    def test_hour_of_day_wraps(self):
+        hours = hour_of_day(np.array([0.0, DAY / 2, DAY + 3600.0]))
+        assert hours.tolist() == [0.0, 12.0, 1.0]
+
+    def test_weekday_of_uses_day0(self):
+        # day 0 is a Tuesday (index 1) by default.
+        assert weekday_of(np.array([0]))[0] == 1
+        assert weekday_of(np.array([13]))[0] == 0  # day 13 is a Monday
+
+
+class TestDiurnalShape:
+    def test_peak_at_peak_hour(self):
+        shape = DiurnalShape(peak_hour=14.0, amplitude=2.0, width_hours=2.0)
+        at_peak = shape.factor(np.array([14 * 3600.0]))[0]
+        at_trough = shape.factor(np.array([2 * 3600.0]))[0]
+        assert at_peak == pytest.approx(3.0, rel=1e-3)
+        assert at_trough < 1.1
+
+    def test_circular_distance(self):
+        shape = DiurnalShape(peak_hour=23.5, amplitude=1.0, width_hours=1.0)
+        just_after_midnight = shape.factor(np.array([0.25 * 3600.0]))[0]
+        assert just_after_midnight > 1.5  # 45 min from the peak across midnight
+
+    def test_flat_shape_constant(self):
+        flat = DiurnalShape.flat()
+        values = flat.factor(np.linspace(0, DAY, 100))
+        assert np.allclose(values, values[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalShape(peak_hour=25.0)
+        with pytest.raises(ValueError):
+            DiurnalShape(amplitude=-1.0)
+        with pytest.raises(ValueError):
+            DiurnalShape(width_hours=0.0)
+
+
+class TestWeeklyShape:
+    def test_weekend_reduction(self):
+        weekly = WeeklyShape(weekend_factor=0.7)
+        # Day 4 (Saturday with day0=Tuesday) vs day 0 (Tuesday).
+        saturday = weekly.factor(np.array([4 * DAY + 100]))[0]
+        tuesday = weekly.factor(np.array([100.0]))[0]
+        assert saturday == pytest.approx(0.7)
+        assert tuesday == pytest.approx(1.0)
+
+    def test_flat(self):
+        assert WeeklyShape.flat().factor(np.array([4 * DAY]))[0] == 1.0
+
+
+class TestHolidayCalendar:
+    def test_dip_pattern(self):
+        cal = HolidayCalendar(pattern="dip", holiday_factor=0.6)
+        days = np.arange(31)
+        factors = cal.day_factor(days)
+        assert factors[13] > 1.0  # pre-holiday rush
+        assert np.allclose(factors[14:23], 0.6)
+        assert factors[23] > 1.0  # rebound
+
+    def test_surge_pattern_rises_then_falls(self):
+        cal = HolidayCalendar(pattern="surge")
+        factors = cal.day_factor(np.arange(31))
+        assert factors[14] > 1.0
+        assert factors[22] < factors[14]
+
+    def test_none_calendar_flat(self):
+        cal = HolidayCalendar.none()
+        assert np.allclose(cal.day_factor(np.arange(31)), 1.0)
+
+    def test_is_holiday(self):
+        cal = HolidayCalendar()
+        assert cal.is_holiday(np.array([14]))[0]
+        assert not cal.is_holiday(np.array([13]))[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HolidayCalendar(first_day=20, last_day=10)
+        with pytest.raises(ValueError):
+            HolidayCalendar(pattern="noodle")
+
+
+class TestRateShape:
+    def test_minute_multipliers_length(self):
+        shape = RateShape()
+        assert shape.minute_multipliers(2).shape == (2880,)
+
+    def test_flat_is_one(self):
+        flat = RateShape.flat()
+        assert np.allclose(flat.multiplier(np.linspace(0, 31 * DAY, 50)), 1.0)
+
+
+class TestModulatedPoisson:
+    def test_expected_count_close(self):
+        process = ModulatedPoissonProcess(daily_rate=2000.0, shape=RateShape.flat())
+        times = process.generate(4 * DAY, rng())
+        assert times.size == pytest.approx(8000, rel=0.1)
+
+    def test_sorted_within_horizon(self):
+        process = ModulatedPoissonProcess(daily_rate=500.0)
+        times = process.generate(2 * DAY, rng())
+        assert (np.diff(times) >= 0).all()
+        assert times.max() < 2 * DAY
+
+    def test_zero_rate(self):
+        process = ModulatedPoissonProcess(daily_rate=0.0)
+        assert process.generate(DAY, rng()).size == 0
+
+    def test_diurnal_concentration(self):
+        shape = RateShape(
+            diurnal=DiurnalShape(peak_hour=12.0, amplitude=5.0, width_hours=2.0),
+            weekly=WeeklyShape.flat(),
+            holiday=HolidayCalendar.none(),
+        )
+        process = ModulatedPoissonProcess(daily_rate=5000.0, shape=shape)
+        times = process.generate(DAY, rng())
+        hours = hour_of_day(times)
+        near_peak = ((hours > 10) & (hours < 14)).mean()
+        assert near_peak > 0.3
+
+    def test_sessions_increase_volume(self):
+        base = ModulatedPoissonProcess(daily_rate=2000.0, session_mean_requests=1.0)
+        sessions = ModulatedPoissonProcess(
+            daily_rate=2000.0, session_mean_requests=5.0
+        )
+        n_base = base.generate(2 * DAY, rng()).size
+        n_sessions = sessions.generate(2 * DAY, rng()).size
+        # Same *request* volume either way (rates are request rates).
+        assert n_sessions == pytest.approx(n_base, rel=0.25)
+
+
+class TestSessions:
+    def test_expand_keeps_volume(self):
+        starts = np.sort(rng().uniform(0, DAY, size=500))
+        expanded = expand_sessions(starts, rng(), mean_requests=4.0, duration_median_s=10.0)
+        assert expanded.size == pytest.approx(2000, rel=0.2)
+        assert (np.diff(expanded) >= 0).all()
+
+    def test_mean_one_is_identity(self):
+        starts = np.array([1.0, 5.0])
+        assert (expand_sessions(starts, rng(), 1.0, 10.0) == starts).all()
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            expand_sessions(np.array([1.0]), rng(), 0.5, 10.0)
+
+
+class TestCronTimer:
+    def test_firing_count(self):
+        process = CronTimerProcess(period_s=3600.0, jitter_s=0.0)
+        times = process.generate(DAY, rng())
+        assert times.size == 24
+
+    def test_phase_shifts_first_firing(self):
+        process = CronTimerProcess(period_s=600.0, phase_s=300.0, jitter_s=0.0)
+        times = process.generate(DAY, rng())
+        assert times[0] == pytest.approx(300.0)
+
+    def test_jitter_bounded(self):
+        process = CronTimerProcess(period_s=600.0, jitter_s=2.0)
+        times = process.generate(DAY, rng())
+        offsets = times % 600.0
+        assert ((offsets < 2.0) | (offsets > 598.0)).all()
+
+    def test_miss_probability(self):
+        process = CronTimerProcess(period_s=60.0, jitter_s=0.0, miss_probability=0.5)
+        times = process.generate(DAY, rng())
+        assert times.size < 1200  # ~720 expected of 1440
+
+    def test_expected_count(self):
+        process = CronTimerProcess(period_s=600.0)
+        assert process.expected_count(DAY) == pytest.approx(144, abs=1)
+
+
+class TestBursty:
+    def test_peakiness(self):
+        process = BurstyProcess(
+            daily_rate=2000.0, burst_factor=80.0, mean_on_minutes=20.0,
+            mean_off_minutes=300.0, shape=RateShape.flat(),
+        )
+        times = process.generate(4 * DAY, rng())
+        per_minute = np.bincount((times // 60).astype(int), minlength=4 * 1440)
+        assert per_minute.max() >= 8 * max(np.median(per_minute), 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyProcess(daily_rate=10.0, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            BurstyProcess(daily_rate=10.0, mean_on_minutes=0.0)
+
+
+class TestMakeArrivalProcess:
+    def _spec(self, kind, **kwargs) -> FunctionSpec:
+        defaults = dict(
+            function_id=1,
+            user_id=1,
+            runtime=Runtime.PYTHON3,
+            triggers=(TIMER_A,) if kind == "timer" else (APIG_S,),
+            config=ResourceConfig(300, 128),
+            mean_exec_s=0.05,
+            cpu_millicores=100.0,
+            memory_mb=64.0,
+            arrival_kind=kind,
+            daily_rate=100.0,
+            timer_period_s=600.0,
+        )
+        defaults.update(kwargs)
+        return FunctionSpec(**defaults)
+
+    def test_timer_spec_gets_cron(self):
+        process = make_arrival_process(self._spec("timer"), RateShape.flat())
+        assert isinstance(process, CronTimerProcess)
+
+    def test_timer_phase_spread_across_period(self):
+        p1 = make_arrival_process(self._spec("timer", function_id=11), RateShape.flat())
+        p2 = make_arrival_process(self._spec("timer", function_id=12), RateShape.flat())
+        assert p1.phase_s != p2.phase_s
+
+    def test_poisson_spec(self):
+        process = make_arrival_process(self._spec("poisson"), RateShape.flat())
+        assert isinstance(process, ModulatedPoissonProcess)
+
+    def test_bursty_spec(self):
+        process = make_arrival_process(
+            self._spec("bursty", burst_factor=50.0), RateShape.flat()
+        )
+        assert isinstance(process, BurstyProcess)
+        assert process.burst_factor == 50.0

@@ -1,0 +1,94 @@
+"""Schema layer: Table 1 field definitions and validation."""
+
+import numpy as np
+import pytest
+
+from repro.trace.schema import (
+    ALL_SCHEMAS,
+    FUNCTION_SCHEMA,
+    POD_SCHEMA,
+    REQUEST_SCHEMA,
+    ColumnSpec,
+    TableSchema,
+)
+
+
+class TestColumnSpec:
+    def test_empty_returns_requested_capacity(self):
+        spec = ColumnSpec("x", np.dtype(np.int64), "test")
+        assert spec.empty(5).shape == (5,)
+        assert spec.empty().shape == (0,)
+
+    def test_empty_uses_dtype(self):
+        spec = ColumnSpec("x", np.dtype(np.float64), "test")
+        assert spec.empty(3).dtype == np.float64
+
+
+class TestTableSchemas:
+    def test_request_schema_matches_table1_fields(self):
+        names = REQUEST_SCHEMA.column_names
+        assert names == (
+            "timestamp_ms", "pod_id", "cluster", "function", "user",
+            "request_id", "exec_time_us", "cpu_millicores", "memory_bytes",
+        )
+
+    def test_pod_schema_has_all_cold_start_components(self):
+        for component in ("pod_alloc_us", "deploy_code_us", "deploy_dep_us",
+                          "scheduling_us", "cold_start_us"):
+            assert component in POD_SCHEMA
+
+    def test_function_schema_metadata_fields(self):
+        assert FUNCTION_SCHEMA.column_names == ("function", "runtime", "trigger", "cpu_mem")
+
+    def test_identifier_columns_are_flagged(self):
+        assert "pod_id" in REQUEST_SCHEMA.identifier_columns
+        assert "request_id" in REQUEST_SCHEMA.identifier_columns
+        assert "timestamp_ms" not in REQUEST_SCHEMA.identifier_columns
+
+    def test_all_schemas_registry(self):
+        assert set(ALL_SCHEMAS) == {"requests", "pods", "functions"}
+
+    def test_duplicate_column_names_rejected(self):
+        col = ColumnSpec("dup", np.dtype(np.int64), "x")
+        with pytest.raises(ValueError, match="duplicate"):
+            TableSchema(name="bad", columns=(col, col))
+
+    def test_getitem_and_contains(self):
+        assert REQUEST_SCHEMA["pod_id"].identifier
+        assert "nope" not in REQUEST_SCHEMA
+        with pytest.raises(KeyError):
+            REQUEST_SCHEMA["nope"]
+
+
+class TestValidation:
+    def _minimal(self):
+        return {
+            col.name: col.empty(2) for col in FUNCTION_SCHEMA.columns
+        }
+
+    def test_valid_data_passes(self):
+        FUNCTION_SCHEMA.validate(self._minimal())
+
+    def test_missing_column_rejected(self):
+        data = self._minimal()
+        del data["runtime"]
+        with pytest.raises(KeyError, match="missing"):
+            FUNCTION_SCHEMA.validate(data)
+
+    def test_unexpected_column_rejected(self):
+        data = self._minimal()
+        data["extra"] = np.zeros(2)
+        with pytest.raises(KeyError, match="unexpected"):
+            FUNCTION_SCHEMA.validate(data)
+
+    def test_ragged_columns_rejected(self):
+        data = self._minimal()
+        data["runtime"] = np.array(["a"] * 3, dtype="U16")
+        with pytest.raises(ValueError, match="ragged"):
+            FUNCTION_SCHEMA.validate(data)
+
+    def test_wrong_dtype_kind_rejected(self):
+        data = self._minimal()
+        data["function"] = np.array(["a", "b"])  # str where int expected
+        with pytest.raises(ValueError, match="dtype"):
+            FUNCTION_SCHEMA.validate(data)

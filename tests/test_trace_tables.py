@@ -1,0 +1,202 @@
+"""Columnar tables: construction, filtering, grouping, derived units."""
+
+import numpy as np
+import pytest
+
+from repro.trace.tables import (
+    COMPONENT_COLUMNS,
+    ColumnTable,
+    FunctionTable,
+    PodTable,
+    RequestTable,
+    TraceBundle,
+    group_runs,
+)
+
+
+def make_pods(n=4) -> PodTable:
+    return PodTable.from_columns(
+        timestamp_ms=np.arange(n, dtype=np.int64) * 1000,
+        pod_id=np.arange(n, dtype=np.int64),
+        cluster=np.zeros(n, dtype=np.int16),
+        function=np.array([1, 1, 2, 2][:n], dtype=np.int64),
+        user=np.ones(n, dtype=np.int64),
+        cold_start_us=np.full(n, 2_000_000, dtype=np.int64),
+        pod_alloc_us=np.full(n, 500_000, dtype=np.int64),
+        deploy_code_us=np.full(n, 300_000, dtype=np.int64),
+        deploy_dep_us=np.full(n, 200_000, dtype=np.int64),
+        scheduling_us=np.full(n, 900_000, dtype=np.int64),
+    )
+
+
+def make_requests(n=6) -> RequestTable:
+    return RequestTable.from_columns(
+        timestamp_ms=np.arange(n, dtype=np.int64) * 500,
+        pod_id=np.array([0, 0, 1, 1, 2, 2][:n], dtype=np.int64),
+        cluster=np.zeros(n, dtype=np.int16),
+        function=np.array([1, 1, 1, 1, 2, 2][:n], dtype=np.int64),
+        user=np.ones(n, dtype=np.int64),
+        request_id=np.arange(n, dtype=np.int64),
+        exec_time_us=np.full(n, 30_000, dtype=np.int64),
+        cpu_millicores=np.full(n, 150.0),
+        memory_bytes=np.full(n, 64 << 20, dtype=np.int64),
+    )
+
+
+def make_functions() -> FunctionTable:
+    return FunctionTable.from_columns(
+        function=np.array([1, 2], dtype=np.int64),
+        runtime=np.array(["Python3", "Java"], dtype="U16"),
+        trigger=np.array(["TIMER-A", "APIG-S"], dtype="U24"),
+        cpu_mem=np.array(["300-128", "1000-1024"], dtype="U16"),
+    )
+
+
+class TestGroupRuns:
+    def test_groups_cover_all_rows(self):
+        values = np.array([3, 1, 3, 2, 1, 3])
+        groups = dict((k, idx) for k, idx in group_runs(values))
+        assert sorted(groups) == [1, 2, 3]
+        total = sum(len(idx) for idx in groups.values())
+        assert total == values.size
+
+    def test_indices_point_to_value(self):
+        values = np.array([5, 7, 5, 9])
+        for key, idx in group_runs(values):
+            assert (values[idx] == key).all()
+
+    def test_empty_input(self):
+        assert list(group_runs(np.zeros(0))) == []
+
+
+class TestColumnTable:
+    def test_subclass_without_schema_rejected(self):
+        class Bad(ColumnTable):
+            schema = None
+
+        with pytest.raises(TypeError):
+            Bad({})
+
+    def test_len_and_repr(self):
+        pods = make_pods()
+        assert len(pods) == 4
+        assert "PodTable" in repr(pods)
+
+    def test_empty_constructor(self):
+        assert len(PodTable.empty()) == 0
+
+    def test_filter_by_mask(self):
+        pods = make_pods()
+        sub = pods.filter(pods["function"] == 1)
+        assert len(sub) == 2
+        assert (sub["function"] == 1).all()
+
+    def test_where_equality(self):
+        pods = make_pods()
+        assert len(pods.where(function=2)) == 2
+        assert len(pods.where(function=2, pod_id=2)) == 1
+        assert pods.where() is pods
+
+    def test_sort_by(self):
+        pods = make_pods().filter(np.array([3, 1, 0, 2]))
+        ordered = pods.sort_by("timestamp_ms")
+        assert list(ordered["timestamp_ms"]) == sorted(ordered["timestamp_ms"])
+
+    def test_sort_by_requires_column(self):
+        with pytest.raises(ValueError):
+            make_pods().sort_by()
+
+    def test_head(self):
+        assert len(make_pods().head(2)) == 2
+        assert len(make_pods().head(100)) == 4
+
+    def test_concat(self):
+        merged = PodTable.concat([make_pods(2), make_pods(3)])
+        assert len(merged) == 5
+
+    def test_concat_empty_list(self):
+        assert len(PodTable.concat([])) == 0
+
+    def test_groupby(self):
+        groups = dict(make_pods().groupby("function"))
+        assert set(groups) == {1, 2}
+        assert len(groups[1]) == 2
+
+    def test_to_records_limit(self):
+        records = make_pods().to_records(limit=2)
+        assert len(records) == 2
+        assert records[0]["pod_id"] == 0
+
+    def test_nunique(self):
+        assert make_pods().nunique("function") == 2
+
+
+class TestPodTable:
+    def test_cold_start_seconds_conversion(self):
+        pods = make_pods()
+        assert pods.cold_start_s[0] == pytest.approx(2.0)
+
+    def test_component_seconds(self):
+        pods = make_pods()
+        assert pods.component_s("pod_alloc_us")[0] == pytest.approx(0.5)
+
+    def test_component_rejects_non_component(self):
+        with pytest.raises(KeyError):
+            make_pods().component_s("cold_start_us")
+
+    def test_components_dict_complete(self):
+        assert set(make_pods().components_s()) == set(COMPONENT_COLUMNS)
+
+    def test_residual_non_negative_here(self):
+        pods = make_pods()
+        assert (pods.component_residual_us() >= 0).all()
+
+
+class TestRequestTable:
+    def test_time_conversions(self):
+        requests = make_requests()
+        assert requests.timestamps_s[1] == pytest.approx(0.5)
+        assert requests.exec_time_s[0] == pytest.approx(0.03)
+
+    def test_span_days(self):
+        requests = make_requests()
+        assert 0.0 <= requests.span_days() < 1.0
+        assert RequestTable.empty().span_days() == 0.0
+
+
+class TestFunctionTable:
+    def test_metadata_join(self):
+        functions = make_functions()
+        meta = functions.metadata_for(np.array([2, 1, 2]))
+        assert list(meta["runtime"]) == ["Java", "Python3", "Java"]
+        assert list(meta["cpu_mem"]) == ["1000-1024", "300-128", "1000-1024"]
+
+    def test_metadata_unknown_function(self):
+        functions = make_functions()
+        meta = functions.metadata_for(np.array([42]))
+        assert meta["runtime"][0] == "unknown"
+        assert meta["trigger"][0] == "unknown"
+
+
+class TestTraceBundle:
+    def test_summary_counts(self):
+        bundle = TraceBundle(
+            region="RX",
+            requests=make_requests(),
+            pods=make_pods(),
+            functions=make_functions(),
+        )
+        summary = bundle.summary()
+        assert summary["requests"] == 6
+        assert summary["cold_starts"] == 4
+        assert summary["functions"] == 2
+        assert summary["pods"] == 4
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError):
+            TraceBundle(
+                region="RX",
+                requests=make_pods(),  # wrong type
+                pods=make_pods(),
+                functions=make_functions(),
+            )

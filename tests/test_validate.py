@@ -1,0 +1,178 @@
+"""Tests for trace integrity validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.tables import (
+    FunctionTable,
+    PodTable,
+    RequestTable,
+    TraceBundle,
+)
+from repro.trace.validate import (
+    BundleValidator,
+    ValidationReport,
+    Violation,
+    validate_bundle,
+)
+
+
+def _small_bundle() -> TraceBundle:
+    """A hand-built, perfectly valid two-function bundle."""
+    requests = RequestTable.from_columns(
+        timestamp_ms=np.array([0, 10_000, 30_000, 200_000], dtype=np.int64),
+        pod_id=np.array([1, 1, 1, 2], dtype=np.int64),
+        cluster=np.array([0, 0, 0, 1], dtype=np.int16),
+        function=np.array([10, 10, 10, 11], dtype=np.int64),
+        user=np.array([5, 5, 5, 6], dtype=np.int64),
+        request_id=np.arange(4, dtype=np.int64),
+        exec_time_us=np.array([1000, 1000, 1000, 2000], dtype=np.int64),
+        cpu_millicores=np.array([100.0, 100.0, 100.0, 50.0]),
+        memory_bytes=np.array([1 << 20] * 4, dtype=np.int64),
+    )
+    pods = PodTable.from_columns(
+        timestamp_ms=np.array([0, 200_000], dtype=np.int64),
+        pod_id=np.array([1, 2], dtype=np.int64),
+        cluster=np.array([0, 1], dtype=np.int16),
+        function=np.array([10, 11], dtype=np.int64),
+        user=np.array([5, 6], dtype=np.int64),
+        cold_start_us=np.array([500_000, 800_000], dtype=np.int64),
+        pod_alloc_us=np.array([100_000, 200_000], dtype=np.int64),
+        deploy_code_us=np.array([100_000, 100_000], dtype=np.int64),
+        deploy_dep_us=np.array([0, 200_000], dtype=np.int64),
+        scheduling_us=np.array([200_000, 200_000], dtype=np.int64),
+    )
+    functions = FunctionTable.from_columns(
+        function=np.array([10, 11], dtype=np.int64),
+        runtime=np.array(["Python3", "Java"], dtype="U16"),
+        trigger=np.array(["TIMER-A", "APIG-S"], dtype="U24"),
+        cpu_mem=np.array(["300-128", "600-512"], dtype="U16"),
+    )
+    return TraceBundle(region="T1", requests=requests, pods=pods, functions=functions)
+
+
+def _with_column(table_cls, table, **overrides):
+    data = {name: table.column(name).copy() for name in table.columns}
+    data.update(overrides)
+    return table_cls(data)
+
+
+class TestCleanBundle:
+    def test_hand_built_bundle_passes(self):
+        report = validate_bundle(_small_bundle())
+        assert report.ok
+        assert report.checks_run == 9
+        assert report.violations == []
+
+    def test_generated_bundle_passes(self, r2_bundle):
+        report = validate_bundle(r2_bundle)
+        assert report.ok, [v.message for v in report.errors()]
+
+
+class TestViolationDetection:
+    def test_unsorted_requests(self):
+        bundle = _small_bundle()
+        ts = bundle.requests.column("timestamp_ms").copy()
+        ts[0], ts[1] = ts[1], ts[0]
+        bundle.requests = _with_column(RequestTable, bundle.requests, timestamp_ms=ts)
+        report = validate_bundle(bundle)
+        assert not report.ok
+        assert any(v.check == "requests.sorted" for v in report.errors())
+
+    def test_negative_exec_time(self):
+        bundle = _small_bundle()
+        exec_us = bundle.requests.column("exec_time_us").copy()
+        exec_us[2] = -1
+        bundle.requests = _with_column(RequestTable, bundle.requests, exec_time_us=exec_us)
+        report = validate_bundle(bundle)
+        assert any(v.check == "requests.values" for v in report.errors())
+
+    def test_components_exceeding_total(self):
+        bundle = _small_bundle()
+        total = bundle.pods.column("cold_start_us").copy()
+        total[0] = 100  # far below the component sum
+        bundle.pods = _with_column(PodTable, bundle.pods, cold_start_us=total)
+        report = validate_bundle(bundle)
+        assert any(v.check == "pods.component_sum" for v in report.errors())
+
+    def test_negative_component(self):
+        bundle = _small_bundle()
+        sched = bundle.pods.column("scheduling_us").copy()
+        sched[1] = -5
+        bundle.pods = _with_column(PodTable, bundle.pods, scheduling_us=sched)
+        report = validate_bundle(bundle)
+        assert any(v.check == "pods.component_signs" for v in report.errors())
+
+    def test_duplicate_pod_ids(self):
+        bundle = _small_bundle()
+        pod_ids = bundle.pods.column("pod_id").copy()
+        pod_ids[1] = pod_ids[0]
+        bundle.pods = _with_column(PodTable, bundle.pods, pod_id=pod_ids)
+        report = validate_bundle(bundle)
+        assert any(v.check == "pods.unique_ids" for v in report.errors())
+
+    def test_duplicate_function_rows(self):
+        bundle = _small_bundle()
+        fn = bundle.functions.column("function").copy()
+        fn[1] = fn[0]
+        bundle.functions = _with_column(FunctionTable, bundle.functions, function=fn)
+        report = validate_bundle(bundle)
+        assert any(v.check == "functions.unique" for v in report.errors())
+
+    def test_dangling_function_reference_is_warning(self):
+        bundle = _small_bundle()
+        fn = bundle.requests.column("function").copy()
+        fn[3] = 999  # unknown function, minority -> warning
+        bundle.requests = _with_column(RequestTable, bundle.requests, function=fn)
+        report = validate_bundle(bundle)
+        assert report.ok  # warnings only
+        assert any(v.check == "bundle.referential" for v in report.warnings())
+
+    def test_mostly_dangling_references_is_error(self):
+        bundle = _small_bundle()
+        fn = bundle.requests.column("function").copy()
+        fn[:] = [997, 998, 999, 996]
+        bundle.requests = _with_column(RequestTable, bundle.requests, function=fn)
+        pod_fn = bundle.pods.column("function").copy()
+        pod_fn[:] = [995, 994]
+        bundle.pods = _with_column(PodTable, bundle.pods, function=pod_fn)
+        report = validate_bundle(bundle)
+        assert any(v.check == "bundle.referential" for v in report.errors())
+
+    def test_keepalive_violation(self):
+        bundle = _small_bundle()
+        ts = bundle.requests.column("timestamp_ms").copy()
+        ts[2] = ts[1] + 600_000  # 10 minutes idle on the same pod
+        ts[3] = max(ts[3], ts[2] + 1)
+        bundle.requests = _with_column(RequestTable, bundle.requests, timestamp_ms=ts)
+        report = validate_bundle(bundle)
+        assert any(v.check == "requests.keepalive" for v in report.errors())
+
+    def test_keepalive_threshold_respects_parameter(self):
+        # The same 10-minute gap is fine under a 10-minute keep-alive.
+        bundle = _small_bundle()
+        ts = bundle.requests.column("timestamp_ms").copy()
+        ts[2] = ts[1] + 600_000
+        ts[3] = max(ts[3], ts[2] + 1)
+        bundle.requests = _with_column(RequestTable, bundle.requests, timestamp_ms=ts)
+        report = BundleValidator(keepalive_s=600.0).validate(bundle)
+        assert not any(v.check == "requests.keepalive" for v in report.errors())
+
+
+class TestReportShape:
+    def test_violation_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            Violation("x", "catastrophic", "nope")
+
+    def test_summary_rows_printable(self):
+        report = ValidationReport(region="R9")
+        report.violations.append(Violation("a.b", "warning", "msg", 3))
+        rows = report.summary_rows()
+        assert rows[0]["check"] == "a.b"
+        assert rows[0]["count"] == 3
+
+    def test_validator_rejects_bad_keepalive(self):
+        with pytest.raises(ValueError):
+            BundleValidator(keepalive_s=0.0)

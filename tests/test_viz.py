@@ -1,0 +1,221 @@
+"""Tests for the ASCII visualization toolkit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import empirical_cdf
+from repro.core.study import TraceStudy
+from repro.viz import (
+    LinearScale,
+    LogScale,
+    bar_chart,
+    correlation_heatmap,
+    line_chart,
+    make_scale,
+    multi_cdf_chart,
+    nice_ticks,
+    proportions_bars,
+    quantile_strip,
+    sparkline,
+    stacked_area_legend,
+)
+from repro.viz import figures as viz_figures
+
+
+class TestScales:
+    def test_linear_scale_maps_endpoints(self):
+        scale = LinearScale(0.0, 10.0, 11)
+        assert scale.column(0.0) == 0
+        assert scale.column(10.0) == 10
+        assert scale.column(5.0) == 5
+
+    def test_linear_scale_clips_outside(self):
+        scale = LinearScale(0.0, 1.0, 10)
+        assert scale.column(-5.0) == 0
+        assert scale.column(99.0) == 9
+
+    def test_linear_scale_round_trips(self):
+        scale = LinearScale(2.0, 20.0, 50)
+        for column in (0, 17, 49):
+            assert scale.column(scale.value(column)) == column
+
+    def test_linear_scale_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            LinearScale(1.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            LinearScale(0.0, 1.0, 1)
+
+    def test_log_scale_decades_evenly_spaced(self):
+        scale = LogScale(1.0, 1000.0, 31)
+        assert scale.column(1.0) == 0
+        assert scale.column(10.0) == 10
+        assert scale.column(100.0) == 20
+        assert scale.column(1000.0) == 30
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LogScale(0.0, 10.0, 10)
+
+    def test_make_scale_picks_log(self):
+        scale = make_scale(np.array([0.1, 1.0, 100.0]), 20, log=True)
+        assert isinstance(scale, LogScale)
+
+    def test_make_scale_handles_empty(self):
+        scale = make_scale(np.zeros(0), 20)
+        assert isinstance(scale, LinearScale)
+
+    def test_make_scale_degenerate_range(self):
+        scale = make_scale(np.array([5.0, 5.0]), 20)
+        assert scale.hi > scale.lo
+
+    def test_nice_ticks_cover_range(self):
+        ticks = nice_ticks(0.0, 100.0, max_ticks=6)
+        assert ticks[0] >= 0.0
+        assert ticks[-1] <= 100.0
+        steps = np.diff(ticks)
+        assert np.allclose(steps, steps[0])
+
+    def test_nice_ticks_degenerate(self):
+        assert nice_ticks(5.0, 5.0) == [5.0]
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        line = sparkline(np.arange(1000), width=40)
+        assert len(line) == 40
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline(np.linspace(0, 1, 30), width=30)
+        levels = " .:-=+*#%@"
+        ranks = [levels.index(ch) for ch in line]
+        assert ranks == sorted(ranks)
+
+    def test_constant_series_flat(self):
+        line = sparkline(np.full(20, 3.0), width=20)
+        assert set(line) == {" "}
+
+    def test_empty_series(self):
+        assert sparkline(np.zeros(0)) == ""
+
+    def test_nan_values_treated_as_zero(self):
+        line = sparkline(np.array([np.nan, 1.0, np.nan, 2.0]))
+        assert len(line) == 4
+
+
+class TestLineChart:
+    def test_contains_legend_and_axis(self):
+        chart = line_chart({"a": np.sin(np.linspace(0, 6, 100))})
+        assert "o=a" in chart
+        assert "+" in chart
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = line_chart({"a": np.ones(10), "b": np.zeros(10)})
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_empty_input(self):
+        assert line_chart({}) == "(no series)"
+
+    def test_title_included(self):
+        chart = line_chart({"a": np.arange(5)}, title="hello")
+        assert chart.startswith("hello")
+
+
+class TestMultiCdfChart:
+    def test_renders_known_quantiles(self):
+        cdf = empirical_cdf(np.linspace(1, 100, 500))
+        chart = multi_cdf_chart({"series": cdf}, width=40, height=8)
+        assert "o=series" in chart
+        assert "1.00" in chart  # top probability label
+
+    def test_empty_cdfs(self):
+        chart = multi_cdf_chart({"empty": empirical_cdf(np.zeros(0))})
+        assert chart == "(no data)"
+
+    def test_x_label_printed(self):
+        cdf = empirical_cdf(np.array([1.0, 2.0, 3.0]))
+        chart = multi_cdf_chart({"s": cdf}, x_label="seconds")
+        assert "[x: seconds" in chart
+
+
+class TestBars:
+    def test_bar_chart_longest_bar_for_max(self):
+        chart = bar_chart({"small": 1.0, "big": 10.0}, width=20)
+        lines = chart.splitlines()
+        big_line = next(line for line in lines if line.strip().startswith("big"))
+        small_line = next(line for line in lines if line.strip().startswith("small"))
+        assert big_line.count("#") == 20
+        assert small_line.count("#") == 2
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_bar_chart_sorted(self):
+        chart = bar_chart({"a": 1.0, "b": 3.0}, sort=True)
+        assert chart.index("b") < chart.index("a")
+
+    def test_proportions_bars_sum_to_width(self):
+        proportions = {"x": {"pods": 0.5}, "y": {"pods": 0.5}}
+        chart = proportions_bars(proportions, width=40)
+        bar_line = chart.splitlines()[0]
+        filled = sum(bar_line.count(ch) for ch in "#=")
+        assert filled == 40
+
+    def test_quantile_strip_median_marker(self):
+        groups = {"g": {0.25: 1.0, 0.5: 5.0, 0.75: 20.0}}
+        chart = quantile_strip(groups, width=40)
+        assert "O" in chart
+        assert chart.count("|") >= 4  # frame + quartile marks
+
+    def test_quantile_strip_empty(self):
+        assert quantile_strip({}) == "(no data)"
+
+
+class TestHeatmap:
+    def test_diagonal_strong_positive(self):
+        fields = ("a", "b")
+        rho = np.array([[1.0, -0.7], [-0.7, 1.0]])
+        sig = np.array([[True, False], [False, True]])
+        grid = correlation_heatmap(fields, rho, sig)
+        assert "++*" in grid
+        assert "--" in grid
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            correlation_heatmap(("a",), np.zeros((2, 2)))
+
+
+class TestStackedAreaLegend:
+    def test_component_means_shown(self):
+        text = stacked_area_legend({"alloc": np.ones(50), "code": np.zeros(50)})
+        assert "alloc" in text and "mean=1" in text
+
+    def test_empty(self):
+        assert stacked_area_legend({}) == "(no components)"
+
+
+class TestFigureRegistry:
+    @pytest.fixture(scope="class")
+    def study(self, multi_bundles):
+        return TraceStudy(multi_bundles)
+
+    def test_all_17_figures_registered(self):
+        expected = {f"fig{n:02d}" for n in (1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17)}
+        assert set(viz_figures.FIGURES) == expected
+
+    def test_unknown_figure_raises(self, study):
+        with pytest.raises(KeyError):
+            viz_figures.render("fig99", study)
+
+    @pytest.mark.parametrize("fig_id", sorted(
+        {f"fig{n:02d}" for n in (1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17)}
+    ))
+    def test_every_figure_renders(self, study, fig_id):
+        text = viz_figures.render(fig_id, study)
+        assert isinstance(text, str)
+        assert len(text) > 20
+
+    def test_render_all_covers_registry(self, study):
+        rendered = viz_figures.render_all(study)
+        assert set(rendered) == set(viz_figures.FIGURES)

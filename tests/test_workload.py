@@ -1,0 +1,237 @@
+"""Workload layer: catalog, users, function specs, region profiles."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngFactory
+from repro.workload.catalog import (
+    AGGREGATED_TRIGGER_LABELS,
+    APIG_S,
+    CONFIG_CATALOG,
+    MAIN_CONFIGS,
+    OBS_A,
+    TIMER_A,
+    UNKNOWN_TRIGGER,
+    WORKFLOW_S,
+    ResourceConfig,
+    Runtime,
+    SizeClass,
+    Trigger,
+    TriggerKind,
+    aggregate_trigger_label,
+    combo_label,
+    config_group,
+    parse_config,
+    primary_trigger,
+)
+from repro.workload.function import FunctionSpec
+from repro.workload.regions import REGION_PROFILES, RateMix, region_profile
+from repro.workload.users import UserPopulation, assign_users, functions_per_user
+
+
+class TestRuntimes:
+    def test_custom_has_no_pool(self):
+        assert not Runtime.CUSTOM.has_reserved_pool
+        assert Runtime.PYTHON3.has_reserved_pool
+
+    def test_http_needs_server_boot(self):
+        assert Runtime.HTTP.needs_server_boot
+        assert not Runtime.JAVA.needs_server_boot
+
+
+class TestTriggers:
+    def test_async_only_services_reject_sync(self):
+        with pytest.raises(ValueError):
+            Trigger(TriggerKind.TIMER, synchronous=True)
+        with pytest.raises(ValueError):
+            Trigger(TriggerKind.OBS, synchronous=True)
+
+    def test_labels(self):
+        assert TIMER_A.label == "TIMER-A"
+        assert APIG_S.label == "APIG-S"
+        assert WORKFLOW_S.label == "workflow-S"
+        assert UNKNOWN_TRIGGER.label == "unknown"
+
+    def test_aggregation(self):
+        assert aggregate_trigger_label(TIMER_A) == "TIMER-A"
+        assert aggregate_trigger_label(Trigger(TriggerKind.CTS)) == "other A"
+        assert aggregate_trigger_label(Trigger(TriggerKind.KAFKA, True)) == "other S"
+        assert aggregate_trigger_label(UNKNOWN_TRIGGER) == "unknown"
+
+    def test_aggregated_labels_cover_paper_categories(self):
+        assert set(AGGREGATED_TRIGGER_LABELS) == {
+            "APIG-S", "OBS-A", "TIMER-A", "other A", "other S",
+            "unknown", "workflow-S",
+        }
+
+    def test_primary_trigger_prefers_sync(self):
+        assert primary_trigger((TIMER_A, APIG_S)) is APIG_S
+        assert primary_trigger((OBS_A, TIMER_A)) is OBS_A
+        assert primary_trigger(()) is UNKNOWN_TRIGGER
+
+    def test_combo_label_sorted_and_stable(self):
+        assert combo_label((TIMER_A, APIG_S)) == combo_label((APIG_S, TIMER_A))
+        assert combo_label(()) == "unknown"
+
+
+class TestResourceConfigs:
+    def test_name_round_trip(self):
+        config = ResourceConfig(300, 128)
+        assert config.name == "300-128"
+        assert parse_config("300-128") == config
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_config("tiny")
+
+    def test_size_class_split(self):
+        assert ResourceConfig(300, 128).size_class is SizeClass.SMALL
+        assert ResourceConfig(400, 256).size_class is SizeClass.SMALL
+        assert ResourceConfig(600, 512).size_class is SizeClass.LARGE
+        assert ResourceConfig(400, 512).size_class is SizeClass.LARGE
+
+    def test_catalog_spans_paper_range(self):
+        smallest, largest = CONFIG_CATALOG[0], CONFIG_CATALOG[-1]
+        assert smallest.cpu_millicores == 300 and smallest.memory_mb == 128
+        assert largest.cores == 26.0 and largest.memory_mb == 32768
+
+    def test_config_group(self):
+        assert config_group(MAIN_CONFIGS[0]) == "300-128"
+        assert config_group(CONFIG_CATALOG[-1]) == "other"
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceConfig(0, 128)
+
+
+class TestUserPopulation:
+    def test_single_share_respected(self):
+        population = UserPopulation(single_function_share=0.8)
+        counts = population.sample_functions_per_user(20_000, RngFactory(1).fresh("u"))
+        assert (counts == 1).mean() == pytest.approx(0.8, abs=0.02)
+
+    def test_counts_capped(self):
+        population = UserPopulation(max_functions=50)
+        counts = population.sample_functions_per_user(10_000, RngFactory(1).fresh("u"))
+        assert counts.max() <= 50
+        assert counts.min() >= 1
+
+    def test_assign_users_exact_length(self):
+        owners = assign_users(137, UserPopulation(), RngFactory(2).fresh("u"))
+        assert owners.shape == (137,)
+
+    def test_functions_per_user_inverse(self):
+        owners = assign_users(500, UserPopulation(), RngFactory(3).fresh("u"))
+        counts = functions_per_user(owners)
+        assert counts.sum() == 500
+
+    def test_zero_functions(self):
+        assert assign_users(0, UserPopulation(), RngFactory(1).fresh("u")).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserPopulation(single_function_share=1.5)
+        with pytest.raises(ValueError):
+            UserPopulation(max_functions=1)
+
+
+class TestFunctionSpec:
+    def _kwargs(self, **over):
+        base = dict(
+            function_id=1, user_id=2, runtime=Runtime.PYTHON3,
+            triggers=(TIMER_A,), config=ResourceConfig(300, 128),
+            mean_exec_s=0.05, cpu_millicores=100.0, memory_mb=64.0,
+            arrival_kind="timer", timer_period_s=300.0,
+        )
+        base.update(over)
+        return base
+
+    def test_valid_spec(self):
+        spec = FunctionSpec(**self._kwargs())
+        assert spec.is_timer_driven
+        assert spec.trigger_label == "TIMER-A"
+        assert not spec.synchronous
+        assert spec.expected_requests == pytest.approx(288.0)
+
+    def test_sync_detection(self):
+        spec = FunctionSpec(**self._kwargs(triggers=(APIG_S, TIMER_A), arrival_kind="poisson"))
+        assert spec.synchronous
+        assert spec.trigger_label == "APIG-S"
+        assert "+" in spec.trigger_combo
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(**self._kwargs(mean_exec_s=0.0))
+        with pytest.raises(ValueError):
+            FunctionSpec(**self._kwargs(arrival_kind="psychic"))
+        with pytest.raises(ValueError):
+            FunctionSpec(**self._kwargs(timer_period_s=0.0))
+        with pytest.raises(ValueError):
+            FunctionSpec(**self._kwargs(concurrency=0))
+        with pytest.raises(ValueError):
+            FunctionSpec(**self._kwargs(has_dependencies=True, dep_size_mb=0.0))
+        with pytest.raises(ValueError):
+            FunctionSpec(**self._kwargs(session_mean_requests=0.2))
+
+
+class TestRateMix:
+    def test_high_share_rates_above_threshold(self):
+        mix = RateMix(high_share=1.0)
+        rates = mix.sample(1000, RngFactory(1).fresh("r"))
+        assert (rates >= 1440.0).all()
+        assert (rates <= mix.rate_cap_per_day).all()
+
+    def test_low_share_rates_in_band(self):
+        mix = RateMix(high_share=0.0, low_min_per_day=1.0, low_max_per_day=10.0)
+        rates = mix.sample(1000, RngFactory(1).fresh("r"))
+        assert (rates >= 1.0).all() and (rates <= 10.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateMix(high_share=2.0)
+        with pytest.raises(ValueError):
+            RateMix(rate_cap_per_day=1000.0)
+
+
+class TestRegionProfiles:
+    def test_five_regions_defined(self):
+        assert sorted(REGION_PROFILES) == ["R1", "R2", "R3", "R4", "R5"]
+
+    def test_unknown_region_helpful_error(self):
+        with pytest.raises(KeyError, match="R9"):
+            region_profile("R9")
+
+    def test_paper_calibration_facts(self):
+        # Median exec: 4 ms in R5, 100 ms in R1 (Fig. 3b).
+        assert region_profile("R5").exec_median_s == pytest.approx(0.004)
+        assert region_profile("R1").exec_median_s == pytest.approx(0.100)
+        # R1 has the largest frequent-function share, R4 the smallest (Fig. 3a).
+        shares = {name: region_profile(name).rate_mix.high_share for name in REGION_PROFILES}
+        assert shares["R1"] == max(shares.values())
+        assert shares["R4"] == min(shares.values())
+        # R3 is the holiday-surge region (Fig. 7).
+        assert region_profile("R3").holiday_pattern == "surge"
+        for name in ("R1", "R2", "R4", "R5"):
+            assert region_profile(name).holiday_pattern == "dip"
+
+    def test_peak_hours_all_differ(self):
+        hours = [p.peak_hour for p in REGION_PROFILES.values()]
+        assert len(set(hours)) == len(hours)
+
+    def test_runtime_mixes_sum_to_one(self):
+        for profile in REGION_PROFILES.values():
+            assert sum(profile.runtime_mix.values()) == pytest.approx(1.0)
+
+    def test_scaled_preserves_rates(self):
+        profile = region_profile("R2")
+        scaled = profile.scaled(0.5)
+        assert scaled.n_functions == round(profile.n_functions * 0.5)
+        assert scaled.rate_mix == profile.rate_mix
+
+    def test_scaled_floor(self):
+        assert region_profile("R3").scaled(0.0001).n_functions >= 8
+
+    def test_rate_shape_uses_profile_fields(self):
+        shape = region_profile("R3").rate_shape()
+        assert shape.holiday.pattern == "surge"
+        assert shape.diurnal.peak_hour == region_profile("R3").peak_hour
