@@ -1,0 +1,79 @@
+"""Runtime scaling: wall-clock of sharded generation vs worker count.
+
+The runtime shards a 4-region, 8-day workload into (region, 2-day-window)
+chunks — 16 shards — and executes them with 1, 2, and 4 workers. Two
+properties are verified:
+
+* **determinism** — every jobs count merges to identical bundles;
+* **scaling** — on a machine with >= 4 usable cores, 4 workers beat the
+  serial run by > 1.8x (the shards are embarrassingly parallel; the
+  remaining serial fraction is result pickling and the merge).
+
+On smaller machines the speedup assertion is skipped (a process pool
+cannot beat serial execution on one core) and only determinism is checked.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis.report import format_table
+from repro.workload.generator import generate_multi_region
+
+BENCH_REGIONS = ("R1", "R2", "R3", "R4")
+BENCH_DAYS = 8
+BENCH_CHUNK_DAYS = 2
+BENCH_SCALE = 0.15
+BENCH_SEED = 42
+JOB_COUNTS = (1, 2, 4)
+
+
+def _usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def test_runtime_scaling(emit):
+    wall: dict[int, float] = {}
+    summaries: dict[int, dict] = {}
+    for jobs in JOB_COUNTS:
+        started = time.perf_counter()
+        bundles = generate_multi_region(
+            BENCH_REGIONS,
+            seed=BENCH_SEED,
+            days=BENCH_DAYS,
+            scale=BENCH_SCALE,
+            jobs=jobs,
+            chunk_days=BENCH_CHUNK_DAYS,
+        )
+        wall[jobs] = time.perf_counter() - started
+        summaries[jobs] = {name: bundle.summary() for name, bundle in bundles.items()}
+
+    rows = [
+        {
+            "jobs": jobs,
+            "wall_s": round(wall[jobs], 2),
+            "speedup": round(wall[1] / wall[jobs], 2),
+            "requests": sum(s["requests"] for s in summaries[jobs].values()),
+            "cold_starts": sum(s["cold_starts"] for s in summaries[jobs].values()),
+        }
+        for jobs in JOB_COUNTS
+    ]
+    cores = _usable_cores()
+    emit(
+        "runtime_scaling",
+        format_table(rows) + f"\ncores={cores} shards="
+        f"{len(BENCH_REGIONS) * (BENCH_DAYS // BENCH_CHUNK_DAYS)}",
+    )
+
+    # Determinism: merged output is independent of the worker count.
+    for jobs in JOB_COUNTS[1:]:
+        assert summaries[jobs] == summaries[1], f"jobs={jobs} diverged from serial"
+
+    # Scaling: only meaningful when the hardware can actually run 4 workers.
+    if cores >= 4:
+        assert wall[1] / wall[4] > 1.8, (
+            f"expected >1.8x speedup at 4 workers, got {wall[1] / wall[4]:.2f}x"
+        )

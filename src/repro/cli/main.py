@@ -26,6 +26,23 @@ from repro.workload.regions import REGION_NAMES
 _DEFAULT_REGIONS = ",".join(REGION_NAMES)
 
 
+def _positive_int(flag: str):
+    def parse(value: str) -> int:
+        count = int(value)
+        if count < 1:
+            raise argparse.ArgumentTypeError(f"{flag} must be >= 1")
+        return count
+
+    return parse
+
+
+def _chunk_days_arg(value: str) -> int:
+    days = int(value)
+    if days < 0:
+        raise argparse.ArgumentTypeError("--chunk-days must be >= 0 (0 = whole horizon)")
+    return days
+
+
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     source = parser.add_argument_group("dataset")
     source.add_argument(
@@ -40,6 +57,14 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
                         help="trace horizon in days (the paper spans 31)")
     source.add_argument("--scale", type=float, default=0.2,
                         help="function-count scale factor (rates stay real)")
+    runtime = parser.add_argument_group("runtime (sharded execution)")
+    runtime.add_argument("--jobs", "-j", type=_positive_int("--jobs"), default=1,
+                         metavar="N",
+                         help="worker processes for sharded execution "
+                              "(default 1 = in-process)")
+    runtime.add_argument("--chunk-days", type=_chunk_days_arg, default=0, metavar="D",
+                         help="shard each region's horizon into D-day windows "
+                              "(bounded memory per worker; 0 = whole horizon)")
 
 
 def _load_study(args: argparse.Namespace) -> TraceStudy:
@@ -55,9 +80,11 @@ def _load_study(args: argparse.Namespace) -> TraceStudy:
     regions = tuple(name.strip() for name in args.regions.split(",") if name.strip())
     started = time.time()
     study = TraceStudy.generate(
-        regions=regions, seed=args.seed, days=args.days, scale=args.scale
+        regions=regions, seed=args.seed, days=args.days, scale=args.scale,
+        jobs=args.jobs, chunk_days=args.chunk_days or None,
     )
-    print(f"generated {len(regions)} region(s) in {time.time() - started:.1f}s",
+    print(f"generated {len(regions)} region(s) in {time.time() - started:.1f}s "
+          f"(jobs={args.jobs})",
           file=sys.stderr)
     return study
 
@@ -68,13 +95,15 @@ def _load_study(args: argparse.Namespace) -> TraceStudy:
 def cmd_generate(args: argparse.Namespace) -> int:
     regions = tuple(name.strip() for name in args.regions.split(",") if name.strip())
     bundles = generate_multi_region(
-        regions, seed=args.seed, days=args.days, scale=args.scale
+        regions, seed=args.seed, days=args.days, scale=args.scale,
+        jobs=args.jobs, chunk_days=args.chunk_days or None,
     )
     out_root = Path(args.output)
     hasher = IdHasher(salt=str(args.seed)) if args.anonymize else None
     rows = []
     for name, bundle in bundles.items():
-        directory = save_bundle(bundle, out_root / name, hasher=hasher)
+        directory = save_bundle(bundle, out_root / name, hasher=hasher,
+                                fmt=args.format)
         row = {"region": name, "path": str(directory)}
         row.update(bundle.summary())
         rows.append(row)
@@ -159,48 +188,43 @@ _MITIGATION_POLICIES = ("baseline", "timer-prewarm", "histogram-prewarm",
                         "dynamic-keepalive", "peak-shaving")
 
 
+#: Default function groups per mitigation run. Fixed (never derived from
+#: --jobs) so any worker count replays the identical shard plan and merges
+#: to identical headline metrics.
+_EVAL_GROUPS = 8
+
+
 def cmd_mitigate(args: argparse.Namespace) -> int:
-    from repro.mitigation import (
-        AsyncPeakShaver,
-        DynamicKeepAlive,
-        HistogramPrewarmPolicy,
-        RegionEvaluator,
-        TimerPrewarmPolicy,
-        build_workload,
-    )
+    from repro.runtime import evaluate_policies
 
     region = args.regions.split(",")[0].strip()
-    profile, traces = build_workload(
-        region, seed=args.seed, days=args.days, scale=args.scale
-    )
-    print(
-        f"replaying {sum(t.arrivals.size for t in traces)} requests over "
-        f"{len(traces)} {region} functions",
-        file=sys.stderr,
-    )
     wanted = args.policy or list(_MITIGATION_POLICIES)
     unknown = [p for p in wanted if p not in _MITIGATION_POLICIES]
     if unknown:
         raise SystemExit(f"unknown policies {unknown}; available: {_MITIGATION_POLICIES}")
+    if args.chunk_days:
+        print(
+            "note: --chunk-days shards trace *generation*; mitigate shards by "
+            "function group and ignores it",
+            file=sys.stderr,
+        )
 
-    def evaluator(policy: str) -> RegionEvaluator:
-        if policy == "timer-prewarm":
-            return RegionEvaluator(profile, prewarm_policy=TimerPrewarmPolicy(), seed=1)
-        if policy == "histogram-prewarm":
-            return RegionEvaluator(
-                profile,
-                prewarm_policy=HistogramPrewarmPolicy(threshold=0.35, min_observations=30),
-                seed=1,
-            )
-        if policy == "dynamic-keepalive":
-            return RegionEvaluator(profile, keepalive_policy=DynamicKeepAlive(), seed=1)
-        if policy == "peak-shaving":
-            return RegionEvaluator(
-                profile, peak_shaver=AsyncPeakShaver(max_delay_s=120.0), seed=1
-            )
-        return RegionEvaluator(profile, seed=1)
-
-    rows = [evaluator(policy).run(traces, name=policy).summary() for policy in wanted]
+    merged = evaluate_policies(
+        region,
+        wanted,
+        seed=args.seed,
+        days=args.days,
+        scale=args.scale,
+        jobs=args.jobs,
+        n_groups=args.eval_shards,
+    )
+    first = next(iter(merged.values()))
+    print(
+        f"replayed {first.requests} {region} requests per policy "
+        f"({args.eval_shards} function-group shard(s), jobs={args.jobs})",
+        file=sys.stderr,
+    )
+    rows = [merged[policy].summary() for policy in wanted]
     print(format_table(rows))
     return 0
 
@@ -236,6 +260,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="directory receiving one subdirectory per region")
     generate.add_argument("--anonymize", action="store_true",
                           help="hash all ids on export (one-way, like the release)")
+    generate.add_argument("--format", choices=("csv", "npz"), default="csv",
+                          help="on-disk table format (npz: fast binary round "
+                               "trip; csv: the release's text format)")
     generate.set_defaults(func=cmd_generate)
 
     analyze = commands.add_parser(
@@ -278,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(mitigate)
     mitigate.add_argument("--policy", "-p", action="append",
                           metavar="NAME", help="policy name (repeatable); default: all")
+    mitigate.add_argument("--eval-shards", type=_positive_int("--eval-shards"),
+                          default=_EVAL_GROUPS,
+                          metavar="G",
+                          help="function-group shards per replay (fixed per "
+                               "run, so any --jobs merges identically; 1 "
+                               "reproduces the unsharded evaluator exactly)")
     mitigate.set_defaults(func=cmd_mitigate)
 
     return parser

@@ -42,6 +42,18 @@ class Platform:
             profile.name: Region(profile, self.rngs, **region_kwargs)
             for profile in profiles
         }
+        if isinstance(inter_region_latency_s, dict):
+            # Fail at construction, not deep inside a routing decision:
+            # every dict entry must name two known regions, and a pair's
+            # latency may be given in either orientation (symmetric).
+            for src, dst in inter_region_latency_s:
+                unknown = [name for name in (src, dst) if name not in self.regions]
+                if unknown:
+                    raise ValueError(
+                        f"inter_region_latency_s entry {(src, dst)!r} names "
+                        f"unknown region(s) {unknown}; platform has "
+                        f"{sorted(self.regions)}"
+                    )
         self._latency = inter_region_latency_s
 
     def region(self, name: str) -> Region:
@@ -56,7 +68,20 @@ class Platform:
         return list(self.regions)
 
     def inter_region_latency(self, src: str, dst: str) -> float:
-        """One-way network latency between two regions (0 within a region)."""
+        """One-way network latency between two regions (0 within a region).
+
+        Both endpoints must be regions of this platform — an unknown name
+        raises immediately with the known set, instead of silently routing
+        with the default latency and failing far from the typo. Dict
+        overrides are symmetric: ``(src, dst)`` falls back to ``(dst,
+        src)``, then to the platform default for pairs not listed.
+        """
+        for name in (src, dst):
+            if name not in self.regions:
+                raise KeyError(
+                    f"unknown region {name!r} in latency lookup; have "
+                    f"{sorted(self.regions)}"
+                )
         if src == dst:
             return 0.0
         if isinstance(self._latency, dict):

@@ -60,9 +60,20 @@ class TraceStudy:
         seed: int = 0,
         days: int = 31,
         scale: float = 1.0,
+        jobs: int = 1,
+        chunk_days: int | None = None,
     ) -> "TraceStudy":
-        """Generate fresh synthetic traces and wrap them."""
-        return cls(generate_multi_region(regions, seed=seed, days=days, scale=scale))
+        """Generate fresh synthetic traces and wrap them.
+
+        ``jobs``/``chunk_days`` shard the generation across worker
+        processes along (region, day-window) — see :mod:`repro.runtime`.
+        """
+        return cls(
+            generate_multi_region(
+                regions, seed=seed, days=days, scale=scale,
+                jobs=jobs, chunk_days=chunk_days,
+            )
+        )
 
     def region(self, name: str) -> TraceBundle:
         try:

@@ -22,7 +22,11 @@ routing, on-demand pod allocation):
 """
 
 from repro.mitigation.base import EvalMetrics, PeakShaver, PrewarmPolicy
-from repro.mitigation.evaluator import RegionEvaluator, build_workload
+from repro.mitigation.evaluator import (
+    RegionEvaluator,
+    build_workload,
+    build_workload_shard,
+)
 from repro.mitigation.keepalive import DynamicKeepAlive
 from repro.mitigation.prewarm import (
     HistogramPrewarmPolicy,
@@ -46,6 +50,7 @@ __all__ = [
     "PeakShaver",
     "RegionEvaluator",
     "build_workload",
+    "build_workload_shard",
     "DynamicKeepAlive",
     "NoPrewarm",
     "HistogramPrewarmPolicy",

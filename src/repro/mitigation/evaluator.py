@@ -42,6 +42,34 @@ def build_workload(
     return profile, generator.function_traces()
 
 
+def build_workload_shard(
+    region: str | RegionProfile,
+    seed: int = 0,
+    days: int = 3,
+    scale: float = 0.3,
+    group: int = 0,
+    n_groups: int = 1,
+) -> tuple[RegionProfile, list[FunctionTrace]]:
+    """One function-group shard of :func:`build_workload`.
+
+    The population is sampled in full (cheap, and required so every shard
+    agrees on it), then traces are generated only for functions whose
+    population index satisfies ``index % n_groups == group``. Because
+    arrival streams are addressed per function id, each shard's traces are
+    bit-identical to the corresponding subset of the unsharded workload,
+    and the union over all groups is exactly :func:`build_workload`.
+    """
+    if not 0 <= group < n_groups:
+        raise ValueError(f"group must be in [0, {n_groups}), got {group}")
+    profile = REGION_PROFILES[region] if isinstance(region, str) else region
+    if scale != 1.0:
+        profile = profile.scaled(scale)
+    generator = WorkloadGenerator(profile, seed=seed, days=days)
+    specs = generator.population()
+    subset = [spec for i, spec in enumerate(specs) if i % n_groups == group]
+    return profile, generator.function_traces_for(subset)
+
+
 @dataclass
 class _Pod:
     """Lightweight pod record inside the evaluator."""

@@ -1,0 +1,75 @@
+"""Sharded parallel runtime: chunked trace streaming + multi-process execution.
+
+The paper's trace covers 85 billion requests; a single process materialising
+whole :class:`~repro.trace.tables.TraceBundle` objects cannot approach that.
+This subsystem makes every experiment *embarrassingly parallel* along its
+natural axes:
+
+* :mod:`~repro.runtime.shards` — deterministic shard plans along
+  (region, day-window) for generation and (region, function-group) for
+  policy evaluation, each shard carrying a derived seed;
+* :mod:`~repro.runtime.executor` — serial and process-pool execution with
+  plan-order results (``--jobs N`` never changes merged output);
+* :mod:`~repro.runtime.stream` — bounded-memory chunk production,
+  spilling, and lazy re-consumption;
+* :mod:`~repro.runtime.merge` — associative reducers with documented
+  per-metric equality guarantees.
+"""
+
+from repro.runtime.executor import (
+    EvaluationTask,
+    ParallelExecutor,
+    evaluate_policies,
+    make_policy_evaluator,
+    run_evaluation_shard,
+    run_generation_shard,
+)
+from repro.runtime.merge import (
+    StreamingSummary,
+    merge_bundles,
+    merge_counts,
+    merge_eval_metrics,
+    merge_registries,
+)
+from repro.runtime.shards import (
+    MAX_WINDOWS,
+    WINDOW_ID_STRIDE,
+    ShardPlan,
+    ShardSpec,
+    partition_days,
+)
+from repro.runtime.stream import (
+    ChunkedBundleWriter,
+    TraceChunk,
+    iter_bundle_chunks,
+    iter_saved_chunks,
+    iter_table_chunks,
+    load_chunked_bundle,
+    stream_generation,
+)
+
+__all__ = [
+    "ChunkedBundleWriter",
+    "EvaluationTask",
+    "MAX_WINDOWS",
+    "ParallelExecutor",
+    "ShardPlan",
+    "ShardSpec",
+    "StreamingSummary",
+    "TraceChunk",
+    "WINDOW_ID_STRIDE",
+    "evaluate_policies",
+    "iter_bundle_chunks",
+    "iter_saved_chunks",
+    "iter_table_chunks",
+    "load_chunked_bundle",
+    "make_policy_evaluator",
+    "merge_bundles",
+    "merge_counts",
+    "merge_eval_metrics",
+    "merge_registries",
+    "partition_days",
+    "run_evaluation_shard",
+    "run_generation_shard",
+    "stream_generation",
+]

@@ -1,0 +1,219 @@
+"""Shard execution: serial and multi-process backends plus shard runners.
+
+:class:`ParallelExecutor` maps a task function over shards with a fixed
+result order, so merged outputs never depend on completion order. The
+worker entry points (:func:`run_generation_shard`,
+:func:`run_evaluation_shard`) are module-level functions — the process-pool
+backend pickles only the :class:`~repro.runtime.shards.ShardSpec`, never
+closures or trace data, and each worker rebuilds its shard from the spec's
+derived seeds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.mitigation.base import EvalMetrics
+from repro.runtime.shards import WINDOW_ID_STRIDE, ShardSpec
+from repro.trace.tables import TraceBundle
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.regions import REGION_PROFILES
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the loaded library) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class ParallelExecutor:
+    """Runs shard tasks serially (``jobs=1``) or on a process pool.
+
+    Results always come back in *input order* regardless of backend — the
+    guarantee sharded determinism rests on.
+    """
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def imap(self, fn: Callable, items: Sequence) -> Iterator:
+        """Yield ``fn(item)`` per item, in input order, streaming.
+
+        Submission is windowed: at most ``jobs + 1`` futures are
+        outstanding, so results a slow consumer has not drained yet never
+        pile up in the parent — the bounded-memory property
+        :func:`~repro.runtime.stream.stream_generation` advertises.
+        """
+        items = list(items)
+        if not items:
+            return
+        if self.jobs == 1 or len(items) == 1:
+            for item in items:
+                yield fn(item)
+            return
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            pending = deque(
+                pool.submit(fn, item) for item in items[: workers + 1]
+            )
+            next_index = workers + 1
+            while pending:
+                result = pending.popleft().result()
+                if next_index < len(items):
+                    pending.append(pool.submit(fn, items[next_index]))
+                    next_index += 1
+                yield result
+
+    def run(self, fn: Callable, items: Sequence) -> list:
+        """Map ``fn`` over ``items``; list of results in input order."""
+        return list(self.imap(fn, items))
+
+
+# --- worker entry points ---------------------------------------------------
+
+
+def _shard_profile(spec: ShardSpec):
+    try:
+        profile = REGION_PROFILES[spec.region]
+    except KeyError:
+        raise KeyError(
+            f"unknown region {spec.region!r}; sharded execution addresses "
+            f"regions by name ({sorted(REGION_PROFILES)})"
+        ) from None
+    return profile.scaled(spec.scale) if spec.scale != 1.0 else profile
+
+
+def run_generation_shard(spec: ShardSpec) -> TraceBundle:
+    """Generate one (region, day-window) shard as a :class:`TraceBundle`."""
+    generator = WorkloadGenerator(
+        _shard_profile(spec),
+        seed=spec.seed,
+        days=spec.n_days,
+        keepalive_s=spec.keepalive_s,
+        start_day=spec.start_day,
+        id_offset=spec.id_offset,
+        windowed=spec.n_windows > 1,
+    )
+    bundle = generator.generate()
+    if spec.n_windows > 1 and (
+        len(bundle.requests) >= WINDOW_ID_STRIDE or len(bundle.pods) >= WINDOW_ID_STRIDE
+    ):
+        raise RuntimeError(
+            f"shard {spec.describe()} produced "
+            f"{max(len(bundle.requests), len(bundle.pods))} rows, exceeding the "
+            f"per-window id capacity of {WINDOW_ID_STRIDE}; merged ids would "
+            f"collide — lower --scale or raise --chunk-days"
+        )
+    return bundle
+
+
+@dataclass(frozen=True)
+class EvaluationTask:
+    """A function-group shard plus the policies to replay over it."""
+
+    spec: ShardSpec
+    policies: tuple[str, ...]
+    horizon_s: float | None = None
+
+
+def make_policy_evaluator(profile, policy: str, seed: int):
+    """Build the §5 evaluator configuration named ``policy``."""
+    from repro.mitigation import (
+        AsyncPeakShaver,
+        DynamicKeepAlive,
+        HistogramPrewarmPolicy,
+        RegionEvaluator,
+        TimerPrewarmPolicy,
+    )
+
+    if policy == "timer-prewarm":
+        return RegionEvaluator(profile, prewarm_policy=TimerPrewarmPolicy(), seed=seed)
+    if policy == "histogram-prewarm":
+        return RegionEvaluator(
+            profile,
+            prewarm_policy=HistogramPrewarmPolicy(threshold=0.35, min_observations=30),
+            seed=seed,
+        )
+    if policy == "dynamic-keepalive":
+        return RegionEvaluator(profile, keepalive_policy=DynamicKeepAlive(), seed=seed)
+    if policy == "peak-shaving":
+        return RegionEvaluator(
+            profile, peak_shaver=AsyncPeakShaver(max_delay_s=120.0), seed=seed
+        )
+    if policy == "baseline":
+        return RegionEvaluator(profile, seed=seed)
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def run_evaluation_shard(task: EvaluationTask) -> dict[str, EvalMetrics]:
+    """Replay one function group under every requested policy.
+
+    The shard generates its group's traces once (arrival streams are
+    addressed per function id, so they equal the unsharded traces exactly)
+    and replays them under each policy with the shard-derived evaluator
+    seed.
+    """
+    from repro.mitigation.evaluator import build_workload_shard
+
+    spec = task.spec
+    profile, traces = build_workload_shard(
+        spec.region,
+        seed=spec.seed,
+        days=spec.n_days,
+        scale=spec.scale,
+        group=spec.group,
+        n_groups=spec.n_groups,
+    )
+    out: dict[str, EvalMetrics] = {}
+    for policy in task.policies:
+        evaluator = make_policy_evaluator(profile, policy, seed=spec.shard_seed)
+        out[policy] = evaluator.run(traces, horizon_s=task.horizon_s, name=policy)
+    return out
+
+
+def evaluate_policies(
+    region: str,
+    policies: Sequence[str],
+    seed: int = 0,
+    days: int = 3,
+    scale: float = 0.3,
+    jobs: int = 1,
+    n_groups: int = 8,
+    eval_seed: int = 1,
+    horizon_s: float | None = None,
+) -> dict[str, EvalMetrics]:
+    """Sharded policy evaluation: merge per-policy metrics over all groups.
+
+    The shard plan depends only on ``(region, seed, days, scale, n_groups,
+    eval_seed)`` — never on ``jobs`` — so any worker count yields identical
+    merged metrics. See :mod:`repro.runtime.merge` for per-metric equality
+    guarantees against an unsharded replay.
+
+    ``horizon_s=None`` lets each shard close out at its own last arrival
+    (the evaluator's default), matching the unsharded pod-time accounting;
+    a shard's horizon depends only on its traces, never on ``jobs``.
+    """
+    from repro.runtime.merge import merge_eval_metrics
+    from repro.runtime.shards import ShardPlan
+
+    plan = ShardPlan.for_evaluation(
+        region, seed=seed, days=days, scale=scale, n_groups=n_groups,
+        eval_seed=eval_seed,
+    )
+    tasks = [
+        EvaluationTask(spec=spec, policies=tuple(policies), horizon_s=horizon_s)
+        for spec in plan
+    ]
+    parts = ParallelExecutor(jobs=jobs).run(run_evaluation_shard, tasks)
+    return {
+        policy: merge_eval_metrics([part[policy] for part in parts], name=policy)
+        for policy in policies
+    }

@@ -1,0 +1,240 @@
+"""Associative reducers turning shard results into whole-experiment results.
+
+Every reducer here is associative and order-insensitive in its *semantics*
+(list-like fields are concatenated in the given order, which the executor
+fixes to plan order), so ``merge(merge(a, b), c) == merge(a, merge(b, c))``
+and a ``--jobs 1`` run merges to exactly the same result as ``--jobs N``.
+
+Equality guarantees of a *sharded* run against an *unsharded* run:
+
+=====================  ======================================================
+Metric                 Guarantee
+=====================  ======================================================
+requests, functions    exact for function-group shards; day-window shards
+                       regenerate arrivals per window (statistically
+                       equivalent volume, boundary sessions truncated).
+cold-start counts      function-group shards replay identical arrivals (the
+                       evaluator is function-centric), so counts match an
+                       unsharded replay in practice — not provably exactly:
+                       a shard-local cold-duration draw can flip a
+                       queue-behind-initialising-pod decision. Day-window
+                       shards add at most one extra cold start per function
+                       per boundary.
+cold-start latencies   statistically equivalent: shards draw from the same
+                       latency model but estimate congestion shard-locally.
+pod_seconds            exact up to boundary pods (windows) / closeout (groups).
+peak_pods              exact at tick times where all shards still tick
+                       (pods_series are summed element-wise); tail ticks of
+                       longer-running shards count the others as drained.
+unique users/pods      exact (set union, see StreamingSummary).
+=====================  ======================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from numbers import Number
+
+import numpy as np
+
+from repro.mitigation.base import EvalMetrics
+from repro.sim.metrics import MetricRegistry
+from repro.trace.tables import FunctionTable, PodTable, RequestTable, TraceBundle
+
+
+def dedupe_functions(tables: Sequence[FunctionTable]) -> FunctionTable:
+    """Union of function tables, keeping each id's first occurrence."""
+    merged = FunctionTable.concat(tables)
+    if not len(merged):
+        return merged
+    _, first = np.unique(merged["function"], return_index=True)
+    return merged.filter(np.sort(first))
+
+
+def merge_bundles(parts: Sequence[TraceBundle]) -> TraceBundle:
+    """Merge day-window shards of one region into a single bundle.
+
+    Requests and pods are concatenated and re-sorted by timestamp; the
+    function table is the union over windows (a function appears in every
+    window it had arrivals in). Merging a single part returns it unchanged.
+    """
+    if not parts:
+        raise ValueError("need at least one bundle to merge")
+    if len(parts) == 1:
+        return parts[0]
+    regions = {part.region for part in parts}
+    if len(regions) != 1:
+        raise ValueError(f"cannot merge bundles of different regions: {sorted(regions)}")
+    parts = sorted(parts, key=lambda p: int(p.meta.get("start_day", 0)))
+
+    requests = RequestTable.concat([p.requests for p in parts]).sort_by("timestamp_ms")
+    pods = PodTable.concat([p.pods for p in parts]).sort_by("timestamp_ms")
+    functions = dedupe_functions([p.functions for p in parts])
+
+    meta = dict(parts[0].meta)
+    meta["days"] = int(sum(int(p.meta.get("days", 0)) for p in parts))
+    meta["start_day"] = int(parts[0].meta.get("start_day", 0))
+    meta["merged_shards"] = len(parts)
+    return TraceBundle(
+        region=parts[0].region,
+        requests=requests,
+        pods=pods,
+        functions=functions,
+        meta=meta,
+    )
+
+
+def _sum_aligned(series: Iterable[Sequence[float]]) -> list:
+    """Element-wise sum of sequences, right-padding shorter ones with zero."""
+    arrays = [np.asarray(s, dtype=np.float64) for s in series if len(s)]
+    if not arrays:
+        return []
+    length = max(a.size for a in arrays)
+    total = np.zeros(length, dtype=np.float64)
+    for a in arrays:
+        total[: a.size] += a
+    return total.tolist()
+
+
+def merge_eval_metrics(
+    parts: Sequence[EvalMetrics], name: str | None = None
+) -> EvalMetrics:
+    """Reduce per-shard :class:`EvalMetrics` into experiment totals.
+
+    Counters and cost accumulators sum; latency samples concatenate in the
+    given (plan) order; per-tick pod gauges sum element-wise (shards tick on
+    the same absolute grid), and ``peak_pods`` is recomputed from the summed
+    series so re-merging stays associative.
+    """
+    if not parts:
+        raise ValueError("need at least one EvalMetrics to merge")
+    merged = EvalMetrics(name=name if name is not None else parts[0].name)
+    for part in parts:
+        merged.requests += part.requests
+        merged.cold_starts += part.cold_starts
+        merged.warm_hits += part.warm_hits
+        merged.prewarm_hits += part.prewarm_hits
+        merged.cold_wait_s.extend(part.cold_wait_s)
+        merged.cold_start_times.extend(part.cold_start_times)
+        merged.delayed_requests += part.delayed_requests
+        merged.total_delay_s += part.total_delay_s
+        merged.pod_seconds += part.pod_seconds
+        merged.prewarm_creations += part.prewarm_creations
+        merged.prewarm_pod_seconds += part.prewarm_pod_seconds
+    merged.pods_series = _sum_aligned(part.pods_series for part in parts)
+    merged.peak_pods = (
+        int(max(merged.pods_series)) if merged.pods_series
+        else max(part.peak_pods for part in parts)
+    )
+    return merged
+
+
+def merge_registries(parts: Sequence[MetricRegistry]) -> MetricRegistry:
+    """Reduce per-shard :class:`MetricRegistry` instances.
+
+    Counters and histogram samples merge exactly. Gauges sum their values
+    (the additive reading for disjoint shards, e.g. warm-pod counts);
+    summed ``max_seen``/``min_seen`` are therefore *bounds* on the combined
+    extremes, exact only when shards move in lockstep. Time series
+    concatenate their (time, value) points — binned reads are
+    order-insensitive.
+    """
+    if not parts:
+        raise ValueError("need at least one MetricRegistry to merge")
+    merged = MetricRegistry()
+    for part in parts:
+        for name, counter in part.counters.items():
+            merged.counter(name).inc(counter.value)
+        for name, hist in part.histograms.items():
+            merged.histogram(name).extend(hist.values())
+        for name, series in part.series.items():
+            times, values = series.arrays()
+            target = merged.timeseries(name)
+            for t, v in zip(times, values):
+                target.record(t, v)
+    for name in {n for part in parts for n in part.gauges}:
+        gauges = [part.gauges[name] for part in parts if name in part.gauges]
+        merged_gauge = merged.gauge(name)
+        merged_gauge.value = float(sum(g.value for g in gauges))
+        merged_gauge.max_seen = float(sum(g.max_seen for g in gauges))
+        merged_gauge.min_seen = float(sum(g.min_seen for g in gauges))
+    return merged
+
+
+def merge_counts(parts: Sequence[dict]) -> dict:
+    """Sum numeric values per key across dicts (recursing into sub-dicts).
+
+    The generic reducer for count-style analysis aggregates (requests per
+    category, cold starts per runtime, ...). Non-numeric values must agree
+    across parts and pass through unchanged.
+    """
+    merged: dict = {}
+    for part in parts:
+        for key, value in part.items():
+            if key not in merged:
+                merged[key] = dict(value) if isinstance(value, dict) else value
+            elif isinstance(value, dict):
+                merged[key] = merge_counts([merged[key], value])
+            elif isinstance(value, Number) and not isinstance(value, bool):
+                merged[key] = merged[key] + value
+            elif merged[key] != value:
+                raise ValueError(
+                    f"non-numeric key {key!r} disagrees across parts: "
+                    f"{merged[key]!r} != {value!r}"
+                )
+    return merged
+
+
+class StreamingSummary:
+    """Bounded-memory accumulator for :meth:`TraceBundle.summary` totals.
+
+    Consumes whole bundles or streamed chunks; holds only per-entity id
+    sets (functions, users, pods — orders of magnitude smaller than rows).
+    ``merge`` is associative, so shard summaries reduce in any grouping.
+    """
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.cold_starts = 0
+        self._functions: set[int] = set()
+        self._users: set[int] = set()
+        self._pods: set[int] = set()
+
+    def update(
+        self, requests: RequestTable | None = None, pods: PodTable | None = None
+    ) -> "StreamingSummary":
+        if requests is not None and len(requests):
+            self.requests += len(requests)
+            self._users.update(np.unique(requests["user"]).tolist())
+            self._functions.update(np.unique(requests["function"]).tolist())
+        if pods is not None and len(pods):
+            self.cold_starts += len(pods)
+            self._pods.update(np.unique(pods["pod_id"]).tolist())
+        return self
+
+    def update_bundle(self, bundle: TraceBundle) -> "StreamingSummary":
+        return self.update(requests=bundle.requests, pods=bundle.pods)
+
+    def merge(self, other: "StreamingSummary") -> "StreamingSummary":
+        out = StreamingSummary()
+        out.requests = self.requests + other.requests
+        out.cold_starts = self.cold_starts + other.cold_starts
+        out._functions = self._functions | other._functions
+        out._users = self._users | other._users
+        out._pods = self._pods | other._pods
+        return out
+
+    def result(self) -> dict[str, int]:
+        """Same keys as :meth:`TraceBundle.summary`.
+
+        ``functions`` counts functions observed in the request stream (the
+        bundle summary counts the metadata table, which may also list
+        functions without requests in a window).
+        """
+        return {
+            "requests": self.requests,
+            "cold_starts": self.cold_starts,
+            "functions": len(self._functions),
+            "pods": len(self._pods),
+            "users": len(self._users),
+        }

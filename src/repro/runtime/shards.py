@@ -1,0 +1,211 @@
+"""Shard planning: partition an experiment into independent units of work.
+
+A :class:`ShardPlan` splits a generation or policy-evaluation job along its
+natural parallel axes and stamps every :class:`ShardSpec` with a seed derived
+from :class:`~repro.sim.rng.RngFactory`, so results depend only on the plan —
+never on worker count or scheduling order:
+
+* **Generation** shards along (region, day-window). Each window re-samples
+  the identical function population (the population stream is window
+  independent) and draws its arrivals from window-scoped streams, so windows
+  are independent yet reproducible. ``chunk_days=None`` shards along regions
+  only, which merges back to the exact serial output.
+* **Evaluation** shards along (region, function-group). The policy evaluator
+  is function-centric (pods never shared across functions), so a group
+  replays exactly the arrivals those functions see in an unsharded replay;
+  congestion-coupled latency magnitudes are estimated group-locally, which
+  leaves cold-start counts matching the unsharded replay in practice (see
+  :mod:`repro.runtime.merge` for the precise per-metric guarantees).
+
+The same plan executed with ``--jobs 1`` and ``--jobs N`` produces identical
+merged results — determinism is a property of the plan, parallelism only of
+the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.lifecycle import DEFAULT_KEEPALIVE_S
+from repro.sim.rng import RngFactory
+
+#: Pod/request-id offset between consecutive day windows of one region. With
+#: the generator's per-region id stride of 1e9, this supports up to 33
+#: windows of up to 30 M pods/requests each — far beyond the library's
+#: laptop-scale horizons (31 one-day windows at full scale stay ~1000x
+#: below the per-window capacity).
+WINDOW_ID_STRIDE = 30_000_000
+
+#: Maximum day windows per region (id-space limit, see WINDOW_ID_STRIDE).
+MAX_WINDOWS = 33
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One independent unit of work inside a sharded experiment.
+
+    Attributes:
+        index: global ordinal in the plan (merge order).
+        region: region name (``"R1"``..``"R5"``).
+        start_day: first absolute trace day covered by this shard.
+        n_days: day-window length.
+        window_index: ordinal of the day window within the region.
+        seed: the experiment's root seed (population identity).
+        shard_seed: seed derived from (seed, region, window, group) via
+            :meth:`~repro.sim.rng.RngFactory.derive_seed`; used where a
+            shard needs private RNG state (e.g. the shard evaluator).
+        scale: function-count scale factor.
+        keepalive_s: pod keep-alive passed to the generator.
+        group: function-group ordinal (evaluation shards).
+        n_groups: total function groups (1 = no function sharding).
+        n_windows: total day windows in the plan. 1 means the legacy
+            whole-horizon sampling path (bit-identical to serial); more
+            switches every window — including day 0 — to windowed arrival
+            sampling so boundary semantics are uniform across seams.
+    """
+
+    index: int
+    region: str
+    start_day: int
+    n_days: int
+    window_index: int
+    seed: int
+    shard_seed: int
+    scale: float = 1.0
+    keepalive_s: float = DEFAULT_KEEPALIVE_S
+    group: int = 0
+    n_groups: int = 1
+    n_windows: int = 1
+
+    @property
+    def id_offset(self) -> int:
+        """Pod/request-id offset keeping ids unique across a region's windows."""
+        return self.window_index * WINDOW_ID_STRIDE
+
+    def describe(self) -> str:
+        label = f"{self.region}/d{self.start_day}+{self.n_days}"
+        if self.n_groups > 1:
+            label += f"/g{self.group}of{self.n_groups}"
+        return label
+
+
+def partition_days(days: int, chunk_days: int | None) -> list[tuple[int, int]]:
+    """Split ``days`` into ``(start_day, n_days)`` windows of ``chunk_days``.
+
+    ``None`` or a chunk covering the whole horizon yields one window. The
+    last window absorbs the remainder (it may be shorter).
+    """
+    if days <= 0:
+        raise ValueError("days must be positive")
+    if chunk_days is None or chunk_days >= days:
+        return [(0, days)]
+    if chunk_days <= 0:
+        raise ValueError("chunk_days must be positive")
+    windows = [
+        (start, min(chunk_days, days - start))
+        for start in range(0, days, chunk_days)
+    ]
+    if len(windows) > MAX_WINDOWS:
+        raise ValueError(
+            f"{len(windows)} windows exceed the id-space limit of {MAX_WINDOWS}; "
+            f"raise chunk_days (>= {-(-days // MAX_WINDOWS)})"
+        )
+    return windows
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An ordered, deterministic set of :class:`ShardSpec`."""
+
+    shards: tuple[ShardSpec, ...]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def by_region(self) -> dict[str, list[ShardSpec]]:
+        out: dict[str, list[ShardSpec]] = {}
+        for spec in self.shards:
+            out.setdefault(spec.region, []).append(spec)
+        return out
+
+    @classmethod
+    def for_generation(
+        cls,
+        regions: tuple[str, ...],
+        seed: int = 0,
+        days: int = 31,
+        chunk_days: int | None = None,
+        scale: float = 1.0,
+        keepalive_s: float = DEFAULT_KEEPALIVE_S,
+    ) -> "ShardPlan":
+        """Shard trace generation along (region, day-window)."""
+        if not regions:
+            raise ValueError("need at least one region")
+        rngs = RngFactory(seed)
+        windows = partition_days(days, chunk_days)
+        shards: list[ShardSpec] = []
+        for region in regions:
+            for window_index, (start_day, n_days) in enumerate(windows):
+                shards.append(
+                    ShardSpec(
+                        index=len(shards),
+                        region=region,
+                        start_day=start_day,
+                        n_days=n_days,
+                        window_index=window_index,
+                        seed=seed,
+                        shard_seed=rngs.derive_seed(
+                            f"shard/{region}/d{start_day}+{n_days}"
+                        ),
+                        scale=scale,
+                        keepalive_s=keepalive_s,
+                        n_windows=len(windows),
+                    )
+                )
+        return cls(shards=tuple(shards), seed=seed)
+
+    @classmethod
+    def for_evaluation(
+        cls,
+        region: str,
+        seed: int = 0,
+        days: int = 3,
+        scale: float = 0.3,
+        n_groups: int = 8,
+        eval_seed: int = 1,
+    ) -> "ShardPlan":
+        """Shard policy evaluation along function groups of one region.
+
+        ``eval_seed`` feeds the shard-seed derivation (the evaluator's RNG
+        is traditionally seeded separately from the workload's). With
+        ``n_groups=1`` the single shard uses ``eval_seed`` itself, so the
+        run reproduces an unsharded ``RegionEvaluator(profile,
+        seed=eval_seed)`` replay bit for bit.
+        """
+        if n_groups <= 0:
+            raise ValueError("n_groups must be positive")
+        rngs = RngFactory(eval_seed)
+        shards = tuple(
+            ShardSpec(
+                index=group,
+                region=region,
+                start_day=0,
+                n_days=days,
+                window_index=0,
+                seed=seed,
+                shard_seed=(
+                    eval_seed
+                    if n_groups == 1
+                    else rngs.derive_seed(f"eval/{region}/g{group}of{n_groups}")
+                ),
+                scale=scale,
+                group=group,
+                n_groups=n_groups,
+            )
+            for group in range(n_groups)
+        )
+        return cls(shards=shards, seed=seed)

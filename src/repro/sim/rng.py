@@ -61,6 +61,19 @@ class RngFactory:
         """
         return np.random.Generator(np.random.PCG64(_path_seed(self._seed, path)))
 
+    def derive_seed(self, path: str) -> int:
+        """Derive an integer root seed for a child experiment or worker.
+
+        Sharded runs (:mod:`repro.runtime`) hand each shard its own root
+        seed so workers never share or coordinate RNG state. The derivation
+        depends only on the (root seed, path) pair — the same shard always
+        receives the same seed regardless of worker count or schedule.
+        """
+        digest = hashlib.blake2b(
+            f"{self._seed}:{path}".encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
+
     def child(self, prefix: str) -> "ScopedRng":
         """A view that prepends ``prefix/`` to every stream path."""
         return ScopedRng(self, prefix)
@@ -85,6 +98,9 @@ class ScopedRng:
 
     def fresh(self, path: str) -> np.random.Generator:
         return self._factory.fresh(f"{self._prefix}/{path}")
+
+    def derive_seed(self, path: str) -> int:
+        return self._factory.derive_seed(f"{self._prefix}/{path}")
 
     def child(self, prefix: str) -> "ScopedRng":
         return ScopedRng(self._factory, f"{self._prefix}/{prefix}")

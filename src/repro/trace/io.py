@@ -1,8 +1,13 @@
-"""Trace import/export: CSV (optionally gzipped) and JSONL round trips.
+"""Trace import/export: CSV (optionally gzipped), JSONL, and binary ``.npz``.
 
 Exports anonymise identifier columns through :class:`~repro.trace.hashing.IdHasher`
 when a hasher is supplied, mirroring the public release of the paper's dataset.
 Round trips without a hasher are lossless (identifiers stay integers).
+
+The ``.npz`` format stores each table's columns as compressed numpy arrays —
+an order of magnitude faster to round-trip than CSV and the format sharded
+workers (:mod:`repro.runtime`) use to spill chunks, where serialising
+multi-million-row streams through text would dominate the run.
 """
 
 from __future__ import annotations
@@ -116,6 +121,48 @@ def read_anonymised_csv(
     return data
 
 
+def write_table_npz(
+    table: ColumnTable, path: str | Path, hasher: IdHasher | None = None
+) -> Path:
+    """Write ``table`` as a compressed ``.npz`` of per-column arrays."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns = _export_columns(table, hasher)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **columns)
+    return path
+
+
+def read_table_npz(table_cls: type[ColumnTable], path: str | Path) -> ColumnTable:
+    """Read an ``.npz`` produced by :func:`write_table_npz` without a hasher.
+
+    As with CSV, hashed exports cannot round-trip into integer id columns;
+    use :func:`read_anonymised_npz` for those.
+    """
+    with np.load(Path(path)) as data:
+        return table_cls(
+            {
+                name: data[name].astype(table_cls.schema[name].dtype)
+                for name in table_cls.schema.column_names
+            }
+        )
+
+
+def read_anonymised_npz(
+    table_cls: type[ColumnTable], path: str | Path
+) -> dict[str, np.ndarray]:
+    """Read a *hashed* ``.npz`` export as raw columns (ids stay hex strings)."""
+    identifiers = set(table_cls.schema.identifier_columns)
+    with np.load(Path(path)) as data:
+        out: dict[str, np.ndarray] = {}
+        for name in table_cls.schema.column_names:
+            col = data[name]
+            out[name] = col if name in identifiers else col.astype(
+                table_cls.schema[name].dtype
+            )
+        return out
+
+
 def write_table_jsonl(
     table: ColumnTable, path: str | Path, hasher: IdHasher | None = None
 ) -> Path:
@@ -165,31 +212,58 @@ def save_bundle(
     directory: str | Path,
     compress: bool = True,
     hasher: IdHasher | None = None,
+    fmt: str = "csv",
 ) -> Path:
-    """Persist a :class:`TraceBundle` as three CSVs plus a meta.json."""
+    """Persist a :class:`TraceBundle` as three tables plus a meta.json.
+
+    ``fmt="csv"`` writes the release-style text tables (gzipped unless
+    ``compress=False``); ``fmt="npz"`` writes the fast binary format.
+    """
+    if fmt not in ("csv", "npz"):
+        raise ValueError(f"unknown bundle format {fmt!r}; use 'csv' or 'npz'")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    suffix = ".csv.gz" if compress else ".csv"
-    for name, _cls in _BUNDLE_TABLES:
-        write_table_csv(getattr(bundle, name), directory / f"{name}{suffix}", hasher)
+    if fmt == "npz":
+        for name, _cls in _BUNDLE_TABLES:
+            write_table_npz(getattr(bundle, name), directory / f"{name}.npz", hasher)
+    else:
+        suffix = ".csv.gz" if compress else ".csv"
+        for name, _cls in _BUNDLE_TABLES:
+            write_table_csv(getattr(bundle, name), directory / f"{name}{suffix}", hasher)
     meta = dict(bundle.meta)
     meta["region"] = bundle.region
     meta["anonymised"] = hasher is not None
+    meta["format"] = fmt
     (directory / "meta.json").write_text(json.dumps(meta, indent=2, default=str))
     return directory
 
 
 def load_bundle(directory: str | Path) -> TraceBundle:
-    """Load a bundle saved by :func:`save_bundle` (non-anonymised only)."""
+    """Load a bundle saved by :func:`save_bundle` (non-anonymised only).
+
+    The table format is auto-detected from the files present, so mixed
+    CSV/npz dataset directories load transparently.
+    """
     directory = Path(directory)
     meta = json.loads((directory / "meta.json").read_text())
     if meta.get("anonymised"):
         raise ValueError("anonymised bundles cannot be loaded back (one-way hashing)")
+    #: meta.json records the format of the *latest* save; honouring it keeps
+    #: a re-export in another format from silently reading the stale files
+    #: the earlier save left behind. Pre-format bundles fall back to
+    #: auto-detection.
+    declared = meta.get("format")
     tables = {}
     for name, cls in _BUNDLE_TABLES:
+        npz = directory / f"{name}.npz"
         gz = directory / f"{name}.csv.gz"
         plain = directory / f"{name}.csv"
-        tables[name] = read_table_csv(cls, gz if gz.exists() else plain)
+        use_npz = declared == "npz" if declared in ("csv", "npz") else npz.exists()
+        if use_npz:
+            tables[name] = read_table_npz(cls, npz)
+        else:
+            tables[name] = read_table_csv(cls, gz if gz.exists() else plain)
     region = meta.pop("region")
     meta.pop("anonymised", None)
+    meta.pop("format", None)
     return TraceBundle(region=region, meta=meta, **tables)

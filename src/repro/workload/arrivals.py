@@ -33,6 +33,21 @@ class ArrivalProcess:
     def generate(self, horizon_s: float, rng: np.random.Generator) -> np.ndarray:
         raise NotImplementedError
 
+    def generate_window(
+        self, start_s: float, end_s: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sorted arrivals inside ``[start_s, end_s)`` at *absolute* times.
+
+        The rate shape (diurnal/weekly/holiday) is evaluated at absolute
+        trace time, so a window starting at day 8 carries day 8's weekday
+        and holiday phase. Used by :mod:`repro.runtime` to generate a
+        (region, day-window) shard without materialising the full horizon.
+        Subclasses override this with windowed sampling; the fallback here
+        is correct but costs the full horizon.
+        """
+        times = self.generate(end_s, rng)
+        return times[times >= start_s]
+
     def expected_count(self, horizon_s: float) -> float:
         """Approximate expected number of arrivals (used by tests/benches)."""
         raise NotImplementedError
@@ -69,9 +84,17 @@ def _place_in_days(
     return times
 
 
-def _day_level_rates(shape: RateShape, daily_rate: float, days: int) -> np.ndarray:
-    """Expected arrivals per day including weekly/holiday/diurnal mass."""
-    day_starts = np.arange(days, dtype=np.float64) * SECONDS_PER_DAY + SECONDS_PER_DAY / 2
+def _day_level_rates(
+    shape: RateShape, daily_rate: float, days: int, day_offset: int = 0
+) -> np.ndarray:
+    """Expected arrivals per day including weekly/holiday/diurnal mass.
+
+    ``day_offset`` shifts the evaluated days so a windowed shard sees the
+    weekly/holiday factors of its *absolute* trace days.
+    """
+    day_starts = (
+        np.arange(days, dtype=np.float64) + day_offset
+    ) * SECONDS_PER_DAY + SECONDS_PER_DAY / 2
     weekly = shape.weekly.factor(day_starts)
     holiday = shape.holiday.factor(day_starts)
     minute_centers = np.arange(_MINUTES_PER_DAY, dtype=np.float64) * 60.0 + 30.0
@@ -152,6 +175,22 @@ class ModulatedPoissonProcess(ArrivalProcess):
         )
         return times[times < horizon_s]
 
+    def generate_window(
+        self, start_s: float, end_s: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        start_day = int(start_s // SECONDS_PER_DAY)
+        n_days = int(np.ceil(end_s / SECONDS_PER_DAY)) - start_day
+        if n_days <= 0 or self.daily_rate == 0:
+            return np.zeros(0, dtype=np.float64)
+        session_rate = self.daily_rate / self.session_mean_requests
+        rates = _day_level_rates(self.shape, session_rate, n_days, day_offset=start_day)
+        starts = _place_in_days(rates, _intraday_cdf(self.shape), rng)
+        starts += start_day * SECONDS_PER_DAY
+        times = expand_sessions(
+            starts, rng, self.session_mean_requests, self.session_duration_s
+        )
+        return times[(times >= start_s) & (times < end_s)]
+
     def expected_count(self, horizon_s: float) -> float:
         days = horizon_s / SECONDS_PER_DAY
         full = int(np.floor(days))
@@ -192,6 +231,33 @@ class CronTimerProcess(ArrivalProcess):
         if self.jitter_s > 0 and firings.size:
             firings = firings + rng.uniform(0.0, self.jitter_s, size=firings.size)
         firings = firings[(firings >= 0.0) & (firings < horizon_s)]
+        firings.sort(kind="stable")
+        return firings
+
+    def generate_window(
+        self, start_s: float, end_s: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Windowed firings on the exact same absolute period grid.
+
+        The firing grid is anchored at ``phase_s`` regardless of the window,
+        and each grid point is *owned* by the window containing its
+        unjittered time — consecutive windows therefore emit every firing
+        exactly once (independent per-window jitter draws can neither
+        duplicate nor drop a boundary firing). A jittered firing may land
+        up to ``jitter_s`` past its window's end; the merged, time-sorted
+        trace is unaffected.
+        """
+        if end_s <= self.phase_s:
+            return np.zeros(0, dtype=np.float64)
+        k0 = max(int(np.ceil((start_s - self.phase_s) / self.period_s)), 0)
+        k1 = int(np.ceil((end_s - self.phase_s) / self.period_s))
+        if k1 <= k0:
+            return np.zeros(0, dtype=np.float64)
+        firings = self.phase_s + np.arange(k0, k1, dtype=np.float64) * self.period_s
+        if self.miss_probability > 0 and firings.size:
+            firings = firings[rng.random(firings.size) >= self.miss_probability]
+        if self.jitter_s > 0 and firings.size:
+            firings = firings + rng.uniform(0.0, self.jitter_s, size=firings.size)
         firings.sort(kind="stable")
         return firings
 
@@ -266,6 +332,44 @@ class BurstyProcess(ArrivalProcess):
         )
         times = times[times < horizon_s]
         return times
+
+    def generate_window(
+        self, start_s: float, end_s: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Windowed bursts; on/off state restarts at the window boundary.
+
+        The rate shape is evaluated at absolute minutes so the window rides
+        the correct diurnal/weekly/holiday wave. The two-state chain draws a
+        fresh stationary initial state per window instead of carrying the
+        previous window's state across the boundary — statistically
+        equivalent (the chain mixes in hours; windows span days).
+        """
+        start_min = int(start_s // 60.0)
+        end_min = int(np.ceil(end_s / 60.0))
+        n_minutes = end_min - start_min
+        if n_minutes <= 0 or self.daily_rate == 0:
+            return np.zeros(0, dtype=np.float64)
+        minute_centers = (
+            np.arange(start_min, end_min, dtype=np.float64) * 60.0 + 30.0
+        )
+        session_rate = self.daily_rate / self.session_mean_requests
+        base_per_minute = session_rate / _MINUTES_PER_DAY
+        rate = base_per_minute * self.shape.multiplier(minute_centers)
+        states = self._state_runs(n_minutes, rng)
+        rate = rate * np.where(states, self.burst_factor, 1.0)
+        counts = rng.poisson(rate)
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.float64)
+        minute_of = np.repeat(
+            np.arange(start_min, end_min, dtype=np.float64), counts
+        )
+        starts = (minute_of + rng.random(total)) * 60.0
+        starts.sort(kind="stable")
+        times = expand_sessions(
+            starts, rng, self.session_mean_requests, self.session_duration_s
+        )
+        return times[(times >= start_s) & (times < end_s)]
 
     def expected_count(self, horizon_s: float) -> float:
         on_share = self.mean_on_minutes / (self.mean_on_minutes + self.mean_off_minutes)

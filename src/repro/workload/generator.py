@@ -403,7 +403,17 @@ class FunctionTrace:
 
 
 class WorkloadGenerator:
-    """Generates a 31-day (configurable) trace for one region profile."""
+    """Generates a 31-day (configurable) trace for one region profile.
+
+    With ``start_day > 0`` the generator produces a *day-window shard*:
+    arrivals for absolute trace days ``[start_day, start_day + days)`` with
+    the correct weekly/holiday phase. The function population is always
+    sampled from the window-independent ``population/...`` stream, so every
+    window of the same (seed, profile) sees the identical fleet, while
+    arrival/latency/usage streams are window-scoped (independent draws per
+    window). ``id_offset`` keeps pod/request ids unique across the windows
+    of one region (see :mod:`repro.runtime.shards`).
+    """
 
     def __init__(
         self,
@@ -412,13 +422,33 @@ class WorkloadGenerator:
         days: int = 31,
         keepalive_s: float = DEFAULT_KEEPALIVE_S,
         region_index: int | None = None,
+        start_day: int = 0,
+        id_offset: int = 0,
+        windowed: bool | None = None,
     ):
         if days <= 0:
             raise ValueError("days must be positive")
+        if start_day < 0:
+            raise ValueError("start_day must be non-negative")
+        if id_offset < 0:
+            raise ValueError("id_offset must be non-negative")
+        #: Windowed arrival sampling. Defaults to on for any shard that is
+        #: not the legacy whole-horizon case; a multi-window plan passes
+        #: ``windowed=True`` explicitly for its day-0 window too, so the
+        #: exactly-once boundary semantics of ``generate_window`` (e.g. cron
+        #: grid ownership) hold at *every* window seam, including the first.
+        self.windowed = windowed if windowed is not None else start_day > 0
         self.profile = profile
         self.days = days
         self.keepalive_s = keepalive_s
         self.horizon_s = days * SECONDS_PER_DAY
+        self.start_day = start_day
+        self.start_s = start_day * SECONDS_PER_DAY
+        self.end_s = self.start_s + self.horizon_s
+        self.id_offset = id_offset
+        #: Window-scoping suffix for RNG stream paths. Empty for the legacy
+        #: whole-horizon case so unsharded runs keep their exact streams.
+        self._window_tag = f"/w{start_day}+{days}" if start_day else ""
         self.region_index = (
             region_index
             if region_index is not None
@@ -436,9 +466,14 @@ class WorkloadGenerator:
         shape = self.profile.rate_shape()
         traces: list[FunctionTrace] = []
         for spec in specs:
-            rng = self._rngs.stream(f"arrivals/{self.profile.name}/{spec.function_id}")
+            rng = self._rngs.stream(
+                f"arrivals/{self.profile.name}{self._window_tag}/{spec.function_id}"
+            )
             process = make_arrival_process(spec, shape)
-            arrivals = process.generate(self.horizon_s, rng)
+            if self.windowed:
+                arrivals = process.generate_window(self.start_s, self.end_s, rng)
+            else:
+                arrivals = process.generate(self.horizon_s, rng)
             if arrivals.size == 0:
                 continue
             exec_s = np.exp(
@@ -465,7 +500,7 @@ class WorkloadGenerator:
         total_minutes = int(self.horizon_s // 60) + 1
         counts = np.zeros(total_minutes, dtype=np.float64)
         for trace in traces:
-            minutes = (trace.lifecycle.pod_start_ts // 60).astype(np.int64)
+            minutes = ((trace.lifecycle.pod_start_ts - self.start_s) // 60).astype(np.int64)
             np.add.at(counts, np.clip(minutes, 0, total_minutes - 1), 1.0)
         busy = counts[counts > 0]
         mean_rate = float(busy.mean()) if busy.size else 1.0
@@ -475,14 +510,15 @@ class WorkloadGenerator:
         normalised = np.clip(counts / max(mean_rate, 1e-9) - 1.0, 0.0, 3.0)
         out = []
         for trace in traces:
-            minutes = (trace.lifecycle.pod_start_ts // 60).astype(np.int64)
+            minutes = ((trace.lifecycle.pod_start_ts - self.start_s) // 60).astype(np.int64)
             out.append(normalised[np.clip(minutes, 0, total_minutes - 1)])
         return out
 
     def _assemble(self, traces: list[FunctionTrace]) -> TraceBundle:
         profile = self.profile
         latency_model = LatencyModel(
-            profile.latency, self._rngs.stream(f"latency/{profile.name}")
+            profile.latency,
+            self._rngs.stream(f"latency/{profile.name}{self._window_tag}"),
         )
         congestion = self._congestion_per_coldstart(traces)
 
@@ -499,8 +535,8 @@ class WorkloadGenerator:
         pod_user = np.empty(n_pods_total, dtype=np.int64)
         pod_cluster = np.empty(n_pods_total, dtype=np.int16)
 
-        pod_id_base = self.region_index * _REGION_ID_STRIDE
-        cluster_rng = self._rngs.stream(f"clusters/{profile.name}")
+        pod_id_base = self.region_index * _REGION_ID_STRIDE + self.id_offset
+        cluster_rng = self._rngs.stream(f"clusters/{profile.name}{self._window_tag}")
         offset = 0
         pod_offsets: list[int] = []
         for trace, cong in zip(traces, congestion):
@@ -557,7 +593,7 @@ class WorkloadGenerator:
         req_mem = np.empty(n_requests_total, dtype=np.int64)
         req_cluster = np.empty(n_requests_total, dtype=np.int16)
 
-        usage_rng = self._rngs.stream(f"usage/{profile.name}")
+        usage_rng = self._rngs.stream(f"usage/{profile.name}{self._window_tag}")
         offset = 0
         for trace, pod_offset in zip(traces, pod_offsets):
             spec = trace.spec
@@ -609,6 +645,7 @@ class WorkloadGenerator:
             meta={
                 "seed": self._rngs.seed,
                 "days": self.days,
+                "start_day": self.start_day,
                 "keepalive_s": self.keepalive_s,
                 "n_functions": profile.n_functions,
                 "profile": profile.name,
@@ -633,6 +670,16 @@ class WorkloadGenerator:
         This is the entry point used by the mitigation evaluator.
         """
         specs = build_population(self.profile, self._rngs, self.region_index)
+        return self._generate_function_traces(specs)
+
+    def function_traces_for(self, specs: list[FunctionSpec]) -> list[FunctionTrace]:
+        """Arrivals + lifecycle for an explicit subset of the population.
+
+        Arrival streams are addressed per function id, so the traces of a
+        subset are bit-identical to the corresponding traces of a full
+        :meth:`function_traces` run — the property function-sharded policy
+        evaluation relies on (:mod:`repro.runtime`).
+        """
         return self._generate_function_traces(specs)
 
 
@@ -665,10 +712,38 @@ def generate_multi_region(
     days: int = 31,
     scale: float = 1.0,
     keepalive_s: float = DEFAULT_KEEPALIVE_S,
+    jobs: int = 1,
+    chunk_days: int | None = None,
 ) -> dict[str, TraceBundle]:
-    """Generate traces for several regions with independent streams."""
-    return {
-        name: generate_region(name, seed=seed, days=days, scale=scale,
-                              keepalive_s=keepalive_s)
-        for name in regions
-    }
+    """Generate traces for several regions with independent streams.
+
+    Args:
+        jobs: worker processes. 1 (default) runs in-process; higher values
+            execute shards on a process pool (:mod:`repro.runtime`).
+        chunk_days: shard each region's horizon into day windows of this
+            length (bounded memory per worker). ``None`` shards along
+            regions only, in which case the merged result is identical to
+            the serial output for any ``jobs``.
+    """
+    # Duplicate names would shard twice and merge into a doubled bundle with
+    # colliding ids; dedup up front so both paths see each region once.
+    regions = tuple(dict.fromkeys(regions))
+    if jobs <= 1 and not chunk_days:
+        return {
+            name: generate_region(name, seed=seed, days=days, scale=scale,
+                                  keepalive_s=keepalive_s)
+            for name in regions
+        }
+    # Lazy import: repro.runtime builds on this module.
+    from repro.runtime import ParallelExecutor, ShardPlan, merge_bundles
+    from repro.runtime.executor import run_generation_shard
+
+    plan = ShardPlan.for_generation(
+        regions=regions, seed=seed, days=days, chunk_days=chunk_days,
+        scale=scale, keepalive_s=keepalive_s,
+    )
+    results = ParallelExecutor(jobs=jobs).run(run_generation_shard, plan.shards)
+    by_region: dict[str, list[TraceBundle]] = {name: [] for name in regions}
+    for spec, bundle in zip(plan.shards, results):
+        by_region[spec.region].append(bundle)
+    return {name: merge_bundles(parts) for name, parts in by_region.items()}

@@ -105,3 +105,21 @@ class TestCommands:
     def test_mitigate_unknown_policy(self):
         with pytest.raises(SystemExit):
             main(["mitigate", *_FAST, "-p", "teleportation"])
+
+    def test_mitigate_jobs_invariant(self, capsys):
+        assert main(["mitigate", *_FAST, "-p", "baseline", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["mitigate", *_FAST, "-p", "baseline", "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_generate_npz_chunked_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "npz-traces"
+        rc = main(
+            ["generate", *_FAST, "--format", "npz", "--chunk-days", "1",
+             "--jobs", "2", "--output", str(out)]
+        )
+        assert rc == 0
+        assert (out / "R3" / "requests.npz").exists()
+        capsys.readouterr()
+        assert main(["validate", "--load", str(out)]) == 0

@@ -318,3 +318,21 @@ class TestRegionAndPlatform:
         platform = Platform()
         with pytest.raises(KeyError):
             platform.region("R9")
+
+    def test_latency_lookup_rejects_unknown_region(self):
+        platform = Platform()
+        with pytest.raises(KeyError, match="unknown region 'R9'"):
+            platform.inter_region_latency("R1", "R9")
+        with pytest.raises(KeyError, match="unknown region 'EU'"):
+            platform.inter_region_latency("EU", "R1")
+
+    def test_latency_dict_validated_at_construction(self):
+        with pytest.raises(ValueError, match="unknown region"):
+            Platform(inter_region_latency_s={("R1", "R9"): 0.2})
+
+    def test_latency_dict_symmetric_and_defaulted(self):
+        platform = Platform(inter_region_latency_s={("R2", "R1"): 0.25})
+        # reverse orientation resolves to the same entry
+        assert platform.inter_region_latency("R1", "R2") == 0.25
+        # known pairs missing from the dict fall back to the default
+        assert platform.inter_region_latency("R1", "R3") == pytest.approx(0.060)

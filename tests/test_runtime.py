@@ -1,0 +1,354 @@
+"""Tests for the sharded parallel runtime (repro.runtime)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mitigation.base import EvalMetrics
+from repro.mitigation.evaluator import RegionEvaluator, build_workload, build_workload_shard
+from repro.runtime import (
+    ChunkedBundleWriter,
+    ParallelExecutor,
+    ShardPlan,
+    StreamingSummary,
+    evaluate_policies,
+    iter_bundle_chunks,
+    iter_saved_chunks,
+    iter_table_chunks,
+    load_chunked_bundle,
+    merge_bundles,
+    merge_counts,
+    merge_eval_metrics,
+    merge_registries,
+    partition_days,
+    run_generation_shard,
+    stream_generation,
+)
+from repro.sim.metrics import MetricRegistry
+from repro.sim.rng import RngFactory
+from repro.workload.generator import generate_multi_region, generate_region
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestShardPlan:
+    def test_partition_days_covers_horizon(self):
+        assert partition_days(8, 3) == [(0, 3), (3, 3), (6, 2)]
+        assert partition_days(5, None) == [(0, 5)]
+        assert partition_days(5, 9) == [(0, 5)]
+
+    def test_partition_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            partition_days(0, 1)
+        with pytest.raises(ValueError):
+            partition_days(5, -1)
+        with pytest.raises(ValueError):
+            partition_days(600, 1)  # id-space window limit
+
+    def test_generation_plan_is_deterministic(self):
+        a = ShardPlan.for_generation(("R1", "R2"), seed=3, days=4, chunk_days=2)
+        b = ShardPlan.for_generation(("R1", "R2"), seed=3, days=4, chunk_days=2)
+        assert a == b
+        assert len(a) == 4
+        assert len({spec.shard_seed for spec in a}) == len(a)
+        # id offsets keep windows of one region disjoint
+        offsets = [spec.id_offset for spec in a.by_region()["R1"]]
+        assert offsets == sorted(set(offsets))
+
+    def test_evaluation_plan_covers_all_groups(self):
+        plan = ShardPlan.for_evaluation("R2", seed=0, days=2, n_groups=4)
+        assert [spec.group for spec in plan] == [0, 1, 2, 3]
+        assert len({spec.shard_seed for spec in plan}) == 4
+
+
+class TestParallelExecutor:
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+
+    def test_serial_and_pool_agree(self):
+        items = list(range(10))
+        serial = ParallelExecutor(jobs=1).run(_square, items)
+        pooled = ParallelExecutor(jobs=3).run(_square, items)
+        assert serial == pooled == [x * x for x in items]
+
+    def test_empty_input(self):
+        assert ParallelExecutor(jobs=2).run(_square, []) == []
+
+
+class TestShardedGeneration:
+    def test_unchunked_sharding_equals_serial(self):
+        serial = generate_multi_region(("R3",), seed=5, days=2, scale=0.1)["R3"]
+        sharded = generate_multi_region(("R3",), seed=5, days=2, scale=0.1, jobs=2)["R3"]
+        assert np.array_equal(
+            serial.requests["timestamp_ms"], sharded.requests["timestamp_ms"]
+        )
+        assert np.array_equal(serial.pods["cold_start_us"], sharded.pods["cold_start_us"])
+        assert serial.summary() == sharded.summary()
+
+    def test_chunked_generation_is_jobs_invariant(self):
+        kwargs = dict(seed=7, days=4, scale=0.08, chunk_days=2)
+        j1 = generate_multi_region(("R2",), jobs=1, **kwargs)["R2"]
+        j4 = generate_multi_region(("R2",), jobs=4, **kwargs)["R2"]
+        assert np.array_equal(j1.requests["timestamp_ms"], j4.requests["timestamp_ms"])
+        assert np.array_equal(j1.pods["pod_id"], j4.pods["pod_id"])
+        assert j1.summary() == j4.summary()
+
+    def test_chunked_bundle_is_well_formed(self):
+        bundle = generate_multi_region(
+            ("R2",), seed=7, days=4, scale=0.08, chunk_days=2
+        )["R2"]
+        assert (np.diff(bundle.requests["timestamp_ms"]) >= 0).all()
+        assert (np.diff(bundle.pods["timestamp_ms"]) >= 0).all()
+        assert np.unique(bundle.pods["pod_id"]).size == len(bundle.pods)
+        assert np.unique(bundle.requests["request_id"]).size == len(bundle.requests)
+        assert np.unique(bundle.functions["function"]).size == len(bundle.functions)
+        assert bundle.meta["days"] == 4
+        assert bundle.meta["merged_shards"] == 2
+
+    def test_chunked_volume_matches_unchunked(self):
+        unchunked = generate_region("R2", seed=7, days=4, scale=0.08)
+        chunked = generate_multi_region(
+            ("R2",), seed=7, days=4, scale=0.08, chunk_days=2
+        )["R2"]
+        # Windows redraw arrivals independently: volumes agree statistically,
+        # not exactly (see repro.runtime.merge for the per-metric table).
+        assert len(chunked.requests) == pytest.approx(len(unchunked.requests), rel=0.15)
+        assert len(chunked.pods) == pytest.approx(len(unchunked.pods), rel=0.15)
+
+    def test_window_shard_respects_absolute_days(self):
+        plan = ShardPlan.for_generation(("R3",), seed=5, days=4, chunk_days=2)
+        late = run_generation_shard(plan.shards[1])  # days [2, 4)
+        ts = late.requests.timestamps_s
+        assert ts.size > 0
+        assert ts.min() >= 2 * 86_400.0
+        assert ts.max() < 4 * 86_400.0
+        assert late.meta["start_day"] == 2
+
+    def test_duplicate_region_names_deduped(self):
+        single = generate_multi_region(("R3",), seed=5, days=1, scale=0.1, jobs=2)
+        doubled = generate_multi_region(("R3", "R3"), seed=5, days=1, scale=0.1, jobs=2)
+        assert doubled["R3"].summary() == single["R3"].summary()
+
+    def test_timer_windows_fire_exactly_once_per_grid_point(self):
+        from repro.workload.arrivals import CronTimerProcess
+
+        process = CronTimerProcess(period_s=90.0, phase_s=10.0, jitter_s=5.0)
+        horizon = 2 * 86_400.0
+        rng = np.random.default_rng(0)
+        windows = np.concatenate([
+            process.generate_window(d * 86_400.0, (d + 1) * 86_400.0, rng)
+            for d in range(2)
+        ])
+        # every grid point in [0, horizon) owned by exactly one window
+        expected = np.arange(10.0, horizon, 90.0)
+        assert windows.size == expected.size
+        assert np.allclose(np.sort(windows) - expected, 2.5, atol=2.5)
+
+    def test_stream_generation_yields_plan_order(self):
+        plan = ShardPlan.for_generation(("R3",), seed=5, days=2, chunk_days=1, scale=0.1)
+        specs_seen = []
+        for spec, bundle in stream_generation(plan, jobs=2):
+            specs_seen.append(spec.index)
+            assert bundle.region == "R3"
+        assert specs_seen == [0, 1]
+
+
+class TestShardedEvaluation:
+    def test_group_shards_partition_the_workload(self):
+        _, full = build_workload("R3", seed=5, days=1, scale=0.1)
+        parts = [
+            build_workload_shard("R3", seed=5, days=1, scale=0.1, group=g, n_groups=3)[1]
+            for g in range(3)
+        ]
+        full_ids = sorted(t.spec.function_id for t in full)
+        shard_ids = sorted(t.spec.function_id for part in parts for t in part)
+        assert shard_ids == full_ids
+        by_id = {t.spec.function_id: t for part in parts for t in part}
+        for trace in full:
+            np.testing.assert_array_equal(
+                trace.arrivals, by_id[trace.spec.function_id].arrivals
+            )
+
+    def test_evaluation_is_jobs_invariant(self):
+        kwargs = dict(seed=5, days=1, scale=0.1, n_groups=4)
+        m1 = evaluate_policies("R3", ("baseline",), jobs=1, **kwargs)
+        m2 = evaluate_policies("R3", ("baseline",), jobs=2, **kwargs)
+        assert m1["baseline"].summary() == m2["baseline"].summary()
+
+    def test_sharded_counts_equal_unsharded(self):
+        merged = evaluate_policies(
+            "R3", ("baseline",), seed=5, days=1, scale=0.1, n_groups=4
+        )["baseline"]
+        profile, traces = build_workload("R3", seed=5, days=1, scale=0.1)
+        unsharded = RegionEvaluator(profile, seed=1).run(traces, name="baseline")
+        assert merged.requests == unsharded.requests
+        assert merged.cold_starts == unsharded.cold_starts
+        assert merged.warm_hits == unsharded.warm_hits
+
+    def test_single_group_reproduces_unsharded_exactly(self):
+        merged = evaluate_policies(
+            "R3", ("baseline",), seed=5, days=1, scale=0.1, n_groups=1, eval_seed=1
+        )["baseline"]
+        profile, traces = build_workload("R3", seed=5, days=1, scale=0.1)
+        unsharded = RegionEvaluator(profile, seed=1).run(traces, name="baseline")
+        assert merged.summary() == unsharded.summary()
+        assert merged.cold_wait_s == unsharded.cold_wait_s
+
+
+def _metrics(seed: int) -> EvalMetrics:
+    rng = np.random.default_rng(seed)
+    m = EvalMetrics(name="m")
+    m.requests = int(rng.integers(10, 100))
+    m.cold_starts = int(rng.integers(1, 10))
+    m.warm_hits = m.requests - m.cold_starts
+    m.cold_wait_s = rng.random(m.cold_starts).tolist()
+    m.cold_start_times = (rng.random(m.cold_starts) * 3600).tolist()
+    m.pod_seconds = float(rng.random() * 1000)
+    m.pods_series = rng.integers(0, 5, size=int(rng.integers(3, 8))).tolist()
+    m.peak_pods = int(max(m.pods_series))
+    return m
+
+
+class TestReducers:
+    def test_merge_eval_metrics_is_associative(self):
+        a, b, c = _metrics(1), _metrics(2), _metrics(3)
+        left = merge_eval_metrics([merge_eval_metrics([a, b]), c])
+        right = merge_eval_metrics([a, merge_eval_metrics([b, c])])
+        assert left.summary() == right.summary()
+        assert left.pods_series == right.pods_series
+        assert left.cold_wait_s == right.cold_wait_s
+
+    def test_merge_eval_metrics_sums_and_concatenates(self):
+        a, b = _metrics(1), _metrics(2)
+        merged = merge_eval_metrics([a, b])
+        assert merged.requests == a.requests + b.requests
+        assert merged.cold_starts == a.cold_starts + b.cold_starts
+        assert merged.cold_wait_s == a.cold_wait_s + b.cold_wait_s
+        expected_peak = max(
+            x + y
+            for x, y in zip(
+                a.pods_series + [0] * max(0, len(b.pods_series) - len(a.pods_series)),
+                b.pods_series + [0] * max(0, len(a.pods_series) - len(b.pods_series)),
+            )
+        )
+        assert merged.peak_pods == expected_peak
+
+    def test_merge_counts_is_associative(self):
+        a = {"requests": 3, "by_runtime": {"Go": 1, "Java": 2}, "region": "R1"}
+        b = {"requests": 5, "by_runtime": {"Go": 4}, "region": "R1"}
+        c = {"requests": 1, "by_runtime": {"Python3": 7}, "region": "R1"}
+        left = merge_counts([merge_counts([a, b]), c])
+        right = merge_counts([a, merge_counts([b, c])])
+        assert left == right == {
+            "requests": 9,
+            "by_runtime": {"Go": 5, "Java": 2, "Python3": 7},
+            "region": "R1",
+        }
+
+    def test_merge_counts_rejects_conflicting_labels(self):
+        with pytest.raises(ValueError):
+            merge_counts([{"region": "R1"}, {"region": "R2"}])
+
+    def test_merge_registries(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("cold").inc(3)
+        b.counter("cold").inc(4)
+        a.histogram("wait").extend([1.0, 2.0])
+        b.histogram("wait").extend([3.0])
+        a.gauge("pods").set(5)
+        b.gauge("pods").set(7)
+        merged = merge_registries([a, b])
+        assert merged.counter("cold").value == 7
+        assert merged.histogram("wait").count == 3
+        assert merged.gauge("pods").value == 12
+
+    def test_merge_bundles_rejects_mixed_regions(self):
+        bundles = generate_multi_region(("R3", "R4"), seed=5, days=1, scale=0.1)
+        with pytest.raises(ValueError):
+            merge_bundles([bundles["R3"], bundles["R4"]])
+
+    def test_derive_seed_is_stable_and_distinct(self):
+        rngs = RngFactory(9)
+        assert rngs.derive_seed("shard/R1/d0+2") == RngFactory(9).derive_seed("shard/R1/d0+2")
+        assert rngs.derive_seed("shard/R1/d0+2") != rngs.derive_seed("shard/R1/d2+2")
+        assert rngs.derive_seed("a") != RngFactory(10).derive_seed("a")
+
+
+class TestStreaming:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return generate_region("R3", seed=5, days=2, scale=0.1)
+
+    def test_iter_table_chunks_bounded(self, bundle):
+        chunks = list(iter_table_chunks(bundle.requests, 100))
+        assert all(len(c) <= 100 for c in chunks)
+        assert sum(len(c) for c in chunks) == len(bundle.requests)
+
+    def test_iter_bundle_chunks_partitions_time(self, bundle):
+        chunks = list(iter_bundle_chunks(bundle, chunk_s=6 * 3600.0))
+        assert sum(len(c.requests) for c in chunks) == len(bundle.requests)
+        assert sum(len(c.pods) for c in chunks) == len(bundle.pods)
+        for chunk in chunks:
+            ts = chunk.requests.timestamps_s
+            if ts.size:
+                assert ts.min() >= chunk.start_s
+                assert ts.max() < chunk.end_s
+
+    def test_streaming_summary_matches_bundle(self, bundle):
+        summary = StreamingSummary()
+        for chunk in iter_bundle_chunks(bundle, chunk_s=6 * 3600.0):
+            summary.update(requests=chunk.requests, pods=chunk.pods)
+        expected = bundle.summary()
+        assert summary.result() == expected
+
+    def test_streaming_summary_merge_associative(self, bundle):
+        chunks = list(iter_bundle_chunks(bundle, chunk_s=6 * 3600.0))
+        parts = [
+            StreamingSummary().update(requests=c.requests, pods=c.pods) for c in chunks
+        ]
+        left = parts[0]
+        for part in parts[1:]:
+            left = left.merge(part)
+        right = parts[-1]
+        for part in reversed(parts[:-1]):
+            right = part.merge(right)
+        assert left.result() == right.result()
+
+    def test_chunked_writer_round_trip(self, bundle, tmp_path):
+        writer = ChunkedBundleWriter(tmp_path / "r3", region="R3")
+        original = list(iter_bundle_chunks(bundle, chunk_s=12 * 3600.0))
+        for chunk in original:
+            writer.append_chunk(chunk)
+        writer.close(meta={"seed": 5}, functions=bundle.functions)
+
+        saved = list(iter_saved_chunks(tmp_path / "r3"))
+        assert sum(len(c.requests) for c in saved) == len(bundle.requests)
+        # nominal window bounds survive the spill
+        assert [(c.start_s, c.end_s) for c in saved] == [
+            (c.start_s, c.end_s) for c in original
+        ]
+
+        loaded = load_chunked_bundle(tmp_path / "r3")
+        assert np.array_equal(
+            loaded.requests["timestamp_ms"],
+            bundle.requests.sort_by("timestamp_ms")["timestamp_ms"],
+        )
+        assert len(loaded.pods) == len(bundle.pods)
+        assert len(loaded.functions) == len(bundle.functions)
+        assert loaded.meta == {"seed": 5}
+
+    def test_chunked_writer_via_bundles_collects_functions(self, bundle, tmp_path):
+        writer = ChunkedBundleWriter(tmp_path / "b", region="R3")
+        writer.append_bundle(bundle)
+        writer.close()
+        loaded = load_chunked_bundle(tmp_path / "b")
+        assert len(loaded.functions) == len(bundle.functions)
+
+    def test_writer_rejects_foreign_region(self, bundle, tmp_path):
+        writer = ChunkedBundleWriter(tmp_path / "x", region="R1")
+        with pytest.raises(ValueError):
+            writer.append_bundle(bundle)

@@ -6,11 +6,14 @@ import pytest
 from repro.trace.hashing import IdHasher, stable_hash
 from repro.trace.io import (
     load_bundle,
+    read_anonymised_npz,
     read_table_csv,
     read_table_jsonl,
+    read_table_npz,
     save_bundle,
     write_table_csv,
     write_table_jsonl,
+    write_table_npz,
 )
 from repro.trace.tables import FunctionTable, PodTable, TraceBundle
 
@@ -102,6 +105,36 @@ class TestJsonlRoundTrip:
         assert len(read_table_jsonl(PodTable, path)) == 0
 
 
+class TestNpzRoundTrip:
+    def test_round_trip_exact(self, tmp_path):
+        pods = make_pods()
+        path = write_table_npz(pods, tmp_path / "pods.npz")
+        loaded = read_table_npz(PodTable, path)
+        assert len(loaded) == len(pods)
+        for name in pods.columns:
+            assert (loaded[name] == pods[name]).all()
+            assert loaded[name].dtype == pods[name].dtype
+
+    def test_string_columns_round_trip(self, tmp_path):
+        functions = make_functions()
+        path = write_table_npz(functions, tmp_path / "functions.npz")
+        loaded = read_table_npz(FunctionTable, path)
+        assert list(loaded["runtime"]) == list(functions["runtime"])
+
+    def test_empty_table_round_trip(self, tmp_path):
+        path = write_table_npz(PodTable.empty(), tmp_path / "empty.npz")
+        assert len(read_table_npz(PodTable, path)) == 0
+
+    def test_hashed_export_reads_as_strings(self, tmp_path):
+        pods = make_pods()
+        path = write_table_npz(pods, tmp_path / "anon.npz", hasher=IdHasher())
+        raw = read_anonymised_npz(PodTable, path)
+        assert raw["pod_id"].dtype.kind == "U"
+        assert (raw["cold_start_us"] == pods["cold_start_us"]).all()
+        with pytest.raises(Exception):
+            read_table_npz(PodTable, path)
+
+
 class TestBundlePersistence:
     def _bundle(self):
         return TraceBundle(
@@ -124,6 +157,34 @@ class TestBundlePersistence:
         directory = save_bundle(self._bundle(), tmp_path / "bundle")
         assert (directory / "pods.csv.gz").exists()
         assert len(load_bundle(directory).pods) == 4
+
+    def test_npz_bundle_round_trip(self, tmp_path):
+        directory = save_bundle(self._bundle(), tmp_path / "bin", fmt="npz")
+        assert (directory / "requests.npz").exists()
+        assert not (directory / "requests.csv.gz").exists()
+        loaded = load_bundle(directory)
+        assert loaded.region == "RX"
+        assert len(loaded.requests) == 6
+        assert (loaded.pods["cold_start_us"] == self._bundle().pods["cold_start_us"]).all()
+
+    def test_reexport_in_other_format_wins_over_stale_files(self, tmp_path):
+        directory = save_bundle(self._bundle(), tmp_path / "b", fmt="npz")
+        # re-export as CSV into the same directory; the stale .npz remains
+        smaller = TraceBundle(
+            region="RX",
+            requests=make_requests().head(2),
+            pods=make_pods().head(1),
+            functions=make_functions(),
+            meta={"seed": 2, "days": 1},
+        )
+        save_bundle(smaller, directory, fmt="csv")
+        loaded = load_bundle(directory)
+        assert loaded.meta["seed"] == 2
+        assert len(loaded.requests) == 2  # CSV (declared) wins, not stale npz
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            save_bundle(self._bundle(), tmp_path / "x", fmt="parquet")
 
     def test_anonymised_bundle_cannot_reload(self, tmp_path):
         directory = save_bundle(
