@@ -1,0 +1,115 @@
+"""Streaming analysis: peak memory and wall time vs full materialisation.
+
+The same figure set is computed twice over an identical (seed, horizon,
+scale) workload:
+
+* **materialised** — ``TraceStudy.generate`` builds whole per-region
+  bundles, then every figure reads the full tables;
+* **streamed** — ``StreamingTraceStudy.generate`` reduces one-day windows
+  to mergeable accumulators; no bundle for the full horizon ever exists.
+
+Asserted invariants:
+
+* the streamed peak (tracemalloc) stays **below** the materialised peak —
+  the bounded-memory claim of the streaming analysis core;
+* exact figures agree across the two paths (spot-checked here; the full
+  per-figure matrix lives in ``tests/test_streaming_analysis.py``).
+
+Run directly (``pytest benchmarks/bench_streaming_analysis.py -s``) or via
+the CI bounded-memory smoke job.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from repro.analysis.report import format_table
+from repro.core.study import StreamingTraceStudy, TraceStudy
+
+BENCH_REGIONS = ("R2", "R3")
+BENCH_DAYS = 8
+BENCH_CHUNK_DAYS = 1
+BENCH_SCALE = 0.25
+BENCH_SEED = 42
+
+#: The figure drive: a representative mix of request-side, pod-side, and
+#: joined analyses.
+def _drive_figures(study) -> dict:
+    return {
+        "fig01": study.fig01_region_sizes(),
+        "fig03_share": study.fig03_share_at_least_1_per_minute(),
+        "fig05": study.fig05_peak_hours(),
+        "fig06_rows": len(study.fig06_peak_trough()),
+        "fig10_median": {
+            name: round(cdf.quantile(0.5), 4)
+            for name, cdf in study.fig10_cold_start_cdfs().items()
+        },
+        "fig17_median": round(study.fig17_utility()["all"][1].median, 4),
+    }
+
+
+def _measure(builder):
+    tracemalloc.start()
+    started = time.perf_counter()
+    study = builder()
+    results = _drive_figures(study)
+    wall = time.perf_counter() - started
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return results, wall, peak
+
+
+def test_streaming_analysis_is_bounded(emit):
+    # Both paths consume the identical windowed trace (chunk_days fixed), so
+    # exact figures must agree and the memory comparison is apples-to-apples:
+    # merged whole-horizon bundles vs window-at-a-time accumulators.
+    materialised_results, wall_m, peak_m = _measure(
+        lambda: TraceStudy.generate(
+            regions=BENCH_REGIONS, seed=BENCH_SEED, days=BENCH_DAYS,
+            scale=BENCH_SCALE, chunk_days=BENCH_CHUNK_DAYS,
+        )
+    )
+    streamed_results, wall_s, peak_s = _measure(
+        lambda: StreamingTraceStudy.generate(
+            regions=BENCH_REGIONS, seed=BENCH_SEED, days=BENCH_DAYS,
+            scale=BENCH_SCALE, chunk_days=BENCH_CHUNK_DAYS,
+        )
+    )
+
+    rows = [
+        {
+            "path": "materialised",
+            "peak_mb": round(peak_m / 1e6, 1),
+            "wall_s": round(wall_m, 2),
+        },
+        {
+            "path": f"streamed (chunk_days={BENCH_CHUNK_DAYS})",
+            "peak_mb": round(peak_s / 1e6, 1),
+            "wall_s": round(wall_s, 2),
+        },
+        {
+            "path": "streamed/materialised",
+            "peak_mb": round(peak_s / peak_m, 3),
+            "wall_s": round(wall_s / wall_m, 2),
+        },
+    ]
+    emit(
+        "streaming_analysis",
+        format_table(rows)
+        + f"\nregions={','.join(BENCH_REGIONS)} days={BENCH_DAYS} "
+        f"scale={BENCH_SCALE} seed={BENCH_SEED}",
+    )
+
+    # Exact figures agree across compute paths.
+    assert streamed_results["fig01"] == materialised_results["fig01"]
+    assert streamed_results["fig03_share"] == materialised_results["fig03_share"]
+    assert streamed_results["fig05"] == materialised_results["fig05"]
+    assert streamed_results["fig06_rows"] == materialised_results["fig06_rows"]
+    assert streamed_results["fig17_median"] == materialised_results["fig17_median"]
+
+    # Bounded memory: streaming must beat holding the full bundles.
+    assert peak_s < peak_m, (
+        f"streamed peak {peak_s / 1e6:.1f} MB not below materialised "
+        f"{peak_m / 1e6:.1f} MB"
+    )

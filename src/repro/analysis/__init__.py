@@ -1,7 +1,21 @@
 """Analysis methodology: the paper's measurement machinery over traces."""
 
+from repro.analysis.accumulators import (
+    BinnedSeries,
+    DistinctPairs,
+    GapTracker,
+    GroupedCounts,
+    KeyedBinnedCounts,
+    LogHistogram,
+    PodIntervalAccumulator,
+    RegionAccumulator,
+    StreamingMoments,
+    TickGauge,
+    merge_accumulators,
+)
 from repro.analysis.cdf import (
     Cdf,
+    cdf_from_counts,
     empirical_cdf,
     evaluate_cdf,
     log_grid,
@@ -45,7 +59,19 @@ from repro.analysis.holiday import holiday_effect
 from repro.analysis.report import ascii_cdf, format_table
 
 __all__ = [
+    "BinnedSeries",
+    "DistinctPairs",
+    "GapTracker",
+    "GroupedCounts",
+    "KeyedBinnedCounts",
+    "LogHistogram",
+    "PodIntervalAccumulator",
+    "RegionAccumulator",
+    "StreamingMoments",
+    "TickGauge",
+    "merge_accumulators",
     "Cdf",
+    "cdf_from_counts",
     "empirical_cdf",
     "evaluate_cdf",
     "log_grid",

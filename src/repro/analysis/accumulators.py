@@ -1,0 +1,1063 @@
+"""Chunk-incremental, associatively-mergeable statistics.
+
+The paper's analyses run over a month-long, 85-billion-request trace; no
+figure can afford "load the bundle, then compute". Every statistic a figure
+needs is therefore expressed as an accumulator with a uniform protocol:
+
+* ``update(chunk)`` / ``add(...)`` — fold one bounded
+  :class:`~repro.runtime.stream.TraceChunk` (or raw arrays) into the state;
+* ``merge(other)`` — combine two accumulators *in place*; associative, so
+  ``(a+b)+c == a+(b+c)`` and shard results reduce in any grouping that
+  preserves plan (time) order;
+* a finalize step (named per class: ``counts_until``, ``cdf``,
+  ``finalize`` …) producing exactly what the materialised analysis code
+  consumes.
+
+Memory model — state size is bounded by *entity* counts, never by request
+rows:
+
+=====================  =====================================================
+Accumulator            State bound
+=====================  =====================================================
+StreamingMoments       O(1)
+LogHistogram           O(bins) (default 512 log-spaced bins)
+BinnedSeries           O(covered time / bin width)
+GroupedCounts          O(distinct keys)
+KeyedBinnedCounts      O(distinct keys x covered bins)
+DistinctPairs          O(distinct pairs)
+PodIntervalAccumulator O(distinct pods)
+GapTracker             O(bins)
+=====================  =====================================================
+
+Equality guarantees against the materialised path: integer counts and key
+sets are exact; floating sums differ only by addition order (chunk-partial
+sums), i.e. to ~1e-12 relative; quantiles/CDFs read from
+:class:`LogHistogram` are exact in probability but quantise values to one
+bin (default spacing ~3.7 %, the documented "bin tolerance").
+
+:class:`RegionAccumulator` composes everything Figures 1-17 need for one
+region; :mod:`repro.runtime.merge` registers these types so
+:class:`~repro.runtime.executor.ParallelExecutor` workers can return them
+from (region, day-window) analysis shards.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.trace.tables import (
+    COMPONENT_COLUMNS,
+    FunctionTable,
+    PodTable,
+    RequestTable,
+    dedupe_functions,
+)
+
+__all__ = [
+    "StreamingMoments",
+    "LogHistogram",
+    "BinnedSeries",
+    "GroupedCounts",
+    "KeyedBinnedCounts",
+    "DistinctPairs",
+    "PodIntervalAccumulator",
+    "GapTracker",
+    "TickGauge",
+    "RegionAccumulator",
+    "merge_accumulators",
+]
+
+_SECONDS_PER_DAY = 86_400.0
+
+
+def merge_accumulators(parts):
+    """Left-fold ``merge`` over ``parts`` (plan order), returning the first.
+
+    The generic reducer the runtime registers for every accumulator type;
+    parts must be non-empty and homogeneous.
+    """
+    parts = list(parts)
+    if not parts:
+        raise ValueError("need at least one accumulator to merge")
+    first = parts[0]
+    for part in parts[1:]:
+        first.merge(part)
+    return first
+
+
+# --- scalar moments ---------------------------------------------------------
+
+
+class StreamingMoments:
+    """Count / sum / sum-of-squares / min / max of a value stream.
+
+    Sufficient statistics for means, standard deviations, and — fed with
+    ``log(x)`` — the closed-form LogNormal MLE of §4.1.
+    """
+
+    __slots__ = ("n", "total", "total_sq", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def add(self, values: np.ndarray) -> "StreamingMoments":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size:
+            self.n += int(values.size)
+            self.total += float(values.sum())
+            self.total_sq += float(np.square(values).sum())
+            self.vmin = min(self.vmin, float(values.min()))
+            self.vmax = max(self.vmax, float(values.max()))
+        return self
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        self.n += other.n
+        self.total += other.total
+        self.total_sq += other.total_sq
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else float("nan")
+
+    @property
+    def std(self) -> float:
+        if not self.n:
+            return float("nan")
+        return math.sqrt(max(self.total_sq / self.n - self.mean**2, 0.0))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, StreamingMoments) and (
+            (self.n, self.total, self.total_sq, self.vmin, self.vmax)
+            == (other.n, other.total, other.total_sq, other.vmin, other.vmax)
+        )
+
+
+# --- fixed-bin histogram / CDF sketch ---------------------------------------
+
+
+class LogHistogram:
+    """Fixed log-spaced bins over ``[lo, hi)`` with under/overflow tails.
+
+    The CDF sketch behind every pod-population distribution (cold-start
+    times, components, IATs, Figs. 10/13/15/16): probabilities are exact,
+    values quantise to one bin (default 512 bins over 8 decades, ~3.7 %
+    spacing). Exact zeros are counted apart from the underflow tail so
+    "exclude zero entries" analyses (dependency deployment, IAT fits) can
+    reproduce the materialised filters.
+    """
+
+    DEFAULT_LO = 1e-4
+    DEFAULT_HI = 1e4
+    DEFAULT_BINS = 512
+
+    def __init__(self, lo: float = DEFAULT_LO, hi: float = DEFAULT_HI,
+                 bins: int = DEFAULT_BINS):
+        if not 0 < lo < hi:
+            raise ValueError("need 0 < lo < hi")
+        if bins < 2:
+            raise ValueError("need at least 2 bins")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = int(bins)
+        self.edges = np.logspace(np.log10(lo), np.log10(hi), bins + 1)
+        self.counts = np.zeros(bins, dtype=np.int64)
+        self.n_zero = 0
+        self.n_under = 0  # in (0, lo)
+        self.n_over = 0  # >= hi
+        self.sum = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def add(self, values: np.ndarray) -> "LogHistogram":
+        values = np.asarray(values, dtype=np.float64)
+        values = values[~np.isnan(values)]
+        if not values.size:
+            return self
+        self.sum += float(values.sum())
+        self.vmin = min(self.vmin, float(values.min()))
+        self.vmax = max(self.vmax, float(values.max()))
+        self.n_zero += int((values == 0.0).sum())
+        positive = values[values > 0.0]
+        self.n_under += int((positive < self.lo).sum())
+        self.n_over += int((positive >= self.hi).sum())
+        inside = positive[(positive >= self.lo) & (positive < self.hi)]
+        if inside.size:
+            idx = np.clip(
+                np.searchsorted(self.edges, inside, side="right") - 1,
+                0, self.bins - 1,
+            )
+            self.counts += np.bincount(idx, minlength=self.bins).astype(np.int64)
+        return self
+
+    def add_one(self, value: float) -> "LogHistogram":
+        """Scalar fast path for event-at-a-time producers (evaluator loops).
+
+        Bins via the same ``searchsorted`` contract as :meth:`add`, without
+        the per-event numpy temporaries.
+        """
+        if math.isnan(value):
+            return self
+        self.sum += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+        if value == 0.0:
+            self.n_zero += 1
+        elif value < 0.0:
+            pass  # vector path tallies negatives only into sum/min/max
+        elif value < self.lo:
+            self.n_under += 1
+        elif value >= self.hi:
+            self.n_over += 1
+        else:
+            idx = int(np.searchsorted(self.edges, value, side="right")) - 1
+            self.counts[min(max(idx, 0), self.bins - 1)] += 1
+        return self
+
+    def _check_compatible(self, other: "LogHistogram") -> None:
+        if (self.lo, self.hi, self.bins) != (other.lo, other.hi, other.bins):
+            raise ValueError("cannot merge histograms with different bin grids")
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        self._check_compatible(other)
+        self.counts += other.counts
+        self.n_zero += other.n_zero
+        self.n_under += other.n_under
+        self.n_over += other.n_over
+        self.sum += other.sum
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+        return self
+
+    @property
+    def n(self) -> int:
+        return int(self.counts.sum()) + self.n_zero + self.n_under + self.n_over
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.n if self.n else float("nan")
+
+    def quantile(self, q: float, include_zeros: bool = True) -> float:
+        """Value at cumulative probability ``q``; one-bin value tolerance.
+
+        Returns the upper edge of the bin the quantile falls in (tails
+        resolve to the exact tracked min/max), so the result is within one
+        bin ratio above the sample quantile.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        n_zero = self.n_zero if include_zeros else 0
+        total = int(self.counts.sum()) + n_zero + self.n_under + self.n_over
+        if total == 0:
+            return float("nan")
+        target = q * total
+        cum = n_zero
+        if target <= cum and n_zero:
+            return 0.0
+        cum += self.n_under
+        if target <= cum and self.n_under:
+            return self.lo
+        for i in range(self.bins):
+            cum += int(self.counts[i])
+            if target <= cum and self.counts[i]:
+                return float(self.edges[i + 1])
+        return float(self.vmax) if math.isfinite(self.vmax) else self.hi
+
+    def quantiles(self, qs=(0.25, 0.5, 0.75), include_zeros: bool = True) -> dict:
+        """Named quantiles, mirroring :func:`repro.analysis.cdf.quantiles`."""
+        return {float(q): self.quantile(q, include_zeros) for q in qs}
+
+    def cdf(self, include_zeros: bool = True):
+        """A :class:`~repro.analysis.cdf.Cdf` over bin upper edges."""
+        from repro.analysis.cdf import Cdf, cdf_from_counts
+
+        n_zero = self.n_zero if include_zeros else 0
+        total = int(self.counts.sum()) + n_zero + self.n_under + self.n_over
+        if total == 0:
+            return Cdf(np.zeros(0), np.zeros(0))
+        values = [0.0] if n_zero else []
+        counts = [n_zero] if n_zero else []
+        if self.n_under:
+            values.append(self.lo)
+            counts.append(self.n_under)
+        nonempty = np.flatnonzero(self.counts)
+        values.extend(self.edges[nonempty + 1].tolist())
+        counts.extend(self.counts[nonempty].tolist())
+        if self.n_over:
+            values.append(float(self.vmax) if math.isfinite(self.vmax) else self.hi)
+            counts.append(self.n_over)
+        return cdf_from_counts(
+            np.asarray(values, dtype=np.float64),
+            np.asarray(counts, dtype=np.float64),
+        )
+
+    def positive_bin_values(self) -> tuple[np.ndarray, np.ndarray]:
+        """(representative value, weight) pairs for weighted fitting.
+
+        Bin representatives are geometric midpoints; tails sit at the exact
+        tracked extremes. Exact zeros are excluded (fits drop them).
+        """
+        reps, weights = [], []
+        if self.n_under:
+            reps.append(max(float(self.vmin), self.lo / 2.0)
+                        if math.isfinite(self.vmin) and self.vmin > 0
+                        else self.lo / 2.0)
+            weights.append(self.n_under)
+        nonempty = np.flatnonzero(self.counts)
+        reps.extend(np.sqrt(self.edges[nonempty] * self.edges[nonempty + 1]).tolist())
+        weights.extend(self.counts[nonempty].tolist())
+        if self.n_over:
+            reps.append(float(self.vmax) if math.isfinite(self.vmax) else self.hi)
+            weights.append(self.n_over)
+        return (np.asarray(reps, dtype=np.float64),
+                np.asarray(weights, dtype=np.float64))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, LogHistogram)
+            and (self.lo, self.hi, self.bins) == (other.lo, other.hi, other.bins)
+            and np.array_equal(self.counts, other.counts)
+            and (self.n_zero, self.n_under, self.n_over) ==
+                (other.n_zero, other.n_under, other.n_over)
+            and (self.sum, self.vmin, self.vmax) ==
+                (other.sum, other.vmin, other.vmax)
+        )
+
+
+# --- fixed-width time bins --------------------------------------------------
+
+
+class BinnedSeries:
+    """Per-bin event counts and (optionally) value sums on a fixed grid.
+
+    The streaming counterpart of :func:`repro.analysis.timeseries.bin_counts`
+    / ``bin_sums`` / ``bin_means``: storage grows with covered time, and the
+    ``*_until`` finalizers reproduce those functions' horizon and clipping
+    semantics exactly (including the fold of beyond-horizon events into the
+    last bin).
+    """
+
+    def __init__(self, bin_s: float, track_sums: bool = True):
+        if bin_s <= 0:
+            raise ValueError("bin_s must be positive")
+        self.bin_s = float(bin_s)
+        self.track_sums = track_sums
+        self.counts = np.zeros(0, dtype=np.float64)
+        self.sums = np.zeros(0, dtype=np.float64) if track_sums else None
+        self.max_time = -math.inf
+        self.min_time = math.inf
+
+    def _grow(self, n_bins: int) -> None:
+        if n_bins <= self.counts.size:
+            return
+        new = max(n_bins, 2 * self.counts.size)
+        self.counts = np.concatenate(
+            [self.counts, np.zeros(new - self.counts.size)]
+        )
+        if self.sums is not None:
+            self.sums = np.concatenate([self.sums, np.zeros(new - self.sums.size)])
+
+    def add(self, times_s: np.ndarray, values: np.ndarray | None = None) -> "BinnedSeries":
+        times_s = np.asarray(times_s, dtype=np.float64)
+        if not times_s.size:
+            return self
+        self.max_time = max(self.max_time, float(times_s.max()))
+        self.min_time = min(self.min_time, float(times_s.min()))
+        idx = np.maximum((times_s // self.bin_s).astype(np.int64), 0)
+        self._grow(int(idx.max()) + 1)
+        self.counts += np.bincount(idx, minlength=self.counts.size)
+        if self.sums is not None:
+            if values is None:
+                raise ValueError("this series tracks sums; pass values")
+            values = np.asarray(values, dtype=np.float64)
+            self.sums += np.bincount(
+                idx, weights=values, minlength=self.sums.size
+            )
+        return self
+
+    def add_one(self, time_s: float, value: float | None = None) -> "BinnedSeries":
+        """Scalar fast path: one event, no numpy temporaries."""
+        self.max_time = max(self.max_time, time_s)
+        self.min_time = min(self.min_time, time_s)
+        idx = max(int(time_s // self.bin_s), 0)
+        self._grow(idx + 1)
+        self.counts[idx] += 1.0
+        if self.sums is not None:
+            if value is None:
+                raise ValueError("this series tracks sums; pass a value")
+            self.sums[idx] += value
+        return self
+
+    def merge(self, other: "BinnedSeries") -> "BinnedSeries":
+        if self.bin_s != other.bin_s or self.track_sums != other.track_sums:
+            raise ValueError("cannot merge series with different grids")
+        self._grow(other.counts.size)
+        self.counts[: other.counts.size] += other.counts
+        if self.sums is not None:
+            self.sums[: other.sums.size] += other.sums
+        self.max_time = max(self.max_time, other.max_time)
+        self.min_time = min(self.min_time, other.min_time)
+        return self
+
+    def n_bins_for(self, horizon_s: float | None) -> int:
+        """Replicate ``bin_counts``' horizon inference and bin count."""
+        if horizon_s is None:
+            horizon_s = (
+                self.max_time + self.bin_s
+                if math.isfinite(self.max_time)
+                else self.bin_s
+            )
+        return max(int(np.ceil(horizon_s / self.bin_s)), 1)
+
+    def _finalize(self, dense: np.ndarray, n_bins: int) -> np.ndarray:
+        out = np.zeros(n_bins, dtype=np.float64)
+        take = min(n_bins, dense.size)
+        out[:take] = dense[:take]
+        if dense.size > n_bins:  # clip semantics: fold the tail into the last bin
+            out[n_bins - 1] += dense[n_bins:].sum()
+        return out
+
+    def counts_until(self, horizon_s: float | None = None) -> np.ndarray:
+        """Equals ``bin_counts(times, bin_s, horizon_s)`` over the stream."""
+        return self._finalize(self.counts, self.n_bins_for(horizon_s))
+
+    def sums_until(self, horizon_s: float | None = None) -> np.ndarray:
+        if self.sums is None:
+            raise ValueError("series was built without sums")
+        return self._finalize(self.sums, self.n_bins_for(horizon_s))
+
+    def means_until(self, horizon_s: float | None = None) -> np.ndarray:
+        """Equals ``bin_means``: per-bin mean, NaN where the bin is empty."""
+        counts = self.counts_until(horizon_s)
+        sums = self.sums_until(horizon_s)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+    def __eq__(self, other) -> bool:
+        """Content equality, insensitive to buffer growth history."""
+        if not isinstance(other, BinnedSeries):
+            return NotImplemented
+        if (self.bin_s, self.track_sums) != (other.bin_s, other.track_sums):
+            return False
+        if (self.max_time, self.min_time) != (other.max_time, other.min_time):
+            return False
+        n = max(self.counts.size, other.counts.size)
+
+        def padded(a: np.ndarray) -> np.ndarray:
+            return np.concatenate([a, np.zeros(n - a.size)])
+
+        if not np.array_equal(padded(self.counts), padded(other.counts)):
+            return False
+        if self.sums is None:
+            return True
+        return np.array_equal(padded(self.sums), padded(other.sums))
+
+
+class TickGauge:
+    """A per-tick gauge series merged by element-wise (right-padded) sum.
+
+    Replaces the evaluator's unbounded ``pods_series`` list: shards tick on
+    the same absolute grid, so summing aligned ticks gives the combined
+    gauge and the peak is recomputed from the sum (associative re-merge).
+    Appends amortise over a doubling buffer.
+    """
+
+    __slots__ = ("_buffer", "_length")
+
+    def __init__(self, values=()):
+        self._buffer = np.asarray(values, dtype=np.float64).copy()
+        self._length = int(self._buffer.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._buffer[: self._length]
+
+    def record(self, value: float) -> None:
+        if self._length == self._buffer.size:
+            grown = np.zeros(max(2 * self._buffer.size, 64), dtype=np.float64)
+            grown[: self._length] = self._buffer[: self._length]
+            self._buffer = grown
+        self._buffer[self._length] = float(value)
+        self._length += 1
+
+    def merge(self, other: "TickGauge") -> "TickGauge":
+        n = max(self._length, other._length)
+        total = np.zeros(n, dtype=np.float64)
+        total[: self._length] += self.values
+        total[: other._length] += other.values
+        self._buffer = total
+        self._length = n
+        return self
+
+    def peak(self) -> float:
+        return float(self.values.max()) if self._length else 0.0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def to_list(self) -> list:
+        return self.values.tolist()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TickGauge) and np.array_equal(
+            self.values, other.values
+        )
+
+
+# --- keyed reducers ---------------------------------------------------------
+
+
+def _group_reduce(keys: np.ndarray, columns: list[np.ndarray], ops: list[str]):
+    """Reduce ``columns`` per distinct key; returns (keys_sorted, reduced)."""
+    uniques, inverse = np.unique(keys, return_inverse=True)
+    reduced = []
+    for column, op in zip(columns, ops):
+        if op == "sum":
+            out = np.zeros(uniques.size, dtype=column.dtype)
+            np.add.at(out, inverse, column)
+        elif op == "min":
+            out = np.full(uniques.size, np.inf)
+            np.minimum.at(out, inverse, column)
+        elif op == "max":
+            out = np.full(uniques.size, -np.inf)
+            np.maximum.at(out, inverse, column)
+        elif op == "first":
+            out = np.zeros(uniques.size, dtype=column.dtype)
+            out[inverse] = column
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown reduce op {op!r}")
+        reduced.append(out)
+    return uniques, reduced
+
+
+class GroupedCounts:
+    """Occurrence counts per int64 key (requests per user/function, ...)."""
+
+    __slots__ = ("keys", "counts")
+
+    def __init__(self) -> None:
+        self.keys = np.zeros(0, dtype=np.int64)
+        self.counts = np.zeros(0, dtype=np.int64)
+
+    def add(self, keys: np.ndarray) -> "GroupedCounts":
+        keys = np.asarray(keys, dtype=np.int64)
+        if not keys.size:
+            return self
+        uniques, counts = np.unique(keys, return_counts=True)
+        self._absorb(uniques, counts)
+        return self
+
+    def _absorb(self, keys: np.ndarray, counts: np.ndarray) -> None:
+        merged_keys, (merged_counts,) = _group_reduce(
+            np.concatenate([self.keys, keys]),
+            [np.concatenate([self.counts, counts.astype(np.int64)])],
+            ["sum"],
+        )
+        self.keys, self.counts = merged_keys, merged_counts
+
+    def merge(self, other: "GroupedCounts") -> "GroupedCounts":
+        self._absorb(other.keys, other.counts)
+        return self
+
+    @property
+    def n_keys(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(zip(self.keys.tolist(), self.counts.tolist()))
+
+
+class KeyedBinnedCounts:
+    """Per-key event counts on a fixed time grid (function x day/minute).
+
+    Backs the per-function median-day statistic (Fig. 3a) and the
+    per-function minute series of the peak-to-trough analysis (Fig. 6).
+    State is a dense ``keys x bins`` int64 matrix — bounded by the function
+    population times the horizon, never by request rows.
+    """
+
+    def __init__(self, bin_s: float):
+        if bin_s <= 0:
+            raise ValueError("bin_s must be positive")
+        self.bin_s = float(bin_s)
+        self.keys = np.zeros(0, dtype=np.int64)
+        self.matrix = np.zeros((0, 0), dtype=np.int64)
+
+    def _ensure(self, keys: np.ndarray, n_bins: int) -> np.ndarray:
+        """Grow rows/columns; return positions of ``keys`` in ``self.keys``."""
+        new = np.setdiff1d(keys, self.keys, assume_unique=False)
+        if new.size:
+            all_keys = np.union1d(self.keys, new)
+            matrix = np.zeros((all_keys.size, self.matrix.shape[1]), dtype=np.int64)
+            if self.keys.size:
+                matrix[np.searchsorted(all_keys, self.keys)] = self.matrix
+            self.keys, self.matrix = all_keys, matrix
+        if n_bins > self.matrix.shape[1]:
+            grown = max(n_bins, 2 * self.matrix.shape[1])
+            self.matrix = np.concatenate(
+                [self.matrix,
+                 np.zeros((self.matrix.shape[0], grown - self.matrix.shape[1]),
+                          dtype=np.int64)],
+                axis=1,
+            )
+        return np.searchsorted(self.keys, keys)
+
+    def add(self, keys: np.ndarray, times_s: np.ndarray) -> "KeyedBinnedCounts":
+        keys = np.asarray(keys, dtype=np.int64)
+        times_s = np.asarray(times_s, dtype=np.float64)
+        if not keys.size:
+            return self
+        bins = np.maximum((times_s // self.bin_s).astype(np.int64), 0)
+        n_bins = int(bins.max()) + 1
+        uniques = np.unique(keys)
+        self._ensure(uniques, n_bins)
+        rows = np.searchsorted(self.keys, keys)
+        # in-place scatter-add: work and temporaries stay proportional to
+        # the chunk, not to the full keys x bins matrix
+        np.add.at(self.matrix, (rows, bins), 1)
+        return self
+
+    def merge(self, other: "KeyedBinnedCounts") -> "KeyedBinnedCounts":
+        if self.bin_s != other.bin_s:
+            raise ValueError("cannot merge keyed series with different grids")
+        if not other.keys.size:
+            return self
+        self._ensure(other.keys, other.matrix.shape[1])
+        rows = np.searchsorted(self.keys, other.keys)
+        self.matrix[rows, : other.matrix.shape[1]] += other.matrix
+        return self
+
+    def counts_matrix(self, n_bins: int) -> np.ndarray:
+        """Keys-aligned dense matrix with the tail folded into bin ``n_bins-1``.
+
+        Reproduces the materialised ``clip(idx, 0, n_bins - 1)`` binning.
+        """
+        n_bins = max(n_bins, 1)
+        out = np.zeros((self.keys.size, n_bins), dtype=np.int64)
+        take = min(n_bins, self.matrix.shape[1])
+        out[:, :take] = self.matrix[:, :take]
+        if self.matrix.shape[1] > n_bins:
+            out[:, n_bins - 1] += self.matrix[:, n_bins:].sum(axis=1)
+        return out
+
+
+class DistinctPairs:
+    """The distinct (a, b) int64 pairs seen (functions-per-user, Fig. 4a)."""
+
+    __slots__ = ("pairs",)
+
+    def __init__(self) -> None:
+        self.pairs = np.zeros((0, 2), dtype=np.int64)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> "DistinctPairs":
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if not a.size:
+            return self
+        stacked = np.concatenate([self.pairs, np.stack([a, b], axis=1)])
+        self.pairs = np.unique(stacked, axis=0)
+        return self
+
+    def merge(self, other: "DistinctPairs") -> "DistinctPairs":
+        if other.pairs.size:
+            self.pairs = np.unique(
+                np.concatenate([self.pairs, other.pairs]), axis=0
+            )
+        return self
+
+    def counts_per_first(self) -> np.ndarray:
+        """Distinct second elements per first element (sorted by first)."""
+        if not self.pairs.size:
+            return np.zeros(0, dtype=np.int64)
+        _, counts = np.unique(self.pairs[:, 0], return_counts=True)
+        return counts
+
+
+class PodIntervalAccumulator:
+    """Per-pod activity intervals streamed off the request stream.
+
+    Accumulates, per pod id: first request time, last request end, request
+    count, owning function, and (from the pod stream) the cold-start
+    duration — everything Figs. 7, 8, and 17 need. State is bounded by the
+    number of distinct pods, roughly two orders of magnitude below request
+    rows.
+    """
+
+    def __init__(self) -> None:
+        self.pod_id = np.zeros(0, dtype=np.int64)
+        self.function = np.zeros(0, dtype=np.int64)
+        self.start_s = np.zeros(0, dtype=np.float64)
+        self.last_end_s = np.zeros(0, dtype=np.float64)
+        self.n_requests = np.zeros(0, dtype=np.int64)
+
+    def add(self, requests: RequestTable) -> "PodIntervalAccumulator":
+        if not len(requests):
+            return self
+        ts = requests.timestamps_s
+        ends = ts + requests.exec_time_s
+        self._absorb(
+            requests["pod_id"], requests["function"], ts, ends,
+            np.ones(len(requests), dtype=np.int64),
+        )
+        return self
+
+    def _absorb(self, pod_ids, functions, starts, ends, counts) -> None:
+        keys = np.concatenate([self.pod_id, np.asarray(pod_ids, dtype=np.int64)])
+        uniques, (function, start, last_end, n_req) = _group_reduce(
+            keys,
+            [
+                np.concatenate([self.function, np.asarray(functions, dtype=np.int64)]),
+                np.concatenate([self.start_s, np.asarray(starts, dtype=np.float64)]),
+                np.concatenate([self.last_end_s, np.asarray(ends, dtype=np.float64)]),
+                np.concatenate([self.n_requests, np.asarray(counts, dtype=np.int64)]),
+            ],
+            ["first", "min", "max", "sum"],
+        )
+        self.pod_id = uniques
+        self.function = function
+        self.start_s = start
+        self.last_end_s = last_end
+        self.n_requests = n_req
+
+    def merge(self, other: "PodIntervalAccumulator") -> "PodIntervalAccumulator":
+        if other.pod_id.size:
+            self._absorb(
+                other.pod_id, other.function, other.start_s,
+                other.last_end_s, other.n_requests,
+            )
+        return self
+
+    def finalize(self):
+        """The :class:`~repro.analysis.composition.PodIntervals` equivalent."""
+        from repro.analysis.composition import PodIntervals
+
+        return PodIntervals(
+            pod_id=self.pod_id,
+            function=self.function,
+            start_s=self.start_s,
+            last_end_s=self.last_end_s,
+            n_requests=self.n_requests,
+        )
+
+
+class GapTracker:
+    """Inter-event gaps of a time-ordered stream, sketched into a histogram.
+
+    The streaming form of :func:`~repro.analysis.coldstart_stats
+    .cold_start_iats`: each update sorts its (time-disjoint, later-than-
+    previous) chunk, histograms the internal gaps, and stitches the
+    boundary gap to the previous chunk. ``merge`` requires the other
+    tracker to cover strictly later time (plan order guarantees this);
+    :meth:`pool` combines trackers of *independent* streams (regions)
+    without a boundary gap, matching the paper's pooled fits.
+    """
+
+    def __init__(self, lo: float = LogHistogram.DEFAULT_LO,
+                 hi: float = LogHistogram.DEFAULT_HI,
+                 bins: int = LogHistogram.DEFAULT_BINS):
+        self.hist = LogHistogram(lo, hi, bins)
+        self.first_ts: float | None = None
+        self.last_ts: float | None = None
+
+    def add(self, times_s: np.ndarray) -> "GapTracker":
+        times_s = np.sort(np.asarray(times_s, dtype=np.float64))
+        if not times_s.size:
+            return self
+        if self.last_ts is not None:
+            if times_s[0] < self.last_ts:
+                raise ValueError(
+                    "GapTracker updates must be time-ordered: got a chunk "
+                    f"starting at {times_s[0]:.3f}s before the previous end "
+                    f"{self.last_ts:.3f}s"
+                )
+            self.hist.add(np.array([times_s[0] - self.last_ts]))
+        if times_s.size > 1:
+            self.hist.add(np.diff(times_s))
+        if self.first_ts is None:
+            self.first_ts = float(times_s[0])
+        self.last_ts = float(times_s[-1])
+        return self
+
+    def merge(self, other: "GapTracker") -> "GapTracker":
+        if other.first_ts is None:
+            return self
+        if self.last_ts is not None:
+            if other.first_ts < self.last_ts:
+                raise ValueError(
+                    "GapTracker merges must follow time order; "
+                    "use pool() for independent streams"
+                )
+            self.hist.add(np.array([other.first_ts - self.last_ts]))
+        self.hist.merge(other.hist)
+        self.first_ts = self.first_ts if self.first_ts is not None else other.first_ts
+        self.last_ts = other.last_ts
+        return self
+
+    def pool(self, other: "GapTracker") -> "GapTracker":
+        """Combine gap populations of independent streams (no boundary)."""
+        self.hist.merge(other.hist)
+        return self
+
+
+# --- per-region composite ---------------------------------------------------
+
+#: Pod metrics sketched per category for Figs. 10/13/15/16.
+POD_METRICS = ("cold_start_s",) + COMPONENT_COLUMNS
+
+
+class RegionAccumulator:
+    """Everything Figures 1-17 need for one region, chunk by chunk.
+
+    Construct with the region's (small, static) function-metadata table and
+    the generation ``meta`` dict, then feed time-ordered
+    :class:`~repro.runtime.stream.TraceChunk` objects via :meth:`update`.
+    ``merge`` combines shards of the same region in plan (time) order;
+    :class:`~repro.core.study.StreamingTraceStudy` drives the figure
+    finalizers on top.
+    """
+
+    def __init__(self, region: str, functions: FunctionTable | None = None,
+                 meta: dict | None = None):
+        self.region = region
+        self.functions = functions if functions is not None else FunctionTable.empty()
+        self.meta = dict(meta or {})
+        # request-side
+        self.n_requests = 0
+        self.req_ts_ms_min: int | None = None
+        self.req_ts_ms_max: int | None = None
+        self.per_user = GroupedCounts()
+        self.user_functions = DistinctPairs()
+        self.per_function_day = KeyedBinnedCounts(_SECONDS_PER_DAY)
+        self.per_function_minute = KeyedBinnedCounts(60.0)
+        self.minute_requests = BinnedSeries(60.0, track_sums=False)
+        self.minute_exec = BinnedSeries(60.0)
+        self.minute_cpu = BinnedSeries(60.0)
+        self.day_cpu = BinnedSeries(_SECONDS_PER_DAY)
+        self.intervals = PodIntervalAccumulator()
+        # pod-side
+        self.n_cold_starts = 0
+        self.pod_ts_max: float = -math.inf
+        self.per_function_cold = GroupedCounts()
+        self.minute_pod = {
+            name: BinnedSeries(60.0) for name in POD_METRICS
+        }
+        self.hour_pod = {
+            name: BinnedSeries(3600.0) for name in POD_METRICS
+        }
+        self.component_sums = {name: StreamingMoments() for name in POD_METRICS}
+        self.cold_log_moments = StreamingMoments()
+        self.iat = GapTracker()
+        # category histograms: (kind, category, metric) -> LogHistogram
+        self.category_hists: dict[tuple[str, str, str], LogHistogram] = {}
+        # per-pod cold-start durations for the exact Fig. 17 join
+        self._pod_ids = np.zeros(0, dtype=np.int64)
+        self._pod_cold_s = np.zeros(0, dtype=np.float64)
+        self._pod_functions = np.zeros(0, dtype=np.int64)
+
+    @classmethod
+    def from_bundle(cls, bundle, chunk_s: float = 6 * 3600.0) -> "RegionAccumulator":
+        """Reduce an in-memory bundle by streaming it chunk by chunk."""
+        from repro.runtime.stream import iter_bundle_chunks
+
+        acc = cls(bundle.region, functions=bundle.functions, meta=dict(bundle.meta))
+        for chunk in iter_bundle_chunks(bundle, chunk_s=chunk_s):
+            acc.update(chunk)
+        return acc
+
+    # -- category lookup ----------------------------------------------------
+
+    def _categories(self, kind: str, function_ids: np.ndarray) -> np.ndarray:
+        """Category label per row of ``function_ids`` (unknown-safe)."""
+        from repro.analysis.composition import categories_for
+
+        return categories_for(self.functions, function_ids, kind)
+
+    def _hist(self, kind: str, category: str, metric: str) -> LogHistogram:
+        key = (kind, category, metric)
+        hist = self.category_hists.get(key)
+        if hist is None:
+            hist = self.category_hists[key] = LogHistogram()
+        return hist
+
+    # -- updates -------------------------------------------------------------
+
+    def update(self, chunk=None, *, requests: RequestTable | None = None,
+               pods: PodTable | None = None) -> "RegionAccumulator":
+        """Fold one chunk (or raw request/pod tables) into the state."""
+        if chunk is not None:
+            requests = chunk.requests
+            pods = chunk.pods
+        if requests is not None and len(requests):
+            self._update_requests(requests)
+        if pods is not None and len(pods):
+            self._update_pods(pods)
+        return self
+
+    def _update_requests(self, requests: RequestTable) -> None:
+        ts = requests.timestamps_s
+        ts_ms = requests["timestamp_ms"]
+        self.n_requests += len(requests)
+        lo, hi = int(ts_ms.min()), int(ts_ms.max())
+        self.req_ts_ms_min = lo if self.req_ts_ms_min is None else min(self.req_ts_ms_min, lo)
+        self.req_ts_ms_max = hi if self.req_ts_ms_max is None else max(self.req_ts_ms_max, hi)
+        functions = requests["function"]
+        users = requests["user"]
+        self.per_user.add(users)
+        self.user_functions.add(users, functions)
+        self.per_function_day.add(functions, ts)
+        self.per_function_minute.add(functions, ts)
+        self.minute_requests.add(ts)
+        self.minute_exec.add(ts, requests.exec_time_s)
+        cores = requests["cpu_millicores"] / 1000.0
+        self.minute_cpu.add(ts, cores)
+        self.day_cpu.add(ts, cores)
+        self.intervals.add(requests)
+
+    def _update_pods(self, pods: PodTable) -> None:
+        ts = pods.timestamps_s
+        self.n_cold_starts += len(pods)
+        self.pod_ts_max = max(self.pod_ts_max, float(ts.max()))
+        functions = pods["function"]
+        self.per_function_cold.add(functions)
+        metrics = {"cold_start_s": pods.cold_start_s}
+        for column in COMPONENT_COLUMNS:
+            metrics[column] = pods.component_s(column)
+        for name, values in metrics.items():
+            self.minute_pod[name].add(ts, values)
+            self.hour_pod[name].add(ts, values)
+            self.component_sums[name].add(values)
+        cold_s = metrics["cold_start_s"]
+        positive = cold_s[cold_s > 0]
+        if positive.size:
+            self.cold_log_moments.add(np.log(positive))
+        self.iat.add(ts)
+        # per-pod state for the Fig. 17 utility join
+        order = np.argsort(pods["pod_id"])
+        ids = pods["pod_id"][order]
+        self._pod_ids = np.concatenate([self._pod_ids, ids])
+        self._pod_cold_s = np.concatenate([self._pod_cold_s, cold_s[order]])
+        self._pod_functions = np.concatenate([self._pod_functions, functions[order]])
+        if not np.all(np.diff(self._pod_ids) > 0):
+            sorter = np.argsort(self._pod_ids, kind="stable")
+            self._pod_ids = self._pod_ids[sorter]
+            self._pod_cold_s = self._pod_cold_s[sorter]
+            self._pod_functions = self._pod_functions[sorter]
+        # category sketches
+        for kind in ("runtime", "trigger", "size"):
+            categories = self._categories(kind, functions)
+            for name, values in metrics.items():
+                sample = values
+                if name == "deploy_dep_us":
+                    sample = values[values > 0]
+                    cats = categories[values > 0]
+                else:
+                    cats = categories
+                for category in np.unique(cats):
+                    self._hist(kind, str(category), name).add(sample[cats == category])
+        for name, values in metrics.items():
+            sample = values[values > 0] if name == "deploy_dep_us" else values
+            self._hist("all", "all", name).add(sample)
+
+    # -- merge ---------------------------------------------------------------
+
+    def merge(self, other: "RegionAccumulator") -> "RegionAccumulator":
+        if self.region != other.region:
+            raise ValueError(
+                f"cannot merge accumulators of regions {self.region!r} and "
+                f"{other.region!r}"
+            )
+        self.functions = dedupe_functions([self.functions, other.functions])
+        if other.meta:
+            merged_days = int(self.meta.get("days", 0)) + int(other.meta.get("days", 0))
+            base = dict(other.meta)
+            base.update(self.meta)
+            base["days"] = merged_days if merged_days else base.get("days")
+            base["start_day"] = min(
+                int(self.meta.get("start_day", 0)), int(other.meta.get("start_day", 0))
+            )
+            self.meta = base
+        self.n_requests += other.n_requests
+        mins = [v for v in (self.req_ts_ms_min, other.req_ts_ms_min) if v is not None]
+        maxs = [v for v in (self.req_ts_ms_max, other.req_ts_ms_max) if v is not None]
+        self.req_ts_ms_min = min(mins) if mins else None
+        self.req_ts_ms_max = max(maxs) if maxs else None
+        self.per_user.merge(other.per_user)
+        self.user_functions.merge(other.user_functions)
+        self.per_function_day.merge(other.per_function_day)
+        self.per_function_minute.merge(other.per_function_minute)
+        self.minute_requests.merge(other.minute_requests)
+        self.minute_exec.merge(other.minute_exec)
+        self.minute_cpu.merge(other.minute_cpu)
+        self.day_cpu.merge(other.day_cpu)
+        self.intervals.merge(other.intervals)
+        self.n_cold_starts += other.n_cold_starts
+        self.pod_ts_max = max(self.pod_ts_max, other.pod_ts_max)
+        self.per_function_cold.merge(other.per_function_cold)
+        for name in POD_METRICS:
+            self.minute_pod[name].merge(other.minute_pod[name])
+            self.hour_pod[name].merge(other.hour_pod[name])
+            self.component_sums[name].merge(other.component_sums[name])
+        self.cold_log_moments.merge(other.cold_log_moments)
+        self.iat.merge(other.iat)
+        for key, hist in other.category_hists.items():
+            mine_hist = self.category_hists.get(key)
+            if mine_hist is None:
+                self.category_hists[key] = hist
+            else:
+                mine_hist.merge(hist)
+        self._pod_ids = np.concatenate([self._pod_ids, other._pod_ids])
+        self._pod_cold_s = np.concatenate([self._pod_cold_s, other._pod_cold_s])
+        self._pod_functions = np.concatenate(
+            [self._pod_functions, other._pod_functions]
+        )
+        sorter = np.argsort(self._pod_ids, kind="stable")
+        self._pod_ids = self._pod_ids[sorter]
+        self._pod_cold_s = self._pod_cold_s[sorter]
+        self._pod_functions = self._pod_functions[sorter]
+        return self
+
+    # -- shared finalizers ----------------------------------------------------
+
+    @property
+    def req_max_ts_s(self) -> float:
+        return (self.req_ts_ms_max or 0) / 1e3
+
+    def span_days(self) -> float:
+        """Equals ``RequestTable.span_days`` over the whole stream."""
+        if self.req_ts_ms_max is None:
+            return 0.0
+        return float(self.req_ts_ms_max - self.req_ts_ms_min) / (1e3 * 86_400)
+
+    def summary(self) -> dict[str, int]:
+        """Equals :meth:`TraceBundle.summary` for the merged region."""
+        return {
+            "requests": self.n_requests,
+            "cold_starts": self.n_cold_starts,
+            "functions": len(self.functions),
+            "pods": int(np.unique(self._pod_ids).size),
+            "users": self.per_user.n_keys,
+        }
+
+    def requests_per_day_per_function(self) -> tuple[np.ndarray, np.ndarray]:
+        """(function ids, median-day request counts), Fig. 3a's statistic."""
+        if not self.n_requests:
+            return np.zeros(0, dtype=np.int64), np.zeros(0)
+        days = max(int(np.ceil(self.span_days())), 1)
+        matrix = self.per_function_day.counts_matrix(days)
+        return self.per_function_day.keys, np.median(matrix, axis=1)
+
+    def pod_cold_lookup(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted pod ids, cold-start seconds) for the Fig. 17 join."""
+        return self._pod_ids, self._pod_cold_s

@@ -56,6 +56,25 @@ class Cdf:
         return [(float(x), self.at(float(x))) for x in grid]
 
 
+def cdf_from_counts(values: np.ndarray, counts: np.ndarray) -> Cdf:
+    """Build a CDF from sorted (value, count) pairs.
+
+    The finalizer for binned sketches (:class:`~repro.analysis.accumulators
+    .LogHistogram`): probabilities are exact, support values carry the
+    sketch's one-bin quantisation.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    counts = np.asarray(counts, dtype=np.float64)
+    if values.shape != counts.shape:
+        raise ValueError("values and counts must align")
+    if np.any(np.diff(values) < 0):
+        raise ValueError("values must be sorted ascending")
+    total = counts.sum()
+    if total <= 0:
+        return Cdf(np.zeros(0), np.zeros(0))
+    return Cdf(values, np.cumsum(counts) / total)
+
+
 def empirical_cdf(values: np.ndarray) -> Cdf:
     """Build the empirical CDF of ``values`` (NaNs dropped)."""
     values = np.asarray(values, dtype=np.float64)

@@ -18,6 +18,19 @@ COMPONENT_NAMES = {
 }
 
 
+def pod_metric_values(pods: PodTable) -> dict[str, np.ndarray]:
+    """Total + component durations in seconds, keyed like the figures.
+
+    The shared metric extraction for Figs. 10/11/13/15/16 — both the
+    materialised analyses below and the chunk-incremental sketches in
+    :mod:`repro.analysis.accumulators` iterate exactly these columns.
+    """
+    metrics = {"cold_start_s": pods.cold_start_s}
+    for column in COMPONENT_COLUMNS:
+        metrics[column] = pods.component_s(column)
+    return metrics
+
+
 def cold_start_cdf(pods: PodTable) -> Cdf:
     """CDF of total cold-start durations (Fig. 10a)."""
     return empirical_cdf(pods.cold_start_s)
@@ -70,9 +83,7 @@ def pool_size_quantiles(
     """
     meta = function_metadata(bundle, bundle.pods["function"])
     out: dict[str, dict[str, dict[float, float]]] = {}
-    metrics = {"cold_start_s": bundle.pods.cold_start_s}
-    for column in COMPONENT_COLUMNS:
-        metrics[column] = bundle.pods.component_s(column)
+    metrics = pod_metric_values(bundle.pods)
     for name, values in metrics.items():
         per_size = {}
         for size in ("small", "large"):
@@ -118,9 +129,7 @@ def component_cdfs_by(
     meta = function_metadata(bundle, bundle.pods["function"])
     categories = meta.runtime if by == "runtime" else meta.trigger_label
 
-    metrics = {"cold_start_s": bundle.pods.cold_start_s}
-    for column in COMPONENT_COLUMNS:
-        metrics[column] = bundle.pods.component_s(column)
+    metrics = pod_metric_values(bundle.pods)
 
     def build(mask: np.ndarray) -> dict[str, Cdf]:
         out = {}
@@ -134,6 +143,55 @@ def component_cdfs_by(
     result = {"all": build(np.ones(len(bundle.pods), dtype=bool))}
     for category in np.unique(categories):
         result[str(category)] = build(categories == category)
+    return result
+
+
+def pool_split_from_hists(
+    hists: dict, qs=(0.25, 0.5, 0.75)
+) -> dict[str, dict[str, dict[float, float]]]:
+    """Fig. 13 from size-class :class:`LogHistogram` sketches.
+
+    ``hists`` maps ``("size", size_class, metric)`` keys (the layout of
+    :attr:`RegionAccumulator.category_hists`) to histograms. Quantiles carry
+    the sketch's one-bin value tolerance; the dependency-deployment
+    zero-exclusion is already applied at update time.
+    """
+    out: dict[str, dict[str, dict[float, float]]] = {}
+    for name in ("cold_start_s",) + COMPONENT_COLUMNS:
+        per_size = {}
+        for size in ("small", "large"):
+            hist = hists.get(("size", size, name))
+            if hist is None:
+                per_size[size] = {float(q): float("nan") for q in qs}
+            else:
+                per_size[size] = hist.quantiles(qs)
+        out[name] = per_size
+    return out
+
+
+def component_cdfs_from_hists(hists: dict, by: str = "runtime") -> dict[str, dict[str, Cdf]]:
+    """Figs. 15/16 from category :class:`LogHistogram` sketches.
+
+    Mirrors :func:`component_cdfs_by` including the ``"all"`` series;
+    values quantise to one histogram bin.
+    """
+    if by not in ("runtime", "trigger"):
+        raise ValueError("by must be 'runtime' or 'trigger'")
+
+    def build(kind: str, category: str) -> dict[str, Cdf]:
+        out = {}
+        for name in ("cold_start_s",) + COMPONENT_COLUMNS:
+            hist = hists.get((kind, category, name))
+            # a missing sketch means no (non-zero) samples: empty CDF, like
+            # the materialised path's empirical_cdf of an empty sample
+            out[name] = hist.cdf() if hist is not None else empirical_cdf(np.zeros(0))
+        return out
+
+    result: dict[str, dict[str, Cdf]] = {
+        str(category): build(by, category)
+        for category in sorted({cat for kind, cat, _m in hists if kind == by})
+    }
+    result["all"] = build("all", "all")
     return result
 
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.timeseries import presence_counts
-from repro.trace.tables import TraceBundle
+from repro.trace.tables import FunctionTable, TraceBundle
 from repro.workload.catalog import SizeClass, parse_config
 
 #: Labels kept distinct by the paper's aggregation.
@@ -58,9 +58,18 @@ class FunctionMetadata:
     size_class: np.ndarray
 
 
-def function_metadata(bundle: TraceBundle, function_ids: np.ndarray) -> FunctionMetadata:
-    """Join ``function_ids`` against the bundle's function-level stream."""
-    meta = bundle.functions.metadata_for(np.asarray(function_ids))
+def function_metadata(
+    functions: FunctionTable | TraceBundle, function_ids: np.ndarray
+) -> FunctionMetadata:
+    """Join ``function_ids`` against a function-level stream.
+
+    Accepts the :class:`FunctionTable` directly (all the join needs — the
+    streaming path has no bundle) or a whole :class:`TraceBundle` for
+    convenience.
+    """
+    if isinstance(functions, TraceBundle):
+        functions = functions.functions
+    meta = functions.metadata_for(np.asarray(function_ids))
     combos = meta["trigger"]
     unique_combos, inverse = np.unique(combos, return_inverse=True)
     labels = np.array([aggregate_combo_label(c) for c in unique_combos], dtype="U12")
@@ -124,8 +133,11 @@ def pod_intervals(bundle: TraceBundle) -> PodIntervals:
     )
 
 
-def _categories_for(bundle: TraceBundle, function_ids: np.ndarray, by: str) -> np.ndarray:
-    meta = function_metadata(bundle, function_ids)
+def categories_for(
+    functions: FunctionTable | TraceBundle, function_ids: np.ndarray, by: str
+) -> np.ndarray:
+    """Per-row category labels for an id column, for any grouping kind."""
+    meta = function_metadata(functions, function_ids)
     if by == "trigger":
         return meta.trigger_label
     if by == "runtime":
@@ -142,16 +154,21 @@ def _categories_for(bundle: TraceBundle, function_ids: np.ndarray, by: str) -> n
     raise ValueError(f"unknown grouping {by!r}; use trigger/runtime/config/size")
 
 
-def pods_over_time_by(
-    bundle: TraceBundle,
+def pods_over_time_from(
+    intervals: "PodIntervals",
+    functions: FunctionTable,
     by: str = "trigger",
     bin_s: float = 3600.0,
     keepalive_s: float = 60.0,
 ) -> dict[str, np.ndarray]:
-    """Running pods per time bin, grouped by category (Fig. 8a–c)."""
-    intervals = pod_intervals(bundle)
+    """Running pods per bin by category, from finalized pod intervals.
+
+    The shared core of Fig. 8a-c: the materialised path reconstructs the
+    intervals from a bundle, the streaming path accumulates them chunk by
+    chunk — both finish here.
+    """
     horizon = float(intervals.last_end_s.max()) + keepalive_s if intervals.pod_id.size else bin_s
-    categories = _categories_for(bundle, intervals.function, by)
+    categories = categories_for(functions, intervals.function, by)
     out: dict[str, np.ndarray] = {}
     for category in np.unique(categories):
         mask = categories == category
@@ -164,6 +181,52 @@ def pods_over_time_by(
     return out
 
 
+def pods_over_time_by(
+    bundle: TraceBundle,
+    by: str = "trigger",
+    bin_s: float = 3600.0,
+    keepalive_s: float = 60.0,
+) -> dict[str, np.ndarray]:
+    """Running pods per time bin, grouped by category (Fig. 8a–c)."""
+    return pods_over_time_from(
+        pod_intervals(bundle), bundle.functions, by=by, bin_s=bin_s,
+        keepalive_s=keepalive_s,
+    )
+
+
+def proportions_from(
+    intervals: "PodIntervals",
+    cold_function_ids: np.ndarray,
+    cold_counts: np.ndarray,
+    functions: FunctionTable,
+    by: str = "trigger",
+) -> dict[str, dict[str, float]]:
+    """Category shares of pod-time / cold starts / functions (Fig. 8d-f core).
+
+    ``cold_function_ids``/``cold_counts`` give cold starts per function —
+    the pod-level stream reduced to its function margin, which is all the
+    share computation needs.
+    """
+    pod_categories = categories_for(functions, intervals.function, by)
+    pod_seconds = np.maximum(intervals.useful_s(), 0.0) + 60.0
+    cold_categories = categories_for(functions, cold_function_ids, by)
+    func_categories = categories_for(functions, functions["function"], by)
+
+    out: dict[str, dict[str, float]] = {}
+    total_pod_seconds = float(pod_seconds.sum()) or 1.0
+    n_cold = max(int(cold_counts.sum()), 1)
+    n_funcs = max(len(functions), 1)
+    for category in np.unique(
+        np.concatenate([pod_categories, cold_categories, func_categories])
+    ):
+        out[str(category)] = {
+            "pods": float(pod_seconds[pod_categories == category].sum()) / total_pod_seconds,
+            "cold_starts": float(cold_counts[cold_categories == category].sum()) / n_cold,
+            "functions": float((func_categories == category).sum()) / n_funcs,
+        }
+    return out
+
+
 def proportions_by(bundle: TraceBundle, by: str = "trigger") -> dict[str, dict[str, float]]:
     """Shares of pod-time, cold starts, and functions per category (Fig. 8d–f).
 
@@ -171,29 +234,22 @@ def proportions_by(bundle: TraceBundle, by: str = "trigger") -> dict[str, dict[s
     minute — equivalent to each category's share of total pod-seconds — and
     the cold-start share from the number of newly started pods.
     """
-    intervals = pod_intervals(bundle)
-    pod_categories = _categories_for(bundle, intervals.function, by)
-    pod_seconds = np.maximum(intervals.useful_s(), 0.0) + 60.0
-
-    cold_categories = _categories_for(bundle, bundle.pods["function"], by)
-    func_categories = _categories_for(bundle, bundle.functions["function"], by)
-
-    out: dict[str, dict[str, float]] = {}
-    total_pod_seconds = float(pod_seconds.sum()) or 1.0
-    n_cold = max(len(bundle.pods), 1)
-    n_funcs = max(len(bundle.functions), 1)
-    for category in np.unique(np.concatenate([pod_categories, cold_categories, func_categories])):
-        out[str(category)] = {
-            "pods": float(pod_seconds[pod_categories == category].sum()) / total_pod_seconds,
-            "cold_starts": float((cold_categories == category).sum()) / n_cold,
-            "functions": float((func_categories == category).sum()) / n_funcs,
-        }
-    return out
+    cold_ids, cold_counts = np.unique(bundle.pods["function"], return_counts=True)
+    return proportions_from(
+        pod_intervals(bundle), cold_ids, cold_counts, bundle.functions, by=by
+    )
 
 
-def trigger_mix_by_runtime(bundle: TraceBundle) -> dict[str, dict[str, float]]:
-    """Share of each trigger category within each runtime (Fig. 9)."""
-    meta = function_metadata(bundle, bundle.functions["function"])
+def trigger_mix_by_runtime(
+    functions: FunctionTable | TraceBundle,
+) -> dict[str, dict[str, float]]:
+    """Share of each trigger category within each runtime (Fig. 9).
+
+    Needs only the function-level stream; accepts a bundle for convenience.
+    """
+    if isinstance(functions, TraceBundle):
+        functions = functions.functions
+    meta = function_metadata(functions, functions["function"])
     out: dict[str, dict[str, float]] = {}
     for runtime in np.unique(meta.runtime):
         mask = meta.runtime == runtime

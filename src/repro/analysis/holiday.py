@@ -64,9 +64,6 @@ def holiday_effect(
     normalises "to their maximum value during the same number of days
     before the holiday").
     """
-    lo, hi = window
-    if lo >= hi:
-        raise ValueError("window must be increasing")
     intervals = pod_intervals(bundle)
     horizon = float(bundle.requests["timestamp_ms"].max()) / 1e3 + keepalive_s
     daily_pods_full = presence_counts(
@@ -74,7 +71,27 @@ def holiday_effect(
     )
     cores = bundle.requests["cpu_millicores"] / 1000.0
     daily_cpu_full = bin_means(bundle.requests.timestamps_s, cores, SECONDS_PER_DAY, horizon)
+    return holiday_effect_from_series(
+        daily_pods_full, daily_cpu_full,
+        first_day=first_day, last_day=last_day, window=window,
+    )
 
+
+def holiday_effect_from_series(
+    daily_pods_full: np.ndarray,
+    daily_cpu_full: np.ndarray,
+    first_day: int = HOLIDAY_FIRST_DAY,
+    last_day: int = HOLIDAY_LAST_DAY,
+    window: tuple[int, int] = (10, 27),
+) -> HolidayEffect:
+    """Fig. 7's windowing/normalisation, from precomputed daily series.
+
+    Shared finalizer: the materialised path derives the series from a
+    bundle, the streaming path from its interval and day-bin accumulators.
+    """
+    lo, hi = window
+    if lo >= hi:
+        raise ValueError("window must be increasing")
     n_days = daily_pods_full.size
     days = np.arange(max(lo, 0), min(hi + 1, n_days))
     if days.size == 0:

@@ -47,6 +47,36 @@ def daily_peak_minutes(
     return peaks
 
 
+def peak_trough_rows(
+    region: str,
+    function_ids: np.ndarray,
+    per_day: np.ndarray,
+    minute_matrix: np.ndarray,
+    cold_map: dict[int, int],
+) -> list[dict[str, object]]:
+    """Fig. 6 rows from per-function statistics.
+
+    ``minute_matrix`` holds each function's per-minute request counts over
+    the full horizon (rows aligned with ``function_ids``). Both the
+    materialised and the streaming study build these inputs their own way
+    and finish here, so the figure has one authoritative row shape.
+    """
+    rows: list[dict[str, object]] = []
+    for i, function_id in enumerate(np.asarray(function_ids).tolist()):
+        rows.append(
+            {
+                "region": region,
+                "function": int(function_id),
+                "requests_per_day": float(per_day[i]),
+                "peak_to_trough": peak_to_trough_ratio(
+                    minute_matrix[i].astype(np.float64)
+                ),
+                "cold_starts": int(cold_map.get(int(function_id), 0)),
+            }
+        )
+    return rows
+
+
 def peak_to_trough_ratio(
     per_minute: np.ndarray,
     smooth_window: int = 180,

@@ -58,13 +58,21 @@ def requests_per_day_cdf(bundle: TraceBundle) -> Cdf:
     return empirical_cdf(per_function[per_function > 0])
 
 
-def share_at_least_one_per_minute(bundle: TraceBundle) -> float:
-    """Share of functions averaging >= 1 request/minute (paper: 20 % in R1,
-    ~1 % in R4)."""
-    per_function = requests_per_day_per_function(bundle)
+def share_at_least_one_from(per_function: np.ndarray) -> float:
+    """Share of functions at >= 1 request/minute, given median-day counts.
+
+    The finalizer shared by the materialised and streaming paths (the
+    streaming path accumulates the per-function day matrix chunk by chunk).
+    """
     if per_function.size == 0:
         return 0.0
     return float((per_function >= 1440.0).mean())
+
+
+def share_at_least_one_per_minute(bundle: TraceBundle) -> float:
+    """Share of functions averaging >= 1 request/minute (paper: 20 % in R1,
+    ~1 % in R4)."""
+    return share_at_least_one_from(requests_per_day_per_function(bundle))
 
 
 def exec_time_per_minute_cdf(bundle: TraceBundle) -> Cdf:

@@ -1,8 +1,28 @@
-"""Time-series utilities: binning, smoothing, normalisation."""
+"""Time-series utilities: binning, smoothing, normalisation.
+
+The binning semantics here — horizon inference as ``max(times) + bin_s``,
+bin index ``clip(times // bin_s, 0, n_bins - 1)`` — are the contract the
+streaming accumulators (:mod:`repro.analysis.accumulators`) reproduce, so
+chunk-incremental series finalize to exactly these arrays.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+
+def resolve_bins(
+    times_s: np.ndarray, bin_s: float, horizon_s: float | None
+) -> tuple[int, np.ndarray]:
+    """Shared binning contract: ``(n_bins, clipped bin index per event)``."""
+    if bin_s <= 0:
+        raise ValueError("bin_s must be positive")
+    if horizon_s is None:
+        horizon_s = float(times_s.max()) + bin_s if times_s.size else bin_s
+    n_bins = max(int(np.ceil(horizon_s / bin_s)), 1)
+    if times_s.size == 0:
+        return n_bins, np.zeros(0, dtype=np.int64)
+    return n_bins, np.clip((times_s // bin_s).astype(np.int64), 0, n_bins - 1)
 
 
 def bin_counts(
@@ -16,14 +36,9 @@ def bin_counts(
         horizon_s: total covered span; inferred from the data when omitted.
     """
     times_s = np.asarray(times_s, dtype=np.float64)
-    if bin_s <= 0:
-        raise ValueError("bin_s must be positive")
-    if horizon_s is None:
-        horizon_s = float(times_s.max()) + bin_s if times_s.size else bin_s
-    n_bins = max(int(np.ceil(horizon_s / bin_s)), 1)
+    n_bins, idx = resolve_bins(times_s, bin_s, horizon_s)
     if times_s.size == 0:
         return np.zeros(n_bins)
-    idx = np.clip((times_s // bin_s).astype(np.int64), 0, n_bins - 1)
     return np.bincount(idx, minlength=n_bins).astype(np.float64)
 
 
@@ -38,14 +53,9 @@ def bin_sums(
     values = np.asarray(values, dtype=np.float64)
     if times_s.shape != values.shape:
         raise ValueError("times and values must align")
-    if bin_s <= 0:
-        raise ValueError("bin_s must be positive")
-    if horizon_s is None:
-        horizon_s = float(times_s.max()) + bin_s if times_s.size else bin_s
-    n_bins = max(int(np.ceil(horizon_s / bin_s)), 1)
+    n_bins, idx = resolve_bins(times_s, bin_s, horizon_s)
     if times_s.size == 0:
         return np.zeros(n_bins)
-    idx = np.clip((times_s // bin_s).astype(np.int64), 0, n_bins - 1)
     return np.bincount(idx, weights=values, minlength=n_bins)
 
 

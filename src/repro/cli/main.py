@@ -14,7 +14,7 @@ from pathlib import Path
 
 from repro.analysis.report import format_table
 from repro.core.findings import extract_findings
-from repro.core.study import TraceStudy
+from repro.core.study import StreamingTraceStudy, TraceStudy
 from repro.trace.hashing import IdHasher
 from repro.trace.io import load_bundle, save_bundle
 from repro.trace.validate import validate_bundle
@@ -67,23 +67,56 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
                               "(bounded memory per worker; 0 = whole horizon)")
 
 
-def _load_study(args: argparse.Namespace) -> TraceStudy:
+def _load_study(args: argparse.Namespace):
+    """Build the study a command works on.
+
+    ``--stream`` (analyze/figures) computes everything through the
+    chunk-incremental accumulators — no full bundle ever exists in memory.
+    A ``--load`` directory of npz-chunk subdirectories (written by
+    ``repro generate --format npz-chunks``) streams lazily; for commands
+    without streaming support it is materialised via
+    :func:`load_chunked_bundle`.
+    """
+    stream = bool(getattr(args, "stream", False))
     if args.load:
         root = Path(args.load)
-        bundles = {}
-        for directory in sorted(p for p in root.iterdir() if p.is_dir()):
-            bundle = load_bundle(directory)
-            bundles[bundle.region] = bundle
-        if not bundles:
+        directories = sorted(p for p in root.iterdir() if p.is_dir())
+        if not directories:
             raise SystemExit(f"no bundles found under {root}")
+        if stream:
+            # Chunk directories stream lazily; plain bundle directories are
+            # loaded once and reduced chunk by chunk. Same-region
+            # accumulators (horizon splits) merge instead of shadowing.
+            from repro.analysis.accumulators import RegionAccumulator
+            from repro.core.study import _merge_by_region
+            from repro.runtime.executor import run_chunk_directory_analysis
+
+            accs = []
+            for directory in directories:
+                if (directory / "manifest.json").is_file():
+                    accs.append(run_chunk_directory_analysis(directory))
+                else:
+                    accs.append(RegionAccumulator.from_bundle(load_bundle(directory)))
+            return StreamingTraceStudy(_merge_by_region(accs))
+        bundles = {}
+        for directory in directories:
+            if (directory / "manifest.json").is_file():
+                from repro.runtime.stream import load_chunked_bundle
+
+                bundle = load_chunked_bundle(directory)
+            else:
+                bundle = load_bundle(directory)
+            bundles[bundle.region] = bundle
         return TraceStudy(bundles)
     regions = tuple(name.strip() for name in args.regions.split(",") if name.strip())
     started = time.time()
-    study = TraceStudy.generate(
+    cls = StreamingTraceStudy if stream else TraceStudy
+    study = cls.generate(
         regions=regions, seed=args.seed, days=args.days, scale=args.scale,
         jobs=args.jobs, chunk_days=args.chunk_days or None,
     )
-    print(f"generated {len(regions)} region(s) in {time.time() - started:.1f}s "
+    mode = "streamed" if stream else "generated"
+    print(f"{mode} {len(regions)} region(s) in {time.time() - started:.1f}s "
           f"(jobs={args.jobs})",
           file=sys.stderr)
     return study
@@ -94,6 +127,8 @@ def _load_study(args: argparse.Namespace) -> TraceStudy:
 
 def cmd_generate(args: argparse.Namespace) -> int:
     regions = tuple(name.strip() for name in args.regions.split(",") if name.strip())
+    if args.format == "npz-chunks":
+        return _generate_chunked(args, regions)
     bundles = generate_multi_region(
         regions, seed=args.seed, days=args.days, scale=args.scale,
         jobs=args.jobs, chunk_days=args.chunk_days or None,
@@ -106,6 +141,47 @@ def cmd_generate(args: argparse.Namespace) -> int:
                                 fmt=args.format)
         row = {"region": name, "path": str(directory)}
         row.update(bundle.summary())
+        rows.append(row)
+    print(format_table(rows))
+    return 0
+
+
+def _generate_chunked(args: argparse.Namespace, regions: tuple[str, ...]) -> int:
+    """Stream window bundles straight to npz-chunk directories.
+
+    Peak memory is one day-window per in-flight worker — the path for
+    generating traces larger than RAM. The output directories feed
+    ``repro analyze/figures --stream`` (or any ``--load``).
+    """
+    from repro.runtime import ChunkedBundleWriter, ShardPlan, StreamingSummary
+    from repro.runtime.stream import stream_generation
+
+    if args.anonymize:
+        raise SystemExit("--anonymize is not supported with --format npz-chunks")
+    plan = ShardPlan.for_generation(
+        regions=tuple(dict.fromkeys(regions)), seed=args.seed, days=args.days,
+        chunk_days=args.chunk_days or None, scale=args.scale,
+    )
+    out_root = Path(args.output)
+    writers: dict[str, ChunkedBundleWriter] = {}
+    summaries: dict[str, StreamingSummary] = {}
+    for spec, bundle in stream_generation(plan, jobs=args.jobs):
+        writer = writers.get(spec.region)
+        if writer is None:
+            writer = writers[spec.region] = ChunkedBundleWriter(
+                out_root / spec.region, region=spec.region
+            )
+            summaries[spec.region] = StreamingSummary()
+        writer.append_bundle(bundle)
+        summaries[spec.region].update_bundle(bundle)
+    rows = []
+    for name in writers:
+        path = writers[name].close(
+            meta={"seed": args.seed, "days": args.days, "scale": args.scale,
+                  "start_day": 0}
+        )
+        row = {"region": name, "path": str(path.parent)}
+        row.update(summaries[name].result())
         rows.append(row)
     print(format_table(rows))
     return 0
@@ -260,15 +336,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="directory receiving one subdirectory per region")
     generate.add_argument("--anonymize", action="store_true",
                           help="hash all ids on export (one-way, like the release)")
-    generate.add_argument("--format", choices=("csv", "npz"), default="csv",
+    generate.add_argument("--format", choices=("csv", "npz", "npz-chunks"),
+                          default="csv",
                           help="on-disk table format (npz: fast binary round "
-                               "trip; csv: the release's text format)")
+                               "trip; csv: the release's text format; "
+                               "npz-chunks: bounded-memory part files for "
+                               "streamed analysis)")
     generate.set_defaults(func=cmd_generate)
 
     analyze = commands.add_parser(
         "analyze", help="overview and re-derived paper findings"
     )
     _add_dataset_arguments(analyze)
+    analyze.add_argument("--stream", action="store_true",
+                         help="compute through chunk-incremental accumulators "
+                              "(bounded memory; CDF quantiles to one bin)")
     analyze.set_defaults(func=cmd_analyze)
 
     figures = commands.add_parser("figures", help="render paper figures as ASCII")
@@ -277,6 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="figure id (repeatable); default: all")
     figures.add_argument("--output", "-o", metavar="DIR",
                          help="write figN.txt files instead of stdout")
+    figures.add_argument("--stream", action="store_true",
+                         help="render from chunk-incremental accumulators "
+                              "(bounded memory; CDF quantiles to one bin)")
     figures.set_defaults(func=cmd_figures)
 
     fit = commands.add_parser(

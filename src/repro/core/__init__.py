@@ -11,30 +11,42 @@ from repro.core.fits import (
     WeibullFit,
     fit_cold_start_iats,
     fit_cold_start_times,
+    fit_lognormal_streaming,
+    fit_weibull_weighted,
     PAPER_COLD_START_FIT,
     PAPER_IAT_FIT,
 )
-from repro.core.correlations import component_correlations, CorrelationMatrix
+from repro.core.correlations import (
+    component_correlations,
+    correlations_from_series,
+    CorrelationMatrix,
+)
 from repro.core.utility import (
     UtilitySummary,
     pod_utility_ratios,
     utility_by_category,
+    utility_by_category_from,
     utility_summary,
 )
-from repro.core.study import TraceStudy
+from repro.core.study import StreamingTraceStudy, TraceStudy
 
 __all__ = [
     "LogNormalFit",
     "WeibullFit",
     "fit_cold_start_times",
     "fit_cold_start_iats",
+    "fit_lognormal_streaming",
+    "fit_weibull_weighted",
     "PAPER_COLD_START_FIT",
     "PAPER_IAT_FIT",
     "component_correlations",
+    "correlations_from_series",
     "CorrelationMatrix",
     "pod_utility_ratios",
     "utility_by_category",
+    "utility_by_category_from",
     "utility_summary",
     "UtilitySummary",
+    "StreamingTraceStudy",
     "TraceStudy",
 ]

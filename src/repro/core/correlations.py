@@ -25,12 +25,15 @@ CORRELATION_FIELDS = (
     "num_cold_starts",
 )
 
-_FIELD_TO_COLUMN = {
+#: Matrix field -> pod component column (public: the streaming study builds
+#: its per-minute series from the same mapping).
+FIELD_TO_COLUMN = {
     "deploy_code_time": "deploy_code_us",
     "deploy_dep_time": "deploy_dep_us",
     "scheduling_time": "scheduling_us",
     "pod_alloc_time": "pod_alloc_us",
 }
+_FIELD_TO_COLUMN = FIELD_TO_COLUMN
 
 
 @dataclass
@@ -74,11 +77,21 @@ def component_correlations(pods: PodTable, bin_s: float = 60.0) -> CorrelationMa
     }
     for field, column in _FIELD_TO_COLUMN.items():
         series[field] = bin_means(ts, pods.component_s(column), bin_s, horizon)[active]
+    return correlations_from_series(series)
 
+
+def correlations_from_series(series: dict[str, np.ndarray]) -> CorrelationMatrix:
+    """Spearman matrix over already-binned per-minute series.
+
+    Shared finalizer for the materialised path above and the streaming
+    path, whose minute bins come from chunk-incremental accumulators.
+    ``series`` must cover :data:`CORRELATION_FIELDS`, restricted to active
+    (non-empty) minutes.
+    """
     n_fields = len(CORRELATION_FIELDS)
     rho = np.eye(n_fields)
     pvalues = np.zeros((n_fields, n_fields))
-    n_minutes = int(active.sum())
+    n_minutes = int(next(iter(series.values())).size) if series else 0
     if n_minutes < 3:
         return CorrelationMatrix(CORRELATION_FIELDS, rho, np.ones((n_fields, n_fields)), n_minutes)
     for i, field_a in enumerate(CORRELATION_FIELDS):

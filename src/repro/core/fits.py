@@ -13,6 +13,7 @@ ones.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -104,6 +105,89 @@ def fit_cold_start_times(durations_s: np.ndarray, max_samples: int = 200_000) ->
     fit = LogNormalFit(mu=float(np.log(scale)), sigma=float(shape))
     ks = stats.kstest(values, "lognorm", args=(shape, 0, scale)).statistic
     return LogNormalFit(mu=fit.mu, sigma=fit.sigma, ks_statistic=float(ks), n=values.size)
+
+
+def _ks_against(model_cdf, sample_cdf) -> float:
+    """KS distance of a binned empirical CDF against a model CDF.
+
+    The streaming analogue of ``stats.kstest``: the supremum is evaluated
+    at the sketch's support points (both step sides), so the statistic
+    carries the sketch's one-bin value tolerance.
+    """
+    if sample_cdf.n == 0 or sample_cdf.values.size == 0:
+        return float("nan")
+    model = model_cdf(sample_cdf.values)
+    below = np.concatenate(([0.0], sample_cdf.probabilities[:-1]))
+    return float(
+        np.max(np.maximum(np.abs(sample_cdf.probabilities - model),
+                          np.abs(below - model)))
+    )
+
+
+def fit_lognormal_streaming(
+    n: int, sum_log: float, sumsq_log: float, sample_cdf=None
+) -> LogNormalFit:
+    """Closed-form zero-location LogNormal MLE from streamed log-moments.
+
+    Identical to :func:`fit_cold_start_times` up to the optimiser's
+    convergence (the closed form *is* the MLE) and the materialised path's
+    subsampling above ``max_samples``. ``sample_cdf`` (a binned sketch CDF)
+    adds the approximate KS statistic.
+    """
+    if n < 10:
+        raise ValueError("need at least 10 positive durations to fit")
+    mu = sum_log / n
+    sigma = math.sqrt(max(sumsq_log / n - mu * mu, 1e-18))
+    fit = LogNormalFit(mu=float(mu), sigma=float(sigma), n=int(n))
+    if sample_cdf is None:
+        return fit
+    ks = _ks_against(fit.cdf, sample_cdf)
+    return LogNormalFit(mu=fit.mu, sigma=fit.sigma, ks_statistic=ks, n=int(n))
+
+
+def fit_weibull_weighted(
+    values: np.ndarray, weights: np.ndarray, sample_cdf=None
+) -> WeibullFit:
+    """Weighted zero-location Weibull MLE (bisection on the shape equation).
+
+    Fed with histogram-bin representatives and counts, this is the
+    streaming counterpart of :func:`fit_cold_start_iats`; the shape/scale
+    carry the sketch's bin-width tolerance.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    mask = (values > 0) & (weights > 0)
+    values, weights = values[mask], weights[mask]
+    if weights.sum() < 10:
+        raise ValueError("need at least 10 positive inter-arrival times to fit")
+    log_v = np.log(values)
+    w_total = weights.sum()
+    mean_log = float((weights * log_v).sum() / w_total)
+
+    def shape_eq(k: float) -> float:
+        # MLE condition: sum(w x^k ln x)/sum(w x^k) - 1/k - mean(ln x) = 0
+        xk = np.exp(k * log_v)
+        return float((weights * xk * log_v).sum() / (weights * xk).sum()
+                     - 1.0 / k - mean_log)
+
+    lo, hi = 1e-2, 50.0
+    f_lo, f_hi = shape_eq(lo), shape_eq(hi)
+    if f_lo > 0 or f_hi < 0:  # degenerate sample; fall back to the boundary
+        k = lo if abs(f_lo) < abs(f_hi) else hi
+    else:
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if shape_eq(mid) < 0:
+                lo = mid
+            else:
+                hi = mid
+        k = 0.5 * (lo + hi)
+    lam = float(((weights * np.exp(k * log_v)).sum() / w_total) ** (1.0 / k))
+    fit = WeibullFit(k=float(k), lam=lam, n=int(round(w_total)))
+    if sample_cdf is None:
+        return fit
+    ks = _ks_against(fit.cdf, sample_cdf)
+    return WeibullFit(k=fit.k, lam=fit.lam, ks_statistic=ks, n=fit.n)
 
 
 def fit_cold_start_iats(iats_s: np.ndarray, max_samples: int = 200_000) -> WeibullFit:

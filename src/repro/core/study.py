@@ -2,29 +2,48 @@
 
 Benches, examples, and EXPERIMENTS.md all go through this class so each
 figure's reproduction has exactly one authoritative entry point.
+
+Two implementations share the figure API:
+
+* :class:`TraceStudy` — materialised per-region bundles, the exact
+  reference path;
+* :class:`StreamingTraceStudy` — the same figures computed from
+  chunk-incremental :class:`~repro.analysis.accumulators.RegionAccumulator`
+  state, so a trace never has to exist in memory as one piece and shards
+  fan out across worker processes. Counts, sums, key sets, and series are
+  exact (floating sums to addition order); value-quantised CDFs/quantiles
+  (Figs. 10/13/15/16) carry the sketch's one-bin tolerance.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
+from repro.analysis.accumulators import LogHistogram, RegionAccumulator
 from repro.analysis.cdf import Cdf, empirical_cdf
 from repro.analysis.coldstart_stats import (
     cold_start_cdf,
     cold_start_iats,
     component_cdfs_by,
+    component_cdfs_from_hists,
     dominant_component,
     hourly_component_means,
     pool_size_quantiles,
+    pool_split_from_hists,
     requests_vs_cold_starts,
 )
 from repro.analysis.composition import (
+    function_metadata,
     pods_over_time_by,
+    pods_over_time_from,
     proportions_by,
+    proportions_from,
     trigger_mix_by_runtime,
 )
-from repro.analysis.holiday import HolidayEffect, holiday_effect
-from repro.analysis.peaks import daily_peak_minutes, peak_to_trough_ratio
+from repro.analysis.holiday import HolidayEffect, holiday_effect, holiday_effect_from_series
+from repro.analysis.peaks import daily_peak_minutes, peak_trough_rows
 from repro.analysis.region_stats import (
     cpu_per_minute_cdf,
     exec_time_per_minute_cdf,
@@ -32,12 +51,25 @@ from repro.analysis.region_stats import (
     region_sizes,
     requests_per_day_per_function,
     requests_per_user_cdf,
+    share_at_least_one_from,
     share_at_least_one_per_minute,
 )
-from repro.analysis.timeseries import bin_counts, moving_average, normalize_max
-from repro.core.correlations import CorrelationMatrix, component_correlations
-from repro.core.fits import LogNormalFit, WeibullFit, fit_cold_start_iats, fit_cold_start_times
-from repro.core.utility import utility_by_category
+from repro.analysis.timeseries import bin_counts, moving_average, normalize_max, presence_counts
+from repro.core.correlations import (
+    FIELD_TO_COLUMN,
+    CorrelationMatrix,
+    component_correlations,
+    correlations_from_series,
+)
+from repro.core.fits import (
+    LogNormalFit,
+    WeibullFit,
+    fit_cold_start_iats,
+    fit_cold_start_times,
+    fit_lognormal_streaming,
+    fit_weibull_weighted,
+)
+from repro.core.utility import utility_by_category, utility_by_category_from, utility_ratios_from
 from repro.trace.tables import TraceBundle
 from repro.workload.generator import generate_multi_region
 
@@ -166,19 +198,13 @@ class TraceStudy:
             uniques = np.unique(requests["function"])
             cold_funcs, cold_counts = np.unique(bundle.pods["function"], return_counts=True)
             cold_map = dict(zip(cold_funcs.tolist(), cold_counts.tolist()))
-            for i, (function_id, idx) in enumerate(
-                zip(uniques, _group_indices(requests["function"], uniques))
-            ):
-                per_minute = bin_counts(ts[idx], 60.0, horizon)
-                rows.append(
-                    {
-                        "region": name,
-                        "function": int(function_id),
-                        "requests_per_day": float(per_day[i]),
-                        "peak_to_trough": peak_to_trough_ratio(per_minute),
-                        "cold_starts": int(cold_map.get(int(function_id), 0)),
-                    }
-                )
+            minute_matrix = [
+                bin_counts(ts[idx], 60.0, horizon)
+                for idx in _group_indices(requests["function"], uniques)
+            ]
+            rows.extend(
+                peak_trough_rows(name, uniques, per_day, minute_matrix, cold_map)
+            )
         return rows
 
     # ---- Figure 7 ---------------------------------------------------------------------
@@ -268,3 +294,416 @@ def _group_indices(values: np.ndarray, uniques: np.ndarray) -> list[np.ndarray]:
     bounds = np.searchsorted(sorted_vals, uniques)
     bounds = np.append(bounds, values.size)
     return [order[bounds[i] : bounds[i + 1]] for i in range(uniques.size)]
+
+
+class StreamingTraceStudy:
+    """The figure API of :class:`TraceStudy`, computed without bundles.
+
+    Holds one merged :class:`~repro.analysis.accumulators.RegionAccumulator`
+    per region; every ``figNN`` method finalizes accumulator state through
+    the same analysis helpers the materialised path uses. Construct via
+    :meth:`generate` (sharded, parallel, bounded-memory),
+    :meth:`from_chunk_dirs` (saved ``part-NNNNN.npz`` directories), or
+    :meth:`from_bundles` (stream an in-memory bundle chunk by chunk —
+    the equivalence-test harness).
+    """
+
+    def __init__(self, stats: dict[str, RegionAccumulator], keepalive_s: float = 60.0):
+        if not stats:
+            raise ValueError("need at least one region accumulator")
+        self.stats = dict(stats)
+        self.keepalive_s = keepalive_s
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        regions: tuple[str, ...] = ("R1", "R2", "R3", "R4", "R5"),
+        seed: int = 0,
+        days: int = 31,
+        scale: float = 1.0,
+        jobs: int = 1,
+        chunk_days: int | None = None,
+    ) -> "StreamingTraceStudy":
+        """Generate-and-analyse in (region, day-window) shards.
+
+        Each worker generates one window, reduces it to accumulators, and
+        discards the bundle; the parent merges accumulators in plan (time)
+        order. Peak memory is one window per in-flight worker plus the
+        accumulator states — independent of the horizon length.
+        """
+        from repro.runtime.executor import ParallelExecutor, run_analysis_shard
+        from repro.runtime.merge import merge_shard_results
+        from repro.runtime.shards import ShardPlan
+
+        regions = tuple(dict.fromkeys(regions))
+        plan = ShardPlan.for_generation(
+            regions=regions, seed=seed, days=days, chunk_days=chunk_days,
+            scale=scale,
+        )
+        parts = ParallelExecutor(jobs=jobs).run(run_analysis_shard, plan.shards)
+        by_region: dict[str, list[RegionAccumulator]] = {name: [] for name in regions}
+        for spec, acc in zip(plan.shards, parts):
+            by_region[spec.region].append(acc)
+        return cls({
+            name: merge_shard_results(accs) for name, accs in by_region.items()
+        })
+
+    @classmethod
+    def from_chunk_dirs(cls, root: str | Path, jobs: int = 1) -> "StreamingTraceStudy":
+        """Stream every chunk directory under ``root`` (one per region)."""
+        from repro.runtime.executor import ParallelExecutor, run_chunk_directory_analysis
+
+        root = Path(root)
+        directories = sorted(
+            p for p in root.iterdir() if (p / "manifest.json").is_file()
+        )
+        if not directories:
+            raise ValueError(f"no chunk directories (manifest.json) under {root}")
+        accs = ParallelExecutor(jobs=jobs).run(
+            run_chunk_directory_analysis, directories
+        )
+        return cls(_merge_by_region(accs))
+
+    @classmethod
+    def from_bundles(
+        cls, bundles: dict[str, TraceBundle], chunk_s: float = 6 * 3600.0
+    ) -> "StreamingTraceStudy":
+        """Stream in-memory bundles chunk by chunk (equivalence harness)."""
+        return cls({
+            name: RegionAccumulator.from_bundle(bundle, chunk_s=chunk_s)
+            for name, bundle in bundles.items()
+        })
+
+    # -- region plumbing -----------------------------------------------------
+
+    def region(self, name: str) -> RegionAccumulator:
+        try:
+            return self.stats[name]
+        except KeyError:
+            raise KeyError(
+                f"region {name!r} not loaded; have {sorted(self.stats)}"
+            ) from None
+
+    @property
+    def regions(self) -> list[str]:
+        return list(self.stats)
+
+    def _deep_dive_region(self, name: str | None) -> RegionAccumulator:
+        """Default to R2 — the region the paper studies in depth."""
+        if name is not None:
+            return self.region(name)
+        if "R2" in self.stats:
+            return self.stats["R2"]
+        return next(iter(self.stats.values()))
+
+    # ---- Figure 1 / Table 1 -----------------------------------------------
+
+    def fig01_region_sizes(self) -> list[dict[str, object]]:
+        """Requests, functions, pods per region (Fig. 1). Exact."""
+        rows = []
+        for name, acc in self.stats.items():
+            summary = acc.summary()
+            rows.append(
+                {
+                    "region": name,
+                    "requests": summary["requests"],
+                    "functions": summary["functions"],
+                    "pods": summary["pods"],
+                    "cold_starts": summary["cold_starts"],
+                    "users": summary["users"],
+                }
+            )
+        return rows
+
+    # ---- Figure 3 ----------------------------------------------------------
+
+    def fig03_requests_per_day(self) -> dict[str, Cdf]:
+        out = {}
+        for name, acc in self.stats.items():
+            _, per_function = acc.requests_per_day_per_function()
+            out[name] = empirical_cdf(per_function)
+        return out
+
+    def fig03_exec_time(self) -> dict[str, Cdf]:
+        return {
+            name: _nan_free_cdf(acc.minute_exec.means_until())
+            for name, acc in self.stats.items()
+        }
+
+    def fig03_cpu_usage(self) -> dict[str, Cdf]:
+        return {
+            name: _nan_free_cdf(acc.minute_cpu.means_until())
+            for name, acc in self.stats.items()
+        }
+
+    def fig03_share_at_least_1_per_minute(self) -> dict[str, float]:
+        out = {}
+        for name, acc in self.stats.items():
+            _, per_function = acc.requests_per_day_per_function()
+            out[name] = share_at_least_one_from(per_function)
+        return out
+
+    # ---- Figure 4 ----------------------------------------------------------
+
+    def fig04_functions_per_user(self) -> dict[str, Cdf]:
+        return {
+            name: empirical_cdf(
+                acc.user_functions.counts_per_first().astype(np.float64)
+            )
+            for name, acc in self.stats.items()
+        }
+
+    def fig04_requests_per_user(self) -> dict[str, Cdf]:
+        return {
+            name: empirical_cdf(acc.per_user.counts.astype(np.float64))
+            for name, acc in self.stats.items()
+        }
+
+    # ---- Figure 5 ----------------------------------------------------------
+
+    def fig05_request_series(self, smooth_minutes: int = 60) -> dict[str, dict[str, np.ndarray]]:
+        """Normalised per-minute request series + daily peak minutes. Exact."""
+        out = {}
+        for name, acc in self.stats.items():
+            days = float(acc.meta.get("days", int(np.ceil(acc.span_days()))))
+            horizon = days * _SECONDS_PER_DAY
+            per_minute = acc.minute_requests.counts_until(horizon)
+            smoothed = moving_average(per_minute, smooth_minutes)
+            out[name] = {
+                "normalised": normalize_max(smoothed),
+                "daily_peak_minute": daily_peak_minutes(per_minute, smooth_minutes),
+            }
+        return out
+
+    def fig05_peak_hours(self) -> dict[str, float]:
+        series = self.fig05_request_series()
+        return {
+            name: float(np.median(data["daily_peak_minute"])) / 60.0
+            for name, data in series.items()
+        }
+
+    # ---- Figure 6 ----------------------------------------------------------
+
+    def fig06_peak_trough(self, region: str | None = None) -> list[dict[str, object]]:
+        """Per-function peak/trough rows from the keyed minute matrix. Exact."""
+        rows: list[dict[str, object]] = []
+        names = [region] if region else self.regions
+        for name in names:
+            acc = self.region(name)
+            horizon = acc.req_max_ts_s + 60.0 if acc.n_requests else 60.0
+            n_bins = max(int(np.ceil(horizon / 60.0)), 1)
+            function_ids, per_day = acc.requests_per_day_per_function()
+            minute_matrix = acc.per_function_minute.counts_matrix(n_bins)
+            rows.extend(
+                peak_trough_rows(
+                    name, function_ids, per_day, minute_matrix,
+                    acc.per_function_cold.as_dict(),
+                )
+            )
+        return rows
+
+    # ---- Figure 7 ----------------------------------------------------------
+
+    def fig07_holiday(self) -> dict[str, HolidayEffect]:
+        out = {}
+        for name, acc in self.stats.items():
+            intervals = acc.intervals.finalize()
+            horizon = acc.req_max_ts_s + self.keepalive_s
+            daily_pods = presence_counts(
+                intervals.start_s,
+                intervals.last_end_s + self.keepalive_s,
+                _SECONDS_PER_DAY,
+                horizon,
+            )
+            daily_cpu = acc.day_cpu.means_until(horizon)
+            out[name] = holiday_effect_from_series(daily_pods, daily_cpu)
+        return out
+
+    # ---- Figures 8 & 9 -----------------------------------------------------
+
+    def fig08_pods_over_time(
+        self, by: str = "trigger", region: str | None = None
+    ) -> dict[str, np.ndarray]:
+        acc = self._deep_dive_region(region)
+        return pods_over_time_from(
+            acc.intervals.finalize(), acc.functions, by=by,
+            keepalive_s=self.keepalive_s,
+        )
+
+    def fig08_proportions(
+        self, by: str = "trigger", region: str | None = None
+    ) -> dict[str, dict[str, float]]:
+        acc = self._deep_dive_region(region)
+        return proportions_from(
+            acc.intervals.finalize(),
+            acc.per_function_cold.keys,
+            acc.per_function_cold.counts,
+            acc.functions,
+            by=by,
+        )
+
+    def fig09_trigger_by_runtime(self, region: str | None = None) -> dict[str, dict[str, float]]:
+        return trigger_mix_by_runtime(self._deep_dive_region(region).functions)
+
+    # ---- Figure 10 ---------------------------------------------------------
+
+    def fig10_cold_start_cdfs(self) -> dict[str, Cdf]:
+        """Cold-start CDFs from the fixed-bin sketch (one-bin tolerance)."""
+        return {
+            name: _hist_cdf(acc, "cold_start_s")
+            for name, acc in self.stats.items()
+        }
+
+    def fig10_iat_cdfs(self) -> dict[str, Cdf]:
+        return {name: acc.iat.hist.cdf() for name, acc in self.stats.items()}
+
+    def fig10_lognormal_fit(self) -> LogNormalFit:
+        """Closed-form MLE from pooled log-moments (KS from the sketch)."""
+        n = sum(acc.cold_log_moments.n for acc in self.stats.values())
+        sum_log = sum(acc.cold_log_moments.total for acc in self.stats.values())
+        sumsq = sum(acc.cold_log_moments.total_sq for acc in self.stats.values())
+        pooled = LogHistogram()
+        for acc in self.stats.values():
+            hist = acc.category_hists.get(("all", "all", "cold_start_s"))
+            if hist is not None:
+                pooled.merge(hist)
+        return fit_lognormal_streaming(
+            n, sum_log, sumsq, sample_cdf=pooled.cdf(include_zeros=False)
+        )
+
+    def fig10_weibull_fit(self) -> WeibullFit:
+        """Weighted MLE over the pooled IAT sketch (bin-width tolerance)."""
+        pooled = LogHistogram()
+        for acc in self.stats.values():
+            pooled.merge(acc.iat.hist)
+        values, weights = pooled.positive_bin_values()
+        return fit_weibull_weighted(
+            values, weights, sample_cdf=pooled.cdf(include_zeros=False)
+        )
+
+    # ---- Figure 11 ---------------------------------------------------------
+
+    def fig11_hourly_components(self, region: str) -> dict[str, np.ndarray]:
+        acc = self.region(region)
+        horizon = float(acc.meta.get("days", 31)) * _SECONDS_PER_DAY
+        out: dict[str, np.ndarray] = {
+            "count": acc.hour_pod["cold_start_s"].counts_until(horizon),
+            "cold_start_s": acc.hour_pod["cold_start_s"].means_until(horizon),
+        }
+        for column in acc.hour_pod:
+            if column != "cold_start_s":
+                out[column] = acc.hour_pod[column].means_until(horizon)
+        return out
+
+    def fig11_dominant_component(self) -> dict[str, str]:
+        out = {}
+        for name, acc in self.stats.items():
+            if not acc.n_cold_starts:
+                out[name] = "none"
+                continue
+            means = {
+                column: acc.component_sums[column].mean
+                for column in acc.component_sums
+                if column != "cold_start_s"
+            }
+            out[name] = max(means, key=means.get)
+        return out
+
+    # ---- Figure 12 ---------------------------------------------------------
+
+    def fig12_correlations(self, region: str) -> CorrelationMatrix:
+        acc = self.region(region)
+        counts_series = acc.minute_pod["cold_start_s"]
+        horizon = (
+            acc.pod_ts_max + 60.0 if acc.n_cold_starts else 60.0
+        )
+        counts = counts_series.counts_until(horizon)
+        active = counts > 0
+        series = {
+            "cold_start_time": counts_series.means_until(horizon)[active],
+            "num_cold_starts": counts[active],
+        }
+        for field, column in FIELD_TO_COLUMN.items():
+            series[field] = acc.minute_pod[column].means_until(horizon)[active]
+        return correlations_from_series(series)
+
+    # ---- Figure 13 ---------------------------------------------------------
+
+    def fig13_pool_split(self, region: str | None = None) -> dict:
+        if region is not None:
+            return pool_split_from_hists(self.region(region).category_hists)
+        return {
+            name: pool_split_from_hists(acc.category_hists)
+            for name, acc in self.stats.items()
+        }
+
+    # ---- Figures 14-16 -----------------------------------------------------
+
+    def fig14_requests_vs_cold_starts(self, region: str | None = None) -> list[dict[str, object]]:
+        acc = self._deep_dive_region(region)
+        function_ids = acc.per_function_day.keys
+        req_counts = acc.per_function_day.matrix.sum(axis=1)
+        cold_map = acc.per_function_cold.as_dict()
+        meta = function_metadata(acc.functions, function_ids)
+        rows = []
+        for i, function_id in enumerate(function_ids.tolist()):
+            rows.append(
+                {
+                    "function": function_id,
+                    "requests": int(req_counts[i]),
+                    "cold_starts": int(cold_map.get(function_id, 0)),
+                    "trigger": str(meta.trigger_label[i]),
+                }
+            )
+        return rows
+
+    def fig15_by_runtime(self, region: str | None = None) -> dict[str, dict[str, Cdf]]:
+        return component_cdfs_from_hists(
+            self._deep_dive_region(region).category_hists, by="runtime"
+        )
+
+    def fig16_by_trigger(self, region: str | None = None) -> dict[str, dict[str, Cdf]]:
+        return component_cdfs_from_hists(
+            self._deep_dive_region(region).category_hists, by="trigger"
+        )
+
+    # ---- Figure 17 ---------------------------------------------------------
+
+    def fig17_utility(self, by: str = "runtime", region: str | None = None) -> dict:
+        """Pod utility ratios (exact: the per-pod join is held in state)."""
+        acc = self._deep_dive_region(region)
+        pod_ids, cold_s = acc.pod_cold_lookup()
+        function_ids, ratios = utility_ratios_from(
+            acc.intervals.finalize(), pod_ids, cold_s
+        )
+        return utility_by_category_from(function_ids, ratios, acc.functions, by=by)
+
+
+def _merge_by_region(accs) -> dict[str, RegionAccumulator]:
+    """Group accumulators by region, merging same-region ones in list order.
+
+    Two chunk directories carrying the same region (e.g. a horizon split
+    across generation runs) combine instead of silently shadowing each
+    other; directory sort order must match time order (the IAT tracker
+    rejects out-of-order merges with a clear error).
+    """
+    stats: dict[str, RegionAccumulator] = {}
+    for acc in accs:
+        if acc.region in stats:
+            stats[acc.region].merge(acc)
+        else:
+            stats[acc.region] = acc
+    return stats
+
+
+def _nan_free_cdf(values: np.ndarray) -> Cdf:
+    return empirical_cdf(values[~np.isnan(values)])
+
+
+def _hist_cdf(acc: RegionAccumulator, metric: str) -> Cdf:
+    hist = acc.category_hists.get(("all", "all", metric))
+    if hist is None:
+        return Cdf(np.zeros(0), np.zeros(0))
+    return hist.cdf()

@@ -39,6 +39,31 @@ class UtilitySummary:
         }
 
 
+def utility_ratios_from(
+    intervals, sorted_pod_ids: np.ndarray, cold_s_sorted: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Join request-derived intervals to per-pod cold-start durations.
+
+    ``sorted_pod_ids``/``cold_s_sorted`` are the pod-level stream reduced
+    to (id, duration) pairs sorted by id — what both the materialised and
+    streaming paths hold. Returns ``(pod_function_ids, ratios)``.
+    """
+    pos = np.searchsorted(sorted_pod_ids, intervals.pod_id)
+    pos = np.clip(pos, 0, max(sorted_pod_ids.size - 1, 0))
+    matched = (
+        sorted_pod_ids[pos] == intervals.pod_id
+        if sorted_pod_ids.size
+        else np.zeros(intervals.pod_id.size, dtype=bool)
+    )
+    cold_s = cold_s_sorted[pos] if sorted_pod_ids.size else np.zeros(
+        intervals.pod_id.size
+    )
+    useful_s = intervals.useful_s()
+    valid = matched & (cold_s > 0)
+    ratios = useful_s[valid] / cold_s[valid]
+    return intervals.function[valid], ratios
+
+
 def pod_utility_ratios(bundle: TraceBundle) -> tuple[np.ndarray, np.ndarray]:
     """Utility ratio per pod, joined on the cold-start stream.
 
@@ -47,19 +72,10 @@ def pod_utility_ratios(bundle: TraceBundle) -> tuple[np.ndarray, np.ndarray]:
     """
     intervals = pod_intervals(bundle)
     pods = bundle.pods
-    # Join pod-level cold-start durations to request-derived lifetimes.
     order = np.argsort(pods["pod_id"])
-    sorted_ids = pods["pod_id"][order]
-    pos = np.searchsorted(sorted_ids, intervals.pod_id)
-    pos = np.clip(pos, 0, max(sorted_ids.size - 1, 0))
-    matched = sorted_ids[pos] == intervals.pod_id if sorted_ids.size else np.zeros(
-        intervals.pod_id.size, dtype=bool
+    return utility_ratios_from(
+        intervals, pods["pod_id"][order], pods.cold_start_s[order]
     )
-    cold_s = pods.cold_start_s[order][pos]
-    useful_s = intervals.useful_s()
-    valid = matched & (cold_s > 0)
-    ratios = useful_s[valid] / cold_s[valid]
-    return intervals.function[valid], ratios
 
 
 def utility_summary(ratios: np.ndarray) -> UtilitySummary:
@@ -76,14 +92,13 @@ def utility_summary(ratios: np.ndarray) -> UtilitySummary:
     )
 
 
-def utility_by_category(
-    bundle: TraceBundle, by: str = "runtime"
+def utility_by_category_from(
+    function_ids: np.ndarray, ratios: np.ndarray, functions, by: str = "runtime"
 ) -> dict[str, tuple[Cdf, UtilitySummary]]:
-    """Utility-ratio CDF and summary per runtime or trigger (Fig. 17a/b)."""
+    """Fig. 17 grouping over precomputed (function id, ratio) pairs."""
     if by not in ("runtime", "trigger"):
         raise ValueError("by must be 'runtime' or 'trigger'")
-    function_ids, ratios = pod_utility_ratios(bundle)
-    meta = function_metadata(bundle, function_ids)
+    meta = function_metadata(functions, function_ids)
     categories = meta.runtime if by == "runtime" else meta.trigger_label
     out: dict[str, tuple[Cdf, UtilitySummary]] = {
         "all": (empirical_cdf(ratios), utility_summary(ratios))
@@ -92,3 +107,11 @@ def utility_by_category(
         sample = ratios[categories == category]
         out[str(category)] = (empirical_cdf(sample), utility_summary(sample))
     return out
+
+
+def utility_by_category(
+    bundle: TraceBundle, by: str = "runtime"
+) -> dict[str, tuple[Cdf, UtilitySummary]]:
+    """Utility-ratio CDF and summary per runtime or trigger (Fig. 17a/b)."""
+    function_ids, ratios = pod_utility_ratios(bundle)
+    return utility_by_category_from(function_ids, ratios, bundle.functions, by=by)

@@ -1,12 +1,30 @@
-"""Shared interfaces and metrics for policy evaluation."""
+"""Shared interfaces and metrics for policy evaluation.
+
+:class:`EvalMetrics` is built on the mergeable accumulators of
+:mod:`repro.analysis.accumulators`: cold-start waits live in a fixed-bin
+:class:`~repro.analysis.accumulators.LogHistogram` (mean exact, p95 within
+one bin ratio), allocation times in per-minute
+:class:`~repro.analysis.accumulators.BinnedSeries` counts, and the
+per-tick pod gauge in a :class:`~repro.analysis.accumulators.TickGauge` —
+so an evaluator shard's metrics are bounded-memory and two shards reduce
+associatively via :meth:`EvalMetrics.merge` regardless of workload length.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from repro.analysis.accumulators import BinnedSeries, LogHistogram, TickGauge
 from repro.workload.function import FunctionSpec
+
+
+def _wait_histogram() -> LogHistogram:
+    """Cold-wait sketch: 512 log bins over 0.1 ms .. 10 000 s (~3.7 %/bin)."""
+    return LogHistogram()
+
+
+def _minute_counts() -> BinnedSeries:
+    return BinnedSeries(60.0, track_sums=False)
 
 
 @dataclass
@@ -19,14 +37,16 @@ class EvalMetrics:
         cold_starts: user-facing cold starts (a request found no warm pod).
         warm_hits: requests served by an already-warm pod.
         prewarm_hits: warm hits on a pod created by a pre-warming policy.
-        cold_wait_s: cold-start latencies experienced by triggering requests.
+        cold_wait: histogram sketch of cold-start latencies experienced by
+            triggering requests (mean/total exact; quantiles one-bin).
+        cold_start_minutes: per-minute cold-start (allocation) counts.
         delayed_requests: requests postponed by peak shaving.
         total_delay_s: cumulative artificial delay added by peak shaving.
         pod_seconds: total pod lifetime paid for (the cost axis).
         prewarm_creations: pods created proactively by the policy.
         prewarm_pod_seconds: pod time spent by proactively created pods.
         peak_pods: maximum concurrently-alive pods observed at ticks.
-        pods_series: per-tick alive-pod gauge (for peak analyses).
+        pods_gauge: per-tick alive-pod gauge (shards sum element-wise).
     """
 
     name: str = ""
@@ -34,38 +54,82 @@ class EvalMetrics:
     cold_starts: int = 0
     warm_hits: int = 0
     prewarm_hits: int = 0
-    cold_wait_s: list = field(default_factory=list)
-    cold_start_times: list = field(default_factory=list)
+    cold_wait: LogHistogram = field(default_factory=_wait_histogram)
+    cold_start_minutes: BinnedSeries = field(default_factory=_minute_counts)
     delayed_requests: int = 0
     total_delay_s: float = 0.0
     pod_seconds: float = 0.0
     prewarm_creations: int = 0
     prewarm_pod_seconds: float = 0.0
     peak_pods: int = 0
-    pods_series: list = field(default_factory=list)
+    pods_gauge: TickGauge = field(default_factory=TickGauge)
+
+    # -- recording ----------------------------------------------------------
+
+    def record_cold(self, wait_s: float, now_s: float | None = None) -> None:
+        """Count one cold start: its wait and (optionally) when it happened."""
+        self.cold_starts += 1
+        self.cold_wait.add_one(float(wait_s))
+        if now_s is not None:
+            self.cold_start_minutes.add_one(float(now_s))
+
+    def record_tick(self, alive_pods: int) -> None:
+        """Record one gauge tick (ticks share an absolute grid across shards)."""
+        self.pods_gauge.record(alive_pods)
+        self.peak_pods = max(self.peak_pods, int(alive_pods))
+
+    # -- reading ------------------------------------------------------------
 
     @property
     def cold_start_ratio(self) -> float:
         return self.cold_starts / self.requests if self.requests else 0.0
 
     def mean_cold_wait_s(self) -> float:
-        return float(np.mean(self.cold_wait_s)) if self.cold_wait_s else 0.0
+        """Exact (the sketch tracks the raw sum alongside bin counts)."""
+        return self.cold_wait.mean if self.cold_wait.n else 0.0
 
     def p95_cold_wait_s(self) -> float:
-        return float(np.percentile(self.cold_wait_s, 95)) if self.cold_wait_s else 0.0
+        """Within one histogram bin (~3.7 %) of the sample P95."""
+        return self.cold_wait.quantile(0.95) if self.cold_wait.n else 0.0
 
     def peak_allocations_per_minute(self) -> int:
         """Largest number of pod allocations (cold starts) in any minute.
 
         This is the quantity the paper's peak-shaving discussion targets:
         delaying asynchronous allocations flattens allocation bursts even
-        when the standing pod population barely moves.
+        when the standing pod population barely moves. Exact: per-minute
+        counts merge by addition.
         """
-        if not self.cold_start_times:
-            return 0
-        minutes = np.asarray(self.cold_start_times, dtype=np.float64) // 60.0
-        _, counts = np.unique(minutes.astype(np.int64), return_counts=True)
-        return int(counts.max())
+        counts = self.cold_start_minutes.counts
+        return int(counts.max()) if counts.size else 0
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "EvalMetrics") -> "EvalMetrics":
+        """Fold another shard's metrics in; associative and plan-order safe.
+
+        Counters, costs, and histograms add; the pod gauge sums element-wise
+        on the shared tick grid and ``peak_pods`` is recomputed from the
+        summed series so re-merging stays associative.
+        """
+        self.requests += other.requests
+        self.cold_starts += other.cold_starts
+        self.warm_hits += other.warm_hits
+        self.prewarm_hits += other.prewarm_hits
+        self.cold_wait.merge(other.cold_wait)
+        self.cold_start_minutes.merge(other.cold_start_minutes)
+        self.delayed_requests += other.delayed_requests
+        self.total_delay_s += other.total_delay_s
+        self.pod_seconds += other.pod_seconds
+        self.prewarm_creations += other.prewarm_creations
+        self.prewarm_pod_seconds += other.prewarm_pod_seconds
+        self.pods_gauge.merge(other.pods_gauge)
+        self.peak_pods = (
+            int(self.pods_gauge.peak())
+            if len(self.pods_gauge)
+            else max(self.peak_pods, other.peak_pods)
+        )
+        return self
 
     def summary(self) -> dict[str, object]:
         """Flat printable row for policy comparison tables."""

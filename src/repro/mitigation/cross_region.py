@@ -112,7 +112,7 @@ class CrossRegionEvaluator:
         keep-alive stay remote and pay only the RTT.
         """
         metrics = EvalMetrics(name=f"xregion:{policy.value}")
-        extra_latency: list[float] = []
+        extra_latency_s = 0.0
 
         merged_t = np.concatenate([t.arrivals for t in traces])
         merged_fn = np.concatenate(
@@ -141,7 +141,7 @@ class CrossRegionEvaluator:
                         pod[1] = t + float(exec_s)
                         pod[0] = pod[1] + keepalive_s
                         metrics.warm_hits += 1
-                        extra_latency.append(self.rtt_s if ridx > 0 else 0.0)
+                        extra_latency_s += self.rtt_s if ridx > 0 else 0.0
                         served = True
                         break
                 if served:
@@ -154,13 +154,12 @@ class CrossRegionEvaluator:
                 state, penalty = self._best_region(spec)
                 ridx = region_states.index(state)
             cold = state.sample_cold(spec)
-            metrics.cold_starts += 1
-            metrics.cold_wait_s.append(cold + penalty)
-            extra_latency.append(penalty)
+            metrics.record_cold(cold + penalty, t)
+            extra_latency_s += penalty
             end = t + cold + float(exec_s)
             warm[fn].setdefault(ridx, []).append([end + keepalive_s, end])
 
-        metrics.total_delay_s = float(np.sum(extra_latency))
+        metrics.total_delay_s = float(extra_latency_s)
         return metrics
 
     def remote_share(self, metrics: EvalMetrics) -> float:

@@ -265,9 +265,7 @@ class RegionEvaluator:
                 first_cold = now
             recent_colds.append(now)
             total_colds += 1
-            metrics.cold_starts += 1
-            metrics.cold_wait_s.append(cold)
-            metrics.cold_start_times.append(now)
+            metrics.record_cold(cold, now)
             ready = now + cold
             pods[fn].append(
                 _Pod(
@@ -284,8 +282,7 @@ class RegionEvaluator:
             for fn in range(len(specs)):
                 expire(fn, now)
                 alive += len(pods[fn])
-            metrics.pods_series.append(alive)
-            metrics.peak_pods = max(metrics.peak_pods, alive)
+            metrics.record_tick(alive)
             if self.peak_shaver is not None:
                 self.peak_shaver.observe_load(now, alive)
             if self.prewarm_policy is None:

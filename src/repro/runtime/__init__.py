@@ -17,19 +17,29 @@ natural axes:
 """
 
 from repro.runtime.executor import (
+    CrossRegionResult,
+    CrossRegionTask,
     EvaluationTask,
     ParallelExecutor,
+    evaluate_cross_region,
     evaluate_policies,
     make_policy_evaluator,
+    run_analysis_shard,
+    run_chunk_directory_analysis,
+    run_cross_region_shard,
     run_evaluation_shard,
     run_generation_shard,
 )
 from repro.runtime.merge import (
     StreamingSummary,
+    dedupe_functions,
+    merge_accumulators,
     merge_bundles,
     merge_counts,
     merge_eval_metrics,
     merge_registries,
+    merge_shard_results,
+    register_reducer,
 )
 from repro.runtime.shards import (
     MAX_WINDOWS,
@@ -39,17 +49,25 @@ from repro.runtime.shards import (
     partition_days,
 )
 from repro.runtime.stream import (
+    CHUNK_FORMAT_VERSION,
+    ChunkDirectoryError,
     ChunkedBundleWriter,
     TraceChunk,
     iter_bundle_chunks,
     iter_saved_chunks,
     iter_table_chunks,
+    load_chunk_functions,
     load_chunked_bundle,
+    read_chunk_manifest,
     stream_generation,
 )
 
 __all__ = [
+    "CHUNK_FORMAT_VERSION",
+    "ChunkDirectoryError",
     "ChunkedBundleWriter",
+    "CrossRegionResult",
+    "CrossRegionTask",
     "EvaluationTask",
     "MAX_WINDOWS",
     "ParallelExecutor",
@@ -58,17 +76,27 @@ __all__ = [
     "StreamingSummary",
     "TraceChunk",
     "WINDOW_ID_STRIDE",
+    "dedupe_functions",
+    "evaluate_cross_region",
     "evaluate_policies",
     "iter_bundle_chunks",
     "iter_saved_chunks",
     "iter_table_chunks",
+    "load_chunk_functions",
     "load_chunked_bundle",
     "make_policy_evaluator",
+    "merge_accumulators",
     "merge_bundles",
     "merge_counts",
     "merge_eval_metrics",
     "merge_registries",
+    "merge_shard_results",
     "partition_days",
+    "read_chunk_manifest",
+    "register_reducer",
+    "run_analysis_shard",
+    "run_chunk_directory_analysis",
+    "run_cross_region_shard",
     "run_evaluation_shard",
     "run_generation_shard",
     "stream_generation",

@@ -115,6 +115,48 @@ def run_generation_shard(spec: ShardSpec) -> TraceBundle:
     return bundle
 
 
+def run_analysis_shard(spec: ShardSpec):
+    """Generate one (region, day-window) shard and reduce it to accumulators.
+
+    The worker behind streaming analysis: the window bundle exists only
+    inside this call; what crosses the process boundary is a
+    :class:`~repro.analysis.accumulators.RegionAccumulator`, whose size is
+    bounded by entity counts rather than trace rows. Same-region
+    accumulators merge in plan (time) order.
+    """
+    from repro.analysis.accumulators import RegionAccumulator
+
+    bundle = run_generation_shard(spec)
+    acc = RegionAccumulator(
+        spec.region, functions=bundle.functions, meta=dict(bundle.meta)
+    )
+    acc.update(requests=bundle.requests, pods=bundle.pods)
+    return acc
+
+
+def run_chunk_directory_analysis(directory):
+    """Reduce one saved chunk directory to a region accumulator, lazily.
+
+    Peak memory is one ``part-NNNNN.npz`` chunk plus the accumulator —
+    the bounded-memory path for analysing traces larger than RAM.
+    """
+    from pathlib import Path
+
+    from repro.analysis.accumulators import RegionAccumulator
+    from repro.runtime.stream import iter_saved_chunks, load_chunk_functions, read_chunk_manifest
+
+    directory = Path(directory)
+    manifest = read_chunk_manifest(directory)
+    acc = RegionAccumulator(
+        manifest["region"],
+        functions=load_chunk_functions(directory),
+        meta=dict(manifest.get("meta", {})),
+    )
+    for chunk in iter_saved_chunks(directory):
+        acc.update(chunk)
+    return acc
+
+
 @dataclass(frozen=True)
 class EvaluationTask:
     """A function-group shard plus the policies to replay over it."""
@@ -217,3 +259,120 @@ def evaluate_policies(
         policy: merge_eval_metrics([part[policy] for part in parts], name=policy)
         for policy in policies
     }
+
+
+# --- sharded cross-region evaluation ----------------------------------------
+
+
+@dataclass(frozen=True)
+class CrossRegionTask:
+    """One function-group shard of a §5 cross-region replay."""
+
+    spec: ShardSpec
+    remotes: tuple[str, ...]
+    policy: str
+    rtt_s: float
+    keepalive_s: float
+
+
+@dataclass(frozen=True)
+class CrossRegionResult:
+    """Merged cross-region replay outcome."""
+
+    metrics: EvalMetrics
+    home_cold_starts: int
+    remote_cold_starts: int
+
+    @property
+    def remote_share(self) -> float:
+        """Fraction of cold starts placed away from the home region."""
+        total = self.home_cold_starts + self.remote_cold_starts
+        return self.remote_cold_starts / total if total else 0.0
+
+
+def run_cross_region_shard(task: CrossRegionTask) -> CrossRegionResult:
+    """Replay one function group through a shard-local cross-region evaluator.
+
+    Warm-pod bookkeeping is per (function, region), so a group replays
+    exactly the requests those functions see unsharded; the per-region
+    cold-start EMA that steers routing is estimated *shard-locally* (each
+    shard warms up its own estimate), which is the one documented deviation
+    from an unsharded replay. ``n_groups=1`` reproduces the unsharded
+    evaluator bit for bit.
+    """
+    from repro.mitigation.cross_region import CrossRegionEvaluator, RoutingPolicy
+    from repro.mitigation.evaluator import build_workload_shard
+
+    spec = task.spec
+    _, traces = build_workload_shard(
+        spec.region,
+        seed=spec.seed,
+        days=spec.n_days,
+        scale=spec.scale,
+        group=spec.group,
+        n_groups=spec.n_groups,
+    )
+    evaluator = CrossRegionEvaluator(
+        home=spec.region,
+        remotes=task.remotes,
+        rtt_s=task.rtt_s,
+        seed=spec.shard_seed,
+    )
+    metrics = evaluator.run(
+        traces, policy=RoutingPolicy(task.policy), keepalive_s=task.keepalive_s
+    )
+    return CrossRegionResult(
+        metrics=metrics,
+        home_cold_starts=evaluator.home.cold_starts,
+        remote_cold_starts=sum(r.cold_starts for r in evaluator.remotes),
+    )
+
+
+def evaluate_cross_region(
+    home: str,
+    remotes: tuple[str, ...] = ("R3",),
+    policy: str = "best-region",
+    seed: int = 0,
+    days: int = 3,
+    scale: float = 0.3,
+    jobs: int = 1,
+    n_groups: int = 8,
+    eval_seed: int = 1,
+    rtt_s: float | None = None,
+    keepalive_s: float = 60.0,
+) -> CrossRegionResult:
+    """Sharded §5 cross-region replay with a deterministic merge.
+
+    The shard plan depends only on ``(home, seed, days, scale, n_groups,
+    eval_seed)`` — never on ``jobs`` — and shard metrics reduce through
+    :meth:`EvalMetrics.merge` in plan order, so any worker count merges
+    bit-identically. Per-region EMA routing state is shard-local (see
+    :func:`run_cross_region_shard`).
+    """
+    from repro.mitigation.cross_region import DEFAULT_INTER_REGION_RTT_S
+    from repro.runtime.merge import merge_eval_metrics
+    from repro.runtime.shards import ShardPlan
+
+    plan = ShardPlan.for_evaluation(
+        home, seed=seed, days=days, scale=scale, n_groups=n_groups,
+        eval_seed=eval_seed,
+    )
+    tasks = [
+        CrossRegionTask(
+            spec=spec,
+            remotes=tuple(remotes),
+            policy=policy,
+            rtt_s=rtt_s if rtt_s is not None else DEFAULT_INTER_REGION_RTT_S,
+            keepalive_s=keepalive_s,
+        )
+        for spec in plan
+    ]
+    parts = ParallelExecutor(jobs=jobs).run(run_cross_region_shard, tasks)
+    merged = merge_eval_metrics(
+        [part.metrics for part in parts], name=f"xregion:{policy}"
+    )
+    return CrossRegionResult(
+        metrics=merged,
+        home_cold_starts=sum(p.home_cold_starts for p in parts),
+        remote_cold_starts=sum(p.remote_cold_starts for p in parts),
+    )

@@ -24,31 +24,55 @@ cold-start latencies   statistically equivalent: shards draw from the same
                        latency model but estimate congestion shard-locally.
 pod_seconds            exact up to boundary pods (windows) / closeout (groups).
 peak_pods              exact at tick times where all shards still tick
-                       (pods_series are summed element-wise); tail ticks of
-                       longer-running shards count the others as drained.
+                       (per-tick gauges are summed element-wise); tail ticks
+                       of longer-running shards count the others as drained.
+analysis accumulators  counts/keys exact; floating sums to addition order
+                       (~1e-12 rel.); histogram quantiles to one bin
+                       (see repro.analysis.accumulators).
 unique users/pods      exact (set union, see StreamingSummary).
 =====================  ======================================================
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 from numbers import Number
 
 import numpy as np
 
+from repro.analysis.accumulators import (
+    BinnedSeries,
+    DistinctPairs,
+    GapTracker,
+    GroupedCounts,
+    KeyedBinnedCounts,
+    LogHistogram,
+    PodIntervalAccumulator,
+    RegionAccumulator,
+    StreamingMoments,
+    TickGauge,
+    merge_accumulators,
+)
 from repro.mitigation.base import EvalMetrics
 from repro.sim.metrics import MetricRegistry
-from repro.trace.tables import FunctionTable, PodTable, RequestTable, TraceBundle
+from repro.trace.tables import (
+    PodTable,
+    RequestTable,
+    TraceBundle,
+    dedupe_functions,
+)
 
-
-def dedupe_functions(tables: Sequence[FunctionTable]) -> FunctionTable:
-    """Union of function tables, keeping each id's first occurrence."""
-    merged = FunctionTable.concat(tables)
-    if not len(merged):
-        return merged
-    _, first = np.unique(merged["function"], return_index=True)
-    return merged.filter(np.sort(first))
+__all__ = [
+    "dedupe_functions",
+    "merge_bundles",
+    "merge_eval_metrics",
+    "merge_registries",
+    "merge_counts",
+    "merge_accumulators",
+    "merge_shard_results",
+    "register_reducer",
+    "StreamingSummary",
+]
 
 
 def merge_bundles(parts: Sequence[TraceBundle]) -> TraceBundle:
@@ -84,48 +108,22 @@ def merge_bundles(parts: Sequence[TraceBundle]) -> TraceBundle:
     )
 
 
-def _sum_aligned(series: Iterable[Sequence[float]]) -> list:
-    """Element-wise sum of sequences, right-padding shorter ones with zero."""
-    arrays = [np.asarray(s, dtype=np.float64) for s in series if len(s)]
-    if not arrays:
-        return []
-    length = max(a.size for a in arrays)
-    total = np.zeros(length, dtype=np.float64)
-    for a in arrays:
-        total[: a.size] += a
-    return total.tolist()
-
-
 def merge_eval_metrics(
     parts: Sequence[EvalMetrics], name: str | None = None
 ) -> EvalMetrics:
     """Reduce per-shard :class:`EvalMetrics` into experiment totals.
 
-    Counters and cost accumulators sum; latency samples concatenate in the
-    given (plan) order; per-tick pod gauges sum element-wise (shards tick on
-    the same absolute grid), and ``peak_pods`` is recomputed from the summed
-    series so re-merging stays associative.
+    Counters, cost accumulators, and latency/allocation histograms sum
+    (bin-exact); per-tick pod gauges sum element-wise (shards tick on the
+    same absolute grid), and ``peak_pods`` is recomputed from the summed
+    series so re-merging stays associative. Delegates to
+    :meth:`EvalMetrics.merge`, the same reducer evaluator shards use.
     """
     if not parts:
         raise ValueError("need at least one EvalMetrics to merge")
     merged = EvalMetrics(name=name if name is not None else parts[0].name)
     for part in parts:
-        merged.requests += part.requests
-        merged.cold_starts += part.cold_starts
-        merged.warm_hits += part.warm_hits
-        merged.prewarm_hits += part.prewarm_hits
-        merged.cold_wait_s.extend(part.cold_wait_s)
-        merged.cold_start_times.extend(part.cold_start_times)
-        merged.delayed_requests += part.delayed_requests
-        merged.total_delay_s += part.total_delay_s
-        merged.pod_seconds += part.pod_seconds
-        merged.prewarm_creations += part.prewarm_creations
-        merged.prewarm_pod_seconds += part.prewarm_pod_seconds
-    merged.pods_series = _sum_aligned(part.pods_series for part in parts)
-    merged.peak_pods = (
-        int(max(merged.pods_series)) if merged.pods_series
-        else max(part.peak_pods for part in parts)
-    )
+        merged.merge(part)
     return merged
 
 
@@ -185,6 +183,54 @@ def merge_counts(parts: Sequence[dict]) -> dict:
     return merged
 
 
+# --- shard-result reducer registry ------------------------------------------
+
+#: Maps a shard-result type to the reducer that folds a plan-ordered list of
+#: such results into one. ``ParallelExecutor`` callers dispatch through
+#: :func:`merge_shard_results`, so fanning a *new* analysis out only takes
+#: registering its accumulator here.
+SHARD_REDUCERS: dict[type, object] = {}
+
+
+def register_reducer(result_type: type, reducer) -> None:
+    """Register ``reducer(parts) -> merged`` for a shard-result type."""
+    SHARD_REDUCERS[result_type] = reducer
+
+
+def merge_shard_results(parts: Sequence):
+    """Reduce plan-ordered shard results by their registered reducer."""
+    parts = list(parts)
+    if not parts:
+        raise ValueError("need at least one shard result to merge")
+    for klass in type(parts[0]).__mro__:
+        reducer = SHARD_REDUCERS.get(klass)
+        if reducer is not None:
+            return reducer(parts)
+    raise TypeError(
+        f"no reducer registered for shard results of type "
+        f"{type(parts[0]).__name__}; see repro.runtime.merge.register_reducer"
+    )
+
+
+register_reducer(TraceBundle, merge_bundles)
+register_reducer(EvalMetrics, merge_eval_metrics)
+register_reducer(MetricRegistry, merge_registries)
+register_reducer(dict, merge_counts)
+for _accumulator_type in (
+    RegionAccumulator,
+    StreamingMoments,
+    LogHistogram,
+    BinnedSeries,
+    TickGauge,
+    GroupedCounts,
+    KeyedBinnedCounts,
+    DistinctPairs,
+    PodIntervalAccumulator,
+    GapTracker,
+):
+    register_reducer(_accumulator_type, merge_accumulators)
+
+
 class StreamingSummary:
     """Bounded-memory accumulator for :meth:`TraceBundle.summary` totals.
 
@@ -238,3 +284,13 @@ class StreamingSummary:
             "pods": len(self._pods),
             "users": len(self._users),
         }
+
+
+def _merge_summaries(parts: Sequence["StreamingSummary"]) -> "StreamingSummary":
+    merged = parts[0]
+    for part in parts[1:]:
+        merged = merged.merge(part)
+    return merged
+
+
+register_reducer(StreamingSummary, _merge_summaries)

@@ -16,7 +16,8 @@ Three layers, composable:
 from __future__ import annotations
 
 import json
-from collections.abc import Iterator, Sequence
+import zipfile
+from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -29,6 +30,7 @@ from repro.trace.tables import (
     PodTable,
     RequestTable,
     TraceBundle,
+    dedupe_functions,
 )
 
 
@@ -114,7 +116,64 @@ def stream_generation(plan, jobs: int = 1) -> Iterator[tuple[object, TraceBundle
 
 # --- chunk spill format ----------------------------------------------------
 
+#: On-disk chunk-directory format version. Bump when the manifest layout or
+#: part encoding changes incompatibly; readers refuse unknown versions.
+CHUNK_FORMAT_VERSION = 1
+
 _CHUNK_TABLES = (("requests", RequestTable), ("pods", PodTable))
+
+
+class ChunkDirectoryError(ValueError):
+    """A chunk directory is missing, truncated, or of an unknown version."""
+
+
+def _load_manifest(directory: Path) -> dict:
+    """Read and validate ``manifest.json``, with actionable errors."""
+    path = directory / "manifest.json"
+    if not path.is_file():
+        raise ChunkDirectoryError(
+            f"{directory} is not a chunk directory: no manifest.json "
+            "(expected a directory written by ChunkedBundleWriter)"
+        )
+    try:
+        manifest = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ChunkDirectoryError(
+            f"{path} is not valid JSON ({exc}); the manifest is corrupt — "
+            "regenerate the chunk directory"
+        ) from exc
+    version = manifest.get("version")
+    if version is None:
+        raise ChunkDirectoryError(
+            f"{path} carries no 'version' field; it predates the versioned "
+            f"chunk format — regenerate the directory (current version: "
+            f"{CHUNK_FORMAT_VERSION})"
+        )
+    if version != CHUNK_FORMAT_VERSION:
+        raise ChunkDirectoryError(
+            f"{path} has chunk-format version {version!r}; this build reads "
+            f"only version {CHUNK_FORMAT_VERSION} — regenerate the directory "
+            "or upgrade the library"
+        )
+    if not isinstance(manifest.get("parts"), list):
+        raise ChunkDirectoryError(f"{path} lists no 'parts' array")
+    return manifest
+
+
+def read_chunk_manifest(directory: str | Path) -> dict:
+    """Validated manifest of a chunk directory (region, parts, meta)."""
+    return _load_manifest(Path(directory))
+
+
+def load_chunk_functions(directory: str | Path) -> FunctionTable:
+    """The (small, static) function table a chunk directory carries."""
+    path = Path(directory) / "functions.npz"
+    if not path.is_file():
+        raise ChunkDirectoryError(
+            f"{directory} has no functions.npz; the writer was never closed "
+            "— call ChunkedBundleWriter.close() (or regenerate)"
+        )
+    return read_table_npz(FunctionTable, path)
 
 
 class ChunkedBundleWriter:
@@ -196,13 +255,12 @@ class ChunkedBundleWriter:
         if self._closed:
             raise RuntimeError("writer is closed")
         self._closed = True
-        from repro.runtime.merge import dedupe_functions
-
         collected = self._functions + ([functions] if functions is not None else [])
         write_table_npz(dedupe_functions(collected), self.directory / "functions.npz")
         manifest = {
             "region": self.region,
             "format": "npz-chunks",
+            "version": CHUNK_FORMAT_VERSION,
             "parts": self._parts,
             "meta": meta or {},
         }
@@ -212,12 +270,32 @@ class ChunkedBundleWriter:
 
 
 def _read_part(path: Path) -> tuple[RequestTable, PodTable]:
-    with np.load(path) as data:
-        tables = []
-        for prefix, cls in _CHUNK_TABLES:
-            tables.append(cls({
-                name: data[f"{prefix}.{name}"] for name in cls.schema.column_names
-            }))
+    if not path.is_file():
+        raise ChunkDirectoryError(
+            f"part file {path} is listed in the manifest but missing on "
+            "disk; the chunk directory is incomplete — regenerate it"
+        )
+    try:
+        with np.load(path) as data:
+            tables = []
+            for prefix, cls in _CHUNK_TABLES:
+                tables.append(cls({
+                    name: data[f"{prefix}.{name}"]
+                    for name in cls.schema.column_names
+                }))
+    except ChunkDirectoryError:
+        raise
+    except KeyError as exc:
+        raise ChunkDirectoryError(
+            f"part file {path} lacks expected column {exc.args[0]!r}; it was "
+            "not written by ChunkedBundleWriter or is from an incompatible "
+            "version — regenerate the chunk directory"
+        ) from exc
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise ChunkDirectoryError(
+            f"part file {path} is truncated or not a valid npz archive "
+            f"({exc}); regenerate the chunk directory"
+        ) from exc
     return tuple(tables)
 
 
@@ -225,10 +303,12 @@ def iter_saved_chunks(directory: str | Path) -> Iterator[TraceChunk]:
     """Lazily read chunks written by :class:`ChunkedBundleWriter`.
 
     Chunks carry the window bounds recorded at write time; parts written
-    without bounds fall back to their observed timestamp extremes.
+    without bounds fall back to their observed timestamp extremes. Missing
+    manifests, unknown format versions, and truncated part files raise
+    :class:`ChunkDirectoryError` with a recovery hint.
     """
     directory = Path(directory)
-    manifest = json.loads((directory / "manifest.json").read_text())
+    manifest = _load_manifest(directory)
     for index, part in enumerate(manifest["parts"]):
         requests, pods = _read_part(directory / part["file"])
         start_s, end_s = part.get("start_s"), part.get("end_s")
@@ -250,13 +330,17 @@ def iter_saved_chunks(directory: str | Path) -> Iterator[TraceChunk]:
 
 
 def load_chunked_bundle(directory: str | Path) -> TraceBundle:
-    """Materialise a chunk directory back into one :class:`TraceBundle`."""
+    """Materialise a chunk directory back into one :class:`TraceBundle`.
+
+    Raises :class:`ChunkDirectoryError` on missing/unversioned manifests or
+    truncated parts (see :func:`iter_saved_chunks`).
+    """
     directory = Path(directory)
-    manifest = json.loads((directory / "manifest.json").read_text())
+    manifest = _load_manifest(directory)
     chunks = list(iter_saved_chunks(directory))
     requests = RequestTable.concat([c.requests for c in chunks]).sort_by("timestamp_ms")
     pods = PodTable.concat([c.pods for c in chunks]).sort_by("timestamp_ms")
-    functions = read_table_npz(FunctionTable, directory / "functions.npz")
+    functions = load_chunk_functions(directory)
     return TraceBundle(
         region=manifest["region"],
         requests=requests,

@@ -261,6 +261,19 @@ class FunctionTable(ColumnTable):
         return out
 
 
+def dedupe_functions(tables: Sequence[FunctionTable]) -> FunctionTable:
+    """Union of function tables, keeping each id's first occurrence.
+
+    The reducer for function metadata across day-window shards or chunk
+    directories: a function appears once no matter how many windows saw it.
+    """
+    merged = FunctionTable.concat(tables)
+    if not len(merged):
+        return merged
+    _, first = np.unique(merged["function"], return_index=True)
+    return merged.filter(np.sort(first))
+
+
 @dataclass
 class TraceBundle:
     """A full per-region trace: the three Table 1 streams plus identity.

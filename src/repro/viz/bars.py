@@ -73,7 +73,10 @@ def quantile_strip(
     """
     if not groups:
         return "(no data)"
-    all_values = [v for qs in groups.values() for v in qs.values() if v > 0]
+    all_values = [
+        v for qs in groups.values() for v in qs.values()
+        if v > 0 and np.isfinite(v)
+    ]
     if not all_values:
         return "(no positive data)"
     lo, hi = min(all_values), max(all_values)
@@ -91,7 +94,14 @@ def quantile_strip(
     lines = []
     for name, quantiles in groups.items():
         strip = [" "] * width
-        values = sorted(quantiles.items())
+        # empty populations (e.g. no large-pool pods in a tiny trace)
+        # produce NaN quantiles: render an empty strip, don't crash
+        values = sorted(
+            (q, v) for q, v in quantiles.items() if np.isfinite(v)
+        )
+        if not values:
+            lines.append(f"{name.rjust(label_width)} |{''.join(strip)}|")
+            continue
         left, right = column(values[0][1]), column(values[-1][1])
         for col in range(left, right + 1):
             strip[col] = "-"

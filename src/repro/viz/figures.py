@@ -1,21 +1,28 @@
 """One renderer per paper figure, composing :mod:`repro.viz` primitives.
 
-Each ``render_figNN`` takes a :class:`~repro.core.study.TraceStudy` and
-returns a printable string. The CLI's ``repro figures`` command and the
-examples both go through this module, so the text output of every figure
-has a single authoritative shape.
+Each ``render_figNN`` takes any study exposing the figure API — the
+materialised :class:`~repro.core.study.TraceStudy` or the bounded-memory
+:class:`~repro.core.study.StreamingTraceStudy` (``repro figures --stream``)
+— and returns a printable string. The CLI's ``repro figures`` command and
+the examples both go through this module, so the text output of every
+figure has a single authoritative shape regardless of the compute path.
 """
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
 from repro.analysis.report import format_cdf_rows, format_table
-from repro.core.study import TraceStudy
+from repro.core.study import StreamingTraceStudy, TraceStudy
 from repro.trace.tables import COMPONENT_COLUMNS
 from repro.viz.bars import bar_chart, proportions_bars, quantile_strip
 from repro.viz.chart import line_chart, multi_cdf_chart, stacked_area_legend
 from repro.viz.grid import correlation_heatmap
+
+#: Either study implementation; renderers only touch the shared figure API.
+Study = Union[TraceStudy, StreamingTraceStudy]
 
 #: Figure id -> renderer registry, populated at import time.
 FIGURES: dict[str, object] = {}
@@ -29,7 +36,7 @@ def _register(fig_id: str):
     return wrap
 
 
-def render(fig_id: str, study: TraceStudy) -> str:
+def render(fig_id: str, study: Study) -> str:
     """Render one figure by id (e.g. ``"fig10"``)."""
     try:
         renderer = FIGURES[fig_id]
@@ -40,13 +47,13 @@ def render(fig_id: str, study: TraceStudy) -> str:
     return renderer(study)
 
 
-def render_all(study: TraceStudy) -> dict[str, str]:
+def render_all(study: Study) -> dict[str, str]:
     """Render every registered figure."""
     return {fig_id: render(fig_id, study) for fig_id in sorted(FIGURES)}
 
 
 @_register("fig01")
-def render_fig01(study: TraceStudy) -> str:
+def render_fig01(study: Study) -> str:
     rows = study.fig01_region_sizes()
     requests = {str(r["region"]): float(r["requests"]) for r in rows}
     header = "Figure 1 — requests, functions, and pods per region"
@@ -56,7 +63,7 @@ def render_fig01(study: TraceStudy) -> str:
 
 
 @_register("fig03")
-def render_fig03(study: TraceStudy) -> str:
+def render_fig03(study: Study) -> str:
     parts = ["Figure 3 — per-region CDFs"]
     parts.append(
         multi_cdf_chart(
@@ -83,7 +90,7 @@ def render_fig03(study: TraceStudy) -> str:
 
 
 @_register("fig04")
-def render_fig04(study: TraceStudy) -> str:
+def render_fig04(study: Study) -> str:
     parts = ["Figure 4 — per-user concentration"]
     parts.append(
         multi_cdf_chart(
@@ -103,7 +110,7 @@ def render_fig04(study: TraceStudy) -> str:
 
 
 @_register("fig05")
-def render_fig05(study: TraceStudy) -> str:
+def render_fig05(study: Study) -> str:
     series = study.fig05_request_series()
     charts = {name: data["normalised"] for name, data in series.items()}
     peak_hours = study.fig05_peak_hours()
@@ -121,7 +128,7 @@ def render_fig05(study: TraceStudy) -> str:
 
 
 @_register("fig06")
-def render_fig06(study: TraceStudy) -> str:
+def render_fig06(study: Study) -> str:
     rows = study.fig06_peak_trough()
     ptt = np.array([row["peak_to_trough"] for row in rows], dtype=float)
     colds = np.array([row["cold_starts"] for row in rows], dtype=float)
@@ -148,7 +155,7 @@ def render_fig06(study: TraceStudy) -> str:
 
 
 @_register("fig07")
-def render_fig07(study: TraceStudy) -> str:
+def render_fig07(study: Study) -> str:
     effects = study.fig07_holiday()
     if all(effect.days.size == 0 for effect in effects.values()):
         return "Figure 7 — (trace horizon too short to cover the holiday window)"
@@ -174,7 +181,7 @@ def render_fig07(study: TraceStudy) -> str:
 
 
 @_register("fig08")
-def render_fig08(study: TraceStudy) -> str:
+def render_fig08(study: Study) -> str:
     parts = ["Figure 8 — composition of pods / cold starts / functions (R2)"]
     for by in ("trigger", "runtime", "config"):
         proportions = study.fig08_proportions(by=by)
@@ -187,7 +194,7 @@ def render_fig08(study: TraceStudy) -> str:
 
 
 @_register("fig09")
-def render_fig09(study: TraceStudy) -> str:
+def render_fig09(study: Study) -> str:
     mix = study.fig09_trigger_by_runtime()
     return "\n".join(
         ["Figure 9 — trigger-type mix per runtime (R2)", proportions_bars(_transpose(mix))]
@@ -204,7 +211,7 @@ def _transpose(mix: dict[str, dict[str, float]]) -> dict[str, dict[str, float]]:
 
 
 @_register("fig10")
-def render_fig10(study: TraceStudy) -> str:
+def render_fig10(study: Study) -> str:
     ln_fit = study.fig10_lognormal_fit()
     wb_fit = study.fig10_weibull_fit()
     parts = ["Figure 10 — cold-start durations and inter-arrival times"]
@@ -234,7 +241,7 @@ def render_fig10(study: TraceStudy) -> str:
 
 
 @_register("fig11")
-def render_fig11(study: TraceStudy) -> str:
+def render_fig11(study: Study) -> str:
     parts = ["Figure 11 — hourly mean cold-start components per region"]
     dominant = study.fig11_dominant_component()
     for name in study.regions:
@@ -249,7 +256,7 @@ def render_fig11(study: TraceStudy) -> str:
 
 
 @_register("fig12")
-def render_fig12(study: TraceStudy) -> str:
+def render_fig12(study: Study) -> str:
     parts = ["Figure 12 — Spearman correlations of per-minute component means"]
     for name in study.regions:
         matrix = study.fig12_correlations(name)
@@ -261,7 +268,7 @@ def render_fig12(study: TraceStudy) -> str:
 
 
 @_register("fig13")
-def render_fig13(study: TraceStudy) -> str:
+def render_fig13(study: Study) -> str:
     split = study.fig13_pool_split()
     parts = ["Figure 13 — cold-start components by pool size (small vs large)"]
     for region, metrics in split.items():
@@ -275,7 +282,7 @@ def render_fig13(study: TraceStudy) -> str:
 
 
 @_register("fig14")
-def render_fig14(study: TraceStudy) -> str:
+def render_fig14(study: Study) -> str:
     rows = study.fig14_requests_vs_cold_starts()
     requests = np.array([row["requests"] for row in rows], dtype=float)
     colds = np.array([row["cold_starts"] for row in rows], dtype=float)
@@ -297,7 +304,7 @@ def render_fig14(study: TraceStudy) -> str:
 
 
 @_register("fig15")
-def render_fig15(study: TraceStudy) -> str:
+def render_fig15(study: Study) -> str:
     cdfs = study.fig15_by_runtime()
     totals = {name: metrics["cold_start_s"] for name, metrics in cdfs.items()}
     return "\n\n".join(
@@ -310,7 +317,7 @@ def render_fig15(study: TraceStudy) -> str:
 
 
 @_register("fig16")
-def render_fig16(study: TraceStudy) -> str:
+def render_fig16(study: Study) -> str:
     cdfs = study.fig16_by_trigger()
     totals = {name: metrics["cold_start_s"] for name, metrics in cdfs.items()}
     return "\n\n".join(
@@ -323,7 +330,7 @@ def render_fig16(study: TraceStudy) -> str:
 
 
 @_register("fig17")
-def render_fig17(study: TraceStudy) -> str:
+def render_fig17(study: Study) -> str:
     by_runtime = study.fig17_utility(by="runtime")
     by_trigger = study.fig17_utility(by="trigger")
     runtime_cdfs = {name: cdf for name, (cdf, _s) in by_runtime.items()}

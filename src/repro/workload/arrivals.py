@@ -274,6 +274,15 @@ class BurstyProcess(ArrivalProcess):
     *on* state at ``daily_rate * burst_factor``. State dwell times are
     geometric with the given mean lengths (in minutes). The diurnal/weekly/
     holiday shape applies on top, so bursts ride the daily wave.
+
+    With ``chain_seed`` set, the on/off chain is drawn from its own RNG
+    stream anchored at trace minute zero, so any window of the horizon sees
+    the same state sequence — including the dwell remainder of a burst that
+    straddles a window boundary. Windowed and unwindowed generation then
+    agree on *when* the function bursts (arrival counts inside each state
+    remain per-window Poisson draws). ``chain_seed=None`` keeps the legacy
+    behaviour of drawing the chain from the caller's stream, which restarts
+    the chain at every window boundary.
     """
 
     daily_rate: float
@@ -283,6 +292,7 @@ class BurstyProcess(ArrivalProcess):
     shape: RateShape = field(default_factory=RateShape)
     session_mean_requests: float = 1.0
     session_duration_s: float = 20.0
+    chain_seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.daily_rate < 0:
@@ -296,18 +306,43 @@ class BurstyProcess(ArrivalProcess):
 
     def _state_runs(self, total_minutes: int, rng: np.random.Generator) -> np.ndarray:
         """Boolean per-minute on/off state vector from alternating runs."""
-        states = np.zeros(total_minutes, dtype=bool)
+        return self._chain_states(0, total_minutes, rng)
+
+    def _chain_states(
+        self, start_min: int, end_min: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """On/off states for absolute trace minutes ``[start_min, end_min)``.
+
+        The chain is always replayed from minute zero, so a window sees the
+        same burst boundaries — and the same dwell remainder at its seam —
+        as the full-horizon chain drawn from the same ``rng`` state.
+        Replay cost is O(elapsed dwell periods), independent of arrivals.
+        """
+        states = np.zeros(max(end_min - start_min, 0), dtype=bool)
         pos = 0
         on = rng.random() < self.mean_on_minutes / (
             self.mean_on_minutes + self.mean_off_minutes
         )
-        while pos < total_minutes:
+        while pos < end_min:
             mean = self.mean_on_minutes if on else self.mean_off_minutes
             run = int(rng.geometric(1.0 / mean))
-            states[pos : pos + run] = on
+            lo, hi = max(pos, start_min), min(pos + run, end_min)
+            if hi > lo:
+                states[lo - start_min : hi - start_min] = on
             pos += run
             on = not on
         return states
+
+    def _window_states(
+        self, start_min: int, end_min: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """States for a window: chain-continuous when ``chain_seed`` is set."""
+        if self.chain_seed is None:
+            # Legacy: independent chain per window, fresh stationary start.
+            return self._chain_states(0, end_min - start_min, rng)
+        return self._chain_states(
+            start_min, end_min, np.random.default_rng(self.chain_seed)
+        )
 
     def generate(self, horizon_s: float, rng: np.random.Generator) -> np.ndarray:
         days = int(np.ceil(horizon_s / SECONDS_PER_DAY))
@@ -318,7 +353,7 @@ class BurstyProcess(ArrivalProcess):
         session_rate = self.daily_rate / self.session_mean_requests
         base_per_minute = session_rate / _MINUTES_PER_DAY
         rate = base_per_minute * self.shape.multiplier(minute_centers)
-        states = self._state_runs(total_minutes, rng)
+        states = self._window_states(0, total_minutes, rng)
         rate = rate * np.where(states, self.burst_factor, 1.0)
         counts = rng.poisson(rate)
         total = int(counts.sum())
@@ -336,13 +371,16 @@ class BurstyProcess(ArrivalProcess):
     def generate_window(
         self, start_s: float, end_s: float, rng: np.random.Generator
     ) -> np.ndarray:
-        """Windowed bursts; on/off state restarts at the window boundary.
+        """Windowed bursts on the absolute trace clock.
 
         The rate shape is evaluated at absolute minutes so the window rides
-        the correct diurnal/weekly/holiday wave. The two-state chain draws a
-        fresh stationary initial state per window instead of carrying the
-        previous window's state across the boundary — statistically
-        equivalent (the chain mixes in hours; windows span days).
+        the correct diurnal/weekly/holiday wave. With ``chain_seed`` set
+        (the generator's default via :func:`make_arrival_process`), the
+        on/off chain is replayed from minute zero so the window enters mid-
+        dwell exactly where the full-horizon chain would be — windowed and
+        unwindowed traces agree on every burst boundary. Without a chain
+        seed the legacy behaviour applies: a fresh stationary chain per
+        window (statistically equivalent, seams uncorrelated).
         """
         start_min = int(start_s // 60.0)
         end_min = int(np.ceil(end_s / 60.0))
@@ -355,7 +393,7 @@ class BurstyProcess(ArrivalProcess):
         session_rate = self.daily_rate / self.session_mean_requests
         base_per_minute = session_rate / _MINUTES_PER_DAY
         rate = base_per_minute * self.shape.multiplier(minute_centers)
-        states = self._state_runs(n_minutes, rng)
+        states = self._window_states(start_min, end_min, rng)
         rate = rate * np.where(states, self.burst_factor, 1.0)
         counts = rng.poisson(rate)
         total = int(counts.sum())
@@ -380,10 +418,17 @@ class BurstyProcess(ArrivalProcess):
         return effective * days * mean_mult
 
 
-def make_arrival_process(spec, shape: RateShape) -> ArrivalProcess:
+def make_arrival_process(
+    spec, shape: RateShape, chain_seed: int | None = None
+) -> ArrivalProcess:
     """Build the right process for a :class:`~repro.workload.function.FunctionSpec`.
 
     Timer-driven specs ignore ``shape`` entirely (flat by construction).
+    ``chain_seed`` seeds a bursty spec's on/off chain; the generator derives
+    it per (workload seed, region, function) — window-independent, so every
+    day window replays the identical chain, yet different workload seeds
+    get different burst schedules. Callers that pass none fall back to a
+    function-id hash (still window-independent, but seed-blind).
     """
     if spec.arrival_kind == "timer":
         # Deterministic phase derived from the function id spreads timer
@@ -392,12 +437,15 @@ def make_arrival_process(spec, shape: RateShape) -> ArrivalProcess:
         phase = (spec.function_id * 7919.0) % spec.timer_period_s
         return CronTimerProcess(period_s=spec.timer_period_s, phase_s=phase)
     if spec.arrival_kind == "bursty":
+        if chain_seed is None:
+            chain_seed = (spec.function_id * 0x9E3779B97F4A7C15) % (2**63)
         return BurstyProcess(
             daily_rate=spec.daily_rate,
             burst_factor=spec.burst_factor,
             shape=shape,
             session_mean_requests=spec.session_mean_requests,
             session_duration_s=spec.session_duration_s,
+            chain_seed=chain_seed,
         )
     return ModulatedPoissonProcess(
         daily_rate=spec.daily_rate,

@@ -460,6 +460,18 @@ class WorkloadGenerator:
 
     # -- pipeline stages ------------------------------------------------------
 
+    def _chain_seed_for(self, spec: FunctionSpec) -> int:
+        """Seed of a bursty function's on/off chain.
+
+        Derived from the workload's root seed so different ``--seed`` runs
+        draw different burst schedules, but deliberately *not* window-tagged
+        — every day window replays the same chain, which is what carries
+        on/off state (and the dwell remainder) across window seams.
+        """
+        return self._rngs.derive_seed(
+            f"bursty-chain/{self.profile.name}/{spec.function_id}"
+        )
+
     def _generate_function_traces(
         self, specs: list[FunctionSpec]
     ) -> list[FunctionTrace]:
@@ -469,7 +481,13 @@ class WorkloadGenerator:
             rng = self._rngs.stream(
                 f"arrivals/{self.profile.name}{self._window_tag}/{spec.function_id}"
             )
-            process = make_arrival_process(spec, shape)
+            process = make_arrival_process(
+                spec, shape,
+                chain_seed=(
+                    self._chain_seed_for(spec)
+                    if spec.arrival_kind == "bursty" else None
+                ),
+            )
             if self.windowed:
                 arrivals = process.generate_window(self.start_s, self.end_s, rng)
             else:

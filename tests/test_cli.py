@@ -123,3 +123,59 @@ class TestCommands:
         assert (out / "R3" / "requests.npz").exists()
         capsys.readouterr()
         assert main(["validate", "--load", str(out)]) == 0
+
+
+class TestStreaming:
+    def test_analyze_streamed_matches_materialised(self, capsys):
+        rc = main(["analyze", *_FAST])
+        materialised = capsys.readouterr().out
+        rc_stream = main(["analyze", *_FAST, "--stream"])
+        streamed = capsys.readouterr().out
+        assert rc == rc_stream
+        # the exact-figure overview table is identical across compute paths
+        overview = materialised.split("== paper findings")[0]
+        assert overview == streamed.split("== paper findings")[0]
+
+    def test_figures_stream_renders(self, tmp_path):
+        out = tmp_path / "figs"
+        rc = main(
+            ["figures", *_FAST, "--stream", "-f", "fig01", "-f", "fig05",
+             "--output", str(out)]
+        )
+        assert rc == 0
+        assert (out / "fig01.txt").exists()
+        assert (out / "fig05.txt").exists()
+
+    def test_generate_chunk_directories_then_stream(self, tmp_path, capsys):
+        out = tmp_path / "chunks"
+        rc = main(
+            ["generate", *_FAST, "--format", "npz-chunks", "--chunk-days", "1",
+             "--output", str(out)]
+        )
+        assert rc == 0
+        assert (out / "R3" / "manifest.json").exists()
+        assert (out / "R3" / "part-00000.npz").exists()
+        capsys.readouterr()
+        # streamed analysis straight off the chunk directory
+        assert main(["analyze", "--load", str(out), "--stream"]) in (0, 1)
+        # and the non-streaming commands materialise the same directory
+        assert main(["validate", "--load", str(out)]) == 0
+
+    def test_stream_load_mixed_directories(self, tmp_path, capsys):
+        """--stream over a root mixing chunk dirs and plain bundles sees both."""
+        out = tmp_path / "mixed"
+        assert main(["generate", "--regions", "R3", "--days", "1", "--scale",
+                     "0.15", "--seed", "5", "--format", "npz",
+                     "--output", str(out)]) == 0
+        assert main(["generate", "--regions", "R4", "--days", "1", "--scale",
+                     "0.1", "--seed", "5", "--format", "npz-chunks",
+                     "--output", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--load", str(out), "--stream"]) in (0, 1)
+        overview = capsys.readouterr().out
+        assert "R3" in overview and "R4" in overview
+
+    def test_generate_chunks_rejects_anonymize(self, tmp_path):
+        with pytest.raises(SystemExit, match="anonymize"):
+            main(["generate", *_FAST, "--format", "npz-chunks", "--anonymize",
+                  "--output", str(tmp_path / "x")])

@@ -2,16 +2,21 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.mitigation.base import EvalMetrics
 from repro.mitigation.evaluator import RegionEvaluator, build_workload, build_workload_shard
 from repro.runtime import (
+    CHUNK_FORMAT_VERSION,
+    ChunkDirectoryError,
     ChunkedBundleWriter,
     ParallelExecutor,
     ShardPlan,
     StreamingSummary,
+    evaluate_cross_region,
     evaluate_policies,
     iter_bundle_chunks,
     iter_saved_chunks,
@@ -186,8 +191,11 @@ class TestShardedEvaluation:
         profile, traces = build_workload("R3", seed=5, days=1, scale=0.1)
         unsharded = RegionEvaluator(profile, seed=1).run(traces, name="baseline")
         assert merged.requests == unsharded.requests
-        assert merged.cold_starts == unsharded.cold_starts
-        assert merged.warm_hits == unsharded.warm_hits
+        # Cold-start counts match in practice but not provably exactly: a
+        # shard-local cold-duration draw can flip a queue-behind-initialising
+        # decision (see repro.runtime.merge's guarantee table).
+        assert merged.cold_starts == pytest.approx(unsharded.cold_starts, rel=0.005)
+        assert merged.warm_hits == pytest.approx(unsharded.warm_hits, rel=0.005)
 
     def test_single_group_reproduces_unsharded_exactly(self):
         merged = evaluate_policies(
@@ -196,20 +204,20 @@ class TestShardedEvaluation:
         profile, traces = build_workload("R3", seed=5, days=1, scale=0.1)
         unsharded = RegionEvaluator(profile, seed=1).run(traces, name="baseline")
         assert merged.summary() == unsharded.summary()
-        assert merged.cold_wait_s == unsharded.cold_wait_s
+        assert merged.cold_wait == unsharded.cold_wait
 
 
 def _metrics(seed: int) -> EvalMetrics:
     rng = np.random.default_rng(seed)
     m = EvalMetrics(name="m")
     m.requests = int(rng.integers(10, 100))
-    m.cold_starts = int(rng.integers(1, 10))
-    m.warm_hits = m.requests - m.cold_starts
-    m.cold_wait_s = rng.random(m.cold_starts).tolist()
-    m.cold_start_times = (rng.random(m.cold_starts) * 3600).tolist()
+    n_cold = int(rng.integers(1, 10))
+    m.warm_hits = m.requests - n_cold
+    for wait, at in zip(rng.random(n_cold), rng.random(n_cold) * 3600):
+        m.record_cold(float(wait), float(at))
     m.pod_seconds = float(rng.random() * 1000)
-    m.pods_series = rng.integers(0, 5, size=int(rng.integers(3, 8))).tolist()
-    m.peak_pods = int(max(m.pods_series))
+    for alive in rng.integers(0, 5, size=int(rng.integers(3, 8))):
+        m.record_tick(int(alive))
     return m
 
 
@@ -219,23 +227,37 @@ class TestReducers:
         left = merge_eval_metrics([merge_eval_metrics([a, b]), c])
         right = merge_eval_metrics([a, merge_eval_metrics([b, c])])
         assert left.summary() == right.summary()
-        assert left.pods_series == right.pods_series
-        assert left.cold_wait_s == right.cold_wait_s
+        assert left.pods_gauge == right.pods_gauge
+        assert left.cold_wait == right.cold_wait
 
-    def test_merge_eval_metrics_sums_and_concatenates(self):
+    def test_merge_eval_metrics_sums_histograms_and_gauges(self):
         a, b = _metrics(1), _metrics(2)
+        a_colds, b_colds = a.cold_starts, b.cold_starts
+        a_wait_n, b_wait_n = a.cold_wait.n, b.cold_wait.n
+        a_series, b_series = a.pods_gauge.to_list(), b.pods_gauge.to_list()
         merged = merge_eval_metrics([a, b])
         assert merged.requests == a.requests + b.requests
-        assert merged.cold_starts == a.cold_starts + b.cold_starts
-        assert merged.cold_wait_s == a.cold_wait_s + b.cold_wait_s
+        assert merged.cold_starts == a_colds + b_colds
+        assert merged.cold_wait.n == a_wait_n + b_wait_n
         expected_peak = max(
             x + y
             for x, y in zip(
-                a.pods_series + [0] * max(0, len(b.pods_series) - len(a.pods_series)),
-                b.pods_series + [0] * max(0, len(a.pods_series) - len(b.pods_series)),
+                a_series + [0] * max(0, len(b_series) - len(a_series)),
+                b_series + [0] * max(0, len(a_series) - len(b_series)),
             )
         )
         assert merged.peak_pods == expected_peak
+
+    def test_mean_cold_wait_exact_and_p95_within_one_bin(self):
+        rng = np.random.default_rng(3)
+        waits = rng.lognormal(0.5, 1.0, size=500)
+        m = EvalMetrics()
+        for w in waits:
+            m.record_cold(float(w), 0.0)
+        assert m.mean_cold_wait_s() == pytest.approx(waits.sum() / waits.size)
+        exact_p95 = float(np.percentile(waits, 95))
+        # documented sketch tolerance: ~one log bin (512 bins over 8 decades)
+        assert m.p95_cold_wait_s() == pytest.approx(exact_p95, rel=0.08)
 
     def test_merge_counts_is_associative(self):
         a = {"requests": 3, "by_runtime": {"Go": 1, "Java": 2}, "region": "R1"}
@@ -352,3 +374,98 @@ class TestStreaming:
         writer = ChunkedBundleWriter(tmp_path / "x", region="R1")
         with pytest.raises(ValueError):
             writer.append_bundle(bundle)
+
+
+class TestChunkFormatVersioning:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return generate_region("R3", seed=5, days=1, scale=0.1)
+
+    @pytest.fixture()
+    def chunk_dir(self, bundle, tmp_path):
+        writer = ChunkedBundleWriter(tmp_path / "r3", region="R3")
+        writer.append_bundle(bundle)
+        writer.close(meta={"seed": 5})
+        return tmp_path / "r3"
+
+    def test_manifest_carries_version(self, chunk_dir):
+        manifest = json.loads((chunk_dir / "manifest.json").read_text())
+        assert manifest["version"] == CHUNK_FORMAT_VERSION
+
+    def test_missing_manifest_is_a_clear_error(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ChunkDirectoryError, match="no manifest.json"):
+            list(iter_saved_chunks(tmp_path / "empty"))
+
+    def test_missing_version_is_a_clear_error(self, chunk_dir):
+        manifest = json.loads((chunk_dir / "manifest.json").read_text())
+        del manifest["version"]
+        (chunk_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ChunkDirectoryError, match="no 'version'"):
+            list(iter_saved_chunks(chunk_dir))
+        with pytest.raises(ChunkDirectoryError, match="no 'version'"):
+            load_chunked_bundle(chunk_dir)
+
+    def test_unknown_version_is_a_clear_error(self, chunk_dir):
+        manifest = json.loads((chunk_dir / "manifest.json").read_text())
+        manifest["version"] = 999
+        (chunk_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ChunkDirectoryError, match="version 999"):
+            load_chunked_bundle(chunk_dir)
+
+    def test_truncated_part_is_a_clear_error(self, chunk_dir):
+        part = chunk_dir / "part-00000.npz"
+        part.write_bytes(part.read_bytes()[: part.stat().st_size // 2])
+        with pytest.raises(ChunkDirectoryError, match="part-00000.npz"):
+            list(iter_saved_chunks(chunk_dir))
+
+    def test_missing_part_is_a_clear_error(self, chunk_dir):
+        (chunk_dir / "part-00000.npz").unlink()
+        with pytest.raises(ChunkDirectoryError, match="missing on"):
+            list(iter_saved_chunks(chunk_dir))
+
+    def test_corrupt_manifest_json_is_a_clear_error(self, chunk_dir):
+        (chunk_dir / "manifest.json").write_text("{not json")
+        with pytest.raises(ChunkDirectoryError, match="not valid JSON"):
+            list(iter_saved_chunks(chunk_dir))
+
+
+class TestShardedCrossRegion:
+    def test_jobs_invariance_is_bit_identical(self):
+        kwargs = dict(
+            remotes=("R3",), policy="best-region", seed=5, days=1, scale=0.1,
+            n_groups=4,
+        )
+        results = {
+            jobs: evaluate_cross_region("R1", jobs=jobs, **kwargs)
+            for jobs in (1, 2, 4)
+        }
+        base = results[1]
+        for jobs in (2, 4):
+            assert results[jobs].metrics == base.metrics, f"jobs={jobs} diverged"
+            assert results[jobs].remote_share == base.remote_share
+
+    def test_single_group_matches_unsharded_evaluator(self):
+        from repro.mitigation.cross_region import CrossRegionEvaluator, RoutingPolicy
+        from repro.mitigation.evaluator import build_workload
+
+        merged = evaluate_cross_region(
+            "R1", remotes=("R3",), policy="best-region", seed=5, days=1,
+            scale=0.1, n_groups=1, eval_seed=1,
+        )
+        _, traces = build_workload("R1", seed=5, days=1, scale=0.1)
+        evaluator = CrossRegionEvaluator(home="R1", remotes=("R3",), seed=1)
+        unsharded = evaluator.run(traces, policy=RoutingPolicy.BEST_REGION)
+        assert merged.metrics.summary() == unsharded.summary()
+        assert merged.remote_share == evaluator.remote_share(unsharded)
+
+    def test_group_shards_partition_requests(self):
+        merged = evaluate_cross_region(
+            "R1", remotes=("R3",), policy="home-only", seed=5, days=1,
+            scale=0.1, n_groups=3,
+        )
+        from repro.mitigation.evaluator import build_workload
+
+        _, traces = build_workload("R1", seed=5, days=1, scale=0.1)
+        assert merged.metrics.requests == sum(t.arrivals.size for t in traces)
+        assert merged.remote_share == 0.0

@@ -223,6 +223,71 @@ class TestBursty:
         with pytest.raises(ValueError):
             BurstyProcess(daily_rate=10.0, mean_on_minutes=0.0)
 
+    def _chained(self) -> BurstyProcess:
+        return BurstyProcess(
+            daily_rate=2000.0, burst_factor=80.0, mean_on_minutes=20.0,
+            mean_off_minutes=300.0, shape=RateShape.flat(), chain_seed=77,
+        )
+
+    def test_chain_state_is_continuous_across_windows(self):
+        """Windowed state sequences tile the unwindowed chain exactly.
+
+        The dwell remainder of a burst straddling a seam is carried: the
+        chain is replayed from minute zero for every window, so windows
+        [0, 2d) + [2d, 4d) see the same on/off minutes as [0, 4d).
+        """
+        process = self._chained()
+        total = 4 * 1440
+        full = process._chain_states(0, total, np.random.default_rng(77))
+        first = process._window_states(0, 2 * 1440, rng())
+        second = process._window_states(2 * 1440, total, rng())
+        assert np.array_equal(np.concatenate([first, second]), full)
+        # and an unaligned window slices the same chain mid-dwell
+        middle = process._window_states(1000, 3000, rng())
+        assert np.array_equal(middle, full[1000:3000])
+
+    def test_windowed_volume_matches_unwindowed(self):
+        process = self._chained()
+        unwindowed = process.generate(4 * DAY, np.random.default_rng(5)).size
+        windowed = sum(
+            process.generate_window(d * DAY, (d + 1) * DAY,
+                                    np.random.default_rng(100 + d)).size
+            for d in range(4)
+        )
+        # Identical burst schedule, independent Poisson draws per window.
+        assert windowed == pytest.approx(unwindowed, rel=0.1)
+
+    def test_generator_chain_seed_varies_with_workload_seed(self):
+        """Chains derive from the workload seed, not just the function id.
+
+        Different --seed runs must draw different burst schedules, while a
+        window shard of the same seed replays the identical chain.
+        """
+        from types import SimpleNamespace
+
+        from repro.workload.generator import WorkloadGenerator
+        from repro.workload.regions import region_profile
+
+        spec = SimpleNamespace(function_id=1_000_000_007)
+        profile = region_profile("R3")
+        s0 = WorkloadGenerator(profile, seed=0)._chain_seed_for(spec)
+        s1 = WorkloadGenerator(profile, seed=1)._chain_seed_for(spec)
+        windowed = WorkloadGenerator(
+            profile, seed=0, days=1, start_day=5
+        )._chain_seed_for(spec)
+        assert s0 != s1
+        assert windowed == s0
+
+    def test_without_chain_seed_windows_restart_the_chain(self):
+        process = BurstyProcess(
+            daily_rate=2000.0, mean_on_minutes=20.0, mean_off_minutes=300.0,
+            shape=RateShape.flat(),
+        )
+        seeded = np.random.default_rng(3)
+        late = process._window_states(2 * 1440, 4 * 1440, seeded)
+        fresh = process._window_states(0, 2 * 1440, np.random.default_rng(3))
+        assert np.array_equal(late, fresh)
+
 
 class TestMakeArrivalProcess:
     def _spec(self, kind, **kwargs) -> FunctionSpec:

@@ -1,0 +1,430 @@
+"""Streamed-vs-materialised equivalence for every paper figure.
+
+For a fixed seed, the chunk-incremental :class:`StreamingTraceStudy` must
+reproduce the bundle-backed :class:`TraceStudy`:
+
+* **exact** — counts, key sets, integer series, per-minute/day series
+  (floating sums compared at 1e-9 relative: chunk-partial sums add in a
+  different order than whole-column sums);
+* **bin tolerance** — distributions read from the fixed-bin LogHistogram
+  sketch (Figs. 10/13/15/16) quantise values to one log bin (~3.7 % for
+  the default 512 bins over 8 decades); probabilities stay exact.
+
+Also covered: jobs-invariance of sharded streaming analysis, accumulator
+merge associativity, and the chunk-directory path end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.accumulators import (
+    BinnedSeries,
+    GapTracker,
+    GroupedCounts,
+    KeyedBinnedCounts,
+    LogHistogram,
+    RegionAccumulator,
+)
+from repro.core.study import StreamingTraceStudy, TraceStudy
+from repro.runtime import ChunkedBundleWriter, iter_bundle_chunks
+from repro.workload.generator import generate_multi_region
+
+#: One log-bin ratio of the default sketch: the documented value tolerance.
+BIN_TOL = LogHistogram.DEFAULT_BINS and (
+    (LogHistogram.DEFAULT_HI / LogHistogram.DEFAULT_LO)
+    ** (1.0 / LogHistogram.DEFAULT_BINS)
+    - 1.0
+)
+
+SEED = 1234
+CHUNK_S = 6 * 3600.0
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    return generate_multi_region(("R1", "R2"), seed=SEED, days=2, scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def study(bundles) -> TraceStudy:
+    return TraceStudy(bundles)
+
+
+@pytest.fixture(scope="module")
+def streaming(bundles) -> StreamingTraceStudy:
+    return StreamingTraceStudy.from_bundles(bundles, chunk_s=CHUNK_S)
+
+
+def assert_cdf_equal(a, b):
+    assert a.n == b.n
+    np.testing.assert_allclose(a.values, b.values, rtol=1e-9)
+    np.testing.assert_allclose(a.probabilities, b.probabilities, rtol=1e-12)
+
+
+def assert_cdf_within_bin(exact, sketched, qs=(0.1, 0.25, 0.5, 0.75, 0.9, 0.99)):
+    """Sketch quantiles sit within one bin ratio of the exact quantiles.
+
+    (``Cdf.n`` counts support points, which binning collapses — sample
+    counts are preserved in the probabilities, checked via quantiles.)
+    """
+    for q in qs:
+        want, got = exact.quantile(q), sketched.quantile(q)
+        if want == 0.0 or np.isnan(want):
+            continue
+        assert got == pytest.approx(want, rel=2 * BIN_TOL), f"q={q}"
+
+
+class TestExactFigures:
+    def test_fig01_region_sizes(self, study, streaming):
+        assert study.fig01_region_sizes() == streaming.fig01_region_sizes()
+
+    def test_fig03_requests_per_day(self, study, streaming):
+        for name in study.regions:
+            assert_cdf_equal(
+                study.fig03_requests_per_day()[name],
+                streaming.fig03_requests_per_day()[name],
+            )
+
+    def test_fig03_exec_time_and_cpu(self, study, streaming):
+        for name in study.regions:
+            assert_cdf_equal(
+                study.fig03_exec_time()[name], streaming.fig03_exec_time()[name]
+            )
+            assert_cdf_equal(
+                study.fig03_cpu_usage()[name], streaming.fig03_cpu_usage()[name]
+            )
+
+    def test_fig03_share_at_least_one(self, study, streaming):
+        assert (
+            study.fig03_share_at_least_1_per_minute()
+            == streaming.fig03_share_at_least_1_per_minute()
+        )
+
+    def test_fig04_user_stats(self, study, streaming):
+        for name in study.regions:
+            assert_cdf_equal(
+                study.fig04_functions_per_user()[name],
+                streaming.fig04_functions_per_user()[name],
+            )
+            assert_cdf_equal(
+                study.fig04_requests_per_user()[name],
+                streaming.fig04_requests_per_user()[name],
+            )
+
+    def test_fig05_request_series(self, study, streaming):
+        for name in study.regions:
+            a = study.fig05_request_series()[name]
+            b = streaming.fig05_request_series()[name]
+            np.testing.assert_allclose(
+                a["normalised"], b["normalised"], rtol=1e-12, equal_nan=True
+            )
+            np.testing.assert_array_equal(
+                a["daily_peak_minute"], b["daily_peak_minute"]
+            )
+        assert study.fig05_peak_hours() == streaming.fig05_peak_hours()
+
+    def test_fig06_peak_trough(self, study, streaming):
+        a, b = study.fig06_peak_trough(), streaming.fig06_peak_trough()
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            assert {k: ra[k] for k in ("region", "function", "cold_starts")} == {
+                k: rb[k] for k in ("region", "function", "cold_starts")
+            }
+            assert ra["requests_per_day"] == rb["requests_per_day"]
+            assert ra["peak_to_trough"] == pytest.approx(
+                rb["peak_to_trough"], rel=1e-9
+            )
+
+    def test_fig07_holiday(self, study, streaming):
+        for name in study.regions:
+            a = study.fig07_holiday()[name]
+            b = streaming.fig07_holiday()[name]
+            np.testing.assert_array_equal(a.days, b.days)
+            np.testing.assert_allclose(
+                a.pods_normalised, b.pods_normalised, rtol=1e-9, equal_nan=True
+            )
+            np.testing.assert_allclose(
+                a.cpu_normalised, b.cpu_normalised, rtol=1e-9, equal_nan=True
+            )
+
+    @pytest.mark.parametrize("by", ["trigger", "runtime", "config", "size"])
+    def test_fig08_proportions(self, study, streaming, by):
+        a, b = study.fig08_proportions(by=by), streaming.fig08_proportions(by=by)
+        assert a.keys() == b.keys()
+        for category in a:
+            for metric in a[category]:
+                assert a[category][metric] == pytest.approx(
+                    b[category][metric], rel=1e-9
+                ), (category, metric)
+
+    def test_fig08_pods_over_time(self, study, streaming):
+        a = study.fig08_pods_over_time("trigger")
+        b = streaming.fig08_pods_over_time("trigger")
+        assert a.keys() == b.keys()
+        for category in a:
+            np.testing.assert_array_equal(a[category], b[category])
+
+    def test_fig09_trigger_mix(self, study, streaming):
+        assert study.fig09_trigger_by_runtime() == streaming.fig09_trigger_by_runtime()
+
+    def test_fig11_components(self, study, streaming):
+        for name in study.regions:
+            a = study.fig11_hourly_components(name)
+            b = streaming.fig11_hourly_components(name)
+            assert a.keys() == b.keys()
+            for key in a:
+                np.testing.assert_allclose(
+                    a[key], b[key], rtol=1e-9, equal_nan=True
+                )
+        assert study.fig11_dominant_component() == streaming.fig11_dominant_component()
+
+    def test_fig12_correlations(self, study, streaming):
+        for name in study.regions:
+            a = study.fig12_correlations(name)
+            b = streaming.fig12_correlations(name)
+            assert a.n_minutes == b.n_minutes
+            # rank ties can flip on ~1e-16 partial-sum differences; the
+            # resulting rho shift is bounded by the tie-group size
+            np.testing.assert_allclose(a.rho, b.rho, atol=1e-4)
+
+    def test_fig14_requests_vs_cold_starts(self, study, streaming):
+        assert (
+            study.fig14_requests_vs_cold_starts()
+            == streaming.fig14_requests_vs_cold_starts()
+        )
+
+    def test_fig17_utility(self, study, streaming):
+        for by in ("runtime", "trigger"):
+            a, b = study.fig17_utility(by=by), streaming.fig17_utility(by=by)
+            assert a.keys() == b.keys()
+            for category in a:
+                assert_cdf_equal(a[category][0], b[category][0])
+                assert a[category][1] == b[category][1]
+
+
+class TestSketchedFigures:
+    """Distributions served from the LogHistogram sketch: one-bin tolerance."""
+
+    def test_fig10_cold_start_cdfs(self, study, streaming):
+        for name in study.regions:
+            assert_cdf_within_bin(
+                study.fig10_cold_start_cdfs()[name],
+                streaming.fig10_cold_start_cdfs()[name],
+            )
+
+    def test_fig10_iat_cdfs(self, study, streaming):
+        for name in study.regions:
+            exact = study.fig10_iat_cdfs()[name]
+            sketched = streaming.fig10_iat_cdfs()[name]
+            for q in (0.25, 0.5, 0.9):
+                want = exact.quantile(q)
+                if want <= 0:
+                    continue
+                # sub-lo gaps resolve to the underflow edge
+                got = sketched.quantile(q)
+                assert got == pytest.approx(
+                    want, rel=2 * BIN_TOL, abs=LogHistogram.DEFAULT_LO
+                )
+
+    def test_fig10_fits(self, study, streaming):
+        ln_a, ln_b = study.fig10_lognormal_fit(), streaming.fig10_lognormal_fit()
+        assert ln_b.mu == pytest.approx(ln_a.mu, abs=0.02)
+        assert ln_b.sigma == pytest.approx(ln_a.sigma, rel=0.02)
+        assert ln_b.n == ln_a.n
+        wb_a, wb_b = study.fig10_weibull_fit(), streaming.fig10_weibull_fit()
+        assert wb_b.k == pytest.approx(wb_a.k, rel=0.1)
+        assert wb_b.lam == pytest.approx(wb_a.lam, rel=0.1)
+
+    def test_fig13_pool_split(self, study, streaming):
+        for name in study.regions:
+            a = study.fig13_pool_split(name)
+            b = streaming.fig13_pool_split(name)
+            assert a.keys() == b.keys()
+            for metric in a:
+                for size in ("small", "large"):
+                    for q, want in a[metric][size].items():
+                        got = b[metric][size][q]
+                        if np.isnan(want):
+                            assert np.isnan(got)
+                        elif want > 0:
+                            assert got == pytest.approx(
+                                want, rel=2 * BIN_TOL
+                            ), (metric, size, q)
+
+    @pytest.mark.parametrize("by", ["runtime", "trigger"])
+    def test_fig15_fig16_by_category(self, study, streaming, by):
+        a = study.fig15_by_runtime() if by == "runtime" else study.fig16_by_trigger()
+        b = (
+            streaming.fig15_by_runtime()
+            if by == "runtime"
+            else streaming.fig16_by_trigger()
+        )
+        assert set(a) == set(b)
+        for category in a:
+            for metric, exact in a[category].items():
+                assert_cdf_within_bin(
+                    exact, b[category][metric], qs=(0.25, 0.5, 0.9)
+                )
+
+
+class TestStreamingExecution:
+    def test_generate_is_jobs_invariant(self):
+        kwargs = dict(regions=("R3",), seed=7, days=4, scale=0.08, chunk_days=2)
+        j1 = StreamingTraceStudy.generate(jobs=1, **kwargs)
+        j4 = StreamingTraceStudy.generate(jobs=4, **kwargs)
+        assert j1.fig01_region_sizes() == j4.fig01_region_sizes()
+        assert j1.fig03_share_at_least_1_per_minute() == j4.fig03_share_at_least_1_per_minute()
+        assert j1.fig06_peak_trough() == j4.fig06_peak_trough()
+        a, b = j1.fig10_cold_start_cdfs()["R3"], j4.fig10_cold_start_cdfs()["R3"]
+        np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(a.probabilities, b.probabilities)
+
+    def test_generate_matches_materialised_generation(self):
+        """Sharded streaming analysis == analysing the merged bundles."""
+        kwargs = dict(seed=7, days=4, scale=0.08, chunk_days=2)
+        bundles = generate_multi_region(("R3",), jobs=1, **kwargs)
+        materialised = TraceStudy(bundles)
+        streamed = StreamingTraceStudy.generate(regions=("R3",), jobs=2, **kwargs)
+        assert materialised.fig01_region_sizes() == streamed.fig01_region_sizes()
+        assert_cdf_equal(
+            materialised.fig03_requests_per_day()["R3"],
+            streamed.fig03_requests_per_day()["R3"],
+        )
+        assert (
+            materialised.fig14_requests_vs_cold_starts("R3")
+            == streamed.fig14_requests_vs_cold_starts("R3")
+        )
+
+    def test_same_region_chunk_dirs_merge(self, tmp_path):
+        """Two directories of the same region combine instead of shadowing."""
+        from repro.runtime import ShardPlan, run_generation_shard
+
+        plan = ShardPlan.for_generation(("R3",), seed=7, days=4, chunk_days=2,
+                                        scale=0.08)
+        windows = [run_generation_shard(spec) for spec in plan]
+        for i, bundle in enumerate(windows):
+            writer = ChunkedBundleWriter(tmp_path / f"R3-part{i}", region="R3")
+            writer.append_bundle(bundle)
+            writer.close(meta=dict(bundle.meta))
+        split = StreamingTraceStudy.from_chunk_dirs(tmp_path)
+
+        both = ChunkedBundleWriter(tmp_path / "whole" / "R3", region="R3")
+        for bundle in windows:
+            both.append_bundle(bundle)
+        both.close(meta={"days": 4, "start_day": 0})
+        whole = StreamingTraceStudy.from_chunk_dirs(tmp_path / "whole")
+
+        assert split.regions == ["R3"]
+        assert split.fig01_region_sizes() == whole.fig01_region_sizes()
+        assert split.fig06_peak_trough() == whole.fig06_peak_trough()
+
+    def test_chunk_directory_round_trip(self, bundles, streaming, tmp_path):
+        for name, bundle in bundles.items():
+            writer = ChunkedBundleWriter(tmp_path / name, region=name)
+            for chunk in iter_bundle_chunks(bundle, chunk_s=CHUNK_S):
+                writer.append_chunk(chunk)
+            writer.close(meta=dict(bundle.meta), functions=bundle.functions)
+        from_disk = StreamingTraceStudy.from_chunk_dirs(tmp_path)
+        assert from_disk.fig01_region_sizes() == streaming.fig01_region_sizes()
+        assert from_disk.fig06_peak_trough() == streaming.fig06_peak_trough()
+        for name in streaming.regions:
+            assert_cdf_equal(
+                from_disk.fig04_requests_per_user()[name],
+                streaming.fig04_requests_per_user()[name],
+            )
+
+
+class TestAccumulatorAlgebra:
+    def test_region_accumulator_merge_associative(self, bundles):
+        bundle = bundles["R2"]
+        chunks = list(iter_bundle_chunks(bundle, chunk_s=CHUNK_S))
+        assert len(chunks) >= 3
+
+        def acc_for(chunk_list):
+            acc = RegionAccumulator(
+                "R2", functions=bundle.functions, meta=dict(bundle.meta)
+            )
+            for chunk in chunk_list:
+                acc.update(chunk)
+            return acc
+
+        a, b, c = acc_for(chunks[:1]), acc_for(chunks[1:2]), acc_for(chunks[2:])
+        left = acc_for(chunks[:1]).merge(acc_for(chunks[1:2])).merge(acc_for(chunks[2:]))
+        right = acc_for(chunks[:1]).merge(acc_for(chunks[1:2]).merge(acc_for(chunks[2:])))
+        assert left.summary() == right.summary()
+        np.testing.assert_array_equal(
+            left.per_function_day.keys, right.per_function_day.keys
+        )
+        keys_l, med_l = left.requests_per_day_per_function()
+        keys_r, med_r = right.requests_per_day_per_function()
+        np.testing.assert_array_equal(keys_l, keys_r)
+        np.testing.assert_array_equal(med_l, med_r)
+        # bin counts are integer-exact; the tracked raw sum only to addition
+        # order, hence approx
+        np.testing.assert_array_equal(left.iat.hist.counts, right.iat.hist.counts)
+        assert left.iat.hist.n == right.iat.hist.n
+        assert left.iat.hist.sum == pytest.approx(right.iat.hist.sum, rel=1e-12)
+        # single-pass equals merged-pass
+        single = acc_for(chunks)
+        assert single.summary() == left.summary()
+        np.testing.assert_array_equal(single.iat.hist.counts, left.iat.hist.counts)
+
+    def test_gap_tracker_rejects_time_travel(self):
+        tracker = GapTracker()
+        tracker.add(np.array([10.0, 20.0]))
+        with pytest.raises(ValueError, match="time-ordered"):
+            tracker.add(np.array([5.0]))
+
+    def test_gap_tracker_stitches_boundaries(self):
+        whole = GapTracker().add(np.array([1.0, 3.0, 7.0, 20.0]))
+        split = GapTracker().add(np.array([1.0, 3.0]))
+        split.merge(GapTracker().add(np.array([7.0, 20.0])))
+        assert whole.hist == split.hist
+
+    def test_binned_series_matches_bin_functions(self):
+        from repro.analysis.timeseries import bin_counts, bin_means
+
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 5000, size=400))
+        values = rng.random(400)
+        series = BinnedSeries(60.0)
+        for lo in range(0, 5000, 1000):
+            mask = (times >= lo) & (times < lo + 1000)
+            series.add(times[mask], values[mask])
+        np.testing.assert_array_equal(
+            series.counts_until(), bin_counts(times, 60.0)
+        )
+        np.testing.assert_allclose(
+            series.means_until(), bin_means(times, values, 60.0),
+            rtol=1e-12, equal_nan=True,
+        )
+
+    def test_keyed_binned_counts_fold(self):
+        keyed = KeyedBinnedCounts(1.0)
+        keyed.add(np.array([5, 5, 9]), np.array([0.5, 7.5, 2.5]))
+        matrix = keyed.counts_matrix(3)
+        np.testing.assert_array_equal(keyed.keys, [5, 9])
+        # the 7.5s event folds into the last kept bin (clip semantics)
+        np.testing.assert_array_equal(matrix, [[1, 0, 1], [0, 0, 1]])
+
+    def test_grouped_counts_merge(self):
+        a = GroupedCounts().add(np.array([1, 1, 2]))
+        b = GroupedCounts().add(np.array([2, 3]))
+        a.merge(b)
+        assert a.as_dict() == {1: 2, 2: 2, 3: 1}
+
+    def test_log_histogram_probabilities_exact(self):
+        rng = np.random.default_rng(1)
+        values = rng.lognormal(0.0, 1.5, size=2000)
+        hist = LogHistogram()
+        hist.add(values[:700])
+        other = LogHistogram()
+        other.add(values[700:])
+        hist.merge(other)
+        assert hist.n == 2000
+        cdf = hist.cdf()
+        # P(X <= median estimate) overshoots 0.5 by at most one bin's mass
+        at_median = cdf.at(hist.quantile(0.5))
+        assert 0.5 <= at_median <= 0.5 + hist.counts.max() / 2000
