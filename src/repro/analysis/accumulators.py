@@ -20,7 +20,8 @@ rows:
 Accumulator            State bound
 =====================  =====================================================
 StreamingMoments       O(1)
-LogHistogram           O(bins) (default 512 log-spaced bins)
+LogHistogram           O(bins) (default 512 log-spaced bins; overflow
+                       auto-widens by whole decades, 64 bins each)
 BinnedSeries           O(covered time / bin width)
 GroupedCounts          O(distinct keys)
 KeyedBinnedCounts      O(distinct keys x covered bins)
@@ -140,12 +141,26 @@ class StreamingMoments:
             == (other.n, other.total, other.total_sq, other.vmin, other.vmax)
         )
 
+    def _shm_state(self) -> dict:
+        return {"n": self.n, "total": self.total, "total_sq": self.total_sq,
+                "vmin": self.vmin, "vmax": self.vmax}
+
+    @classmethod
+    def _from_shm_state(cls, state: dict) -> "StreamingMoments":
+        out = cls()
+        out.n = state["n"]
+        out.total = state["total"]
+        out.total_sq = state["total_sq"]
+        out.vmin = state["vmin"]
+        out.vmax = state["vmax"]
+        return out
+
 
 # --- fixed-bin histogram / CDF sketch ---------------------------------------
 
 
 class LogHistogram:
-    """Fixed log-spaced bins over ``[lo, hi)`` with under/overflow tails.
+    """Log-spaced bins over ``[lo, hi)`` with under/overflow tails.
 
     The CDF sketch behind every pod-population distribution (cold-start
     times, components, IATs, Figs. 10/13/15/16): probabilities are exact,
@@ -153,11 +168,28 @@ class LogHistogram:
     spacing). Exact zeros are counted apart from the underflow tail so
     "exclude zero entries" analyses (dependency deployment, IAT fits) can
     reproduce the materialised filters.
+
+    **Adaptive range.** When the grid has a whole number of bins per decade
+    (the default: 64), an overflowing value widens ``hi`` by whole log
+    decades — appending empty bins at the fixed per-bin ratio, so existing
+    counts rebin exactly — up to :attr:`WIDEN_CAP_HI`. Quantiles above the
+    original ceiling therefore stay one-bin accurate instead of silently
+    clamping to ``hi``. The widened grid depends only on the values seen,
+    never on chunking or merge order, and histograms of the same ``lo`` and
+    per-bin ratio merge across *different* widths (the narrower side widens
+    first), keeping merges associative and jobs-invariant. Grids whose
+    bins-per-decade is fractional cannot grow by whole decades and keep the
+    legacy overflow-tail behaviour.
     """
 
     DEFAULT_LO = 1e-4
     DEFAULT_HI = 1e4
     DEFAULT_BINS = 512
+
+    #: Widening stops at this ceiling (12 decades past the default ``hi``);
+    #: values at or above it land in the overflow tail as before. Keeps a
+    #: pathological value from allocating unbounded bins.
+    WIDEN_CAP_HI = 1e16
 
     def __init__(self, lo: float = DEFAULT_LO, hi: float = DEFAULT_HI,
                  bins: int = DEFAULT_BINS):
@@ -168,14 +200,52 @@ class LogHistogram:
         self.lo = float(lo)
         self.hi = float(hi)
         self.bins = int(bins)
-        self.edges = np.logspace(np.log10(lo), np.log10(hi), bins + 1)
+        # The per-bin log step is fixed at construction; widening appends
+        # bins at this exact ratio, so edge i is the same float no matter
+        # when (or whether) the histogram widened.
+        self._log_lo = float(np.log10(self.lo))
+        self._step = (float(np.log10(self.hi)) - self._log_lo) / self.bins
+        per_decade = 1.0 / self._step
+        self._bins_per_decade = (
+            int(round(per_decade))
+            if math.isclose(per_decade, round(per_decade), rel_tol=1e-9)
+            else None
+        )
+        self.edges = self._edges_for(self.bins)
         self.counts = np.zeros(bins, dtype=np.int64)
         self.n_zero = 0
         self.n_under = 0  # in (0, lo)
-        self.n_over = 0  # >= hi
+        self.n_over = 0  # >= hi (after any widening)
         self.sum = 0.0
         self.vmin = math.inf
         self.vmax = -math.inf
+
+    # -- adaptive widening ---------------------------------------------------
+
+    def _edges_for(self, bins: int) -> np.ndarray:
+        return np.power(10.0, self._log_lo + np.arange(bins + 1) * self._step)
+
+    def _widen_to_cover(self, value: float) -> None:
+        """Grow ``hi`` by whole decades until ``value < hi`` (or the cap).
+
+        Appended bins continue the fixed per-bin ratio, so every existing
+        edge (and therefore every existing count) is preserved exactly.
+        """
+        if self._bins_per_decade is None or not math.isfinite(value):
+            return
+        bins = self.bins
+        hi = self.hi
+        while hi <= value and hi < self.WIDEN_CAP_HI:
+            bins += self._bins_per_decade
+            hi = float(10.0 ** (self._log_lo + bins * self._step))
+        if bins == self.bins:
+            return
+        self.counts = np.concatenate(
+            [self.counts, np.zeros(bins - self.bins, dtype=np.int64)]
+        )
+        self.bins = bins
+        self.hi = hi
+        self.edges = self._edges_for(bins)
 
     def add(self, values: np.ndarray) -> "LogHistogram":
         values = np.asarray(values, dtype=np.float64)
@@ -187,6 +257,10 @@ class LogHistogram:
         self.vmax = max(self.vmax, float(values.max()))
         self.n_zero += int((values == 0.0).sum())
         positive = values[values > 0.0]
+        if positive.size:
+            finite_max = float(positive[np.isfinite(positive)].max(initial=0.0))
+            if finite_max >= self.hi:
+                self._widen_to_cover(finite_max)
         self.n_under += int((positive < self.lo).sum())
         self.n_over += int((positive >= self.hi).sum())
         inside = positive[(positive >= self.lo) & (positive < self.hi)]
@@ -215,20 +289,34 @@ class LogHistogram:
             pass  # vector path tallies negatives only into sum/min/max
         elif value < self.lo:
             self.n_under += 1
-        elif value >= self.hi:
-            self.n_over += 1
         else:
-            idx = int(np.searchsorted(self.edges, value, side="right")) - 1
-            self.counts[min(max(idx, 0), self.bins - 1)] += 1
+            if value >= self.hi:
+                self._widen_to_cover(value)
+            if value >= self.hi:
+                self.n_over += 1
+            else:
+                idx = int(np.searchsorted(self.edges, value, side="right")) - 1
+                self.counts[min(max(idx, 0), self.bins - 1)] += 1
         return self
 
     def _check_compatible(self, other: "LogHistogram") -> None:
-        if (self.lo, self.hi, self.bins) != (other.lo, other.hi, other.bins):
+        if (self.lo, self._step) != (other.lo, other._step):
             raise ValueError("cannot merge histograms with different bin grids")
 
     def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` in; widths may differ if lo and bin ratio agree."""
         self._check_compatible(other)
-        self.counts += other.counts
+        if other.bins > self.bins:
+            if self._bins_per_decade is None:
+                raise ValueError("cannot merge histograms with different bin grids")
+            self.counts = np.concatenate(
+                [self.counts,
+                 np.zeros(other.bins - self.bins, dtype=np.int64)]
+            )
+            self.bins = other.bins
+            self.hi = other.hi
+            self.edges = self._edges_for(self.bins)
+        self.counts[: other.bins] += other.counts
         self.n_zero += other.n_zero
         self.n_under += other.n_under
         self.n_over += other.n_over
@@ -264,6 +352,10 @@ class LogHistogram:
             return 0.0
         cum += self.n_under
         if target <= cum and self.n_under:
+            # the underflow tail resolves to the tracked minimum when it is
+            # a valid underflow representative (0 < vmin < lo)
+            if math.isfinite(self.vmin) and 0.0 < self.vmin < self.lo:
+                return float(self.vmin)
             return self.lo
         for i in range(self.bins):
             cum += int(self.counts[i])
@@ -330,6 +422,35 @@ class LogHistogram:
             and (self.sum, self.vmin, self.vmax) ==
                 (other.sum, other.vmin, other.vmax)
         )
+
+    def _shm_state(self) -> dict:
+        # _log_lo/_step travel verbatim: re-deriving them from a *widened*
+        # hi could differ by an ulp and break exact merge compatibility.
+        return {"lo": self.lo, "hi": self.hi, "bins": self.bins,
+                "log_lo": self._log_lo, "step": self._step,
+                "bins_per_decade": self._bins_per_decade,
+                "counts": self.counts, "n_zero": self.n_zero,
+                "n_under": self.n_under, "n_over": self.n_over,
+                "sum": self.sum, "vmin": self.vmin, "vmax": self.vmax}
+
+    @classmethod
+    def _from_shm_state(cls, state: dict) -> "LogHistogram":
+        out = cls.__new__(cls)
+        out.lo = state["lo"]
+        out.hi = state["hi"]
+        out.bins = state["bins"]
+        out._log_lo = state["log_lo"]
+        out._step = state["step"]
+        out._bins_per_decade = state["bins_per_decade"]
+        out.edges = out._edges_for(out.bins)
+        out.counts = state["counts"]
+        out.n_zero = state["n_zero"]
+        out.n_under = state["n_under"]
+        out.n_over = state["n_over"]
+        out.sum = state["sum"]
+        out.vmin = state["vmin"]
+        out.vmax = state["vmax"]
+        return out
 
 
 # --- fixed-width time bins --------------------------------------------------
@@ -441,6 +562,20 @@ class BinnedSeries:
         with np.errstate(invalid="ignore", divide="ignore"):
             return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
 
+    def _shm_state(self) -> dict:
+        return {"bin_s": self.bin_s, "track_sums": self.track_sums,
+                "counts": self.counts, "sums": self.sums,
+                "max_time": self.max_time, "min_time": self.min_time}
+
+    @classmethod
+    def _from_shm_state(cls, state: dict) -> "BinnedSeries":
+        out = cls(state["bin_s"], track_sums=state["track_sums"])
+        out.counts = state["counts"]
+        out.sums = state["sums"]
+        out.max_time = state["max_time"]
+        out.min_time = state["min_time"]
+        return out
+
     def __eq__(self, other) -> bool:
         """Content equality, insensitive to buffer growth history."""
         if not isinstance(other, BinnedSeries):
@@ -511,6 +646,13 @@ class TickGauge:
             self.values, other.values
         )
 
+    def _shm_state(self) -> dict:
+        return {"values": self.values}
+
+    @classmethod
+    def _from_shm_state(cls, state: dict) -> "TickGauge":
+        return cls(state["values"])
+
 
 # --- keyed reducers ---------------------------------------------------------
 
@@ -531,7 +673,9 @@ def _group_reduce(keys: np.ndarray, columns: list[np.ndarray], ops: list[str]):
             np.maximum.at(out, inverse, column)
         elif op == "first":
             out = np.zeros(uniques.size, dtype=column.dtype)
-            out[inverse] = column
+            # reversed scatter: earlier rows overwrite later ones, so each
+            # key keeps its *first* occurrence as documented
+            out[inverse[::-1]] = column[::-1]
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown reduce op {op!r}")
         reduced.append(out)
@@ -577,6 +721,16 @@ class GroupedCounts:
 
     def as_dict(self) -> dict[int, int]:
         return dict(zip(self.keys.tolist(), self.counts.tolist()))
+
+    def _shm_state(self) -> dict:
+        return {"keys": self.keys, "counts": self.counts}
+
+    @classmethod
+    def _from_shm_state(cls, state: dict) -> "GroupedCounts":
+        out = cls()
+        out.keys = state["keys"]
+        out.counts = state["counts"]
+        return out
 
 
 class KeyedBinnedCounts:
@@ -652,6 +806,16 @@ class KeyedBinnedCounts:
             out[:, n_bins - 1] += self.matrix[:, n_bins:].sum(axis=1)
         return out
 
+    def _shm_state(self) -> dict:
+        return {"bin_s": self.bin_s, "keys": self.keys, "matrix": self.matrix}
+
+    @classmethod
+    def _from_shm_state(cls, state: dict) -> "KeyedBinnedCounts":
+        out = cls(state["bin_s"])
+        out.keys = state["keys"]
+        out.matrix = state["matrix"]
+        return out
+
 
 class DistinctPairs:
     """The distinct (a, b) int64 pairs seen (functions-per-user, Fig. 4a)."""
@@ -683,6 +847,15 @@ class DistinctPairs:
             return np.zeros(0, dtype=np.int64)
         _, counts = np.unique(self.pairs[:, 0], return_counts=True)
         return counts
+
+    def _shm_state(self) -> dict:
+        return {"pairs": self.pairs}
+
+    @classmethod
+    def _from_shm_state(cls, state: dict) -> "DistinctPairs":
+        out = cls()
+        out.pairs = state["pairs"]
+        return out
 
 
 class PodIntervalAccumulator:
@@ -751,6 +924,21 @@ class PodIntervalAccumulator:
             n_requests=self.n_requests,
         )
 
+    def _shm_state(self) -> dict:
+        return {"pod_id": self.pod_id, "function": self.function,
+                "start_s": self.start_s, "last_end_s": self.last_end_s,
+                "n_requests": self.n_requests}
+
+    @classmethod
+    def _from_shm_state(cls, state: dict) -> "PodIntervalAccumulator":
+        out = cls()
+        out.pod_id = state["pod_id"]
+        out.function = state["function"]
+        out.start_s = state["start_s"]
+        out.last_end_s = state["last_end_s"]
+        out.n_requests = state["n_requests"]
+        return out
+
 
 class GapTracker:
     """Inter-event gaps of a time-ordered stream, sketched into a histogram.
@@ -809,6 +997,18 @@ class GapTracker:
         """Combine gap populations of independent streams (no boundary)."""
         self.hist.merge(other.hist)
         return self
+
+    def _shm_state(self) -> dict:
+        return {"hist": self.hist, "first_ts": self.first_ts,
+                "last_ts": self.last_ts}
+
+    @classmethod
+    def _from_shm_state(cls, state: dict) -> "GapTracker":
+        out = cls()
+        out.hist = state["hist"]
+        out.first_ts = state["first_ts"]
+        out.last_ts = state["last_ts"]
+        return out
 
 
 # --- per-region composite ---------------------------------------------------
@@ -926,14 +1126,14 @@ class RegionAccumulator:
         self.intervals.add(requests)
 
     def _update_pods(self, pods: PodTable) -> None:
+        from repro.analysis.coldstart_stats import pod_metric_values
+
         ts = pods.timestamps_s
         self.n_cold_starts += len(pods)
         self.pod_ts_max = max(self.pod_ts_max, float(ts.max()))
         functions = pods["function"]
         self.per_function_cold.add(functions)
-        metrics = {"cold_start_s": pods.cold_start_s}
-        for column in COMPONENT_COLUMNS:
-            metrics[column] = pods.component_s(column)
+        metrics = pod_metric_values(pods)
         for name, values in metrics.items():
             self.minute_pod[name].add(ts, values)
             self.hour_pod[name].add(ts, values)
@@ -1061,3 +1261,50 @@ class RegionAccumulator:
     def pod_cold_lookup(self) -> tuple[np.ndarray, np.ndarray]:
         """(sorted pod ids, cold-start seconds) for the Fig. 17 join."""
         return self._pod_ids, self._pod_cold_s
+
+    # -- shared-memory payload ------------------------------------------------
+
+    def _shm_state(self) -> dict:
+        """Flat field map for the pickle-free shard result channel.
+
+        Every value is an array, a registered accumulator, a (possibly
+        nested) dict of those, or a small scalar — exactly the shapes
+        :func:`repro.runtime.merge.to_shm` ships without pickling arrays.
+        """
+        return {
+            "region": self.region, "functions": self.functions,
+            "meta": self.meta, "n_requests": self.n_requests,
+            "req_ts_ms_min": self.req_ts_ms_min,
+            "req_ts_ms_max": self.req_ts_ms_max,
+            "per_user": self.per_user, "user_functions": self.user_functions,
+            "per_function_day": self.per_function_day,
+            "per_function_minute": self.per_function_minute,
+            "minute_requests": self.minute_requests,
+            "minute_exec": self.minute_exec, "minute_cpu": self.minute_cpu,
+            "day_cpu": self.day_cpu, "intervals": self.intervals,
+            "n_cold_starts": self.n_cold_starts, "pod_ts_max": self.pod_ts_max,
+            "per_function_cold": self.per_function_cold,
+            "minute_pod": self.minute_pod, "hour_pod": self.hour_pod,
+            "component_sums": self.component_sums,
+            "cold_log_moments": self.cold_log_moments, "iat": self.iat,
+            "category_hists": self.category_hists,
+            "pod_ids": self._pod_ids, "pod_cold_s": self._pod_cold_s,
+            "pod_functions": self._pod_functions,
+        }
+
+    @classmethod
+    def _from_shm_state(cls, state: dict) -> "RegionAccumulator":
+        out = cls(state["region"], functions=state["functions"],
+                  meta=state["meta"])
+        for name in ("n_requests", "req_ts_ms_min", "req_ts_ms_max",
+                     "per_user", "user_functions", "per_function_day",
+                     "per_function_minute", "minute_requests", "minute_exec",
+                     "minute_cpu", "day_cpu", "intervals", "n_cold_starts",
+                     "pod_ts_max", "per_function_cold", "minute_pod",
+                     "hour_pod", "component_sums", "cold_log_moments", "iat",
+                     "category_hists"):
+            setattr(out, name, state[name])
+        out._pod_ids = state["pod_ids"]
+        out._pod_cold_s = state["pod_cold_s"]
+        out._pod_functions = state["pod_functions"]
+        return out

@@ -65,6 +65,12 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     runtime.add_argument("--chunk-days", type=_chunk_days_arg, default=0, metavar="D",
                          help="shard each region's horizon into D-day windows "
                               "(bounded memory per worker; 0 = whole horizon)")
+    runtime.add_argument("--channel", choices=("pickle", "shm"), default="pickle",
+                         help="shard-result transport for --jobs > 1: pickle "
+                              "(default) ships results through the pool pipe; "
+                              "shm parks their arrays in shared-memory blocks "
+                              "(pickle-free, for very large shards). Never "
+                              "changes results, only how they travel")
 
 
 def _load_study(args: argparse.Namespace):
@@ -85,18 +91,18 @@ def _load_study(args: argparse.Namespace):
             raise SystemExit(f"no bundles found under {root}")
         if stream:
             # Chunk directories stream lazily; plain bundle directories are
-            # loaded once and reduced chunk by chunk. Same-region
-            # accumulators (horizon splits) merge instead of shadowing.
-            from repro.analysis.accumulators import RegionAccumulator
+            # loaded once and reduced chunk by chunk — one directory per
+            # worker, honouring --jobs/--channel. Same-region accumulators
+            # (horizon splits) merge instead of shadowing.
             from repro.core.study import _merge_by_region
-            from repro.runtime.executor import run_chunk_directory_analysis
+            from repro.runtime.executor import (
+                ParallelExecutor,
+                run_directory_analysis,
+            )
 
-            accs = []
-            for directory in directories:
-                if (directory / "manifest.json").is_file():
-                    accs.append(run_chunk_directory_analysis(directory))
-                else:
-                    accs.append(RegionAccumulator.from_bundle(load_bundle(directory)))
+            accs = ParallelExecutor(jobs=args.jobs, channel=args.channel).run(
+                run_directory_analysis, directories
+            )
             return StreamingTraceStudy(_merge_by_region(accs))
         bundles = {}
         for directory in directories:
@@ -114,6 +120,7 @@ def _load_study(args: argparse.Namespace):
     study = cls.generate(
         regions=regions, seed=args.seed, days=args.days, scale=args.scale,
         jobs=args.jobs, chunk_days=args.chunk_days or None,
+        channel=args.channel,
     )
     mode = "streamed" if stream else "generated"
     print(f"{mode} {len(regions)} region(s) in {time.time() - started:.1f}s "
@@ -132,6 +139,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
     bundles = generate_multi_region(
         regions, seed=args.seed, days=args.days, scale=args.scale,
         jobs=args.jobs, chunk_days=args.chunk_days or None,
+        channel=args.channel,
     )
     out_root = Path(args.output)
     hasher = IdHasher(salt=str(args.seed)) if args.anonymize else None
@@ -165,7 +173,7 @@ def _generate_chunked(args: argparse.Namespace, regions: tuple[str, ...]) -> int
     out_root = Path(args.output)
     writers: dict[str, ChunkedBundleWriter] = {}
     summaries: dict[str, StreamingSummary] = {}
-    for spec, bundle in stream_generation(plan, jobs=args.jobs):
+    for spec, bundle in stream_generation(plan, jobs=args.jobs, channel=args.channel):
         writer = writers.get(spec.region)
         if writer is None:
             writer = writers[spec.region] = ChunkedBundleWriter(
@@ -271,6 +279,20 @@ _EVAL_GROUPS = 8
 
 
 def cmd_mitigate(args: argparse.Namespace) -> int:
+    if args.chunk_days:
+        print(
+            "note: --chunk-days shards trace *generation*; mitigate shards by "
+            "function group and ignores it",
+            file=sys.stderr,
+        )
+    if args.stream:
+        if args.policy:
+            print(
+                "note: --stream replays routing policies (--route), not "
+                "-p/--policy mitigation policies; ignoring -p",
+                file=sys.stderr,
+            )
+        return _mitigate_stream(args)
     from repro.runtime import evaluate_policies
 
     region = args.regions.split(",")[0].strip()
@@ -278,12 +300,6 @@ def cmd_mitigate(args: argparse.Namespace) -> int:
     unknown = [p for p in wanted if p not in _MITIGATION_POLICIES]
     if unknown:
         raise SystemExit(f"unknown policies {unknown}; available: {_MITIGATION_POLICIES}")
-    if args.chunk_days:
-        print(
-            "note: --chunk-days shards trace *generation*; mitigate shards by "
-            "function group and ignores it",
-            file=sys.stderr,
-        )
 
     merged = evaluate_policies(
         region,
@@ -293,14 +309,67 @@ def cmd_mitigate(args: argparse.Namespace) -> int:
         scale=args.scale,
         jobs=args.jobs,
         n_groups=args.eval_shards,
+        channel=args.channel,
     )
     first = next(iter(merged.values()))
     print(
         f"replayed {first.requests} {region} requests per policy "
-        f"({args.eval_shards} function-group shard(s), jobs={args.jobs})",
+        f"({args.eval_shards} function-group shard(s), jobs={args.jobs}, "
+        f"channel={args.channel})",
         file=sys.stderr,
     )
     rows = [merged[policy].summary() for policy in wanted]
+    print(format_table(rows))
+    return 0
+
+
+def _mitigate_stream(args: argparse.Namespace) -> int:
+    """Sharded cross-region replay: the bounded-memory mitigation surface.
+
+    Function-group shards stream their merged :class:`EvalMetrics` back in
+    plan order (optionally through the shared-memory channel), so the
+    parent never holds more than the running merge plus one in-flight
+    shard — the mitigation counterpart of ``analyze --stream``.
+    """
+    from repro.runtime import evaluate_cross_region
+
+    home = args.regions.split(",")[0].strip()
+    # dedupe: repeated names would build independent evaluator states (and
+    # therefore doubled warm capacity) for the same region
+    remotes = tuple(dict.fromkeys(
+        name.strip() for name in args.remotes.split(",")
+        if name.strip() and name.strip() != home
+    ))
+    if not remotes:
+        raise SystemExit(
+            f"--stream needs at least one remote region distinct from the "
+            f"home region {home!r} (got --remotes {args.remotes!r})"
+        )
+    routes = args.route or ["best-region"]
+    rows = []
+    for route in routes:
+        result = evaluate_cross_region(
+            home,
+            remotes=remotes,
+            policy=route,
+            seed=args.seed,
+            days=args.days,
+            scale=args.scale,
+            jobs=args.jobs,
+            n_groups=args.eval_shards,
+            rtt_s=args.rtt,
+            keepalive_s=args.keepalive,
+            channel=args.channel,
+        )
+        row = result.metrics.summary()
+        row["remote_share"] = round(result.remote_share, 4)
+        rows.append(row)
+    print(
+        f"replayed {rows[0]['requests']} {home} requests against "
+        f"{','.join(remotes)} per route ({args.eval_shards} function-group "
+        f"shard(s), jobs={args.jobs}, channel={args.channel})",
+        file=sys.stderr,
+    )
     print(format_table(rows))
     return 0
 
@@ -396,6 +465,26 @@ def build_parser() -> argparse.ArgumentParser:
                           help="function-group shards per replay (fixed per "
                                "run, so any --jobs merges identically; 1 "
                                "reproduces the unsharded evaluator exactly)")
+    stream = mitigate.add_argument_group("streaming cross-region replay")
+    stream.add_argument("--stream", action="store_true",
+                        help="replay through the sharded cross-region "
+                             "evaluator: shards stream merged metrics back "
+                             "in plan order (bounded parent memory; combine "
+                             "with --channel shm for a pickle-free return "
+                             "path)")
+    stream.add_argument("--remotes", default="R3", metavar="R,...",
+                        help="comma-separated remote regions cold starts may "
+                             "be placed in (default R3)")
+    stream.add_argument("--route", action="append",
+                        choices=("home-only", "best-region"),
+                        help="routing policy (repeatable; default "
+                             "best-region)")
+    stream.add_argument("--rtt", type=float, default=None, metavar="S",
+                        help="inter-region round trip in seconds (default: "
+                             "the platform's 0.120)")
+    stream.add_argument("--keepalive", type=float, default=60.0, metavar="S",
+                        help="pod keep-alive seconds for the replay "
+                             "(default 60)")
     mitigate.set_defaults(func=cmd_mitigate)
 
     return parser

@@ -94,16 +94,18 @@ class TraceStudy:
         scale: float = 1.0,
         jobs: int = 1,
         chunk_days: int | None = None,
+        channel: str = "pickle",
     ) -> "TraceStudy":
         """Generate fresh synthetic traces and wrap them.
 
         ``jobs``/``chunk_days`` shard the generation across worker
-        processes along (region, day-window) — see :mod:`repro.runtime`.
+        processes along (region, day-window); ``channel="shm"`` returns
+        shard bundles through shared memory — see :mod:`repro.runtime`.
         """
         return cls(
             generate_multi_region(
                 regions, seed=seed, days=days, scale=scale,
-                jobs=jobs, chunk_days=chunk_days,
+                jobs=jobs, chunk_days=chunk_days, channel=channel,
             )
         )
 
@@ -325,16 +327,19 @@ class StreamingTraceStudy:
         scale: float = 1.0,
         jobs: int = 1,
         chunk_days: int | None = None,
+        channel: str = "pickle",
     ) -> "StreamingTraceStudy":
         """Generate-and-analyse in (region, day-window) shards.
 
         Each worker generates one window, reduces it to accumulators, and
-        discards the bundle; the parent merges accumulators in plan (time)
-        order. Peak memory is one window per in-flight worker plus the
-        accumulator states — independent of the horizon length.
+        discards the bundle; the parent folds each accumulator into its
+        region's running merge as it arrives, in plan (time) order. Peak
+        memory is one window per in-flight worker plus the accumulator
+        states — independent of the horizon length. ``channel="shm"``
+        additionally returns each shard's accumulator arrays through shared
+        memory instead of the pool's pickle pipe.
         """
         from repro.runtime.executor import ParallelExecutor, run_analysis_shard
-        from repro.runtime.merge import merge_shard_results
         from repro.runtime.shards import ShardPlan
 
         regions = tuple(dict.fromkeys(regions))
@@ -342,16 +347,21 @@ class StreamingTraceStudy:
             regions=regions, seed=seed, days=days, chunk_days=chunk_days,
             scale=scale,
         )
-        parts = ParallelExecutor(jobs=jobs).run(run_analysis_shard, plan.shards)
-        by_region: dict[str, list[RegionAccumulator]] = {name: [] for name in regions}
-        for spec, acc in zip(plan.shards, parts):
-            by_region[spec.region].append(acc)
-        return cls({
-            name: merge_shard_results(accs) for name, accs in by_region.items()
-        })
+        executor = ParallelExecutor(jobs=jobs, channel=channel)
+        merged: dict[str, RegionAccumulator] = {}
+        for spec, acc in zip(
+            plan.shards, executor.imap(run_analysis_shard, plan.shards)
+        ):
+            if spec.region in merged:
+                merged[spec.region].merge(acc)
+            else:
+                merged[spec.region] = acc
+        return cls(merged)
 
     @classmethod
-    def from_chunk_dirs(cls, root: str | Path, jobs: int = 1) -> "StreamingTraceStudy":
+    def from_chunk_dirs(
+        cls, root: str | Path, jobs: int = 1, channel: str = "pickle"
+    ) -> "StreamingTraceStudy":
         """Stream every chunk directory under ``root`` (one per region)."""
         from repro.runtime.executor import ParallelExecutor, run_chunk_directory_analysis
 
@@ -361,7 +371,7 @@ class StreamingTraceStudy:
         )
         if not directories:
             raise ValueError(f"no chunk directories (manifest.json) under {root}")
-        accs = ParallelExecutor(jobs=jobs).run(
+        accs = ParallelExecutor(jobs=jobs, channel=channel).run(
             run_chunk_directory_analysis, directories
         )
         return cls(_merge_by_region(accs))

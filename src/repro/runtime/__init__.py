@@ -9,14 +9,18 @@ natural axes:
   (region, day-window) for generation and (region, function-group) for
   policy evaluation, each shard carrying a derived seed;
 * :mod:`~repro.runtime.executor` — serial and process-pool execution with
-  plan-order results (``--jobs N`` never changes merged output);
+  plan-order results (``--jobs N`` never changes merged output) and a
+  choice of result transport (``channel="pickle"`` or ``"shm"``);
 * :mod:`~repro.runtime.stream` — bounded-memory chunk production,
   spilling, and lazy re-consumption;
 * :mod:`~repro.runtime.merge` — associative reducers with documented
-  per-metric equality guarantees.
+  per-metric equality guarantees, plus the shared-memory (pickle-free)
+  shard-result codec (:func:`~repro.runtime.merge.to_shm` /
+  :func:`~repro.runtime.merge.from_shm`).
 """
 
 from repro.runtime.executor import (
+    RESULT_CHANNELS,
     CrossRegionResult,
     CrossRegionTask,
     EvaluationTask,
@@ -27,12 +31,17 @@ from repro.runtime.executor import (
     run_analysis_shard,
     run_chunk_directory_analysis,
     run_cross_region_shard,
+    run_directory_analysis,
     run_evaluation_shard,
     run_generation_shard,
 )
 from repro.runtime.merge import (
+    SHM_MIN_BYTES,
+    ShmResult,
     StreamingSummary,
     dedupe_functions,
+    discard_shm,
+    from_shm,
     merge_accumulators,
     merge_bundles,
     merge_counts,
@@ -40,6 +49,9 @@ from repro.runtime.merge import (
     merge_registries,
     merge_shard_results,
     register_reducer,
+    register_shm_type,
+    shm_available,
+    to_shm,
 )
 from repro.runtime.shards import (
     MAX_WINDOWS,
@@ -71,12 +83,17 @@ __all__ = [
     "EvaluationTask",
     "MAX_WINDOWS",
     "ParallelExecutor",
+    "RESULT_CHANNELS",
+    "SHM_MIN_BYTES",
     "ShardPlan",
     "ShardSpec",
+    "ShmResult",
     "StreamingSummary",
     "TraceChunk",
     "WINDOW_ID_STRIDE",
     "dedupe_functions",
+    "discard_shm",
+    "from_shm",
     "evaluate_cross_region",
     "evaluate_policies",
     "iter_bundle_chunks",
@@ -94,9 +111,13 @@ __all__ = [
     "partition_days",
     "read_chunk_manifest",
     "register_reducer",
+    "register_shm_type",
+    "shm_available",
+    "to_shm",
     "run_analysis_shard",
     "run_chunk_directory_analysis",
     "run_cross_region_shard",
+    "run_directory_analysis",
     "run_evaluation_shard",
     "run_generation_shard",
     "stream_generation",

@@ -12,22 +12,81 @@ derived seeds.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 from collections import deque
 from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.mitigation.base import EvalMetrics
+from repro.runtime.merge import (
+    SHM_MIN_BYTES,
+    discard_shm,
+    from_shm,
+    register_shm_type,
+    shm_available,
+    to_shm,
+)
 from repro.runtime.shards import WINDOW_ID_STRIDE, ShardSpec
 from repro.trace.tables import TraceBundle
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.regions import REGION_PROFILES
 
+#: Valid shard-result transports for :class:`ParallelExecutor`.
+RESULT_CHANNELS = ("pickle", "shm")
 
-def _pool_context():
-    """Prefer fork (cheap, inherits the loaded library) where available."""
+
+def _pool_context(start_method: str | None = None):
+    """Multiprocessing context for the pool.
+
+    ``None`` prefers fork (cheap, inherits the loaded library) where
+    available and otherwise takes the platform default (spawn); an explicit
+    method must be supported on this platform.
+    """
     methods = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in methods:
+            raise ValueError(
+                f"start method {start_method!r} is not available on this "
+                f"platform (supported: {methods})"
+            )
+        return multiprocessing.get_context(start_method)
     return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _check_task_portable(fn: Callable, start_method: str) -> None:
+    """Fail with an actionable message when ``fn`` cannot reach workers.
+
+    Fork-less start methods re-import the library in every worker and ship
+    tasks by reference, so only module-level callables survive the trip;
+    anything else would die mid-pool with a bare pickling traceback.
+    """
+    try:
+        pickle.loads(pickle.dumps(fn))
+    except Exception as exc:
+        raise RuntimeError(
+            f"start method {start_method!r} re-imports the library in each "
+            f"worker and can only ship module-level task functions; "
+            f"{fn!r} is not importable by reference "
+            f"({type(exc).__name__}: {exc}). Use a module-level entry point "
+            "(like those in repro.runtime.executor) or a fork start method."
+        ) from exc
+
+
+class _ShmTask:
+    """Wraps a shard task so its result returns via shared memory.
+
+    Picklable under any start method as long as ``fn`` itself is a
+    module-level callable (which :func:`_check_task_portable` enforces for
+    fork-less pools).
+    """
+
+    def __init__(self, fn: Callable, min_bytes: int):
+        self.fn = fn
+        self.min_bytes = min_bytes
+
+    def __call__(self, item):
+        return to_shm(self.fn(item), min_bytes=self.min_bytes)
 
 
 class ParallelExecutor:
@@ -35,19 +94,38 @@ class ParallelExecutor:
 
     Results always come back in *input order* regardless of backend — the
     guarantee sharded determinism rests on.
+
+    ``channel`` picks the shard-result transport for pooled runs:
+    ``"pickle"`` (default) ships results through the pool's regular pickle
+    pipe; ``"shm"`` parks each result's numpy arrays in a
+    ``multiprocessing.shared_memory`` block (see
+    :func:`repro.runtime.merge.to_shm`) and pickles only a small header —
+    results smaller than ``shm_min_bytes`` fall back to pickle per result.
+    The channel never changes results, only how they travel.
     """
 
-    def __init__(self, jobs: int = 1):
+    def __init__(self, jobs: int = 1, channel: str = "pickle",
+                 start_method: str | None = None,
+                 shm_min_bytes: int = SHM_MIN_BYTES):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if channel not in RESULT_CHANNELS:
+            raise ValueError(
+                f"unknown result channel {channel!r} (choose from "
+                f"{RESULT_CHANNELS})"
+            )
         self.jobs = jobs
+        self.channel = channel
+        self.start_method = start_method
+        self.shm_min_bytes = shm_min_bytes
 
     def imap(self, fn: Callable, items: Sequence) -> Iterator:
         """Yield ``fn(item)`` per item, in input order, streaming.
 
         Submission is windowed: at most ``jobs + 1`` futures are
-        outstanding, so results a slow consumer has not drained yet never
-        pile up in the parent — the bounded-memory property
+        outstanding (fewer when the plan is shorter), so results a slow
+        consumer has not drained yet never pile up in the parent — the
+        bounded-memory property
         :func:`~repro.runtime.stream.stream_generation` advertises.
         """
         items = list(items)
@@ -57,20 +135,44 @@ class ParallelExecutor:
             for item in items:
                 yield fn(item)
             return
-        workers = min(self.jobs, len(items))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_pool_context()
-        ) as pool:
-            pending = deque(
-                pool.submit(fn, item) for item in items[: workers + 1]
+        context = _pool_context(self.start_method)
+        method = context.get_start_method()
+        if self.channel == "shm" and not shm_available():
+            raise RuntimeError(
+                "channel='shm' needs multiprocessing.shared_memory with a "
+                "writable shared-memory mount (e.g. /dev/shm), which this "
+                "platform does not provide — rerun with channel='pickle'"
             )
-            next_index = workers + 1
-            while pending:
-                result = pending.popleft().result()
-                if next_index < len(items):
-                    pending.append(pool.submit(fn, items[next_index]))
-                    next_index += 1
-                yield result
+        if method != "fork":
+            _check_task_portable(fn, method)
+        task = fn if self.channel == "pickle" else _ShmTask(fn, self.shm_min_bytes)
+        workers = min(self.jobs, len(items))
+        # One consistent submission bound: jobs + 1 outstanding futures,
+        # trimmed to the item count so short plans never over- or
+        # double-submit (next_index always equals the number submitted).
+        window = min(self.jobs + 1, len(items))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            pending = deque(pool.submit(task, item) for item in items[:window])
+            next_index = window
+            try:
+                while pending:
+                    result = pending.popleft().result()
+                    if next_index < len(items):
+                        pending.append(pool.submit(task, items[next_index]))
+                        next_index += 1
+                    yield from_shm(result)
+            finally:
+                # An abandoned generator (or a failed shard) must not leak
+                # the shared-memory blocks of results never consumed.
+                while pending:
+                    future = pending.popleft()
+                    if not future.cancel():
+                        try:
+                            discard_shm(future.result())
+                        except Exception:
+                            pass
 
     def run(self, fn: Callable, items: Sequence) -> list:
         """Map ``fn`` over ``items``; list of results in input order."""
@@ -157,6 +259,26 @@ def run_chunk_directory_analysis(directory):
     return acc
 
 
+def run_directory_analysis(directory):
+    """Reduce one saved region directory (chunked or plain) to accumulators.
+
+    Dispatches on layout: a ``manifest.json`` means a chunk directory
+    (streamed lazily, see :func:`run_chunk_directory_analysis`); anything
+    else is loaded as a plain saved bundle and reduced chunk by chunk. The
+    worker entry point behind ``repro analyze/figures --load DIR --stream
+    --jobs N``.
+    """
+    from pathlib import Path
+
+    from repro.analysis.accumulators import RegionAccumulator
+    from repro.trace.io import load_bundle
+
+    directory = Path(directory)
+    if (directory / "manifest.json").is_file():
+        return run_chunk_directory_analysis(directory)
+    return RegionAccumulator.from_bundle(load_bundle(directory))
+
+
 @dataclass(frozen=True)
 class EvaluationTask:
     """A function-group shard plus the policies to replay over it."""
@@ -231,13 +353,19 @@ def evaluate_policies(
     n_groups: int = 8,
     eval_seed: int = 1,
     horizon_s: float | None = None,
+    channel: str = "pickle",
+    shm_min_bytes: int = SHM_MIN_BYTES,
 ) -> dict[str, EvalMetrics]:
     """Sharded policy evaluation: merge per-policy metrics over all groups.
 
     The shard plan depends only on ``(region, seed, days, scale, n_groups,
-    eval_seed)`` — never on ``jobs`` — so any worker count yields identical
-    merged metrics. See :mod:`repro.runtime.merge` for per-metric equality
-    guarantees against an unsharded replay.
+    eval_seed)`` — never on ``jobs`` or ``channel`` — so any worker count
+    and result transport yields identical merged metrics. See
+    :mod:`repro.runtime.merge` for per-metric equality guarantees against
+    an unsharded replay. Shard results fold into the running merge as they
+    arrive, so the parent holds one in-flight shard at a time — with
+    ``channel="shm"`` their arrays additionally cross the process boundary
+    as shared-memory blocks instead of pickle bytes.
 
     ``horizon_s=None`` lets each shard close out at its own last arrival
     (the evaluator's default), matching the unsharded pod-time accounting;
@@ -254,11 +382,20 @@ def evaluate_policies(
         EvaluationTask(spec=spec, policies=tuple(policies), horizon_s=horizon_s)
         for spec in plan
     ]
-    parts = ParallelExecutor(jobs=jobs).run(run_evaluation_shard, tasks)
-    return {
-        policy: merge_eval_metrics([part[policy] for part in parts], name=policy)
-        for policy in policies
-    }
+    executor = ParallelExecutor(jobs=jobs, channel=channel,
+                                shm_min_bytes=shm_min_bytes)
+    merged: dict[str, EvalMetrics] | None = None
+    for part in executor.imap(run_evaluation_shard, tasks):
+        if merged is None:
+            merged = {
+                policy: merge_eval_metrics([part[policy]], name=policy)
+                for policy in policies
+            }
+        else:
+            for policy in policies:
+                merged[policy].merge(part[policy])
+    assert merged is not None  # the plan always has >= 1 shard
+    return merged
 
 
 # --- sharded cross-region evaluation ----------------------------------------
@@ -288,6 +425,18 @@ class CrossRegionResult:
         """Fraction of cold starts placed away from the home region."""
         total = self.home_cold_starts + self.remote_cold_starts
         return self.remote_cold_starts / total if total else 0.0
+
+    def _shm_state(self) -> dict:
+        return {"metrics": self.metrics,
+                "home_cold_starts": self.home_cold_starts,
+                "remote_cold_starts": self.remote_cold_starts}
+
+    @classmethod
+    def _from_shm_state(cls, state: dict) -> "CrossRegionResult":
+        return cls(**state)
+
+
+register_shm_type(CrossRegionResult)
 
 
 def run_cross_region_shard(task: CrossRegionTask) -> CrossRegionResult:
@@ -340,17 +489,19 @@ def evaluate_cross_region(
     eval_seed: int = 1,
     rtt_s: float | None = None,
     keepalive_s: float = 60.0,
+    channel: str = "pickle",
+    shm_min_bytes: int = SHM_MIN_BYTES,
 ) -> CrossRegionResult:
     """Sharded §5 cross-region replay with a deterministic merge.
 
     The shard plan depends only on ``(home, seed, days, scale, n_groups,
-    eval_seed)`` — never on ``jobs`` — and shard metrics reduce through
-    :meth:`EvalMetrics.merge` in plan order, so any worker count merges
-    bit-identically. Per-region EMA routing state is shard-local (see
-    :func:`run_cross_region_shard`).
+    eval_seed)`` — never on ``jobs`` or ``channel`` — and shard metrics
+    reduce through :meth:`EvalMetrics.merge` in plan order as they arrive
+    (the parent holds one in-flight shard, not the whole list), so any
+    worker count and result transport merges bit-identically. Per-region
+    EMA routing state is shard-local (see :func:`run_cross_region_shard`).
     """
     from repro.mitigation.cross_region import DEFAULT_INTER_REGION_RTT_S
-    from repro.runtime.merge import merge_eval_metrics
     from repro.runtime.shards import ShardPlan
 
     plan = ShardPlan.for_evaluation(
@@ -367,12 +518,16 @@ def evaluate_cross_region(
         )
         for spec in plan
     ]
-    parts = ParallelExecutor(jobs=jobs).run(run_cross_region_shard, tasks)
-    merged = merge_eval_metrics(
-        [part.metrics for part in parts], name=f"xregion:{policy}"
-    )
+    executor = ParallelExecutor(jobs=jobs, channel=channel,
+                                shm_min_bytes=shm_min_bytes)
+    merged = EvalMetrics(name=f"xregion:{policy}")
+    home_cold = remote_cold = 0
+    for part in executor.imap(run_cross_region_shard, tasks):
+        merged.merge(part.metrics)
+        home_cold += part.home_cold_starts
+        remote_cold += part.remote_cold_starts
     return CrossRegionResult(
         metrics=merged,
-        home_cold_starts=sum(p.home_cold_starts for p in parts),
-        remote_cold_starts=sum(p.remote_cold_starts for p in parts),
+        home_cold_starts=home_cold,
+        remote_cold_starts=remote_cold,
     )

@@ -36,6 +36,7 @@ unique users/pods      exact (set union, see StreamingSummary).
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import dataclass
 from numbers import Number
 
 import numpy as np
@@ -56,6 +57,7 @@ from repro.analysis.accumulators import (
 from repro.mitigation.base import EvalMetrics
 from repro.sim.metrics import MetricRegistry
 from repro.trace.tables import (
+    FunctionTable,
     PodTable,
     RequestTable,
     TraceBundle,
@@ -63,7 +65,11 @@ from repro.trace.tables import (
 )
 
 __all__ = [
+    "SHM_MIN_BYTES",
+    "ShmResult",
     "dedupe_functions",
+    "discard_shm",
+    "from_shm",
     "merge_bundles",
     "merge_eval_metrics",
     "merge_registries",
@@ -71,6 +77,9 @@ __all__ = [
     "merge_accumulators",
     "merge_shard_results",
     "register_reducer",
+    "register_shm_type",
+    "shm_available",
+    "to_shm",
     "StreamingSummary",
 ]
 
@@ -294,3 +303,256 @@ def _merge_summaries(parts: Sequence["StreamingSummary"]) -> "StreamingSummary":
 
 
 register_reducer(StreamingSummary, _merge_summaries)
+
+
+# --- shared-memory (pickle-free) result channel ------------------------------
+#
+# Shard results are overwhelmingly flat numpy arrays (histogram counts,
+# binned series, keyed matrices, trace columns). ``to_shm`` splits a result
+# into a small picklable header and its arrays, writes the arrays into one
+# ``multiprocessing.shared_memory`` block, and returns a :class:`ShmResult`
+# handle; ``from_shm`` in the parent rebuilds the object straight off the
+# block. The arrays therefore cross the process boundary as a single shared
+# mapping — no pickle byte-string of the payload ever exists on either side,
+# which is what lets shard sizes scale past what pickle round-trips allow.
+#
+# A type participates by implementing ``_shm_state()`` (field map of arrays,
+# registered objects, dicts/lists of those, and small scalars) plus
+# ``_from_shm_state(state)``, and registering via :func:`register_shm_type`.
+# Unregistered values inside a state pickle as part of the (small) header.
+
+#: Below this many array bytes a result travels by pickle: a shared-memory
+#: segment costs several syscalls per shard, which only pays off once the
+#: payload dwarfs the header.
+SHM_MIN_BYTES = 64 * 1024
+
+#: Array offsets inside a block are aligned to this many bytes.
+_SHM_ALIGN = 64
+
+#: Types shippable through the shared-memory channel, by class name.
+_SHM_TYPES: dict[str, type] = {}
+
+
+def register_shm_type(cls: type) -> type:
+    """Register a ``_shm_state``/``_from_shm_state`` type for :func:`to_shm`."""
+    if not (hasattr(cls, "_shm_state") and hasattr(cls, "_from_shm_state")):
+        raise TypeError(
+            f"{cls.__name__} must implement _shm_state() and "
+            "_from_shm_state() to use the shared-memory channel"
+        )
+    _SHM_TYPES[cls.__name__] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class ShmResult:
+    """Picklable handle to one shard result parked in shared memory.
+
+    ``header`` is the packed object structure with every numpy array
+    replaced by an index into ``arrays`` — ``(dtype.str, shape, offset)``
+    descriptors into the block named ``shm_name``. The handle itself is
+    tiny; pickling it costs O(fields), never O(rows).
+    """
+
+    shm_name: str
+    header: object
+    arrays: tuple[tuple[str, tuple, int], ...]
+    nbytes: int
+
+
+def _pack_value(value, arrays: list):
+    cls = type(value)
+    if cls is np.ndarray:
+        if value.dtype.hasobject:  # pointers can't cross processes; pickle
+            return ("raw", value)
+        arrays.append(np.ascontiguousarray(value))
+        return ("arr", len(arrays) - 1)
+    registered = _SHM_TYPES.get(cls.__name__)
+    if registered is cls:
+        state = value._shm_state()
+        return ("obj", cls.__name__,
+                {key: _pack_value(v, arrays) for key, v in state.items()})
+    if cls is dict:
+        return ("map", [(key, _pack_value(v, arrays)) for key, v in value.items()])
+    if cls in (list, tuple):
+        return ("seq", cls is tuple, [_pack_value(v, arrays) for v in value])
+    return ("raw", value)
+
+
+def _unpack_value(packed, arrays: list):
+    tag = packed[0]
+    if tag == "arr":
+        return arrays[packed[1]]
+    if tag == "obj":
+        cls = _SHM_TYPES[packed[1]]
+        return cls._from_shm_state(
+            {key: _unpack_value(v, arrays) for key, v in packed[2].items()}
+        )
+    if tag == "map":
+        return {key: _unpack_value(v, arrays) for key, v in packed[1]}
+    if tag == "seq":
+        values = [_unpack_value(v, arrays) for v in packed[2]]
+        return tuple(values) if packed[1] else values
+    return packed[1]
+
+
+def _unregister_from_tracker(raw_name: str) -> None:
+    """Detach a block from this process's resource tracker.
+
+    The creating worker hands the block to the parent, which unlinks it
+    after reconstruction; without this, the worker's tracker would try to
+    unlink the (already-removed) block again at exit and warn about leaks.
+    """
+    try:  # pragma: no cover - tracker layout is a CPython detail
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(raw_name, "shared_memory")
+    except Exception:
+        pass
+
+
+def to_shm(result, min_bytes: int = SHM_MIN_BYTES):
+    """Park ``result``'s arrays in a shared-memory block; return the handle.
+
+    Falls back to returning ``result`` unchanged (the pickle path) when its
+    arrays total fewer than ``min_bytes`` bytes or a block cannot be
+    created, so callers can always send the return value across a process
+    boundary.
+    """
+    arrays: list[np.ndarray] = []
+    header = _pack_value(result, arrays)
+    descriptors: list[tuple[str, tuple, int]] = []
+    total = 0
+    for array in arrays:
+        offset = -(-total // _SHM_ALIGN) * _SHM_ALIGN
+        descriptors.append((array.dtype.str, array.shape, offset))
+        total = offset + array.nbytes
+    if not arrays or total < min_bytes:
+        return result
+    try:
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    except (ImportError, OSError):
+        return result
+    try:
+        for array, (_, _, offset) in zip(arrays, descriptors):
+            dest = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=block.buf, offset=offset)
+            dest[...] = array
+        handle = ShmResult(shm_name=block.name, header=header,
+                           arrays=tuple(descriptors), nbytes=total)
+    except Exception:
+        block.close()
+        block.unlink()
+        raise
+    raw_name = getattr(block, "_name", block.name)
+    block.close()
+    _unregister_from_tracker(raw_name)
+    return handle
+
+
+def from_shm(result, copy: bool = False):
+    """Rebuild a result parked by :func:`to_shm`, then release its block.
+
+    Non-:class:`ShmResult` values (the pickle fallback) pass through
+    unchanged.
+
+    By default the rebuilt arrays *view* the mapped block — no payload-sized
+    copy is ever made. The block's name is unlinked immediately and its file
+    descriptor closed, so nothing leaks; the mapping itself lives exactly as
+    long as the arrays referencing it and the pages return to the OS when
+    the result is garbage-collected (e.g. right after a fold-merge consumes
+    it). The views are private to this process and freely writable — merging
+    *into* a view-backed accumulator is fine. Pass ``copy=True`` to detach
+    from shared memory entirely (one extra copy of every array).
+    """
+    if not isinstance(result, ShmResult):
+        return result
+    import os
+
+    from multiprocessing import shared_memory
+
+    block = shared_memory.SharedMemory(name=result.shm_name)
+    try:
+        arrays = [
+            np.ndarray(shape, dtype=np.dtype(dtype_str),
+                       buffer=block.buf, offset=offset)
+            for dtype_str, shape, offset in result.arrays
+        ]
+        detached = False
+        if not copy:
+            # Hand the mapping over to the views: each array's ``base`` is
+            # the block's mmap object, which unmaps only when the last view
+            # dies — but SharedMemory.__del__ calls close(), which would
+            # unmap it under the views' feet. Neuter the block (close its
+            # fd, drop its mmap/buffer references) so close() becomes a
+            # no-op and the views own the mapping outright.
+            try:
+                fd = block._fd
+                assert block._mmap is not None
+                block._buf = None
+                block._mmap = None
+                if fd >= 0:
+                    os.close(fd)
+                    block._fd = -1
+                detached = True
+            except Exception:  # pragma: no cover - unexpected stdlib layout
+                detached = False
+        if not detached:
+            arrays = [array.copy() for array in arrays]
+        rebuilt = _unpack_value(result.header, arrays)
+    finally:
+        try:
+            block.unlink()
+        except FileNotFoundError:  # pragma: no cover - already freed
+            pass
+        block.close()  # no-op once detached; frees the mapping otherwise
+    return rebuilt
+
+
+def discard_shm(result) -> None:
+    """Free the block behind an unconsumed :class:`ShmResult`, if any."""
+    if not isinstance(result, ShmResult):
+        return
+    try:
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(name=result.shm_name)
+        block.close()
+        block.unlink()
+    except (ImportError, OSError):  # pragma: no cover - already freed
+        pass
+
+
+def shm_available() -> bool:
+    """Whether this interpreter can create shared-memory blocks at all."""
+    try:
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(create=True, size=16)
+    except (ImportError, OSError):
+        return False
+    block.close()
+    block.unlink()
+    return True
+
+
+for _shm_type in (
+    StreamingMoments,
+    LogHistogram,
+    BinnedSeries,
+    TickGauge,
+    GroupedCounts,
+    KeyedBinnedCounts,
+    DistinctPairs,
+    PodIntervalAccumulator,
+    GapTracker,
+    RegionAccumulator,
+    EvalMetrics,
+    FunctionTable,
+    RequestTable,
+    PodTable,
+    TraceBundle,
+):
+    register_shm_type(_shm_type)

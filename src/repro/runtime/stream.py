@@ -98,18 +98,23 @@ def iter_bundle_chunks(bundle: TraceBundle, chunk_s: float) -> Iterator[TraceChu
         start = end
 
 
-def stream_generation(plan, jobs: int = 1) -> Iterator[tuple[object, TraceBundle]]:
+def stream_generation(
+    plan, jobs: int = 1, channel: str = "pickle"
+) -> Iterator[tuple[object, TraceBundle]]:
     """Execute a generation plan, yielding ``(ShardSpec, bundle)`` lazily.
 
     Bundles arrive in plan order; memory is bounded by the windows currently
     in flight rather than the full horizon. Callers that need whole regions
     can feed consecutive same-region bundles to
-    :func:`~repro.runtime.merge.merge_bundles`.
+    :func:`~repro.runtime.merge.merge_bundles`. ``channel="shm"`` ships each
+    window's arrays through shared memory instead of the pool's pickle pipe
+    (see :class:`~repro.runtime.executor.ParallelExecutor`).
     """
     from repro.runtime.executor import ParallelExecutor, run_generation_shard
 
     shards = list(plan)
-    results = ParallelExecutor(jobs=jobs).imap(run_generation_shard, shards)
+    executor = ParallelExecutor(jobs=jobs, channel=channel)
+    results = executor.imap(run_generation_shard, shards)
     for spec, bundle in zip(shards, results):
         yield spec, bundle
 

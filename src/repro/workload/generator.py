@@ -732,6 +732,7 @@ def generate_multi_region(
     keepalive_s: float = DEFAULT_KEEPALIVE_S,
     jobs: int = 1,
     chunk_days: int | None = None,
+    channel: str = "pickle",
 ) -> dict[str, TraceBundle]:
     """Generate traces for several regions with independent streams.
 
@@ -742,6 +743,10 @@ def generate_multi_region(
             length (bounded memory per worker). ``None`` shards along
             regions only, in which case the merged result is identical to
             the serial output for any ``jobs``.
+        channel: shard-result transport for pooled runs — ``"pickle"``
+            (default) or ``"shm"`` (bundle arrays return through shared
+            memory; see :class:`~repro.runtime.executor.ParallelExecutor`).
+            Never changes the merged bundles, only how they travel.
     """
     # Duplicate names would shard twice and merge into a doubled bundle with
     # colliding ids; dedup up front so both paths see each region once.
@@ -760,7 +765,9 @@ def generate_multi_region(
         regions=regions, seed=seed, days=days, chunk_days=chunk_days,
         scale=scale, keepalive_s=keepalive_s,
     )
-    results = ParallelExecutor(jobs=jobs).run(run_generation_shard, plan.shards)
+    results = ParallelExecutor(jobs=jobs, channel=channel).run(
+        run_generation_shard, plan.shards
+    )
     by_region: dict[str, list[TraceBundle]] = {name: [] for name in regions}
     for spec, bundle in zip(plan.shards, results):
         by_region[spec.region].append(bundle)

@@ -113,6 +113,28 @@ class TestCommands:
         parallel = capsys.readouterr().out
         assert serial == parallel
 
+    def test_mitigate_shm_channel_matches_pickle(self, capsys):
+        assert main(["mitigate", *_FAST, "-p", "baseline", "--jobs", "2"]) == 0
+        pickled = capsys.readouterr().out
+        assert main(["mitigate", *_FAST, "-p", "baseline", "--jobs", "2",
+                     "--channel", "shm"]) == 0
+        shipped = capsys.readouterr().out
+        assert pickled == shipped
+
+    def test_mitigate_stream_jobs_and_channel_invariant(self, capsys):
+        fast = ["--regions", "R1", "--days", "1", "--scale", "0.1", "--seed", "5"]
+        outputs = []
+        for extra in ([], ["--jobs", "2"], ["--jobs", "4", "--channel", "shm"]):
+            assert main(["mitigate", "--stream", *fast, *extra]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1] == outputs[2]
+        assert "xregion:best-region" in outputs[0]
+        assert "remote_share" in outputs[0]
+
+    def test_mitigate_stream_rejects_empty_remotes(self):
+        with pytest.raises(SystemExit, match="remote"):
+            main(["mitigate", "--stream", "--regions", "R3", "--remotes", "R3"])
+
     def test_generate_npz_chunked_round_trip(self, tmp_path, capsys):
         out = tmp_path / "npz-traces"
         rc = main(

@@ -83,6 +83,41 @@ class TestParallelExecutor:
     def test_empty_input(self):
         assert ParallelExecutor(jobs=2).run(_square, []) == []
 
+    @pytest.mark.parametrize("jobs,n_items", [(8, 3), (3, 3), (3, 4), (2, 7)])
+    def test_windowing_never_skips_or_doubles(self, jobs, n_items):
+        # jobs >= len(items), jobs == len(items) - 1 (the window boundary),
+        # and jobs < len(items) must all submit every index exactly once.
+        items = list(range(n_items))
+        assert ParallelExecutor(jobs=jobs).run(_square, items) == [
+            x * x for x in items
+        ]
+
+    def test_rejects_unknown_start_method(self):
+        with pytest.raises(ValueError, match="start method"):
+            ParallelExecutor(jobs=2, start_method="teleport").run(
+                _square, [1, 2, 3]
+            )
+
+    def test_spawn_smoke_with_module_level_entry_point(self):
+        # Spawn re-imports the library in each worker: the shard entry
+        # points must be importable by reference with no side effects.
+        if "spawn" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("no spawn start method on this platform")
+        plan = ShardPlan.for_generation(
+            ("R3",), seed=5, days=2, chunk_days=1, scale=0.05
+        )
+        executor = ParallelExecutor(jobs=2, start_method="spawn")
+        spawned = executor.run(run_generation_shard, list(plan))
+        serial = ParallelExecutor(jobs=1).run(run_generation_shard, list(plan))
+        assert [b.summary() for b in spawned] == [b.summary() for b in serial]
+
+    def test_unpicklable_task_fails_clearly_under_spawn(self):
+        if "spawn" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("no spawn start method on this platform")
+        executor = ParallelExecutor(jobs=2, start_method="spawn", channel="shm")
+        with pytest.raises(RuntimeError, match="module-level"):
+            executor.run(lambda x: x, [1, 2])
+
 
 class TestShardedGeneration:
     def test_unchunked_sharding_equals_serial(self):

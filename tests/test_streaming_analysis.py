@@ -16,6 +16,8 @@ merge associativity, and the chunk-directory path end to end.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -428,3 +430,99 @@ class TestAccumulatorAlgebra:
         # P(X <= median estimate) overshoots 0.5 by at most one bin's mass
         at_median = cdf.at(hist.quantile(0.5))
         assert 0.5 <= at_median <= 0.5 + hist.counts.max() / 2000
+
+
+class TestLogHistogramWidening:
+    """Overflow auto-widening: decade growth, exact rebinning, associativity.
+
+    Before this fix every value above ``DEFAULT_HI = 1e4`` s folded into the
+    overflow tail, silently clamping quantiles at the ceiling — pathological
+    keepalive settings produce cold starts well past it.
+    """
+
+    def test_overflow_grows_hi_by_whole_decades(self):
+        hist = LogHistogram()
+        hist.add(np.array([2e4]))
+        assert hist.hi == pytest.approx(1e5)
+        assert hist.bins == 512 + 64  # 64 bins per decade preserved
+        assert hist.n_over == 0
+        hist.add_one(9.5e7)
+        assert hist.hi == pytest.approx(1e8)
+        assert hist.n_over == 0
+
+    def test_widening_rebins_exactly(self):
+        hist = LogHistogram()
+        hist.add(np.array([0.002, 5.0, 7.0, 100.0, 9000.0]))
+        before = hist.counts.copy()
+        low_quantiles = [hist.quantile(q) for q in (0.1, 0.5)]
+        hist.add(np.array([3e6]))
+        np.testing.assert_array_equal(hist.counts[: before.size], before)
+        assert [hist.quantile(q) for q in (0.1, 0.5)] == low_quantiles
+
+    def test_quantiles_above_old_ceiling_not_clamped(self):
+        rng = np.random.default_rng(7)
+        # pathological-keepalive regime: a fat tail well past 1e4 s
+        values = rng.lognormal(mean=9.0, sigma=2.0, size=5000)
+        assert (values > LogHistogram.DEFAULT_HI).sum() > 500
+        hist = LogHistogram().add(values)
+        # the documented one-bin tolerance of the fig-10/13/15/16 CDF reads
+        # must now hold *above* the former ceiling too
+        for q in (0.5, 0.9, 0.95, 0.99):
+            exact = float(np.quantile(values, q))
+            assert hist.quantile(q) == pytest.approx(
+                exact, rel=2 * BIN_TOL
+            ), f"q={q} clamped or off"
+        assert hist.quantile(0.99) > LogHistogram.DEFAULT_HI
+
+    def test_eval_metrics_p95_beyond_ceiling(self):
+        from repro.mitigation.base import EvalMetrics
+
+        rng = np.random.default_rng(3)
+        waits = rng.lognormal(8.5, 1.5, size=800)
+        metrics = EvalMetrics()
+        for wait in waits:
+            metrics.record_cold(float(wait), 0.0)
+        exact_p95 = float(np.percentile(waits, 95))
+        assert exact_p95 > LogHistogram.DEFAULT_HI
+        assert metrics.p95_cold_wait_s() == pytest.approx(exact_p95, rel=0.08)
+
+    def test_merge_across_different_widths_is_associative(self):
+        rng = np.random.default_rng(11)
+        chunks = [
+            rng.lognormal(1.0, 1.0, size=300),          # never widens
+            np.concatenate([rng.lognormal(1.0, 1.0, 100), [5e5]]),   # 2 decades
+            np.concatenate([rng.lognormal(1.0, 1.0, 100), [3e10]]),  # 7 decades
+        ]
+
+        def hist_of(*parts):
+            h = LogHistogram()
+            for part in parts:
+                h.add(part)
+            return h
+
+        a, b, c = (hist_of(chunk) for chunk in chunks)
+        left = hist_of(chunks[0]).merge(hist_of(chunks[1])).merge(hist_of(chunks[2]))
+        right = hist_of(chunks[1]).merge(hist_of(chunks[2]))
+        right = hist_of(chunks[0]).merge(right)
+        serial = hist_of(*chunks)
+        assert left == right == serial
+        assert a.bins < b.bins < c.bins  # genuinely different widths merged
+
+    def test_widening_caps_at_limit(self):
+        hist = LogHistogram()
+        hist.add(np.array([1e20]))
+        assert hist.hi == pytest.approx(LogHistogram.WIDEN_CAP_HI)
+        assert hist.n_over == 1
+        hist.add_one(math.inf)
+        assert hist.n_over == 2
+        assert hist.hi == pytest.approx(LogHistogram.WIDEN_CAP_HI)
+
+    def test_fractional_bins_per_decade_keeps_legacy_tail(self):
+        hist = LogHistogram(1.0, 5.0, 7)  # no whole-decade growth possible
+        hist.add(np.array([2.0, 50.0]))
+        assert hist.hi == 5.0
+        assert hist.n_over == 1
+
+    def test_incompatible_grids_still_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram(bins=512).merge(LogHistogram(bins=256))
