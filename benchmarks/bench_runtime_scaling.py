@@ -1,22 +1,31 @@
 """Runtime scaling: wall-clock of sharded generation vs worker count.
 
 The runtime shards a 4-region, 8-day workload into (region, 2-day-window)
-chunks — 16 shards — and executes them with 1, 2, and 4 workers. Two
-properties are verified:
+chunks — 16 shards — and executes them with 1, 2, and 4 workers. Three
+properties are verified / reported:
 
 * **determinism** — every jobs count merges to identical bundles;
+* **serial throughput** — the headline metric: generated requests per
+  second of serial wall-clock, a trajectory point every machine (including
+  single-core CI containers, where pool speedups are meaningless)
+  produces;
 * **scaling** — on a machine with >= 4 usable cores, 4 workers beat the
   serial run by > 1.8x (the shards are embarrassingly parallel; the
   remaining serial fraction is result pickling and the merge).
 
 On smaller machines the speedup assertion is skipped (a process pool
-cannot beat serial execution on one core) and only determinism is checked.
+cannot beat serial execution on one core) and only determinism plus the
+throughput point are recorded. Results are written both as the human
+table (``results/runtime_scaling.txt``) and as machine-readable JSON
+(``results/BENCH_runtime_scaling.json``).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 from repro.analysis.report import format_table
 from repro.workload.generator import generate_multi_region
@@ -27,6 +36,8 @@ BENCH_CHUNK_DAYS = 2
 BENCH_SCALE = 0.15
 BENCH_SEED = 42
 JOB_COUNTS = (1, 2, 4)
+
+_RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def _usable_cores() -> int:
@@ -51,11 +62,16 @@ def test_runtime_scaling(emit):
         wall[jobs] = time.perf_counter() - started
         summaries[jobs] = {name: bundle.summary() for name, bundle in bundles.items()}
 
+    total_requests = sum(s["requests"] for s in summaries[1].values())
+    serial_rps = total_requests / wall[1]
     rows = [
         {
             "jobs": jobs,
             "wall_s": round(wall[jobs], 2),
             "speedup": round(wall[1] / wall[jobs], 2),
+            "requests_per_s": int(
+                sum(s["requests"] for s in summaries[jobs].values()) / wall[jobs]
+            ),
             "requests": sum(s["requests"] for s in summaries[jobs].values()),
             "cold_starts": sum(s["cold_starts"] for s in summaries[jobs].values()),
         }
@@ -64,8 +80,34 @@ def test_runtime_scaling(emit):
     cores = _usable_cores()
     emit(
         "runtime_scaling",
-        format_table(rows) + f"\ncores={cores} shards="
-        f"{len(BENCH_REGIONS) * (BENCH_DAYS // BENCH_CHUNK_DAYS)}",
+        format_table(rows)
+        + f"\nserial throughput: {serial_rps / 1e3:.0f}k requests/s "
+        f"(headline; cores={cores}, shards="
+        f"{len(BENCH_REGIONS) * (BENCH_DAYS // BENCH_CHUNK_DAYS)})",
+    )
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / "BENCH_runtime_scaling.json").write_text(
+        json.dumps(
+            {
+                "workload": {
+                    "regions": list(BENCH_REGIONS), "days": BENCH_DAYS,
+                    "chunk_days": BENCH_CHUNK_DAYS, "scale": BENCH_SCALE,
+                    "seed": BENCH_SEED,
+                },
+                "cores": cores,
+                "serial_requests_per_s": serial_rps,
+                "per_jobs": {
+                    str(jobs): {
+                        "wall_s": wall[jobs],
+                        "speedup_vs_serial": wall[1] / wall[jobs],
+                    }
+                    for jobs in JOB_COUNTS
+                },
+                "requests": total_requests,
+            },
+            indent=2,
+        )
+        + "\n"
     )
 
     # Determinism: merged output is independent of the worker count.

@@ -169,17 +169,19 @@ class LogHistogram:
     "exclude zero entries" analyses (dependency deployment, IAT fits) can
     reproduce the materialised filters.
 
-    **Adaptive range.** When the grid has a whole number of bins per decade
-    (the default: 64), an overflowing value widens ``hi`` by whole log
-    decades — appending empty bins at the fixed per-bin ratio, so existing
-    counts rebin exactly — up to :attr:`WIDEN_CAP_HI`. Quantiles above the
-    original ceiling therefore stay one-bin accurate instead of silently
-    clamping to ``hi``. The widened grid depends only on the values seen,
-    never on chunking or merge order, and histograms of the same ``lo`` and
-    per-bin ratio merge across *different* widths (the narrower side widens
-    first), keeping merges associative and jobs-invariant. Grids whose
-    bins-per-decade is fractional cannot grow by whole decades and keep the
-    legacy overflow-tail behaviour.
+    **Adaptive range.** An overflowing value widens ``hi`` — by whole log
+    decades when the grid has a whole number of bins per decade (the
+    default: 64), by whole bins otherwise — appending empty bins at the
+    fixed per-bin ratio, so existing counts rebin exactly, up to
+    :attr:`WIDEN_CAP_HI`. Symmetrically, a positive value below ``lo``
+    (sub-0.1 ms populations on the default grid) widens ``lo`` *down* to
+    :attr:`WIDEN_CAP_LO`, prepending bins on the same lattice. Quantiles
+    outside the original range therefore stay one-bin accurate instead of
+    silently clamping. The widened grid depends only on the values seen,
+    never on chunking or merge order, and histograms of the same anchor
+    (construction ``lo``) and per-bin ratio merge across *different*
+    widths in either direction (the narrower side widens first), keeping
+    merges associative and jobs-invariant.
     """
 
     DEFAULT_LO = 1e-4
@@ -191,6 +193,10 @@ class LogHistogram:
     #: pathological value from allocating unbounded bins.
     WIDEN_CAP_HI = 1e16
 
+    #: Downward widening stops at this floor (12 decades below the default
+    #: ``lo``); positive values below it stay in the underflow tail.
+    WIDEN_CAP_LO = 1e-16
+
     def __init__(self, lo: float = DEFAULT_LO, hi: float = DEFAULT_HI,
                  bins: int = DEFAULT_BINS):
         if not 0 < lo < hi:
@@ -200,11 +206,13 @@ class LogHistogram:
         self.lo = float(lo)
         self.hi = float(hi)
         self.bins = int(bins)
-        # The per-bin log step is fixed at construction; widening appends
-        # bins at this exact ratio, so edge i is the same float no matter
-        # when (or whether) the histogram widened.
+        # The per-bin log step and the anchor (the construction lo) are
+        # fixed for life; widening prepends/appends bins on this exact
+        # lattice, so edge i is the same float no matter when (or whether)
+        # the histogram widened. ``_lo_bins`` counts bins below the anchor.
         self._log_lo = float(np.log10(self.lo))
         self._step = (float(np.log10(self.hi)) - self._log_lo) / self.bins
+        self._lo_bins = 0
         per_decade = 1.0 / self._step
         self._bins_per_decade = (
             int(round(per_decade))
@@ -223,29 +231,66 @@ class LogHistogram:
     # -- adaptive widening ---------------------------------------------------
 
     def _edges_for(self, bins: int) -> np.ndarray:
-        return np.power(10.0, self._log_lo + np.arange(bins + 1) * self._step)
+        offsets = np.arange(bins + 1) - self._lo_bins
+        return np.power(10.0, self._log_lo + offsets * self._step)
 
-    def _widen_to_cover(self, value: float) -> None:
-        """Grow ``hi`` by whole decades until ``value < hi`` (or the cap).
+    def _edge_at(self, index: int) -> float:
+        """Edge ``index`` of the current grid (lattice formula, exact)."""
+        return float(10.0 ** (self._log_lo + (index - self._lo_bins) * self._step))
 
-        Appended bins continue the fixed per-bin ratio, so every existing
-        edge (and therefore every existing count) is preserved exactly.
-        """
-        if self._bins_per_decade is None or not math.isfinite(value):
-            return
-        bins = self.bins
-        hi = self.hi
-        while hi <= value and hi < self.WIDEN_CAP_HI:
-            bins += self._bins_per_decade
-            hi = float(10.0 ** (self._log_lo + bins * self._step))
-        if bins == self.bins:
+    def _grow_step(self) -> int:
+        """Bins per widening unit: a whole decade when the grid allows it
+        (so default grids keep their round power-of-ten bounds), else one
+        bin at a time — fractional-bins-per-decade grids widen too instead
+        of silently clamping into the tails."""
+        return self._bins_per_decade or 1
+
+    def _grow_up(self, added: int) -> None:
+        """Append ``added`` empty bins on the lattice (hi moves up)."""
+        if added <= 0:
             return
         self.counts = np.concatenate(
-            [self.counts, np.zeros(bins - self.bins, dtype=np.int64)]
+            [self.counts, np.zeros(added, dtype=np.int64)]
         )
-        self.bins = bins
-        self.hi = hi
-        self.edges = self._edges_for(bins)
+        self.bins += added
+        self.hi = self._edge_at(self.bins)
+        self.edges = self._edges_for(self.bins)
+
+    def _grow_down(self, added: int) -> None:
+        """Prepend ``added`` empty bins on the lattice (lo moves down)."""
+        if added <= 0:
+            return
+        self.counts = np.concatenate(
+            [np.zeros(added, dtype=np.int64), self.counts]
+        )
+        self.bins += added
+        self._lo_bins += added
+        self.lo = self._edge_at(0)
+        self.edges = self._edges_for(self.bins)
+
+    def _widen_to_cover(self, value: float) -> None:
+        """Grow ``hi`` until ``value < hi`` (or the cap); exact rebinning."""
+        if not math.isfinite(value):
+            return
+        grow = self._grow_step()
+        added = 0
+        hi = self.hi
+        while hi <= value and hi < self.WIDEN_CAP_HI:
+            added += grow
+            hi = self._edge_at(self.bins + added)
+        self._grow_up(added)
+
+    def _widen_down_to_cover(self, value: float) -> None:
+        """Grow ``lo`` downward until ``value >= lo`` (or the floor cap)."""
+        if not value > 0.0:
+            return
+        grow = self._grow_step()
+        added = 0
+        lo = self.lo
+        while lo > value and lo > self.WIDEN_CAP_LO:
+            added += grow
+            lo = self._edge_at(-added)
+        self._grow_down(added)
 
     def add(self, values: np.ndarray) -> "LogHistogram":
         values = np.asarray(values, dtype=np.float64)
@@ -261,6 +306,9 @@ class LogHistogram:
             finite_max = float(positive[np.isfinite(positive)].max(initial=0.0))
             if finite_max >= self.hi:
                 self._widen_to_cover(finite_max)
+            positive_min = float(positive.min())
+            if positive_min < self.lo:
+                self._widen_down_to_cover(positive_min)
         self.n_under += int((positive < self.lo).sum())
         self.n_over += int((positive >= self.hi).sum())
         inside = positive[(positive >= self.lo) & (positive < self.hi)]
@@ -287,9 +335,12 @@ class LogHistogram:
             self.n_zero += 1
         elif value < 0.0:
             pass  # vector path tallies negatives only into sum/min/max
-        elif value < self.lo:
-            self.n_under += 1
         else:
+            if value < self.lo:
+                self._widen_down_to_cover(value)
+            if value < self.lo:
+                self.n_under += 1
+                return self
             if value >= self.hi:
                 self._widen_to_cover(value)
             if value >= self.hi:
@@ -300,23 +351,18 @@ class LogHistogram:
         return self
 
     def _check_compatible(self, other: "LogHistogram") -> None:
-        if (self.lo, self._step) != (other.lo, other._step):
+        if (self._log_lo, self._step) != (other._log_lo, other._step):
             raise ValueError("cannot merge histograms with different bin grids")
 
     def merge(self, other: "LogHistogram") -> "LogHistogram":
-        """Fold ``other`` in; widths may differ if lo and bin ratio agree."""
+        """Fold ``other`` in; widths may differ if anchor and ratio agree."""
         self._check_compatible(other)
-        if other.bins > self.bins:
-            if self._bins_per_decade is None:
-                raise ValueError("cannot merge histograms with different bin grids")
-            self.counts = np.concatenate(
-                [self.counts,
-                 np.zeros(other.bins - self.bins, dtype=np.int64)]
-            )
-            self.bins = other.bins
-            self.hi = other.hi
-            self.edges = self._edges_for(self.bins)
-        self.counts[: other.bins] += other.counts
+        self._grow_down(other._lo_bins - self._lo_bins)
+        self._grow_up(
+            (other.bins - other._lo_bins) - (self.bins - self._lo_bins)
+        )
+        offset = self._lo_bins - other._lo_bins
+        self.counts[offset : offset + other.bins] += other.counts
         self.n_zero += other.n_zero
         self.n_under += other.n_under
         self.n_over += other.n_over
@@ -425,9 +471,10 @@ class LogHistogram:
 
     def _shm_state(self) -> dict:
         # _log_lo/_step travel verbatim: re-deriving them from a *widened*
-        # hi could differ by an ulp and break exact merge compatibility.
+        # bound could differ by an ulp and break exact merge compatibility.
         return {"lo": self.lo, "hi": self.hi, "bins": self.bins,
                 "log_lo": self._log_lo, "step": self._step,
+                "lo_bins": self._lo_bins,
                 "bins_per_decade": self._bins_per_decade,
                 "counts": self.counts, "n_zero": self.n_zero,
                 "n_under": self.n_under, "n_over": self.n_over,
@@ -441,6 +488,7 @@ class LogHistogram:
         out.bins = state["bins"]
         out._log_lo = state["log_lo"]
         out._step = state["step"]
+        out._lo_bins = state["lo_bins"]
         out._bins_per_decade = state["bins_per_decade"]
         out.edges = out._edges_for(out.bins)
         out.counts = state["counts"]
@@ -622,6 +670,17 @@ class TickGauge:
             self._buffer = grown
         self._buffer[self._length] = float(value)
         self._length += 1
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append a whole tick series at once (batch producers)."""
+        values = np.asarray(values, dtype=np.float64)
+        needed = self._length + values.size
+        if needed > self._buffer.size:
+            grown = np.zeros(max(2 * self._buffer.size, needed, 64), dtype=np.float64)
+            grown[: self._length] = self._buffer[: self._length]
+            self._buffer = grown
+        self._buffer[self._length : needed] = values
+        self._length = needed
 
     def merge(self, other: "TickGauge") -> "TickGauge":
         n = max(self._length, other._length)
@@ -1016,6 +1075,30 @@ class GapTracker:
 #: Pod metrics sketched per category for Figs. 10/13/15/16.
 POD_METRICS = ("cold_start_s",) + COMPONENT_COLUMNS
 
+#: Which figures each prunable :class:`RegionAccumulator` part feeds.
+#: ``RegionAccumulator(figures=...)`` keeps a part only when it intersects
+#: the requested set; the core counters behind ``summary()`` (request and
+#: cold-start totals, per-user and per-function cold counts, time bounds)
+#: are always kept. ``"pod_join"`` is the per-pod id/cold-start state
+#: backing the exact Fig. 17 utility join.
+ACCUMULATOR_FIGURES: dict[str, frozenset] = {
+    "user_functions": frozenset({"fig04"}),
+    "per_function_day": frozenset({"fig03", "fig06", "fig14"}),
+    "per_function_minute": frozenset({"fig06"}),
+    "minute_requests": frozenset({"fig05"}),
+    "minute_exec": frozenset({"fig03"}),
+    "minute_cpu": frozenset({"fig03"}),
+    "day_cpu": frozenset({"fig07"}),
+    "intervals": frozenset({"fig07", "fig08", "fig17"}),
+    "minute_pod": frozenset({"fig12"}),
+    "hour_pod": frozenset({"fig11"}),
+    "component_sums": frozenset({"fig11"}),
+    "cold_log_moments": frozenset({"fig10"}),
+    "iat": frozenset({"fig10"}),
+    "category_hists": frozenset({"fig10", "fig13", "fig15", "fig16"}),
+    "pod_join": frozenset({"fig17"}),
+}
+
 
 class RegionAccumulator:
     """Everything Figures 1-17 need for one region, chunk by chunk.
@@ -1026,52 +1109,98 @@ class RegionAccumulator:
     ``merge`` combines shards of the same region in plan (time) order;
     :class:`~repro.core.study.StreamingTraceStudy` drives the figure
     finalizers on top.
+
+    ``figures`` prunes state to what the named figures need: pass e.g.
+    ``figures=("fig01", "fig05")`` to skip the fig-06 function x minute
+    matrix, the category histograms, the per-pod Fig. 17 join, and every
+    other accumulator those figures never read — ``figures=()`` keeps only
+    the ``summary()`` counters. ``None`` (default) keeps everything.
+    Reading a pruned statistic raises a ``ValueError`` naming the figure
+    set to request; accumulators only merge with an identically-pruned
+    peer (shards of one plan always are).
     """
 
     def __init__(self, region: str, functions: FunctionTable | None = None,
-                 meta: dict | None = None):
+                 meta: dict | None = None, figures=None):
         self.region = region
         self.functions = functions if functions is not None else FunctionTable.empty()
         self.meta = dict(meta or {})
+        self.figures = None if figures is None else frozenset(figures)
+
+        def want(part: str) -> bool:
+            return self.figures is None or bool(
+                ACCUMULATOR_FIGURES[part] & self.figures
+            )
+
         # request-side
         self.n_requests = 0
         self.req_ts_ms_min: int | None = None
         self.req_ts_ms_max: int | None = None
         self.per_user = GroupedCounts()
-        self.user_functions = DistinctPairs()
-        self.per_function_day = KeyedBinnedCounts(_SECONDS_PER_DAY)
-        self.per_function_minute = KeyedBinnedCounts(60.0)
-        self.minute_requests = BinnedSeries(60.0, track_sums=False)
-        self.minute_exec = BinnedSeries(60.0)
-        self.minute_cpu = BinnedSeries(60.0)
-        self.day_cpu = BinnedSeries(_SECONDS_PER_DAY)
-        self.intervals = PodIntervalAccumulator()
+        self.user_functions = DistinctPairs() if want("user_functions") else None
+        self.per_function_day = (
+            KeyedBinnedCounts(_SECONDS_PER_DAY) if want("per_function_day") else None
+        )
+        self.per_function_minute = (
+            KeyedBinnedCounts(60.0) if want("per_function_minute") else None
+        )
+        self.minute_requests = (
+            BinnedSeries(60.0, track_sums=False) if want("minute_requests") else None
+        )
+        self.minute_exec = BinnedSeries(60.0) if want("minute_exec") else None
+        self.minute_cpu = BinnedSeries(60.0) if want("minute_cpu") else None
+        self.day_cpu = BinnedSeries(_SECONDS_PER_DAY) if want("day_cpu") else None
+        self.intervals = PodIntervalAccumulator() if want("intervals") else None
         # pod-side
         self.n_cold_starts = 0
         self.pod_ts_max: float = -math.inf
         self.per_function_cold = GroupedCounts()
-        self.minute_pod = {
-            name: BinnedSeries(60.0) for name in POD_METRICS
-        }
-        self.hour_pod = {
-            name: BinnedSeries(3600.0) for name in POD_METRICS
-        }
-        self.component_sums = {name: StreamingMoments() for name in POD_METRICS}
-        self.cold_log_moments = StreamingMoments()
-        self.iat = GapTracker()
+        self.minute_pod = (
+            {name: BinnedSeries(60.0) for name in POD_METRICS}
+            if want("minute_pod") else None
+        )
+        self.hour_pod = (
+            {name: BinnedSeries(3600.0) for name in POD_METRICS}
+            if want("hour_pod") else None
+        )
+        self.component_sums = (
+            {name: StreamingMoments() for name in POD_METRICS}
+            if want("component_sums") else None
+        )
+        self.cold_log_moments = (
+            StreamingMoments() if want("cold_log_moments") else None
+        )
+        self.iat = GapTracker() if want("iat") else None
         # category histograms: (kind, category, metric) -> LogHistogram
-        self.category_hists: dict[tuple[str, str, str], LogHistogram] = {}
+        self.category_hists: dict[tuple[str, str, str], LogHistogram] | None = (
+            {} if want("category_hists") else None
+        )
         # per-pod cold-start durations for the exact Fig. 17 join
+        self._track_pod_join = want("pod_join")
         self._pod_ids = np.zeros(0, dtype=np.int64)
         self._pod_cold_s = np.zeros(0, dtype=np.float64)
         self._pod_functions = np.zeros(0, dtype=np.int64)
 
+    def _require(self, part: str):
+        value = getattr(self, part if part != "pod_join" else "_pod_ids")
+        if part == "pod_join" and not self._track_pod_join:
+            value = None
+        if value is None:
+            raise ValueError(
+                f"{part!r} was pruned from this RegionAccumulator; construct "
+                f"it with figures including one of "
+                f"{sorted(ACCUMULATOR_FIGURES[part])} (or figures=None)"
+            )
+        return value
+
     @classmethod
-    def from_bundle(cls, bundle, chunk_s: float = 6 * 3600.0) -> "RegionAccumulator":
+    def from_bundle(cls, bundle, chunk_s: float = 6 * 3600.0,
+                    figures=None) -> "RegionAccumulator":
         """Reduce an in-memory bundle by streaming it chunk by chunk."""
         from repro.runtime.stream import iter_bundle_chunks
 
-        acc = cls(bundle.region, functions=bundle.functions, meta=dict(bundle.meta))
+        acc = cls(bundle.region, functions=bundle.functions,
+                  meta=dict(bundle.meta), figures=figures)
         for chunk in iter_bundle_chunks(bundle, chunk_s=chunk_s):
             acc.update(chunk)
         return acc
@@ -1115,15 +1244,24 @@ class RegionAccumulator:
         functions = requests["function"]
         users = requests["user"]
         self.per_user.add(users)
-        self.user_functions.add(users, functions)
-        self.per_function_day.add(functions, ts)
-        self.per_function_minute.add(functions, ts)
-        self.minute_requests.add(ts)
-        self.minute_exec.add(ts, requests.exec_time_s)
-        cores = requests["cpu_millicores"] / 1000.0
-        self.minute_cpu.add(ts, cores)
-        self.day_cpu.add(ts, cores)
-        self.intervals.add(requests)
+        if self.user_functions is not None:
+            self.user_functions.add(users, functions)
+        if self.per_function_day is not None:
+            self.per_function_day.add(functions, ts)
+        if self.per_function_minute is not None:
+            self.per_function_minute.add(functions, ts)
+        if self.minute_requests is not None:
+            self.minute_requests.add(ts)
+        if self.minute_exec is not None:
+            self.minute_exec.add(ts, requests.exec_time_s)
+        if self.minute_cpu is not None or self.day_cpu is not None:
+            cores = requests["cpu_millicores"] / 1000.0
+            if self.minute_cpu is not None:
+                self.minute_cpu.add(ts, cores)
+            if self.day_cpu is not None:
+                self.day_cpu.add(ts, cores)
+        if self.intervals is not None:
+            self.intervals.add(requests)
 
     def _update_pods(self, pods: PodTable) -> None:
         from repro.analysis.coldstart_stats import pod_metric_values
@@ -1135,40 +1273,47 @@ class RegionAccumulator:
         self.per_function_cold.add(functions)
         metrics = pod_metric_values(pods)
         for name, values in metrics.items():
-            self.minute_pod[name].add(ts, values)
-            self.hour_pod[name].add(ts, values)
-            self.component_sums[name].add(values)
+            if self.minute_pod is not None:
+                self.minute_pod[name].add(ts, values)
+            if self.hour_pod is not None:
+                self.hour_pod[name].add(ts, values)
+            if self.component_sums is not None:
+                self.component_sums[name].add(values)
         cold_s = metrics["cold_start_s"]
-        positive = cold_s[cold_s > 0]
-        if positive.size:
-            self.cold_log_moments.add(np.log(positive))
-        self.iat.add(ts)
+        if self.cold_log_moments is not None:
+            positive = cold_s[cold_s > 0]
+            if positive.size:
+                self.cold_log_moments.add(np.log(positive))
+        if self.iat is not None:
+            self.iat.add(ts)
         # per-pod state for the Fig. 17 utility join
-        order = np.argsort(pods["pod_id"])
-        ids = pods["pod_id"][order]
-        self._pod_ids = np.concatenate([self._pod_ids, ids])
-        self._pod_cold_s = np.concatenate([self._pod_cold_s, cold_s[order]])
-        self._pod_functions = np.concatenate([self._pod_functions, functions[order]])
-        if not np.all(np.diff(self._pod_ids) > 0):
-            sorter = np.argsort(self._pod_ids, kind="stable")
-            self._pod_ids = self._pod_ids[sorter]
-            self._pod_cold_s = self._pod_cold_s[sorter]
-            self._pod_functions = self._pod_functions[sorter]
+        if self._track_pod_join:
+            order = np.argsort(pods["pod_id"])
+            ids = pods["pod_id"][order]
+            self._pod_ids = np.concatenate([self._pod_ids, ids])
+            self._pod_cold_s = np.concatenate([self._pod_cold_s, cold_s[order]])
+            self._pod_functions = np.concatenate([self._pod_functions, functions[order]])
+            if not np.all(np.diff(self._pod_ids) > 0):
+                sorter = np.argsort(self._pod_ids, kind="stable")
+                self._pod_ids = self._pod_ids[sorter]
+                self._pod_cold_s = self._pod_cold_s[sorter]
+                self._pod_functions = self._pod_functions[sorter]
         # category sketches
-        for kind in ("runtime", "trigger", "size"):
-            categories = self._categories(kind, functions)
+        if self.category_hists is not None:
+            for kind in ("runtime", "trigger", "size"):
+                categories = self._categories(kind, functions)
+                for name, values in metrics.items():
+                    sample = values
+                    if name == "deploy_dep_us":
+                        sample = values[values > 0]
+                        cats = categories[values > 0]
+                    else:
+                        cats = categories
+                    for category in np.unique(cats):
+                        self._hist(kind, str(category), name).add(sample[cats == category])
             for name, values in metrics.items():
-                sample = values
-                if name == "deploy_dep_us":
-                    sample = values[values > 0]
-                    cats = categories[values > 0]
-                else:
-                    cats = categories
-                for category in np.unique(cats):
-                    self._hist(kind, str(category), name).add(sample[cats == category])
-        for name, values in metrics.items():
-            sample = values[values > 0] if name == "deploy_dep_us" else values
-            self._hist("all", "all", name).add(sample)
+                sample = values[values > 0] if name == "deploy_dep_us" else values
+                self._hist("all", "all", name).add(sample)
 
     # -- merge ---------------------------------------------------------------
 
@@ -1177,6 +1322,12 @@ class RegionAccumulator:
             raise ValueError(
                 f"cannot merge accumulators of regions {self.region!r} and "
                 f"{other.region!r}"
+            )
+        if self.figures != other.figures:
+            raise ValueError(
+                "cannot merge RegionAccumulators pruned to different figure "
+                f"sets ({sorted(self.figures or ())} != "
+                f"{sorted(other.figures or ())})"
             )
         self.functions = dedupe_functions([self.functions, other.functions])
         if other.meta:
@@ -1194,38 +1345,53 @@ class RegionAccumulator:
         self.req_ts_ms_min = min(mins) if mins else None
         self.req_ts_ms_max = max(maxs) if maxs else None
         self.per_user.merge(other.per_user)
-        self.user_functions.merge(other.user_functions)
-        self.per_function_day.merge(other.per_function_day)
-        self.per_function_minute.merge(other.per_function_minute)
-        self.minute_requests.merge(other.minute_requests)
-        self.minute_exec.merge(other.minute_exec)
-        self.minute_cpu.merge(other.minute_cpu)
-        self.day_cpu.merge(other.day_cpu)
-        self.intervals.merge(other.intervals)
+        if self.user_functions is not None:
+            self.user_functions.merge(other.user_functions)
+        if self.per_function_day is not None:
+            self.per_function_day.merge(other.per_function_day)
+        if self.per_function_minute is not None:
+            self.per_function_minute.merge(other.per_function_minute)
+        if self.minute_requests is not None:
+            self.minute_requests.merge(other.minute_requests)
+        if self.minute_exec is not None:
+            self.minute_exec.merge(other.minute_exec)
+        if self.minute_cpu is not None:
+            self.minute_cpu.merge(other.minute_cpu)
+        if self.day_cpu is not None:
+            self.day_cpu.merge(other.day_cpu)
+        if self.intervals is not None:
+            self.intervals.merge(other.intervals)
         self.n_cold_starts += other.n_cold_starts
         self.pod_ts_max = max(self.pod_ts_max, other.pod_ts_max)
         self.per_function_cold.merge(other.per_function_cold)
         for name in POD_METRICS:
-            self.minute_pod[name].merge(other.minute_pod[name])
-            self.hour_pod[name].merge(other.hour_pod[name])
-            self.component_sums[name].merge(other.component_sums[name])
-        self.cold_log_moments.merge(other.cold_log_moments)
-        self.iat.merge(other.iat)
-        for key, hist in other.category_hists.items():
-            mine_hist = self.category_hists.get(key)
-            if mine_hist is None:
-                self.category_hists[key] = hist
-            else:
-                mine_hist.merge(hist)
-        self._pod_ids = np.concatenate([self._pod_ids, other._pod_ids])
-        self._pod_cold_s = np.concatenate([self._pod_cold_s, other._pod_cold_s])
-        self._pod_functions = np.concatenate(
-            [self._pod_functions, other._pod_functions]
-        )
-        sorter = np.argsort(self._pod_ids, kind="stable")
-        self._pod_ids = self._pod_ids[sorter]
-        self._pod_cold_s = self._pod_cold_s[sorter]
-        self._pod_functions = self._pod_functions[sorter]
+            if self.minute_pod is not None:
+                self.minute_pod[name].merge(other.minute_pod[name])
+            if self.hour_pod is not None:
+                self.hour_pod[name].merge(other.hour_pod[name])
+            if self.component_sums is not None:
+                self.component_sums[name].merge(other.component_sums[name])
+        if self.cold_log_moments is not None:
+            self.cold_log_moments.merge(other.cold_log_moments)
+        if self.iat is not None:
+            self.iat.merge(other.iat)
+        if self.category_hists is not None:
+            for key, hist in other.category_hists.items():
+                mine_hist = self.category_hists.get(key)
+                if mine_hist is None:
+                    self.category_hists[key] = hist
+                else:
+                    mine_hist.merge(hist)
+        if self._track_pod_join:
+            self._pod_ids = np.concatenate([self._pod_ids, other._pod_ids])
+            self._pod_cold_s = np.concatenate([self._pod_cold_s, other._pod_cold_s])
+            self._pod_functions = np.concatenate(
+                [self._pod_functions, other._pod_functions]
+            )
+            sorter = np.argsort(self._pod_ids, kind="stable")
+            self._pod_ids = self._pod_ids[sorter]
+            self._pod_cold_s = self._pod_cold_s[sorter]
+            self._pod_functions = self._pod_functions[sorter]
         return self
 
     # -- shared finalizers ----------------------------------------------------
@@ -1246,20 +1412,28 @@ class RegionAccumulator:
             "requests": self.n_requests,
             "cold_starts": self.n_cold_starts,
             "functions": len(self.functions),
-            "pods": int(np.unique(self._pod_ids).size),
+            # every pod row is one cold start, so the count survives
+            # pruning the per-pod join state
+            "pods": (
+                int(np.unique(self._pod_ids).size)
+                if self._track_pod_join
+                else self.n_cold_starts
+            ),
             "users": self.per_user.n_keys,
         }
 
     def requests_per_day_per_function(self) -> tuple[np.ndarray, np.ndarray]:
         """(function ids, median-day request counts), Fig. 3a's statistic."""
+        per_function_day = self._require("per_function_day")
         if not self.n_requests:
             return np.zeros(0, dtype=np.int64), np.zeros(0)
         days = max(int(np.ceil(self.span_days())), 1)
-        matrix = self.per_function_day.counts_matrix(days)
-        return self.per_function_day.keys, np.median(matrix, axis=1)
+        matrix = per_function_day.counts_matrix(days)
+        return per_function_day.keys, np.median(matrix, axis=1)
 
     def pod_cold_lookup(self) -> tuple[np.ndarray, np.ndarray]:
         """(sorted pod ids, cold-start seconds) for the Fig. 17 join."""
+        self._require("pod_join")
         return self._pod_ids, self._pod_cold_s
 
     # -- shared-memory payload ------------------------------------------------
@@ -1273,6 +1447,9 @@ class RegionAccumulator:
         """
         return {
             "region": self.region, "functions": self.functions,
+            "figures": (
+                None if self.figures is None else sorted(self.figures)
+            ),
             "meta": self.meta, "n_requests": self.n_requests,
             "req_ts_ms_min": self.req_ts_ms_min,
             "req_ts_ms_max": self.req_ts_ms_max,
@@ -1295,7 +1472,7 @@ class RegionAccumulator:
     @classmethod
     def _from_shm_state(cls, state: dict) -> "RegionAccumulator":
         out = cls(state["region"], functions=state["functions"],
-                  meta=state["meta"])
+                  meta=state["meta"], figures=state.get("figures"))
         for name in ("n_requests", "req_ts_ms_min", "req_ts_ms_max",
                      "per_user", "user_functions", "per_function_day",
                      "per_function_minute", "minute_requests", "minute_exec",

@@ -271,6 +271,12 @@ def cmd_validate(args: argparse.Namespace) -> int:
 _MITIGATION_POLICIES = ("baseline", "timer-prewarm", "histogram-prewarm",
                         "dynamic-keepalive", "peak-shaving")
 
+#: Policies that couple functions through shared region-wide state; they
+#: always replay on the event engine (``--engine vector`` rejects them).
+_COUPLED_POLICIES = frozenset(
+    {"timer-prewarm", "histogram-prewarm", "peak-shaving"}
+)
+
 
 #: Default function groups per mitigation run. Fixed (never derived from
 #: --jobs) so any worker count replays the identical shard plan and merges
@@ -300,6 +306,13 @@ def cmd_mitigate(args: argparse.Namespace) -> int:
     unknown = [p for p in wanted if p not in _MITIGATION_POLICIES]
     if unknown:
         raise SystemExit(f"unknown policies {unknown}; available: {_MITIGATION_POLICIES}")
+    coupled = [p for p in wanted if p in _COUPLED_POLICIES]
+    if args.engine == "vector" and coupled:
+        raise SystemExit(
+            f"--engine vector cannot replay coupled policies {coupled} "
+            f"(pre-warming / peak shaving share region-wide state); select "
+            f"uncoupled policies with -p or use --engine auto/event"
+        )
 
     merged = evaluate_policies(
         region,
@@ -310,12 +323,13 @@ def cmd_mitigate(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         n_groups=args.eval_shards,
         channel=args.channel,
+        engine=args.engine,
     )
     first = next(iter(merged.values()))
     print(
         f"replayed {first.requests} {region} requests per policy "
         f"({args.eval_shards} function-group shard(s), jobs={args.jobs}, "
-        f"channel={args.channel})",
+        f"channel={args.channel}, engine={args.engine})",
         file=sys.stderr,
     )
     rows = [merged[policy].summary() for policy in wanted]
@@ -333,6 +347,12 @@ def _mitigate_stream(args: argparse.Namespace) -> int:
     """
     from repro.runtime import evaluate_cross_region
 
+    if args.engine == "vector":
+        raise SystemExit(
+            "--stream replays the coupled cross-region evaluator (EMA "
+            "routing); --engine vector is not available there — use "
+            "--engine auto or event"
+        )
     home = args.regions.split(",")[0].strip()
     # dedupe: repeated names would build independent evaluator states (and
     # therefore doubled warm capacity) for the same region
@@ -360,6 +380,7 @@ def _mitigate_stream(args: argparse.Namespace) -> int:
             rtt_s=args.rtt,
             keepalive_s=args.keepalive,
             channel=args.channel,
+            engine=args.engine,
         )
         row = result.metrics.summary()
         row["remote_share"] = round(result.remote_share, 4)
@@ -465,6 +486,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="function-group shards per replay (fixed per "
                                "run, so any --jobs merges identically; 1 "
                                "reproduces the unsharded evaluator exactly)")
+    mitigate.add_argument("--engine", choices=("auto", "vector", "event"),
+                          default="auto",
+                          help="replay engine: vector (structure-of-arrays "
+                               "fast path, uncoupled policies only), event "
+                               "(reference loop), or auto (vector where "
+                               "possible; default). Bit-identical metrics "
+                               "either way — only wall-clock changes")
     stream = mitigate.add_argument_group("streaming cross-region replay")
     stream.add_argument("--stream", action="store_true",
                         help="replay through the sharded cross-region "

@@ -117,6 +117,30 @@ def _sequential_lifecycle(
     )
 
 
+def _segment_peaks(
+    arrivals: np.ndarray,
+    exec_s: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+) -> np.ndarray:
+    """Per-segment peak in-flight, in one vectorized sweep.
+
+    Events carry their segment label; sorting by (segment, time, delta)
+    reproduces :func:`peak_inflight`'s tie rule inside every segment, and
+    because each segment's deltas sum to zero the *global* running sum is
+    the per-segment in-flight directly — no per-segment slicing.
+    """
+    n_seg = starts.size
+    seg_of = np.repeat(np.arange(n_seg), ends - starts)
+    times = np.concatenate((arrivals, arrivals + exec_s))
+    deltas = np.concatenate((np.ones(arrivals.size), -np.ones(arrivals.size)))
+    segs = np.concatenate((seg_of, seg_of))
+    order = np.lexsort((deltas, times, segs))
+    running = np.cumsum(deltas[order])
+    seg_first = np.searchsorted(segs[order], np.arange(n_seg))
+    return np.maximum.reduceat(running, seg_first)
+
+
 def _autoscaled_lifecycle(
     arrivals: np.ndarray,
     exec_s: np.ndarray,
@@ -131,26 +155,48 @@ def _autoscaled_lifecycle(
     increases are scale-out cold starts, the paper's "frequent autoscaling
     decisions". Without the outer segmentation, window binning would merge
     pods across 60–120 s gaps that production keep-alive cannot survive.
+
+    Structure-of-arrays execution: per-segment peaks come from one labelled
+    sweep (:func:`_segment_peaks`), and every segment whose peak fits the
+    per-pod concurrency — for a timer function well past the keep-alive
+    that is *every arrival* — is reconstructed by a single
+    :func:`_sequential_lifecycle` pass over their union (its gap rule
+    re-splits at exactly the segment boundaries). Only overflowing
+    segments walk the window-binned path one by one. Output is identical
+    to the historical per-segment loop: pods are re-sorted by start time,
+    and pod start times never tie across segments (they are separated by
+    more than the keep-alive), so the stable sort is layout-independent.
     """
     gaps = np.diff(arrivals)
     boundaries = np.flatnonzero(gaps > keepalive_s) + 1
     starts = np.concatenate(([0], boundaries))
     ends = np.concatenate((boundaries, [arrivals.size]))
 
+    peaks = _segment_peaks(arrivals, exec_s, starts, ends)
+    easy = peaks <= concurrency
+
     start_parts: list[np.ndarray] = []
     last_parts: list[np.ndarray] = []
     nreq_parts: list[np.ndarray] = []
     request_pod = np.empty(arrivals.size, dtype=np.int64)
     next_pod = 0
-    for seg_start, seg_end in zip(starts, ends):
-        sub_arrivals = arrivals[seg_start:seg_end]
-        sub_exec = exec_s[seg_start:seg_end]
-        if peak_inflight(sub_arrivals, sub_exec) <= concurrency:
-            segment = _sequential_lifecycle(sub_arrivals, sub_exec, keepalive_s)
-        else:
-            segment = _windowed_segment(
-                sub_arrivals, sub_exec, keepalive_s, concurrency
-            )
+    if easy.any():
+        easy_req = np.repeat(easy, ends - starts)
+        easy_idx = np.flatnonzero(easy_req)
+        segment = _sequential_lifecycle(
+            arrivals[easy_idx], exec_s[easy_idx], keepalive_s
+        )
+        start_parts.append(segment.pod_start_ts)
+        last_parts.append(segment.pod_last_end_ts)
+        nreq_parts.append(segment.pod_n_requests)
+        request_pod[easy_idx] = segment.request_pod
+        next_pod = segment.n_pods
+    for seg_idx in np.flatnonzero(~easy):
+        seg_start, seg_end = int(starts[seg_idx]), int(ends[seg_idx])
+        segment = _windowed_segment(
+            arrivals[seg_start:seg_end], exec_s[seg_start:seg_end],
+            keepalive_s, concurrency,
+        )
         start_parts.append(segment.pod_start_ts)
         last_parts.append(segment.pod_last_end_ts)
         nreq_parts.append(segment.pod_n_requests)

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.analysis.accumulators import BinnedSeries, LogHistogram, TickGauge
 from repro.workload.function import FunctionSpec
 
@@ -73,10 +75,33 @@ class EvalMetrics:
         if now_s is not None:
             self.cold_start_minutes.add_one(float(now_s))
 
+    def record_cold_batch(self, waits_s: np.ndarray, times_s: np.ndarray) -> None:
+        """Record many cold starts at once (both replay engines use this).
+
+        Callers pass the events in the replay's canonical order (global
+        time order, ties by trace order) so the histogram's float
+        accumulations are identical whichever engine produced them.
+        """
+        waits_s = np.asarray(waits_s, dtype=np.float64)
+        times_s = np.asarray(times_s, dtype=np.float64)
+        if not waits_s.size:
+            return
+        self.cold_starts += int(waits_s.size)
+        self.cold_wait.add(waits_s)
+        self.cold_start_minutes.add(times_s)
+
     def record_tick(self, alive_pods: int) -> None:
         """Record one gauge tick (ticks share an absolute grid across shards)."""
         self.pods_gauge.record(alive_pods)
         self.peak_pods = max(self.peak_pods, int(alive_pods))
+
+    def record_tick_batch(self, alive_pods: np.ndarray) -> None:
+        """Record a whole gauge series at once (the vector engine's path)."""
+        alive_pods = np.asarray(alive_pods)
+        if not alive_pods.size:
+            return
+        self.pods_gauge.extend(alive_pods)
+        self.peak_pods = max(self.peak_pods, int(alive_pods.max()))
 
     # -- reading ------------------------------------------------------------
 

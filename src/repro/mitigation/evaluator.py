@@ -1,4 +1,4 @@
-"""Event-driven policy evaluator.
+"""Policy evaluator: vectorized fast path + event-driven reference engine.
 
 Replays generated request streams against a modelled region under a chosen
 combination of keep-alive policy, pre-warming policy, and peak shaver, and
@@ -10,22 +10,55 @@ The evaluator is intentionally function-centric: cluster placement does not
 change *whether* a cold start happens (only pools do, covered separately in
 :mod:`~repro.mitigation.pool_prediction`), so pods are tracked per function
 with the same keep-alive semantics as the trace generator.
+
+Two engines share one semantics:
+
+* ``engine="vector"`` — the structure-of-arrays fast path
+  (:mod:`~repro.mitigation.vector_engine`): per-function numpy scans for
+  the uncoupled configurations (any per-function keep-alive policy, no
+  pre-warming, no peak shaving), typically an order of magnitude faster
+  than the event loop (``benchmarks/bench_evaluator.py``).
+* ``engine="event"`` — the reference event loop, required for *coupled*
+  policies (pre-warm plans and peak shaving react to region-wide state on
+  a shared tick clock).
+* ``engine="auto"`` (default) — vector when the configuration is
+  uncoupled, event otherwise.
+
+Both engines price the k-th cold start of a function from the same
+per-function :class:`~repro.sim.latency.FunctionColdSampler` draw and look
+congestion up in the same exogenous :class:`CongestionProfile`, and both
+assemble their metrics in one canonical order — so for any uncoupled
+configuration they produce **bit-identical** :class:`EvalMetrics`
+(``tests/test_vector_engine.py`` sweeps seeds x policies x jobs x
+channels).
+
+Congestion model: earlier versions fed the sampled latencies back into a
+rolling count of the replay's own cold starts, which coupled every
+function to every other through the sample order. Congestion is now an
+*exogenous* per-minute profile derived from the workload's keep-alive
+lifecycle reconstruction (the same signal the trace generator prices cold
+starts with) — the replayed policy subset is a drop in the bucket of the
+platform-wide load the congestion term models, and making it exogenous is
+what renders the baseline embarrassingly parallel across functions.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.cluster.autoscaler import FixedKeepAlive, KeepAlivePolicy
 from repro.mitigation.base import EvalMetrics, PeakShaver, PrewarmPolicy
-from repro.sim.latency import LatencyModel, runtime_code, ComponentParams
+from repro.mitigation.vector_engine import FunctionReplay, replay_function
+from repro.sim.latency import LatencyModel
 from repro.sim.rng import RngFactory
 from repro.workload.catalog import SizeClass
 from repro.workload.generator import FunctionTrace, WorkloadGenerator
 from repro.workload.regions import REGION_PROFILES, RegionProfile
+
+#: Valid values of the ``engine`` argument.
+ENGINES = ("auto", "vector", "event")
 
 
 def build_workload(
@@ -70,16 +103,60 @@ def build_workload_shard(
     return profile, generator.function_traces_for(subset)
 
 
-@dataclass
-class _Pod:
-    """Lightweight pod record inside the evaluator."""
+class CongestionProfile:
+    """Exogenous per-minute cold-start congestion over a workload.
 
-    created: float
-    ready_at: float
-    last_activity: float
-    ends: list = field(default_factory=list)
-    prewarmed: bool = False
-    touched: bool = False
+    The same statistic the trace generator feeds its latency model
+    (:meth:`~repro.workload.generator.WorkloadGenerator
+    ._congestion_per_coldstart`): per-minute counts of keep-alive lifecycle
+    pod starts, normalised to the mean over busy minutes, minus one,
+    clipped to ``[0, 3]``. Quiet minutes are 0 (baseline latency); busy
+    minutes are > 0. Being derived from the *workload* rather than from
+    the replay's own running state, it is identical for every engine,
+    policy, and shard schedule over the same traces.
+    """
+
+    def __init__(self, per_minute: np.ndarray):
+        self.per_minute = np.asarray(per_minute, dtype=np.float64)
+        if self.per_minute.size == 0:
+            self.per_minute = np.zeros(1, dtype=np.float64)
+
+    @classmethod
+    def from_traces(
+        cls, traces: list[FunctionTrace], horizon_s: float
+    ) -> "CongestionProfile":
+        total_minutes = int(horizon_s // 60) + 1
+        counts = np.zeros(total_minutes, dtype=np.float64)
+        for trace in traces:
+            lifecycle = getattr(trace, "lifecycle", None)
+            starts = getattr(lifecycle, "pod_start_ts", None)
+            if starts is None or not len(starts):
+                continue
+            minutes = (np.asarray(starts) // 60).astype(np.int64)
+            np.add.at(counts, np.clip(minutes, 0, total_minutes - 1), 1.0)
+        busy = counts[counts > 0]
+        mean_rate = float(busy.mean()) if busy.size else 1.0
+        normalised = np.clip(counts / max(mean_rate, 1e-9) - 1.0, 0.0, 3.0)
+        return cls(normalised)
+
+    def at(self, t: float) -> float:
+        """Congestion at time ``t`` (same float ops as the vector lookup)."""
+        idx = int(np.float64(t) // 60.0)
+        if idx >= self.per_minute.size:
+            idx = self.per_minute.size - 1
+        return float(self.per_minute[idx])
+
+
+def _last_tick_index(limit: float) -> int:
+    """Largest k with ``k * 60.0 <= limit`` under exact float comparison."""
+    if limit < 0.0:
+        return -1
+    k = int(limit / 60.0)
+    while (k + 1) * 60.0 <= limit:
+        k += 1
+    while k > 0 and k * 60.0 > limit:
+        k -= 1
+    return k
 
 
 class RegionEvaluator:
@@ -95,7 +172,10 @@ class RegionEvaluator:
         concurrency_override=None,
         queue_patience_s: float = 30.0,
         prewarm_grace_s: float = 150.0,
+        engine: str = "auto",
     ):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
         self.profile = profile
         self.keepalive_policy = keepalive_policy or FixedKeepAlive()
         self.prewarm_policy = prewarm_policy
@@ -110,25 +190,57 @@ class RegionEvaluator:
         #: aggressive keep-alive policies (they exist *for* a future
         #: request; releasing them defeats the pre-warming).
         self.prewarm_grace_s = prewarm_grace_s
+        self.engine = engine
         self._rngs = RngFactory(seed)
         self._latency = LatencyModel(
             profile.latency, self._rngs.stream(f"eval/{profile.name}")
         )
 
-    # -- latency --------------------------------------------------------------
+    # -- engine selection ------------------------------------------------------
 
-    def _sample_cold_start(self, spec, congestion: float) -> float:
-        sample = self._latency.sample_one(
+    def coupled(self) -> bool:
+        """True when the configuration couples functions through shared state.
+
+        Pre-warm plans and peak shaving react to region-wide signals on a
+        shared tick clock; keep-alive policies and concurrency overrides
+        are per-function constants, so they stay uncoupled.
+        """
+        return self.prewarm_policy is not None or self.peak_shaver is not None
+
+    def resolve_engine(self) -> str:
+        """The engine ``run`` will use (``"vector"`` or ``"event"``)."""
+        if self.engine == "event":
+            return "event"
+        if self.engine == "vector":
+            if self.coupled():
+                raise ValueError(
+                    "engine='vector' cannot replay coupled policies "
+                    "(pre-warming / peak shaving share region-wide state); "
+                    "use engine='event' or 'auto'"
+                )
+            return "vector"
+        return "event" if self.coupled() else "vector"
+
+    # -- shared per-function setup ---------------------------------------------
+
+    def _sampler_for(self, spec):
+        return self._latency.function_sampler(
             runtime=spec.runtime,
             is_large=spec.config.size_class is SizeClass.LARGE,
             has_deps=spec.has_dependencies,
             code_size_mb=spec.code_size_mb,
             dep_size_mb=max(spec.dep_size_mb, 0.5),
-            congestion=congestion,
+            rng=self._rngs.stream(
+                f"eval/{self.profile.name}/f{spec.function_id}"
+            ),
         )
-        return sample["total_s"]
 
-    # -- main loop -------------------------------------------------------------
+    def _concurrency(self, spec) -> int:
+        if self.concurrency_override:
+            return int(self.concurrency_override(spec))
+        return int(spec.concurrency)
+
+    # -- main entry ------------------------------------------------------------
 
     def run(
         self,
@@ -142,9 +254,117 @@ class RegionEvaluator:
                 (float(t.arrivals[-1]) for t in traces if t.arrivals.size), default=0.0
             ) + 120.0
         metrics = EvalMetrics(name=name or self._default_name())
+        if self.resolve_engine() == "vector":
+            self._run_vector(traces, horizon_s, metrics)
+        else:
+            self._run_event(traces, horizon_s, metrics)
+        return metrics
 
+    # -- vectorized fast path --------------------------------------------------
+
+    def _run_vector(
+        self, traces: list[FunctionTrace], horizon_s: float, metrics: EvalMetrics
+    ) -> None:
+        congestion = CongestionProfile.from_traces(traces, horizon_s)
+        t_last = max(
+            (float(t.arrivals[-1]) for t in traces if t.arrivals.size),
+            default=-1.0,
+        )
+        replays: list[FunctionReplay] = []
+        fn_last: list[float] = []
+        for trace in traces:
+            arrivals = np.asarray(trace.arrivals, dtype=np.float64)
+            if arrivals.size and np.any(np.diff(arrivals) < 0):
+                raise ValueError(
+                    "the vector engine needs per-function arrivals sorted in "
+                    "time (the generator always produces them sorted); use "
+                    "engine='event' for unsorted streams"
+                )
+            spec = trace.spec
+            replays.append(
+                replay_function(
+                    arrivals,
+                    np.asarray(trace.exec_s, dtype=np.float64),
+                    self.keepalive_policy.keepalive_for(spec, 0.0),
+                    self._concurrency(spec),
+                    self.queue_patience_s,
+                    self._sampler_for(spec),
+                    congestion,
+                )
+            )
+            fn_last.append(float(arrivals[-1]) if arrivals.size else -np.inf)
+
+        # Counters.
+        metrics.requests = sum(r.requests for r in replays)
+        metrics.warm_hits = sum(r.warm_hits for r in replays)
+
+        # Cold starts, replayed into the sketches in global time order
+        # (stable ties by trace order — the event engine's processing
+        # order), so the float accumulations are bit-identical.
+        cold_times = np.concatenate([r.cold_times for r in replays]) if replays else np.zeros(0)
+        cold_waits = np.concatenate([r.cold_waits for r in replays]) if replays else np.zeros(0)
+        order = np.argsort(cold_times, kind="stable")
+        metrics.record_cold_batch(cold_waits[order], cold_times[order])
+
+        # Pod tables batched across functions (canonical trace order).
+        all_created = (
+            np.concatenate([r.pod_created for r in replays])
+            if replays else np.zeros(0)
+        )
+        all_death = (
+            np.concatenate([r.pod_death for r in replays])
+            if replays else np.zeros(0)
+        )
+
+        # Tick gauge: ticks fire on the minute grid while events remain
+        # (never past the horizon); a pod is counted at every tick strictly
+        # inside (created, death).
+        n_ticks = _last_tick_index(min(t_last, horizon_s)) + 1 if t_last >= 0 else 0
+        if n_ticks > 0:
+            grid = np.arange(n_ticks) * 60.0
+            lo = np.searchsorted(grid, all_created, side="right")
+            hi = np.searchsorted(grid, all_death, side="left")
+            mask = hi > lo
+            delta = np.bincount(
+                lo[mask], minlength=n_ticks + 1
+            ) - np.bincount(hi[mask].clip(max=n_ticks), minlength=n_ticks + 1)
+            metrics.record_tick_batch(np.cumsum(delta[:n_ticks]))
+        last_tick_time = (n_ticks - 1) * 60.0 if n_ticks else -np.inf
+
+        # Pod-second credits, in the same canonical (trace, creation) order
+        # and with the same expiry rule as the event engine: a pod whose
+        # death the run still observed (a later arrival of its function, or
+        # any tick) is credited to min(death, horizon); one that outlives
+        # every expiry check is credited to the horizon.
+        if all_created.size:
+            pods_per_fn = np.array(
+                [r.pod_created.size for r in replays], dtype=np.int64
+            )
+            expiry_seen = np.repeat(
+                np.maximum(np.asarray(fn_last), last_tick_time), pods_per_fn
+            )
+            credits = np.where(
+                all_death <= expiry_seen,
+                np.minimum(all_death, horizon_s) - all_created,
+                horizon_s - all_created,
+            )
+            metrics.pod_seconds = float(np.sum(np.maximum(credits, 0.0)))
+        else:
+            metrics.pod_seconds = 0.0
+
+    # -- event-driven reference engine -----------------------------------------
+
+    def _run_event(
+        self, traces: list[FunctionTrace], horizon_s: float, metrics: EvalMetrics
+    ) -> None:
+        congestion = CongestionProfile.from_traces(traces, horizon_s)
         specs = [t.spec for t in traces]
         spec_by_id = {s.function_id: i for i, s in enumerate(specs)}
+        n_fns = len(specs)
+        kas = [self.keepalive_policy.keepalive_for(s, 0.0) for s in specs]
+        concs = [self._concurrency(s) for s in specs]
+        samplers = [self._sampler_for(s) for s in specs]
+
         all_t = np.concatenate([t.arrivals for t in traces]) if traces else np.zeros(0)
         all_fn = np.concatenate(
             [np.full(t.arrivals.size, i, dtype=np.int64) for i, t in enumerate(traces)]
@@ -153,18 +373,37 @@ class RegionEvaluator:
         order = np.argsort(all_t, kind="stable")
         all_t, all_fn, all_exec = all_t[order], all_fn[order], all_exec[order]
 
-        pods: list[list[_Pod]] = [[] for _ in specs]
+        # Structure-of-arrays pod tables, one column set per function:
+        # parallel lists indexed by pod ordinal (creation order). ``alive``
+        # holds the ordinals not yet expired; aliveness is the death-time
+        # rule ``now < last_act + ka_eff`` (last_act bounds every slot end,
+        # so a pod with in-flight work always passes).
+        created: list[list[float]] = [[] for _ in range(n_fns)]
+        ready: list[list[float]] = [[] for _ in range(n_fns)]
+        last_act: list[list[float]] = [[] for _ in range(n_fns)]
+        ends: list[list[list[float]]] = [[] for _ in range(n_fns)]
+        prewarmed: list[list[bool]] = [[] for _ in range(n_fns)]
+        touched: list[list[bool]] = [[] for _ in range(n_fns)]
+        credit: list[list[float]] = [[] for _ in range(n_fns)]
+        alive: list[list[int]] = [[] for _ in range(n_fns)]
+        active_fns: set[int] = set()
+
+        cold_t: list[float] = []
+        cold_w: list[float] = []
         delayed: list[tuple[float, int, int, float]] = []  # (time, seq, fn, exec)
         seq = 0
+        grace = self.prewarm_grace_s
 
-        # Congestion bookkeeping (rolling minute of cold starts vs run mean).
+        # Peak shaving reacts to the *replay's own* allocation bursts (a
+        # stampede signal the exogenous workload profile smooths away):
+        # rolling last-minute cold starts against the run's mean rate.
         recent_colds: list[float] = []
         total_colds = 0
         first_cold: float | None = None
 
-        def congestion(now: float) -> float:
+        def live_congestion(now: float) -> float:
             nonlocal recent_colds
-            recent_colds = [t for t in recent_colds if now - t < 60.0]
+            recent_colds = [x for x in recent_colds if now - x < 60.0]
             if first_cold is None or now <= first_cold:
                 return 0.0
             mean = total_colds / max((now - first_cold) / 60.0, 1.0)
@@ -172,55 +411,45 @@ class RegionEvaluator:
                 return 0.0
             return float(np.clip(len(recent_colds) / mean - 1.0, 0.0, 3.0))
 
-        def keepalive(spec) -> float:
-            return self.keepalive_policy.keepalive_for(spec, 0.0)
+        def pod_ka(fn: int, p: int) -> float:
+            ka = kas[fn]
+            if prewarmed[fn][p] and not touched[fn][p]:
+                return ka if ka > grace else grace
+            return ka
+
+        def new_pod(
+            fn: int, created_at: float, ready_at: float, last: float,
+            pod_ends: list[float], is_prewarmed: bool,
+        ) -> None:
+            """Append one pod across every SoA column, in lockstep."""
+            p = len(created[fn])
+            created[fn].append(created_at)
+            ready[fn].append(ready_at)
+            last_act[fn].append(last)
+            ends[fn].append(pod_ends)
+            prewarmed[fn].append(is_prewarmed)
+            touched[fn].append(not is_prewarmed)
+            credit[fn].append(-1.0)
+            alive[fn].append(p)
+            active_fns.add(fn)
 
         def expire(fn: int, now: float) -> None:
-            spec = specs[fn]
-            ka = keepalive(spec)
-            alive = []
-            for pod in pods[fn]:
-                pod.ends = [e for e in pod.ends if e > now]
-                pod_ka = ka
-                if pod.prewarmed and not pod.touched:
-                    pod_ka = max(ka, self.prewarm_grace_s)
-                active_until = pod.last_activity + pod_ka
-                if not pod.ends and now >= active_until:
-                    death = min(active_until, horizon_s)
-                    metrics.pod_seconds += max(death - pod.created, 0.0)
-                    if pod.prewarmed:
-                        metrics.prewarm_pod_seconds += max(death - pod.created, 0.0)
+            still = []
+            fn_created = created[fn]
+            fn_credit = credit[fn]
+            fn_last = last_act[fn]
+            for p in alive[fn]:
+                death = fn_last[p] + pod_ka(fn, p)
+                if now >= death:
+                    if death > horizon_s:
+                        death = horizon_s
+                    value = death - fn_created[p]
+                    fn_credit[p] = value if value > 0.0 else 0.0
                 else:
-                    alive.append(pod)
-            pods[fn] = alive
-
-        def find_slot(fn: int, now: float) -> tuple[_Pod | None, float]:
-            """Best (pod, service-start) for a request of function ``fn``.
-
-            Ready pods with free slots serve immediately; initialising pods
-            serve once ready; fully-busy pods accept queued work when the
-            wait stays within ``queue_patience_s`` (FIFO on the earliest
-            finishing slot). Returns (None, now) when only a new cold start
-            can serve the request.
-            """
-            spec = specs[fn]
-            conc = (
-                self.concurrency_override(spec)
-                if self.concurrency_override
-                else spec.concurrency
-            )
-            best: _Pod | None = None
-            best_start = np.inf
-            for pod in pods[fn]:
-                if len(pod.ends) < conc:
-                    start = max(now, pod.ready_at)
-                else:
-                    start = max(min(pod.ends), pod.ready_at)
-                    if start - now > self.queue_patience_s:
-                        continue
-                if start < best_start:
-                    best, best_start = pod, start
-            return best, (best_start if best is not None else now)
+                    still.append(p)
+            alive[fn] = still
+            if not still:
+                active_fns.discard(fn)
 
         def handle_request(fn: int, now: float, exec_s: float, was_delayed: bool) -> None:
             nonlocal seq, total_colds, first_cold
@@ -229,21 +458,39 @@ class RegionEvaluator:
             if self.prewarm_policy is not None:
                 self.prewarm_policy.observe(spec, now)
             expire(fn, now)
-            pod, start = find_slot(fn, now)
-            if pod is not None:
-                if pod.prewarmed and not pod.touched:
+            conc = concs[fn]
+            fn_ready = ready[fn]
+            fn_ends = ends[fn]
+            fn_last = last_act[fn]
+            best = -1
+            best_start = np.inf
+            for p in alive[fn]:
+                pod_ends = [x for x in fn_ends[p] if x > now]
+                fn_ends[p] = pod_ends
+                if len(pod_ends) < conc:
+                    start = now if now >= fn_ready[p] else fn_ready[p]
+                else:
+                    start = min(pod_ends)
+                    if start < fn_ready[p]:
+                        start = fn_ready[p]
+                    if start - now > self.queue_patience_s:
+                        continue
+                # Earliest feasible start wins; ties go to the earliest
+                # created pod (iteration order) — the shared rule both
+                # engines implement.
+                if start < best_start:
+                    best, best_start = p, start
+            if best >= 0:
+                if prewarmed[fn][best] and not touched[fn][best]:
                     metrics.prewarm_hits += 1
-                pod.touched = True
-                conc = (
-                    self.concurrency_override(spec)
-                    if self.concurrency_override
-                    else spec.concurrency
-                )
-                if len(pod.ends) >= conc:
-                    # FIFO queueing: take over the earliest-finishing slot.
-                    pod.ends.remove(min(pod.ends))
-                pod.ends.append(start + exec_s)
-                pod.last_activity = max(pod.last_activity, start + exec_s)
+                touched[fn][best] = True
+                pod_ends = fn_ends[best]
+                if len(pod_ends) >= conc:
+                    pod_ends.remove(min(pod_ends))
+                end = best_start + exec_s
+                pod_ends.append(end)
+                if end > fn_last[best]:
+                    fn_last[best] = end
                 metrics.warm_hits += 1
                 return
             # Cold-bound: maybe shave the peak instead.
@@ -252,7 +499,9 @@ class RegionEvaluator:
                 and not was_delayed
                 and not spec.synchronous
             ):
-                delay = self.peak_shaver.delay_for(spec, now, congestion(now))
+                delay = self.peak_shaver.delay_for(
+                    spec, now, max(live_congestion(now), congestion.at(now))
+                )
                 if delay > 0:
                     metrics.delayed_requests += 1
                     metrics.total_delay_s += delay
@@ -260,31 +509,25 @@ class RegionEvaluator:
                     heapq.heappush(delayed, (now + delay, seq, fn, exec_s))
                     seq += 1
                     return
-            cold = self._sample_cold_start(spec, congestion(now))
-            if first_cold is None:
-                first_cold = now
-            recent_colds.append(now)
-            total_colds += 1
-            metrics.record_cold(cold, now)
-            ready = now + cold
-            pods[fn].append(
-                _Pod(
-                    created=now,
-                    ready_at=ready,
-                    last_activity=ready + exec_s,
-                    ends=[ready + exec_s],
-                    touched=True,
-                )
-            )
+            cold = samplers[fn].next_total(congestion.at(now))
+            cold_t.append(now)
+            cold_w.append(cold)
+            if self.peak_shaver is not None:
+                if first_cold is None:
+                    first_cold = now
+                recent_colds.append(now)
+                total_colds += 1
+            end = now + cold + exec_s
+            new_pod(fn, now, now + cold, end, [end], is_prewarmed=False)
 
         def do_tick(now: float) -> None:
-            alive = 0
-            for fn in range(len(specs)):
+            n_alive = 0
+            for fn in list(active_fns):
                 expire(fn, now)
-                alive += len(pods[fn])
-            metrics.record_tick(alive)
+                n_alive += len(alive[fn])
+            metrics.record_tick(n_alive)
             if self.peak_shaver is not None:
-                self.peak_shaver.observe_load(now, alive)
+                self.peak_shaver.observe_load(now, n_alive)
             if self.prewarm_policy is None:
                 return
             plan = self.prewarm_policy.plan(now)
@@ -292,19 +535,16 @@ class RegionEvaluator:
                 fn = spec_by_id.get(function_id)
                 if fn is None or target <= 0:
                     continue
-                idle = sum(
-                    1 for p in pods[fn] if p.ready_at <= now and not p.ends
-                )
+                idle = 0
+                for p in alive[fn]:
+                    if ready[fn][p] <= now:
+                        pod_ends = [x for x in ends[fn][p] if x > now]
+                        ends[fn][p] = pod_ends
+                        if not pod_ends:
+                            idle += 1
                 for _ in range(target - idle):
                     metrics.prewarm_creations += 1
-                    pods[fn].append(
-                        _Pod(
-                            created=now,
-                            ready_at=now,
-                            last_activity=now,
-                            prewarmed=True,
-                        )
-                    )
+                    new_pod(fn, now, now, now, [], is_prewarmed=True)
 
         # Merge arrivals, delayed re-arrivals, and minute ticks.
         ai = 0
@@ -330,13 +570,34 @@ class RegionEvaluator:
                 )
                 ai += 1
 
-        # Close out: account every pod still alive at the horizon.
-        for fn in range(len(specs)):
-            for pod in pods[fn]:
-                metrics.pod_seconds += max(horizon_s - pod.created, 0.0)
-                if pod.prewarmed:
-                    metrics.prewarm_pod_seconds += max(horizon_s - pod.created, 0.0)
-        return metrics
+        # Cold-start sketches in one canonical batch (same arrays, same
+        # float accumulation order as the vector engine's sorted batch).
+        metrics.record_cold_batch(
+            np.asarray(cold_w, dtype=np.float64), np.asarray(cold_t, dtype=np.float64)
+        )
+
+        # Close out: pods never caught by an expiry check are credited to
+        # the horizon; then sum every credit in canonical (trace, creation)
+        # order so the float total matches the vector engine exactly.
+        credit_parts = []
+        prewarm_parts = []
+        for fn in range(n_fns):
+            if not created[fn]:
+                continue
+            values = np.asarray(credit[fn], dtype=np.float64)
+            open_mask = values < 0.0
+            if open_mask.any():
+                closeout = horizon_s - np.asarray(created[fn], dtype=np.float64)
+                values = np.where(open_mask, np.maximum(closeout, 0.0), values)
+            credit_parts.append(values)
+            if any(prewarmed[fn]):
+                prewarm_parts.append(values[np.asarray(prewarmed[fn], dtype=bool)])
+        metrics.pod_seconds = (
+            float(np.sum(np.concatenate(credit_parts))) if credit_parts else 0.0
+        )
+        metrics.prewarm_pod_seconds = (
+            float(np.sum(np.concatenate(prewarm_parts))) if prewarm_parts else 0.0
+        )
 
     def _default_name(self) -> str:
         parts = [self.keepalive_policy.describe()]

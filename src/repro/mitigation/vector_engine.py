@@ -1,0 +1,578 @@
+"""Vectorized structure-of-arrays replay engine (the evaluator fast path).
+
+The event-driven evaluator walks every request through Python-level pod
+bookkeeping; this module replays the *uncoupled* policy configurations
+(per-function keep-alive, no pre-warming, no peak shaving — pod state of
+one function never depends on another) function by function with a
+precomputed structure-of-arrays walk instead:
+
+* **Steady idle-warm stretches** — each arrival finds its function's one
+  pod idle, so the slot end is exactly ``t + e`` — are the common case by
+  far and cost *zero* per-arrival work: a whole-function vectorized pass
+  precomputes the positions deviating from the steady state, and the walk
+  jumps from candidate to candidate.
+* **Sparse stretches** (every remaining inter-arrival gap exceeds the
+  keep-alive — timers past the keep-alive, the long tail of rarely-invoked
+  functions) are resolved by *speculation*: price the next block of
+  arrivals as if all of them were cold starts, verify the keep-alive death
+  condition vectorized, and accept the longest valid prefix in one shot.
+* **Queueing blips** (an arrival while the pod is busy) and multi-pod
+  **episodes** (a burst whose queue wait exceeds the patience, forcing
+  concurrent pods) are resolved with exact scalar steps: a slot-end heap
+  for single-slot pods (O(log pods) per arrival), a generic multi-slot
+  loop otherwise — handing back to the steady walk as soon as the pod
+  population is one and idle.
+
+Every float operation along these paths is the same one the event engine
+performs per request — an idle warm hit ends at ``fl(t + e)``, a queued
+one at ``fl(E_prev + e)``, a pod dies at ``fl(E + ka)`` — which is what
+keeps the two engines bit-identical rather than merely equal to rounding.
+Cold-start latencies come from per-function
+:class:`~repro.sim.latency.FunctionColdSampler` draws and congestion from
+the exogenous per-minute :class:`~repro.mitigation.evaluator
+.CongestionProfile`, both shared with the event engine
+(``tests/test_vector_engine.py`` pins the equivalence).
+
+Per function the engine returns a :class:`FunctionReplay` — structure-of-
+arrays pod tables (creation time, death time) plus the cold-start events —
+from which the caller assembles gauge ticks, pod-second credits, and
+histogram updates in a canonical order independent of the engine that
+produced them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Upper bound on arrivals priced per speculation attempt.
+_SPEC_CHUNK = 1024
+
+#: Minimum >keep-alive gap run length that justifies pricing a block of
+#: cold starts speculatively (below it, the per-attempt batch overhead
+#: exceeds the scalar path's cost).
+_SPEC_MIN_RUN = 8
+
+
+@dataclass
+class FunctionReplay:
+    """One function's replay outcome in structure-of-arrays form.
+
+    ``pod_death`` is the pod's final ``last_activity + keepalive`` —
+    uncapped; the caller applies horizon/closeout credit rules.
+    """
+
+    requests: int
+    warm_hits: int
+    cold_times: np.ndarray
+    cold_waits: np.ndarray
+    pod_created: np.ndarray
+    pod_death: np.ndarray
+
+
+def _empty_replay() -> FunctionReplay:
+    z = np.zeros(0, dtype=np.float64)
+    return FunctionReplay(0, 0, z, z, z.copy(), z.copy())
+
+
+def replay_function(t, e, ka, conc, patience, sampler, congestion) -> FunctionReplay:
+    """Replay one function's arrivals under fixed keep-alive semantics."""
+    if t.size == 0:
+        return _empty_replay()
+    return _replay_walk(t, e, ka, conc, patience, sampler, congestion)
+
+
+def _congestion_values(congestion, times: np.ndarray) -> np.ndarray:
+    """Vector lookup matching ``CongestionProfile.at`` element-wise."""
+    values = congestion.per_minute
+    idx = np.minimum((times // 60.0).astype(np.int64), values.size - 1)
+    return values[idx]
+
+
+def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionReplay:
+    """Exact replay of one function for any per-pod concurrency.
+
+    The walk alternates between four regimes — *cold* (no pod alive),
+    *chain* (one pod, steady idle-warm, candidate jumps), *blip* (one pod,
+    queueing), and *episode* (several pods) — all sharing the event
+    engine's float operations, slot-search rule (earliest feasible start,
+    ties to the earliest created pod), and queue
+    patience semantics.
+    """
+    n = t.size
+    cvals = _congestion_values(congestion, t)
+    idle_end_np = t + e  # steady-state slot ends (exactly the event fl(t+e))
+    # Scalar views, materialised on first chain/episode entry (functions
+    # resolved purely by speculation never pay for them).
+    tl: list[float] | None = None
+    el: list[float] | None = None
+    if n > 1:
+        # Speculation gate: from each position, how many consecutive
+        # inter-arrival gaps exceed the keep-alive (a gap within the
+        # keep-alive guarantees a warm hit, so a cold run can only span
+        # the >ka stretch). Blocks are priced only when the stretch is
+        # long enough to amortise the batch overhead, and sized to it.
+        gap_le_ka = np.diff(t) <= ka
+        false_pos = np.flatnonzero(gap_le_ka)
+        bounds = np.concatenate((false_pos, [n - 1]))
+        next_stop = bounds[np.searchsorted(bounds, np.arange(n - 1))]
+        spec_run = np.empty(n, dtype=np.int64)
+        spec_run[-1] = 0
+        spec_run[:-1] = next_stop - np.arange(n - 1)
+        steady_prev = idle_end_np[:-1]
+        if conc == 1:
+            # A single-slot pod deviates on any overlap with the previous
+            # request's end (or on its death).
+            deviating = (t[1:] >= steady_prev + ka) | (t[1:] < steady_prev)
+        else:
+            # A multi-slot pod serves sub-capacity overlap immediately (the
+            # slot end stays exactly t + e), so only slot exhaustion — the
+            # steady-state in-flight count reaching the concurrency — or a
+            # possible death deviates. The in-flight count before arrival k
+            # is ``k - #{ends <= t_k}`` (an end j > k cannot precede t_k,
+            # and an end at exactly t_k frees its slot, the strict
+            # ``end > now`` rule).
+            inflight = np.arange(n) - np.searchsorted(
+                np.sort(idle_end_np), t, side="right"
+            )
+            deviating = (t[1:] >= steady_prev + ka) | (inflight[1:] >= conc)
+        candidates = (np.flatnonzero(deviating) + 1).tolist()
+    else:
+        spec_run = np.zeros(1, dtype=np.int64)
+        candidates = []
+    candidates.append(n)  # sentinel
+    ci = 0
+
+    cold_blocks: list[np.ndarray] = []  # (idx, wait) column pairs, in order
+    cold_pos: list[int] = []
+    cold_wait: list[float] = []
+    pod_created: list[float] = []
+    pod_death: list[float] = []
+
+    def flush_singles() -> None:
+        if cold_pos:
+            cold_blocks.append(np.asarray(cold_pos, dtype=np.int64))
+            cold_blocks.append(np.asarray(cold_wait, dtype=np.float64))
+            cold_pos.clear()
+            cold_wait.clear()
+
+    i = 0
+    mode = "cold"  # "cold" | "chain" | "episode"
+    e_prev = 0.0  # open pod's last activity in chain mode
+    open_pod = -1  # open pod's ordinal in chain mode
+    open_ready = 0.0  # open pod's ready time (binds only while initialising)
+    heap: list[tuple[float, int]] = []  # conc == 1 episodes: busy (end, pod)
+    pool: list[tuple[float, int]] = []  # conc == 1 episodes: idle (end, pod)
+    # conc > 1 episodes: parallel pod columns, creation order.
+    ep_ready: list[float] = []
+    ep_last: list[float] = []
+    ep_ends: list[list[float]] = []
+    ep_pod: list[int] = []
+    ep_alive: list[int] = []
+    # Speculation width adapts to accepted prefixes (long cold waits make
+    # warm hits common even across >keep-alive gaps, so a >ka gap run is
+    # an upper bound on a cold run, not a promise).
+    spec_w = 64
+
+    while i < n:
+        if mode == "cold":
+            run = int(spec_run[i])
+            if run >= _SPEC_MIN_RUN or i == n - 1:
+                m = min(run + 1, spec_w)
+                waits = sampler.peek_totals(cvals[i : i + m])
+                ends = t[i : i + m] + waits + e[i : i + m]
+                dead = np.empty(m, dtype=bool)
+                if i + m < n:
+                    dead[:] = t[i + 1 : i + m + 1] >= ends + ka
+                else:
+                    dead[:-1] = t[i + 1 : i + m] >= ends[:-1] + ka
+                    dead[-1] = True  # no later arrival: block may close
+                accept = m if dead.all() else int(np.argmin(dead)) + 1
+                spec_w = min(_SPEC_CHUNK, max(_SPEC_MIN_RUN, 2 * accept))
+                sampler.advance(accept)
+                flush_singles()
+                cold_blocks.append(np.arange(i, i + accept))
+                cold_blocks.append(waits[:accept])
+                pod_created.extend(t[i : i + accept].tolist())
+                if accept == m and dead.all():
+                    pod_death.extend((ends[:accept] + ka).tolist())
+                    i += accept
+                    continue
+                # Last accepted pod stays open: its next arrival finds it
+                # alive, so hand over to the chain walk.
+                pod_death.extend((ends[: accept - 1] + ka).tolist())
+                pod_death.append(np.nan)  # filled when the pod closes
+                open_pod = len(pod_created) - 1
+                k = accept - 1
+                open_ready = float(t[i + k]) + float(waits[k])
+                e_prev = float(ends[k])
+                mode = "chain"
+                i += accept
+            else:
+                if tl is None:
+                    tl = t.tolist()
+                    el = e.tolist()
+                # Tight scalar loop over a dense cold stretch: pods that
+                # die before the next arrival never leave this branch.
+                next_total = sampler.next_total
+                while True:
+                    wait = next_total(float(cvals[i]))
+                    cold_pos.append(i)
+                    cold_wait.append(wait)
+                    tk = tl[i]
+                    r0 = tk + wait
+                    end0 = r0 + el[i]
+                    pod_created.append(tk)
+                    i += 1
+                    if i < n and tl[i] >= end0 + ka:
+                        pod_death.append(end0 + ka)
+                        if spec_run[i] >= _SPEC_MIN_RUN:
+                            break  # long cold run ahead: price it as a block
+                        continue
+                    if i >= n:
+                        pod_death.append(end0 + ka)
+                        break
+                    pod_death.append(np.nan)
+                    open_ready = r0
+                    e_prev = end0
+                    open_pod = len(pod_created) - 1
+                    mode = "chain"
+                    break
+            continue
+
+        if mode == "chain" and conc == 1:
+            # Scalar walk over deviation candidates; steady idle-warm
+            # stretches are consumed wholesale by jumping the pointer.
+            if tl is None:
+                tl = t.tolist()
+                el = e.tolist()
+            while i < n:
+                tk = tl[i]
+                if tk >= e_prev + ka:
+                    pod_death[open_pod] = e_prev + ka
+                    open_pod = -1
+                    mode = "cold"
+                    break
+                if tk < e_prev:
+                    # Queueing blip: FIFO takeover chains the one slot end.
+                    if e_prev - tk > patience:
+                        # Overflow: this arrival cold-starts a concurrent
+                        # pod — switch to the slot-end heap episode.
+                        wait = sampler.next_total(float(cvals[i]))
+                        cold_pos.append(i)
+                        cold_wait.append(wait)
+                        pod_created.append(tk)
+                        pod_death.append(np.nan)
+                        heap = [
+                            (e_prev, open_pod),
+                            ((tk + wait) + el[i], len(pod_created) - 1),
+                        ]
+                        heapq.heapify(heap)
+                        pool = []
+                        open_pod = -1
+                        mode = "episode"
+                        i += 1
+                        break
+                    e_prev = e_prev + el[i]
+                    i += 1
+                    continue
+                # Idle-warm: this arrival (and every steady position up to
+                # the next deviation candidate) ends at exactly t + e.
+                while candidates[ci] <= i:
+                    ci += 1
+                d = candidates[ci]
+                e_prev = float(idle_end_np[d - 1])
+                i = d
+            else:
+                break  # arrivals exhausted with the pod open
+            continue
+
+        if mode == "chain":
+            # Multi-slot pod (conc > 1): integrated walk/blip loop. The
+            # candidate flags mark possible deaths and slot exhaustion
+            # only — sub-capacity overlap serves immediately and still
+            # ends at exactly t + e — so steady jumps skip it wholesale.
+            # ``ends`` holds the pod's in-flight slot ends (reconstructed
+            # from the steady stretch when a candidate needs them),
+            # ``last`` its true last activity (running max of ends).
+            if tl is None:
+                tl = t.tolist()
+                el = e.tolist()
+            ready = open_ready
+            last = e_prev
+            ends = [e_prev]  # pruned on arrival if the pod is already idle
+            while True:
+                if i >= n:
+                    pod_death[open_pod] = last + ka
+                    open_pod = -1
+                    break
+                tk = tl[i]
+                if ends:
+                    w = 0  # prune expired ends in place (the list is tiny)
+                    for x in ends:
+                        if x > tk:
+                            ends[w] = x
+                            w += 1
+                    del ends[w:]
+                if tk >= last + ka:
+                    pod_death[open_pod] = last + ka
+                    open_pod = -1
+                    mode = "cold"
+                    break
+                if ends:
+                    # Blip step: serve on a free slot or queue via takeover.
+                    if len(ends) < conc:
+                        start = tk if tk >= ready else ready
+                    else:
+                        mn = ends[0]
+                        for x in ends:
+                            if x < mn:
+                                mn = x
+                        start = mn if mn >= ready else ready
+                        if start - tk > patience:
+                            # Overflow: concurrent pod — generic episode.
+                            wait = sampler.next_total(float(cvals[i]))
+                            cold_pos.append(i)
+                            cold_wait.append(wait)
+                            r2 = tk + wait
+                            end2 = r2 + el[i]
+                            pod_created.append(tk)
+                            pod_death.append(np.nan)
+                            ep_ready = [ready, r2]
+                            ep_last = [last, end2]
+                            ep_ends = [ends, [end2]]
+                            ep_pod = [open_pod, len(pod_created) - 1]
+                            ep_alive = [0, 1]
+                            open_pod = -1
+                            mode = "episode"
+                            i += 1
+                            break
+                        ends.remove(mn)
+                    end = start + el[i]
+                    ends.append(end)
+                    if end > last:
+                        last = end
+                    i += 1
+                    continue
+                # Pod idle here: jump to the next candidate, folding the
+                # steady stretch's ends into the running last activity.
+                while candidates[ci] <= i:
+                    ci += 1
+                d = candidates[ci]
+                seg = idle_end_np[i:d]
+                segmax = float(seg.max())
+                if segmax > last:
+                    last = segmax
+                if d >= n:
+                    i = n
+                    continue  # loop top closes the pod
+                td = tl[d]
+                if td >= last + ka:
+                    pod_death[open_pod] = last + ka
+                    open_pod = -1
+                    mode = "cold"
+                    i = d
+                    break
+                ends = seg[seg > td].tolist()
+                i = d  # loop top serves d as a blip (or walks on if idle)
+            continue
+
+        # mode == "episode": several pods alive.
+        if conc == 1:
+            # Busy pods live in a slot-end heap; pods that idle move to a
+            # small pool served in creation order (the engines' shared
+            # rule: earliest feasible start, ties to the earliest created
+            # pod). Heap pods are never dead — their end exceeds the last
+            # arrival seen — so only the pool needs death pruning.
+            while i < n:
+                now = tl[i]
+                while heap and heap[0][0] <= now:
+                    pool.append(heapq.heappop(heap))  # (end, creation)
+                if pool:
+                    kept_pool = []
+                    for end, p in pool:
+                        if now >= end + ka:
+                            pod_death[p] = end + ka
+                        else:
+                            kept_pool.append((end, p))
+                    pool = kept_pool
+                if not heap and len(pool) <= 1:
+                    break  # 0 pods → cold; 1 idle pod → back to the walk
+                if pool:
+                    # Serve the first-created idle pod at `now`.
+                    b = 0
+                    for j in range(1, len(pool)):
+                        if pool[j][1] < pool[b][1]:
+                            b = j
+                    if not heap:
+                        # Calm stretch: every pod is idle, so the serving
+                        # pod keeps winning the tie (earliest created) and
+                        # ends each request at exactly t + e, while the
+                        # others only decay — jump straight to the next
+                        # deviation candidate; the loop top prunes there.
+                        # The serving pod may be *busy* at the candidate
+                        # (an overlap is exactly what flags it), in which
+                        # case it re-enters the heap, not the idle pool.
+                        while candidates[ci] <= i:
+                            ci += 1
+                        d = candidates[ci]
+                        _, p0 = pool.pop(b)
+                        new_end = float(idle_end_np[d - 1])
+                        if d < n and new_end > tl[d]:
+                            heapq.heappush(heap, (new_end, p0))
+                        else:
+                            pool.append((new_end, p0))
+                        i = d
+                        continue
+                    _, p0 = pool.pop(b)
+                    heapq.heappush(heap, (now + el[i], p0))
+                else:
+                    end0, p0 = heap[0]
+                    if end0 - now > patience:
+                        wait = sampler.next_total(float(cvals[i]))
+                        cold_pos.append(i)
+                        cold_wait.append(wait)
+                        pod_created.append(now)
+                        pod_death.append(np.nan)
+                        heapq.heappush(
+                            heap, ((now + wait) + el[i], len(pod_created) - 1)
+                        )
+                    else:
+                        heapq.heapreplace(heap, (end0 + el[i], p0))
+                i += 1
+            if i < n:
+                if pool:
+                    e_prev, open_pod = pool[0][0], pool[0][1]
+                    open_ready = pod_created[open_pod]  # never binds: <= end
+                    pool = []
+                    mode = "chain"
+                else:
+                    mode = "cold"
+            continue
+
+        # Generic multi-slot episode (rare): exact scalar slot search.
+        while i < n:
+            now = tl[i]
+            kept = []
+            for p in ep_alive:
+                death = ep_last[p] + ka
+                if now >= death:
+                    pod_death[ep_pod[p]] = death
+                else:
+                    kept.append(p)
+            ep_alive = kept
+            if not ep_alive or (
+                len(ep_alive) == 1 and now >= ep_last[ep_alive[0]]
+            ):
+                break
+            calm = True
+            for p in ep_alive:
+                pe = ep_ends[p]
+                if pe:
+                    w = 0  # prune expired ends in place (the list is tiny)
+                    for x in pe:
+                        if x > now:
+                            pe[w] = x
+                            w += 1
+                    del pe[w:]
+                    if w:
+                        calm = False
+            if calm:
+                # Calm stretch: every pod idle, so the earliest-created
+                # pod keeps winning the tie and serves steadily at t + e
+                # (sub-capacity overlap included) while the others decay —
+                # jump to the next deviation candidate.
+                b = ep_alive[0]
+                for p in ep_alive:
+                    if p < b:
+                        b = p
+                while candidates[ci] <= i:
+                    ci += 1
+                d = candidates[ci]
+                seg = idle_end_np[i:d]
+                segmax = float(seg.max())
+                if segmax > ep_last[b]:
+                    ep_last[b] = segmax
+                ep_ends[b] = seg[seg > tl[d]].tolist() if d < n else []
+                i = d
+                continue
+            best = -1
+            best_start = np.inf
+            for p in ep_alive:
+                pe = ep_ends[p]
+                w = len(pe)
+                if w < conc:
+                    start = now if now >= ep_ready[p] else ep_ready[p]
+                else:
+                    mn = pe[0]
+                    for x in pe:
+                        if x < mn:
+                            mn = x
+                    start = mn if mn >= ep_ready[p] else ep_ready[p]
+                    if start - now > patience:
+                        continue
+                # earliest feasible start; ties to the earliest created pod
+                if start < best_start:
+                    best, best_start = p, start
+            if best >= 0:
+                pe = ep_ends[best]
+                if len(pe) >= conc:
+                    pe.remove(min(pe))
+                end = best_start + el[i]
+                pe.append(end)
+                if end > ep_last[best]:
+                    ep_last[best] = end
+            else:
+                wait = sampler.next_total(float(cvals[i]))
+                cold_pos.append(i)
+                cold_wait.append(wait)
+                r2 = now + wait
+                end2 = r2 + el[i]
+                pod_created.append(now)
+                pod_death.append(np.nan)
+                ep_ready.append(r2)
+                ep_last.append(end2)
+                ep_ends.append([end2])
+                ep_pod.append(len(pod_created) - 1)
+                ep_alive.append(len(ep_pod) - 1)
+            i += 1
+        if i < n:
+            if ep_alive:
+                p = ep_alive[0]
+                e_prev = ep_last[p]
+                open_pod = ep_pod[p]
+                open_ready = ep_ready[p]
+                ep_alive = []
+                mode = "chain"
+            else:
+                mode = "cold"
+        continue
+
+    # Close whatever is still open.
+    if mode == "chain" and open_pod >= 0:
+        pod_death[open_pod] = e_prev + ka
+    elif mode == "episode":
+        for end, p in heap:
+            pod_death[p] = end + ka
+        for end, p in pool:
+            pod_death[p] = end + ka
+        for p in ep_alive:
+            pod_death[ep_pod[p]] = ep_last[p] + ka
+
+    flush_singles()
+    cold_idx = (
+        np.concatenate(cold_blocks[0::2]) if cold_blocks else np.zeros(0, np.int64)
+    )
+    cold_waits = (
+        np.concatenate(cold_blocks[1::2]) if cold_blocks else np.zeros(0)
+    )
+    return FunctionReplay(
+        requests=n,
+        warm_hits=n - cold_idx.size,
+        cold_times=t[cold_idx],
+        cold_waits=cold_waits,
+        pod_created=np.asarray(pod_created, dtype=np.float64),
+        pod_death=np.asarray(pod_death, dtype=np.float64),
+    )

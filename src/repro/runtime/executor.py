@@ -281,15 +281,29 @@ def run_directory_analysis(directory):
 
 @dataclass(frozen=True)
 class EvaluationTask:
-    """A function-group shard plus the policies to replay over it."""
+    """A function-group shard plus the policies to replay over it.
+
+    ``engine`` picks the replay engine (``"auto"``/``"vector"``/
+    ``"event"``; see :class:`~repro.mitigation.evaluator.RegionEvaluator`).
+    It never changes merged metrics — the engines are bit-identical for
+    every configuration the vector engine accepts — only wall-clock.
+    """
 
     spec: ShardSpec
     policies: tuple[str, ...]
     horizon_s: float | None = None
+    engine: str = "auto"
 
 
-def make_policy_evaluator(profile, policy: str, seed: int):
-    """Build the §5 evaluator configuration named ``policy``."""
+def make_policy_evaluator(profile, policy: str, seed: int, engine: str = "auto"):
+    """Build the §5 evaluator configuration named ``policy``.
+
+    With ``engine="auto"`` (default) the uncoupled configurations
+    (``baseline``, ``dynamic-keepalive``) take the vectorized fast path
+    and the coupled ones (pre-warming, peak shaving) the event loop;
+    ``engine="vector"`` raises for coupled policies rather than silently
+    degrading.
+    """
     from repro.mitigation import (
         AsyncPeakShaver,
         DynamicKeepAlive,
@@ -299,21 +313,27 @@ def make_policy_evaluator(profile, policy: str, seed: int):
     )
 
     if policy == "timer-prewarm":
-        return RegionEvaluator(profile, prewarm_policy=TimerPrewarmPolicy(), seed=seed)
+        return RegionEvaluator(
+            profile, prewarm_policy=TimerPrewarmPolicy(), seed=seed, engine=engine
+        )
     if policy == "histogram-prewarm":
         return RegionEvaluator(
             profile,
             prewarm_policy=HistogramPrewarmPolicy(threshold=0.35, min_observations=30),
             seed=seed,
+            engine=engine,
         )
     if policy == "dynamic-keepalive":
-        return RegionEvaluator(profile, keepalive_policy=DynamicKeepAlive(), seed=seed)
+        return RegionEvaluator(
+            profile, keepalive_policy=DynamicKeepAlive(), seed=seed, engine=engine
+        )
     if policy == "peak-shaving":
         return RegionEvaluator(
-            profile, peak_shaver=AsyncPeakShaver(max_delay_s=120.0), seed=seed
+            profile, peak_shaver=AsyncPeakShaver(max_delay_s=120.0), seed=seed,
+            engine=engine,
         )
     if policy == "baseline":
-        return RegionEvaluator(profile, seed=seed)
+        return RegionEvaluator(profile, seed=seed, engine=engine)
     raise ValueError(f"unknown policy {policy!r}")
 
 
@@ -338,7 +358,9 @@ def run_evaluation_shard(task: EvaluationTask) -> dict[str, EvalMetrics]:
     )
     out: dict[str, EvalMetrics] = {}
     for policy in task.policies:
-        evaluator = make_policy_evaluator(profile, policy, seed=spec.shard_seed)
+        evaluator = make_policy_evaluator(
+            profile, policy, seed=spec.shard_seed, engine=task.engine
+        )
         out[policy] = evaluator.run(traces, horizon_s=task.horizon_s, name=policy)
     return out
 
@@ -355,17 +377,18 @@ def evaluate_policies(
     horizon_s: float | None = None,
     channel: str = "pickle",
     shm_min_bytes: int = SHM_MIN_BYTES,
+    engine: str = "auto",
 ) -> dict[str, EvalMetrics]:
     """Sharded policy evaluation: merge per-policy metrics over all groups.
 
     The shard plan depends only on ``(region, seed, days, scale, n_groups,
-    eval_seed)`` — never on ``jobs`` or ``channel`` — so any worker count
-    and result transport yields identical merged metrics. See
-    :mod:`repro.runtime.merge` for per-metric equality guarantees against
-    an unsharded replay. Shard results fold into the running merge as they
-    arrive, so the parent holds one in-flight shard at a time — with
-    ``channel="shm"`` their arrays additionally cross the process boundary
-    as shared-memory blocks instead of pickle bytes.
+    eval_seed)`` — never on ``jobs``, ``channel``, or ``engine`` — so any
+    worker count, result transport, and replay engine yields identical
+    merged metrics. See :mod:`repro.runtime.merge` for per-metric equality
+    guarantees against an unsharded replay. Shard results fold into the
+    running merge as they arrive, so the parent holds one in-flight shard
+    at a time — with ``channel="shm"`` their arrays additionally cross the
+    process boundary as shared-memory blocks instead of pickle bytes.
 
     ``horizon_s=None`` lets each shard close out at its own last arrival
     (the evaluator's default), matching the unsharded pod-time accounting;
@@ -379,7 +402,8 @@ def evaluate_policies(
         eval_seed=eval_seed,
     )
     tasks = [
-        EvaluationTask(spec=spec, policies=tuple(policies), horizon_s=horizon_s)
+        EvaluationTask(spec=spec, policies=tuple(policies), horizon_s=horizon_s,
+                       engine=engine)
         for spec in plan
     ]
     executor = ParallelExecutor(jobs=jobs, channel=channel,
@@ -491,6 +515,7 @@ def evaluate_cross_region(
     keepalive_s: float = 60.0,
     channel: str = "pickle",
     shm_min_bytes: int = SHM_MIN_BYTES,
+    engine: str = "auto",
 ) -> CrossRegionResult:
     """Sharded §5 cross-region replay with a deterministic merge.
 
@@ -500,9 +525,24 @@ def evaluate_cross_region(
     (the parent holds one in-flight shard, not the whole list), so any
     worker count and result transport merges bit-identically. Per-region
     EMA routing state is shard-local (see :func:`run_cross_region_shard`).
+
+    Cross-region routing is *coupled* (the cold-start EMA that steers
+    placement updates with every sampled cold start), so the replay always
+    runs on the event engine: ``engine`` accepts ``"auto"``/``"event"``
+    and rejects ``"vector"`` with a clear error.
     """
     from repro.mitigation.cross_region import DEFAULT_INTER_REGION_RTT_S
+    from repro.mitigation.evaluator import ENGINES
     from repro.runtime.shards import ShardPlan
+
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+    if engine == "vector":
+        raise ValueError(
+            "engine='vector' cannot replay the cross-region evaluator: "
+            "routing is coupled through the per-region cold-start EMA; "
+            "use engine='auto' or 'event'"
+        )
 
     plan = ShardPlan.for_evaluation(
         home, seed=seed, days=days, scale=scale, n_groups=n_groups,

@@ -26,6 +26,7 @@ correlations with the number of cold starts (Fig. 12).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -279,6 +280,272 @@ class LatencyModel:
         )
         batch = self.sample_components(params)
         return {key: float(val[0]) for key, val in batch.items()}
+
+    def function_sampler(
+        self,
+        runtime: Runtime,
+        is_large: bool,
+        has_deps: bool,
+        code_size_mb: float,
+        dep_size_mb: float,
+        rng: np.random.Generator,
+    ) -> "FunctionColdSampler":
+        """A per-function cold-start sampler over a dedicated stream.
+
+        See :class:`FunctionColdSampler`: this is how the replay engines
+        decouple each function's latency draws from global replay order.
+        """
+        return FunctionColdSampler(
+            self, runtime, is_large, has_deps, code_size_mb, dep_size_mb, rng
+        )
+
+
+class FunctionColdSampler:
+    """Pre-drawn cold-start totals for *one* function, consumed in order.
+
+    The replay engines (:mod:`repro.mitigation.evaluator`) price the k-th
+    cold start of a function from this sampler's k-th draw. All random
+    variates come from a dedicated per-function stream and are materialised
+    in geometrically-growing blocks up front, so the sample a cold start
+    receives depends only on ``(function stream, k, congestion)`` — never on
+    how cold starts of *different* functions interleave in time. That is the
+    property that lets the vectorized and the event-driven engine produce
+    bit-identical metrics.
+
+    Draw layout per block (fixed per function, so rewinding is exact):
+    ``u_stage, z_alloc, [z_custom], [z_http], z_code, z_dep, z_sched,
+    u_residual`` — the same variates :meth:`LatencyModel.sample_components`
+    consumes, minus the ones a function's fixed attributes make dead. Each
+    block is transformed once, vectorized, into the congestion-independent
+    factors ``exp(log_median + sigma * z)`` per component (congestion
+    scales a component's *median*, i.e. multiplies the lognormal value),
+    so pricing draw ``k`` at a given congestion costs a handful of scalar
+    multiplies.
+
+    ``peek_totals`` prices draws *without* consuming them (the vector
+    engine speculates on "every remaining arrival is cold" and accepts a
+    prefix); ``advance``/``reset`` move the cursor. Every engine — whatever
+    batch shape it asks in — runs the identical float operations per draw.
+    """
+
+    _FIRST_BLOCK = 64
+
+    def __init__(
+        self,
+        model: "LatencyModel",
+        runtime: Runtime,
+        is_large: bool,
+        has_deps: bool,
+        code_size_mb: float,
+        dep_size_mb: float,
+        rng: np.random.Generator,
+    ):
+        regime = model.regime
+        self._rng = rng
+        self._cursor = 0
+        self._capacity = 0
+        code = runtime_code(runtime)
+        self._is_custom = code == _CUSTOM_CODE
+        self._is_http = code == _HTTP_CODE
+        self._has_deps = bool(has_deps)
+        af, cf, df, sf = (float(x) for x in _FACTOR_TABLE[code])
+
+        large_alloc = regime.large_pod_alloc_factor if is_large else 1.0
+        large_deploy = regime.large_pod_deploy_factor if is_large else 1.0
+        large_sched = regime.large_pod_sched_factor if is_large else 1.0
+        self._stage_boost = regime.large_pod_stage_factor if is_large else 1.0
+        self._p2_base = regime.deep_search_p2
+        self._p3_base = regime.deep_search_p3
+        self._gain_alloc = regime.congestion_gain_alloc
+        self._gain_code = regime.congestion_gain_code
+        self._gain_dep = regime.congestion_gain_dep
+        self._gain_sched = regime.congestion_gain_sched
+        # Log-medians of the three allocation stages at zero congestion.
+        base = math.log(af * large_alloc)
+        self._log_m1 = math.log(regime.alloc_median_s) + base
+        self._log_m2 = math.log(regime.stage2_median_s) + base
+        self._log_m3 = math.log(regime.stage3_median_s) + base
+        self._sig_a = regime.alloc_sigma
+        self._log_custom = math.log(regime.custom_alloc_median_s)
+        self._log_http = math.log(regime.http_boot_median_s)
+
+        code_scale = (max(code_size_mb, 0.1) / _REF_CODE_MB) ** _SIZE_EXPONENT
+        dep_scale = (max(dep_size_mb, 0.5) / _REF_DEP_MB) ** _SIZE_EXPONENT
+        self._log_code = math.log(regime.code_median_s * code_scale * cf * large_deploy)
+        self._sig_c = regime.code_sigma
+        self._log_dep = math.log(regime.dep_median_s * dep_scale * df * large_deploy)
+        self._sig_d = regime.dep_sigma
+        self._log_sched = math.log(regime.sched_median_s * sf * large_sched)
+        self._sig_s = regime.sched_sigma
+
+        # Per-draw factors at zero congestion, kept twice: plain float
+        # lists for the scalar one-at-a-time path and (lazily rebuilt)
+        # numpy arrays for batch pricing. Allocation keeps one factor per
+        # search stage because the stage choice is congestion-dependent.
+        self._u_stage: list[float] = []
+        self._alloc1: list[float] = []
+        self._alloc2: list[float] = []
+        self._alloc3: list[float] = []
+        self._custom: list[float] = []
+        self._http: list[float] = []
+        self._code: list[float] = []
+        self._dep: list[float] = []
+        self._sched: list[float] = []
+        self._res: list[float] = []
+        self._np_cache: dict[str, np.ndarray] = {}
+
+        # Zero-congestion stage thresholds (the common case).
+        p3z = min(self._p3_base * self._stage_boost, 0.18)
+        self._p3_zero = p3z
+        self._p2_zero = min(self._p2_base * self._stage_boost, 0.45 - p3z)
+
+    @property
+    def cursor(self) -> int:
+        """Index of the next unconsumed draw (== cold starts taken so far)."""
+        return self._cursor
+
+    def _ensure(self, n: int) -> None:
+        while self._capacity < n:
+            m = max(self._FIRST_BLOCK, self._capacity)
+            rng = self._rng
+            self._u_stage.extend(rng.random(m).tolist())
+            z_alloc = rng.standard_normal(m)
+            if self._is_custom:
+                self._custom.extend(
+                    np.exp(self._log_custom + 0.5 * rng.standard_normal(m)).tolist()
+                )
+            else:
+                scaled = self._sig_a * z_alloc
+                self._alloc1.extend(np.exp(self._log_m1 + scaled).tolist())
+                self._alloc2.extend(np.exp(self._log_m2 + scaled).tolist())
+                self._alloc3.extend(np.exp(self._log_m3 + scaled).tolist())
+            if self._is_http:
+                self._http.extend(
+                    np.exp(self._log_http + 0.4 * rng.standard_normal(m)).tolist()
+                )
+            self._code.extend(
+                np.exp(self._log_code + self._sig_c * rng.standard_normal(m)).tolist()
+            )
+            z_dep = rng.standard_normal(m)
+            if self._has_deps:
+                self._dep.extend(np.exp(self._log_dep + self._sig_d * z_dep).tolist())
+            self._sched.extend(
+                np.exp(self._log_sched + self._sig_s * rng.standard_normal(m)).tolist()
+            )
+            self._res.extend((1.0 + (0.01 + 0.04 * rng.random(m))).tolist())
+            self._capacity += m
+            self._np_cache.clear()
+
+    def _np(self, name: str) -> np.ndarray:
+        """Numpy view of a factor column (rebuilt after block growth)."""
+        arr = self._np_cache.get(name)
+        if arr is None:
+            arr = self._np_cache[name] = np.asarray(
+                getattr(self, name), dtype=np.float64
+            )
+        return arr
+
+    def _total(self, k: int, congestion: float) -> float:
+        """Total cold-start seconds of draw ``k`` at ``congestion``.
+
+        Congestion scales each component's lognormal multiplicatively
+        (it scales the median) and shifts the stage-escalation thresholds.
+        """
+        if congestion == 0.0:
+            if self._is_custom:
+                alloc = self._custom[k]
+            else:
+                u = self._u_stage[k]
+                p3 = self._p3_zero
+                if u < p3:
+                    alloc = self._alloc3[k]
+                elif u < p3 + self._p2_zero:
+                    alloc = self._alloc2[k]
+                else:
+                    alloc = self._alloc1[k]
+            if self._is_http:
+                alloc += self._http[k]
+            parts = alloc + self._code[k] + (
+                self._dep[k] if self._has_deps else 0.0
+            ) + self._sched[k]
+            return parts * self._res[k]
+        if self._is_custom:
+            # From-scratch creation: no pool search, no congestion scaling.
+            alloc = self._custom[k]
+        else:
+            ga = self._gain_alloc
+            boost = self._stage_boost * (1.0 + 0.5 * ga * congestion)
+            p3 = min(self._p3_base * boost, 0.18)
+            p2 = min(self._p2_base * boost, 0.45 - p3)
+            u = self._u_stage[k]
+            if u < p3:
+                alloc = self._alloc3[k]
+            elif u < p3 + p2:
+                alloc = self._alloc2[k]
+            else:
+                alloc = self._alloc1[k]
+            alloc = alloc * (1.0 + ga * congestion)
+        if self._is_http:
+            alloc += self._http[k]
+        code = self._code[k] * (1.0 + self._gain_code * congestion)
+        dep = (
+            self._dep[k] * (1.0 + self._gain_dep * congestion)
+            if self._has_deps
+            else 0.0
+        )
+        sched = self._sched[k] * (1.0 + self._gain_sched * congestion)
+        parts = alloc + code + dep + sched
+        return parts * self._res[k]
+
+    def peek_totals(self, congestion: np.ndarray) -> np.ndarray:
+        """Totals for the next ``len(congestion)`` draws; cursor unmoved.
+
+        Vectorized, and bit-identical to pricing each draw through
+        :meth:`_total`: with the lognormal factors precomputed per block,
+        pricing is exact-rounded arithmetic only (picks, multiplies,
+        adds), which numpy evaluates element-wise exactly like the scalar
+        path.
+        """
+        c = np.asarray(congestion, dtype=np.float64)
+        start = self._cursor
+        self._ensure(start + c.size)
+        sl = slice(start, start + c.size)
+        if self._is_custom:
+            alloc = self._np("_custom")[sl]
+        else:
+            ga = self._gain_alloc
+            boost = self._stage_boost * (1.0 + 0.5 * ga * c)
+            p3 = np.minimum(self._p3_base * boost, 0.18)
+            p2 = np.minimum(self._p2_base * boost, 0.45 - p3)
+            u = self._np("_u_stage")[sl]
+            alloc = np.where(
+                u < p3,
+                self._np("_alloc3")[sl],
+                np.where(u < p3 + p2, self._np("_alloc2")[sl], self._np("_alloc1")[sl]),
+            )
+            alloc = alloc * (1.0 + ga * c)
+        if self._is_http:
+            alloc = alloc + self._np("_http")[sl]
+        parts = alloc + self._np("_code")[sl] * (1.0 + self._gain_code * c)
+        if self._has_deps:
+            parts = parts + self._np("_dep")[sl] * (1.0 + self._gain_dep * c)
+        parts = parts + self._np("_sched")[sl] * (1.0 + self._gain_sched * c)
+        return parts * self._np("_res")[sl]
+
+    def advance(self, n: int) -> None:
+        """Consume ``n`` draws (they were accepted by the caller)."""
+        self._cursor += n
+
+    def next_total(self, congestion: float) -> float:
+        """Price and consume one cold start."""
+        k = self._cursor
+        self._ensure(k + 1)
+        self._cursor = k + 1
+        return self._total(k, congestion)
+
+    def reset(self) -> None:
+        """Rewind to draw 0 (already-materialised blocks replay verbatim)."""
+        self._cursor = 0
 
 
 class ColdStartSampler:

@@ -517,12 +517,156 @@ class TestLogHistogramWidening:
         assert hist.n_over == 2
         assert hist.hi == pytest.approx(LogHistogram.WIDEN_CAP_HI)
 
-    def test_fractional_bins_per_decade_keeps_legacy_tail(self):
+    def test_fractional_bins_per_decade_widens_by_whole_bins(self):
+        # Fractional grids used to clamp overflow into the tail silently;
+        # they now grow on their own bin lattice instead.
         hist = LogHistogram(1.0, 5.0, 7)  # no whole-decade growth possible
         hist.add(np.array([2.0, 50.0]))
-        assert hist.hi == 5.0
-        assert hist.n_over == 1
+        assert hist.hi > 50.0
+        assert hist.n_over == 0
+        assert hist.quantile(1.0) >= 50.0
 
     def test_incompatible_grids_still_rejected(self):
         with pytest.raises(ValueError):
             LogHistogram(bins=512).merge(LogHistogram(bins=256))
+
+
+class TestLogHistogramWideningDown:
+    """Underflow auto-widening: ``lo`` grows by whole decades so sub-0.1 ms
+    populations (fast in-pool allocations, sub-millisecond components) keep
+    one-bin quantiles instead of collapsing into the underflow tail."""
+
+    def test_underflow_grows_lo_by_whole_decades(self):
+        hist = LogHistogram()
+        hist.add(np.array([3e-5]))
+        assert hist.lo == pytest.approx(1e-5)
+        assert hist.n_under == 0
+        hist.add_one(2e-8)
+        assert hist.lo == pytest.approx(1e-8)
+        assert hist.n_under == 0
+        assert hist.hi == pytest.approx(LogHistogram.DEFAULT_HI)  # unchanged
+
+    def test_widening_down_rebins_exactly(self):
+        hist = LogHistogram()
+        hist.add(np.array([0.002, 5.0, 7.0, 100.0, 9000.0]))
+        before = hist.counts.copy()
+        before_edges = hist.edges.copy()
+        hist.add(np.array([4e-7]))
+        added = hist.bins - before.size
+        np.testing.assert_array_equal(hist.counts[added:], before)
+        np.testing.assert_array_equal(hist.edges[added:], before_edges)
+
+    def test_sub_tenth_millisecond_quantiles_not_clamped(self):
+        rng = np.random.default_rng(5)
+        values = rng.lognormal(mean=np.log(2e-5), sigma=1.0, size=4000)
+        assert (values < LogHistogram.DEFAULT_LO).sum() > 2000
+        hist = LogHistogram().add(values)
+        for q in (0.05, 0.25, 0.5):
+            exact = float(np.quantile(values, q))
+            assert hist.quantile(q) == pytest.approx(exact, rel=2 * BIN_TOL), q
+        assert hist.quantile(0.05) < LogHistogram.DEFAULT_LO
+
+    def test_merge_across_widened_down_widths(self):
+        rng = np.random.default_rng(13)
+        chunks = [
+            rng.lognormal(0.0, 1.0, size=200),                     # never widens
+            np.concatenate([rng.lognormal(0.0, 1.0, 50), [3e-6]]),  # 2 decades down
+            np.concatenate([rng.lognormal(0.0, 1.0, 50), [2e-11], [4e6]]),  # both
+        ]
+
+        def hist_of(*parts):
+            h = LogHistogram()
+            for part in parts:
+                h.add(part)
+            return h
+
+        left = hist_of(chunks[0]).merge(hist_of(chunks[1])).merge(hist_of(chunks[2]))
+        right = hist_of(chunks[1]).merge(hist_of(chunks[2]))
+        right = hist_of(chunks[0]).merge(right)
+        serial = hist_of(*chunks)
+        for other in (right, serial):
+            assert (left.lo, left.hi, left.bins) == (other.lo, other.hi, other.bins)
+            np.testing.assert_array_equal(left.counts, other.counts)
+            np.testing.assert_array_equal(left.edges, other.edges)
+            assert (left.n_zero, left.n_under, left.n_over) == (
+                other.n_zero, other.n_under, other.n_over
+            )
+            # the documented guarantee: counts exact, sums to addition order
+            assert left.sum == pytest.approx(other.sum, rel=1e-12)
+        assert serial.lo < 1e-10
+
+    def test_widening_down_caps_at_floor(self):
+        hist = LogHistogram()
+        hist.add(np.array([1e-20]))
+        assert hist.lo == pytest.approx(LogHistogram.WIDEN_CAP_LO)
+        assert hist.n_under == 1
+
+
+class TestAccumulatorPruning:
+    """``RegionAccumulator(figures=...)`` keeps only what the requested
+    figures read — the ROADMAP's fig-06 minute-matrix case and friends."""
+
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        from repro.workload.generator import generate_region
+
+        return generate_region("R3", seed=5, days=1, scale=0.1)
+
+    def test_counts_only_prunes_heavy_state(self, bundle):
+        acc = RegionAccumulator.from_bundle(bundle, figures=())
+        assert acc.per_function_minute is None  # the fig-06 minute matrix
+        assert acc.category_hists is None
+        assert acc.intervals is None
+        assert acc._pod_ids.size == 0
+        # summary stays exact without the per-pod join
+        full = RegionAccumulator.from_bundle(bundle)
+        assert acc.summary() == full.summary()
+
+    def test_requested_figures_keep_their_state(self, bundle):
+        acc = RegionAccumulator.from_bundle(bundle, figures=("fig06", "fig10"))
+        assert acc.per_function_minute is not None
+        assert acc.category_hists is not None
+        assert acc.minute_requests is None  # fig05 not requested
+        full = RegionAccumulator.from_bundle(bundle)
+        assert acc.per_function_minute.counts_matrix(10).tolist() == \
+            full.per_function_minute.counts_matrix(10).tolist()
+
+    def test_pruned_finalizer_raises_clearly(self, bundle):
+        acc = RegionAccumulator.from_bundle(bundle, figures=())
+        with pytest.raises(ValueError, match="fig03"):
+            acc.requests_per_day_per_function()
+        with pytest.raises(ValueError, match="fig17"):
+            acc.pod_cold_lookup()
+
+    def test_pruning_reduces_state_size(self, bundle):
+        import pickle
+
+        lean = len(pickle.dumps(RegionAccumulator.from_bundle(bundle, figures=())))
+        full = len(pickle.dumps(RegionAccumulator.from_bundle(bundle)))
+        assert lean < full / 2
+
+    def test_merge_requires_matching_pruning(self, bundle):
+        a = RegionAccumulator.from_bundle(bundle, figures=("fig05",))
+        b = RegionAccumulator.from_bundle(bundle, figures=("fig06",))
+        with pytest.raises(ValueError, match="pruned"):
+            a.merge(b)
+
+    def test_pruned_accumulators_merge(self, bundle):
+        from repro.runtime import iter_bundle_chunks
+
+        parts = []
+        for chunk in iter_bundle_chunks(bundle, chunk_s=6 * 3600.0):
+            part = RegionAccumulator(
+                bundle.region, functions=bundle.functions, figures=("fig05",)
+            )
+            part.update(chunk)
+            parts.append(part)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        full = RegionAccumulator.from_bundle(bundle)
+        np.testing.assert_allclose(
+            merged.minute_requests.counts_until(86_400.0),
+            full.minute_requests.counts_until(86_400.0),
+        )
+        assert merged.summary() == full.summary()
