@@ -4,14 +4,44 @@ scheduling").
 Claim reproduced: the congested region's cold starts dwarf the inter-region
 network latency, so routing cold-bound work to a less congested region cuts
 mean cold-start latency by a large factor.
+
+Since PR 5 routing is a coupled tick-phase policy (per-region cold-start
+EMA updated at tick boundaries) replayable by both engines, the bench also
+runs the coupled-policy comparison — best-region routing under
+``engine="vector"`` vs ``engine="event"`` — asserts bit-identical metrics,
+and emits ``BENCH_mitigation_crossregion.json`` trajectory points
+(wall-clock per engine, routing shares, latency improvements) like
+``bench_runtime_scaling``.
 """
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 from repro.analysis.report import format_table
 from repro.mitigation import CrossRegionEvaluator, RoutingPolicy
 
+REPS = 3
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _min_wall(engine, traces, policy):
+    best, metrics = float("inf"), None
+    for _ in range(REPS):
+        evaluator = CrossRegionEvaluator(
+            home="R1", remotes=("R3",), seed=2, engine=engine
+        )
+        started = time.perf_counter()
+        metrics = evaluator.run(traces, policy=policy)
+        best = min(best, time.perf_counter() - started)
+    return best, metrics
+
 
 def test_cross_region_routing(benchmark, r1_workload, emit):
     _profile, traces = r1_workload
+    requests = sum(t.arrivals.size for t in traces)
 
     home_eval = CrossRegionEvaluator(home="R1", remotes=("R3",), seed=2)
     home = home_eval.run(traces, policy=RoutingPolicy.HOME_ONLY)
@@ -22,6 +52,29 @@ def test_cross_region_routing(benchmark, r1_workload, emit):
 
     evaluator, routed = benchmark(run_routed)
 
+    # Engine comparison on the coupled routing replay: bit-identical
+    # metrics, wall-clock recorded as a trajectory point.
+    results = {"workload": {"region": "R1", "requests": requests}, "reps": REPS,
+               "routes": {}}
+    for policy in (RoutingPolicy.HOME_ONLY, RoutingPolicy.BEST_REGION):
+        wall_event, m_event = _min_wall("event", traces, policy)
+        wall_vector, m_vector = _min_wall("vector", traces, policy)
+        assert m_event.summary() == m_vector.summary()
+        assert m_event.cold_wait == m_vector.cold_wait
+        assert m_event.cold_starts_by_region == m_vector.cold_starts_by_region
+        assert m_event.total_delay_s == m_vector.total_delay_s
+        results["routes"][policy.value] = {
+            "cold_starts": m_event.cold_starts,
+            "mean_cold_s": m_event.mean_cold_wait_s(),
+            "remote_share": m_event.remote_cold_share("R1"),
+            "event_wall_s": wall_event,
+            "vector_wall_s": wall_vector,
+            "speedup": wall_event / wall_vector,
+        }
+    results["mean_cold_improvement"] = (
+        home.mean_cold_wait_s() / routed.mean_cold_wait_s()
+    )
+
     rows = [home.summary(), routed.summary()]
     rows.append(
         {
@@ -30,8 +83,14 @@ def test_cross_region_routing(benchmark, r1_workload, emit):
         }
     )
     emit("mitigation_crossregion", format_table(rows))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / "BENCH_mitigation_crossregion.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
 
     # Mean cold wait (including the RTT penalty) improves substantially.
     assert routed.mean_cold_wait_s() < 0.6 * home.mean_cold_wait_s()
     assert routed.requests == home.requests
+    # Routing shares are pure functions of the merged metrics now.
     assert evaluator.remote_share(routed) > 0.3
+    assert routed.cold_starts_by_region["R3"] > 0

@@ -267,15 +267,11 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
-#: Mitigation policies runnable from the CLI, with their §5 labels.
+#: Mitigation policies runnable from the CLI, with their §5 labels. All of
+#: them — coupled tick-phase policies included — replay bit-identically on
+#: either engine.
 _MITIGATION_POLICIES = ("baseline", "timer-prewarm", "histogram-prewarm",
                         "dynamic-keepalive", "peak-shaving")
-
-#: Policies that couple functions through shared region-wide state; they
-#: always replay on the event engine (``--engine vector`` rejects them).
-_COUPLED_POLICIES = frozenset(
-    {"timer-prewarm", "histogram-prewarm", "peak-shaving"}
-)
 
 
 #: Default function groups per mitigation run. Fixed (never derived from
@@ -306,13 +302,6 @@ def cmd_mitigate(args: argparse.Namespace) -> int:
     unknown = [p for p in wanted if p not in _MITIGATION_POLICIES]
     if unknown:
         raise SystemExit(f"unknown policies {unknown}; available: {_MITIGATION_POLICIES}")
-    coupled = [p for p in wanted if p in _COUPLED_POLICIES]
-    if args.engine == "vector" and coupled:
-        raise SystemExit(
-            f"--engine vector cannot replay coupled policies {coupled} "
-            f"(pre-warming / peak shaving share region-wide state); select "
-            f"uncoupled policies with -p or use --engine auto/event"
-        )
 
     merged = evaluate_policies(
         region,
@@ -347,12 +336,6 @@ def _mitigate_stream(args: argparse.Namespace) -> int:
     """
     from repro.runtime import evaluate_cross_region
 
-    if args.engine == "vector":
-        raise SystemExit(
-            "--stream replays the coupled cross-region evaluator (EMA "
-            "routing); --engine vector is not available there — use "
-            "--engine auto or event"
-        )
     home = args.regions.split(",")[0].strip()
     # dedupe: repeated names would build independent evaluator states (and
     # therefore doubled warm capacity) for the same region
@@ -388,7 +371,8 @@ def _mitigate_stream(args: argparse.Namespace) -> int:
     print(
         f"replayed {rows[0]['requests']} {home} requests against "
         f"{','.join(remotes)} per route ({args.eval_shards} function-group "
-        f"shard(s), jobs={args.jobs}, channel={args.channel})",
+        f"shard(s), jobs={args.jobs}, channel={args.channel}, "
+        f"engine={args.engine})",
         file=sys.stderr,
     )
     print(format_table(rows))
@@ -489,10 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
     mitigate.add_argument("--engine", choices=("auto", "vector", "event"),
                           default="auto",
                           help="replay engine: vector (structure-of-arrays "
-                               "fast path, uncoupled policies only), event "
-                               "(reference loop), or auto (vector where "
-                               "possible; default). Bit-identical metrics "
-                               "either way — only wall-clock changes")
+                               "walks; coupled tick-phase policies replay "
+                               "tick-partitioned), event (sequential "
+                               "reference loop), or auto (vector; default). "
+                               "Bit-identical metrics either way — only "
+                               "wall-clock changes")
     stream = mitigate.add_argument_group("streaming cross-region replay")
     stream.add_argument("--stream", action="store_true",
                         help="replay through the sharded cross-region "

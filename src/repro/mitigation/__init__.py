@@ -21,7 +21,16 @@ routing, on-demand pod allocation):
   (:mod:`~repro.mitigation.concurrency`).
 """
 
-from repro.mitigation.base import EvalMetrics, PeakShaver, PrewarmPolicy
+from repro.mitigation.base import (
+    EvalMetrics,
+    PeakShaver,
+    PrewarmPolicy,
+    RouteDirective,
+    ShaveDirective,
+    TickAction,
+    TickColumns,
+    TickPolicy,
+)
 from repro.mitigation.evaluator import (
     RegionEvaluator,
     build_workload,
@@ -34,7 +43,11 @@ from repro.mitigation.prewarm import (
     TimerPrewarmPolicy,
 )
 from repro.mitigation.peak_shaving import AsyncPeakShaver
-from repro.mitigation.cross_region import CrossRegionEvaluator, RoutingPolicy
+from repro.mitigation.cross_region import (
+    BestRegionRouter,
+    CrossRegionEvaluator,
+    RoutingPolicy,
+)
 from repro.mitigation.pool_prediction import (
     PoolSimulationResult,
     PredictivePoolPolicy,
@@ -48,6 +61,12 @@ __all__ = [
     "EvalMetrics",
     "PrewarmPolicy",
     "PeakShaver",
+    "TickPolicy",
+    "TickColumns",
+    "TickAction",
+    "ShaveDirective",
+    "RouteDirective",
+    "BestRegionRouter",
     "RegionEvaluator",
     "build_workload",
     "build_workload_shard",

@@ -8,11 +8,37 @@ one bin ratio), allocation times in per-minute
 per-tick pod gauge in a :class:`~repro.analysis.accumulators.TickGauge` —
 so an evaluator shard's metrics are bounded-memory and two shards reduce
 associatively via :meth:`EvalMetrics.merge` regardless of workload length.
+
+Policy protocol
+---------------
+
+Mitigation policies are **tick-phase state machines** (:class:`TickPolicy`):
+on a shared minute clock the replay engine hands each policy the previous
+tick span's arrivals and outcomes as structure-of-arrays columns
+(:meth:`TickPolicy.observe_batch`) and asks for the decisions governing the
+next span (:meth:`TickPolicy.decide`, a :class:`TickAction`). Because every
+policy input is batched at tick boundaries and every within-span rule is a
+pure function of (the tick's action, the arrival, per-function state), both
+replay engines — the event loop and the vectorized tick-partitioned replay
+— drive the *same* policy object through the *same* column arrays and stay
+bit-identical (``tests/test_vector_engine.py``).
+
+:class:`PrewarmPolicy` and :class:`PeakShaver` remain the stable public
+base classes; their default :meth:`observe_batch`/:meth:`decide` bridge to
+the legacy per-arrival ``observe``/``plan`` and ``observe_load``/
+``delay_for`` callbacks, so third-party subclasses written against the
+pre-tick API run unchanged (the base class *is* the compatibility shim).
+A shimmed pre-warm policy is still vector-safe — its observations are
+arrival-driven, which both engines replay identically — while a shimmed
+peak shaver keeps per-arrival ``delay_for`` state whose call order couples
+functions inside a span (``span_coupled = True``), so ``engine="auto"``
+replays it on the event engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -49,6 +75,10 @@ class EvalMetrics:
         prewarm_pod_seconds: pod time spent by proactively created pods.
         peak_pods: maximum concurrently-alive pods observed at ticks.
         pods_gauge: per-tick alive-pod gauge (shards sum element-wise).
+        cold_starts_by_region: cold-start placements per region name
+            (cross-region replays only; empty otherwise). Merges by
+            per-key addition, so routing shares are pure functions of the
+            merged metrics rather than evaluator state.
     """
 
     name: str = ""
@@ -65,6 +95,7 @@ class EvalMetrics:
     prewarm_pod_seconds: float = 0.0
     peak_pods: int = 0
     pods_gauge: TickGauge = field(default_factory=TickGauge)
+    cold_starts_by_region: dict[str, int] = field(default_factory=dict)
 
     # -- recording ----------------------------------------------------------
 
@@ -117,6 +148,23 @@ class EvalMetrics:
         """Within one histogram bin (~3.7 %) of the sample P95."""
         return self.cold_wait.quantile(0.95) if self.cold_wait.n else 0.0
 
+    def record_region_cold(self, region: str, count: int = 1) -> None:
+        """Attribute ``count`` cold-start placements to ``region``."""
+        self.cold_starts_by_region[region] = (
+            self.cold_starts_by_region.get(region, 0) + int(count)
+        )
+
+    def remote_cold_share(self, home: str) -> float:
+        """Fraction of region-attributed cold starts placed away from ``home``.
+
+        A pure function of the (merged) metrics — no evaluator state —
+        so it reads identically off any shard schedule.
+        """
+        total = sum(self.cold_starts_by_region.values())
+        if not total:
+            return 0.0
+        return 1.0 - self.cold_starts_by_region.get(home, 0) / total
+
     def peak_allocations_per_minute(self) -> int:
         """Largest number of pod allocations (cold starts) in any minute.
 
@@ -149,6 +197,10 @@ class EvalMetrics:
         self.prewarm_creations += other.prewarm_creations
         self.prewarm_pod_seconds += other.prewarm_pod_seconds
         self.pods_gauge.merge(other.pods_gauge)
+        for region, count in other.cold_starts_by_region.items():
+            self.cold_starts_by_region[region] = (
+                self.cold_starts_by_region.get(region, 0) + count
+            )
         self.peak_pods = (
             int(self.pods_gauge.peak())
             if len(self.pods_gauge)
@@ -176,6 +228,7 @@ class EvalMetrics:
             "prewarm_creations": self.prewarm_creations,
             "prewarm_pod_seconds": self.prewarm_pod_seconds,
             "peak_pods": self.peak_pods, "pods_gauge": self.pods_gauge,
+            "cold_starts_by_region": dict(self.cold_starts_by_region),
         }
 
     @classmethod
@@ -199,16 +252,202 @@ class EvalMetrics:
         }
 
 
-class PrewarmPolicy:
-    """Decides which functions should have spare warm pods, per tick.
+# --- tick-phase policy protocol ---------------------------------------------
 
-    The evaluator calls :meth:`observe` on every arrival (training signal)
-    and :meth:`plan` on every tick; the plan maps ``function_id`` to the
-    number of *idle* warm pods the policy wants standing by.
+
+@dataclass
+class TickColumns:
+    """One tick span's inputs, as structure-of-arrays columns.
+
+    Handed to :meth:`TickPolicy.observe_batch` at tick ``k`` (time
+    ``now = k * interval_s``); the arrival/cold columns cover the span
+    ``[now - interval_s, now)`` in the engines' canonical processing order
+    (global time order, ties resolved the way the event loop resolves
+    them), so every policy sees the identical arrays whichever engine
+    built them.
+
+    Attributes:
+        tick: tick ordinal ``k`` (0 fires before any arrival).
+        now: tick time ``k * interval_s``.
+        specs: per-trace-index function specs (``arrive_fn`` indexes it).
+        function_ids: per-trace-index function ids (vectorized id lookup).
+        arrive_fn: trace indices of the span's (original) arrivals.
+        arrive_t: their arrival times.
+        alive_pods: pod gauge at this tick, after expiry (cross-region
+            replays track no gauge and pass 0 at every tick).
+        congestion: exogenous per-minute congestion at ``now``
+            (cross-region replays price cold starts at zero congestion
+            and pass 0.0).
+        cold_fn: trace indices of the span's cold starts.
+        cold_t: their times.
+        cold_wait: their sampled cold-start durations (no routing penalty).
+        cold_region: their placement region index (0 = home; all zeros
+            outside cross-region replays).
     """
 
-    #: seconds between plan() invocations.
+    tick: int
+    now: float
+    specs: Sequence[FunctionSpec]
+    function_ids: np.ndarray
+    arrive_fn: np.ndarray
+    arrive_t: np.ndarray
+    alive_pods: int
+    congestion: float
+    cold_fn: np.ndarray
+    cold_t: np.ndarray
+    cold_wait: np.ndarray
+    cold_region: np.ndarray
+
+
+@dataclass(frozen=True)
+class ShaveDirective:
+    """Peak-shaving rule for the next span, fixed at the tick boundary.
+
+    A cold-bound, asynchronous, not-previously-delayed arrival at time
+    ``t`` is delayed iff ``gauge_active`` (the policy saw the pod gauge
+    peaking at the tick) or the exogenous congestion at ``t`` exceeds
+    ``congestion_trigger``. The delay amount is a deterministic,
+    *function-local* golden-ratio stagger — no cross-function state — so
+    both engines compute it independently per function.
+    """
+
+    gauge_active: bool
+    congestion_trigger: float
+    max_delay_s: float
+
+    _PHI = 0.6180339887
+    _FN_PHASE = 0.7548776662  # plastic-number conjugate: decorrelates fids
+
+    def delay_for(
+        self, spec: FunctionSpec, now: float, congestion: float, n_delayed: int
+    ) -> float:
+        """Seconds to hold this arrival back (0 = run now).
+
+        ``n_delayed`` counts the function's previously delayed requests in
+        this replay; together with the function id it smears re-arrivals
+        across the delay budget so shaved peaks do not re-stampede.
+        """
+        if not self.gauge_active and congestion <= self.congestion_trigger:
+            return 0.0
+        phase = (
+            self._PHI * (n_delayed + 1)
+            + self._FN_PHASE * float(spec.function_id % 8192)
+        ) % 1.0
+        return self.max_delay_s * (0.1 + 0.9 * phase)
+
+
+@dataclass(frozen=True)
+class LegacyShaveDirective:
+    """Span directive bridging a pre-tick :class:`PeakShaver` subclass.
+
+    Calls the subclass's per-arrival ``delay_for`` — whose internal state
+    may depend on the global call order across functions — so any replay
+    using it is span-coupled and runs on the event engine.
+    """
+
+    shaver: "PeakShaver"
+
+    def delay_for(
+        self, spec: FunctionSpec, now: float, congestion: float, n_delayed: int
+    ) -> float:
+        return self.shaver.delay_for(spec, now, congestion)
+
+    def __eq__(self, other) -> bool:  # identity: stateful delegate
+        return self is other
+
+
+@dataclass(frozen=True)
+class RouteDirective:
+    """Cold-start placement for the next span (cross-region replays).
+
+    ``region`` is the region *index* (0 = home) new pods are created in;
+    ``penalty_s`` the network latency each routed cold start pays.
+    """
+
+    region: int
+    penalty_s: float
+
+
+@dataclass(frozen=True)
+class TickAction:
+    """What the policies want applied from this tick until the next.
+
+    ``prewarm`` maps function ids to desired *idle* warm pod counts,
+    applied immediately at the tick; ``shave`` and ``route`` govern the
+    span that follows.
+    """
+
+    prewarm: tuple[tuple[int, int], ...] = ()
+    shave: "ShaveDirective | LegacyShaveDirective | None" = None
+    route: "RouteDirective | None" = None
+
+
+class TickPolicy:
+    """A mitigation policy as a batched tick-phase state machine.
+
+    The replay engines call :meth:`observe_batch` at every tick with the
+    previous span's columns, then :meth:`decide` for the actions governing
+    the next span. Implementations must be deterministic functions of the
+    column stream (and ``copy.deepcopy``-able: the vectorized engine
+    replays the machine over candidate outcome trajectories while
+    searching for the self-consistent one). Custom directive objects
+    returned from :meth:`decide` should define *value* equality — the
+    engine's change detector compares directives across machine passes,
+    and identity-compared directives force a full re-replay every round
+    (still exact, just slow).
+
+    Policy instances are consumed per ``run``. The event engine steps the
+    caller's objects in place; the vectorized engine steps deep copies,
+    leaving the caller's instances untouched — metrics are bit-identical
+    either way, but post-run inspection of policy state is only defined
+    under ``engine="event"``.
+    """
+
+    #: seconds between ticks (engines use the minimum over active policies).
     interval_s: float = 60.0
+
+    #: Which column groups :meth:`observe_batch` reads. ``"arrivals"`` is
+    #: policy-independent input; ``"gauge"`` and ``"colds"`` are replay
+    #: outcomes, whose consumption makes the decision schedule a fixed
+    #: point the vectorized engine must converge to.
+    needs: frozenset = frozenset({"arrivals"})
+
+    #: True when the policy's within-span behaviour depends on cross-
+    #: function call order (only legacy per-arrival shavers); such
+    #: policies replay on the event engine.
+    span_coupled: bool = False
+
+    @property
+    def outcome_free_decisions(self) -> bool:
+        """True when :meth:`decide`'s action stream never depends on
+        replay outcomes (even if :meth:`observe_batch` reads them). The
+        vectorized engine then settles the schedule in a single machine
+        pass instead of a fixed-point search."""
+        return self.needs <= frozenset({"arrivals"})
+
+    def observe_batch(self, cols: TickColumns) -> None:
+        """Absorb one tick span's columns (default: no training signal)."""
+
+    def decide(self, tick: int, now: float) -> TickAction:
+        """Actions for the span starting at ``now``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class PrewarmPolicy(TickPolicy):
+    """Decides which functions should have spare warm pods, per tick.
+
+    Subclasses may implement the tick protocol directly (vectorized
+    ``observe_batch``) or just the legacy per-arrival API — :meth:`observe`
+    for every arrival and :meth:`plan` at every tick — which the base
+    class bridges onto the protocol: observations stay arrival-driven, so
+    a legacy subclass is replayed identically (and vector-safely) by both
+    engines.
+    """
+
+    needs = frozenset({"arrivals"})
 
     def observe(self, spec: FunctionSpec, t: float) -> None:
         """Feedback: a request of ``spec`` arrived at ``t``."""
@@ -217,12 +456,33 @@ class PrewarmPolicy:
         """Desired idle warm pods per function id at time ``now``."""
         raise NotImplementedError
 
+    def observe_batch(self, cols: TickColumns) -> None:
+        specs = cols.specs
+        observe = self.observe
+        for fn, t in zip(cols.arrive_fn.tolist(), cols.arrive_t.tolist()):
+            observe(specs[fn], t)
+
+    def decide(self, tick: int, now: float) -> TickAction:
+        return TickAction(prewarm=tuple(self.plan(now).items()))
+
     def describe(self) -> str:
         return type(self).__name__
 
 
-class PeakShaver:
-    """Decides whether an asynchronous request may be postponed."""
+class PeakShaver(TickPolicy):
+    """Decides whether an asynchronous request may be postponed.
+
+    Subclasses may implement the tick protocol directly (returning a pure
+    :class:`ShaveDirective`, vector-safe) or just the legacy per-arrival
+    API — :meth:`observe_load` at ticks and :meth:`delay_for` per
+    cold-bound asynchronous arrival — which the base class bridges via a
+    :class:`LegacyShaveDirective`. The legacy bridge keeps per-arrival
+    state whose call order couples functions inside a span, so it replays
+    on the event engine (``span_coupled``).
+    """
+
+    needs = frozenset({"gauge"})
+    span_coupled = True
 
     def observe_load(self, now: float, alive_pods: int) -> None:
         """Tick feedback with the current pod gauge."""
@@ -232,11 +492,17 @@ class PeakShaver:
 
         Only called for asynchronous, already-cold-bound requests; the
         evaluator never delays a request twice. ``congestion`` is the
-        platform's excess cold-start intensity (0 = at or below the
-        long-run mean) — allocation stampedes show up here long before the
-        standing pod gauge moves.
+        exogenous excess cold-start intensity at the arrival's minute
+        (0 = at or below the long-run mean) — allocation stampedes show
+        up here long before the standing pod gauge moves.
         """
         raise NotImplementedError
+
+    def observe_batch(self, cols: TickColumns) -> None:
+        self.observe_load(cols.now, cols.alive_pods)
+
+    def decide(self, tick: int, now: float) -> TickAction:
+        return TickAction(shave=LegacyShaveDirective(self))
 
     def describe(self) -> str:
         return type(self).__name__

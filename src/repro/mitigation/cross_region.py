@@ -10,20 +10,53 @@ requests stay wherever their pod lives; when a request is cold-bound, the
 routing policy may place the new pod in a remote region, paying the
 inter-region network latency but enjoying that region's (possibly much
 faster) cold-start regime. The baseline pins everything to the home region.
+
+Routing is a coupled policy on the tick protocol
+(:class:`BestRegionRouter`): per-region EMAs of observed cold-start
+durations update at tick boundaries from the span's outcome columns, and
+the placement decision is frozen per span. Cold-start durations are drawn
+from per-(function, region) :class:`~repro.sim.latency.FunctionColdSampler`
+streams — the k-th cold start of a function *in a region* prices
+identically however cold starts of different functions interleave — so,
+given the routing schedule, every function replays independently. That is
+what lets the replay run on either engine bit-identically:
+``engine="vector"`` finds the self-consistent routing schedule by
+fixed-point repair over per-function structure-of-arrays walks
+(steady warm chains jump wholesale; only functions whose routed cold
+spans changed re-replay), while ``engine="event"`` is the sequential
+reference. Pod bookkeeping is shared per-(function, region) slot columns
+with death-time expiry — no per-arrival region-list identity scans.
 """
 
 from __future__ import annotations
 
+import copy
 import enum
 
 import numpy as np
 
-from repro.mitigation.base import EvalMetrics
-from repro.sim.latency import LatencyModel
+from repro.mitigation.base import (
+    EvalMetrics,
+    RouteDirective,
+    TickAction,
+    TickColumns,
+    TickPolicy,
+)
+from repro.mitigation.tick import (
+    SpanIndex,
+    TickMachine,
+    last_tick_index,
+    tick_index_of,
+    tick_indices_of,
+    tick_interval,
+)
+from repro.sim.latency import LatencyModel, LatencyRegime
 from repro.sim.rng import RngFactory
 from repro.workload.catalog import SizeClass
 from repro.workload.generator import FunctionTrace
 from repro.workload.regions import REGION_PROFILES, RegionProfile
+
+from repro.mitigation.evaluator import ENGINES as _ENGINES
 
 DEFAULT_INTER_REGION_RTT_S = 0.120  # round trip, tens-to-hundreds of ms
 
@@ -35,37 +68,70 @@ class RoutingPolicy(str, enum.Enum):
     BEST_REGION = "best-region"
 
 
-class _RegionState:
-    def __init__(self, profile: RegionProfile, rngs: RngFactory):
-        self.profile = profile
-        self.latency = LatencyModel(profile.latency, rngs.stream(f"xr/{profile.name}"))
-        # EMA of observed cold-start durations, seeded with the regime's
-        # rough baseline so routing has an estimate before any sample.
-        regime = profile.latency
-        self.cold_ema = (
-            regime.alloc_median_s
-            + regime.code_median_s
-            + regime.dep_median_s * 0.5
-            + regime.sched_median_s
-        )
-        self.cold_starts = 0
+def _ema_seed(regime: LatencyRegime) -> float:
+    """Rough cold-start baseline seeding a region's EMA before any sample."""
+    return (
+        regime.alloc_median_s
+        + regime.code_median_s
+        + regime.dep_median_s * 0.5
+        + regime.sched_median_s
+    )
 
-    def sample_cold(self, spec) -> float:
-        sample = self.latency.sample_one(
-            runtime=spec.runtime,
-            is_large=spec.config.size_class is SizeClass.LARGE,
-            has_deps=spec.has_dependencies,
-            code_size_mb=spec.code_size_mb,
-            dep_size_mb=max(spec.dep_size_mb, 0.5),
-        )
-        total = sample["total_s"]
-        self.cold_ema += 0.05 * (total - self.cold_ema)
-        self.cold_starts += 1
-        return total
+
+class BestRegionRouter(TickPolicy):
+    """Tick-phase EMA routing: place the next span's cold starts where the
+    expected cold start plus network penalty is lowest.
+
+    The per-region EMA updates once per tick from the span's observed raw
+    cold-start durations (in the engines' canonical event order), and the
+    decision holds for the whole next span — the tick-phase restatement of
+    the per-cold EMA the pre-tick evaluator kept, and what makes routing
+    replayable by the vectorized engine.
+    """
+
+    needs = frozenset({"colds"})
+
+    #: a remote region must beat home by this factor before a cold start is
+    #: routed away (hysteresis against marginal, latency-costly moves).
+    improvement_gate: float = 0.85
+
+    #: EMA smoothing per observed cold start.
+    alpha: float = 0.05
+
+    def __init__(self, ema_seeds: list[float], rtt_s: float):
+        self.emas = [float(x) for x in ema_seeds]
+        self.rtt_s = float(rtt_s)
+
+    def observe_batch(self, cols: TickColumns) -> None:
+        if not cols.cold_wait.size:
+            return
+        emas = self.emas
+        alpha = self.alpha
+        for ridx, wait in zip(
+            cols.cold_region.tolist(), cols.cold_wait.tolist()
+        ):
+            emas[ridx] += alpha * (wait - emas[ridx])
+
+    def decide(self, tick: int, now: float) -> TickAction:
+        emas = self.emas
+        best, penalty = 0, 0.0
+        best_cost = emas[0] * self.improvement_gate
+        for ridx in range(1, len(emas)):
+            cost = emas[ridx] + self.rtt_s
+            if cost < best_cost:
+                best, best_cost, penalty = ridx, cost, self.rtt_s
+        return TickAction(route=RouteDirective(region=best, penalty_s=penalty))
+
+    def describe(self) -> str:
+        return "best-region"
 
 
 class CrossRegionEvaluator:
     """Replays a workload with optional cross-region cold-start routing."""
+
+    #: Repair rounds before the vector mode concedes and replays on the
+    #: event engine (exact either way).
+    _MAX_REPAIR_ROUNDS = 10
 
     def __init__(
         self,
@@ -73,31 +139,68 @@ class CrossRegionEvaluator:
         remotes: tuple[str, ...] = ("R3",),
         rtt_s: float = DEFAULT_INTER_REGION_RTT_S,
         seed: int = 0,
+        engine: str = "auto",
     ):
         if rtt_s < 0:
             raise ValueError("rtt_s must be non-negative")
-        rngs = RngFactory(seed)
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (choose from {_ENGINES})")
+        self._rngs = RngFactory(seed)
         home_profile = REGION_PROFILES[home] if isinstance(home, str) else home
-        self.home = _RegionState(home_profile, rngs)
-        self.remotes = [
-            _RegionState(REGION_PROFILES[r] if isinstance(r, str) else r, rngs)
-            for r in remotes
+        self.profiles: list[RegionProfile] = [home_profile] + [
+            REGION_PROFILES[r] if isinstance(r, str) else r for r in remotes
         ]
+        self.region_names = [p.name for p in self.profiles]
         self.rtt_s = rtt_s
+        self.engine = engine
+        self._models = [
+            LatencyModel(p.latency, self._rngs.stream(f"xr/{p.name}"))
+            for p in self.profiles
+        ]
 
-    #: a remote region must beat home by this factor before a cold start is
-    #: routed away (hysteresis against marginal, latency-costly moves).
+    #: kept as a class attribute for API compatibility (the router reads
+    #: its own copy; see :class:`BestRegionRouter`).
     improvement_gate: float = 0.85
 
-    def _best_region(self, spec) -> tuple[_RegionState, float]:
-        """Region minimising expected cold start + network penalty."""
-        best, penalty = self.home, 0.0
-        best_cost = self.home.cold_ema * self.improvement_gate
-        for remote in self.remotes:
-            cost = remote.cold_ema + self.rtt_s
-            if cost < best_cost:
-                best, best_cost, penalty = remote, cost, self.rtt_s
-        return best, penalty
+    @property
+    def home(self) -> RegionProfile:
+        return self.profiles[0]
+
+    def resolve_engine(self, policy: RoutingPolicy) -> str:
+        """The engine ``run`` will use — routing is tick-protocol native,
+        so ``auto`` takes the vectorized path for every built-in policy."""
+        return "event" if self.engine == "event" else "vector"
+
+    def _router(self, policy: RoutingPolicy) -> BestRegionRouter | None:
+        if policy is RoutingPolicy.HOME_ONLY:
+            return None
+        router = BestRegionRouter(
+            [_ema_seed(p.latency) for p in self.profiles], self.rtt_s
+        )
+        router.improvement_gate = self.improvement_gate
+        return router
+
+    def _sampler(self, spec, ridx: int):
+        """The (function, region) cold-start stream.
+
+        Streams are addressed by name, so the k-th cold start of function
+        ``f`` in region ``r`` prices identically in both engines and under
+        any routing history of *other* functions. ``fresh`` (not the
+        memoized ``stream``) makes every ``run`` start from the
+        deterministic path seed — a reused evaluator replays identically
+        whichever engine (or how many speculative draws) a prior run used.
+        """
+        profile = self.profiles[ridx]
+        return self._models[ridx].function_sampler(
+            runtime=spec.runtime,
+            is_large=spec.config.size_class is SizeClass.LARGE,
+            has_deps=spec.has_dependencies,
+            code_size_mb=spec.code_size_mb,
+            dep_size_mb=max(spec.dep_size_mb, 0.5),
+            rng=self._rngs.fresh(f"xr/{profile.name}/f{spec.function_id}"),
+        )
+
+    # -- main entry ------------------------------------------------------------
 
     def run(
         self,
@@ -109,10 +212,39 @@ class CrossRegionEvaluator:
 
         Warm-pod bookkeeping is per (function, region): a function routed
         to R3 keeps its warm pod there, so follow-up requests within the
-        keep-alive stay remote and pay only the RTT.
+        keep-alive stay remote and pay only the RTT. Per-region placement
+        counts land on ``metrics.cold_starts_by_region`` (merge-safe), so
+        routing shares are pure functions of the returned metrics.
         """
+        policy = RoutingPolicy(policy)
         metrics = EvalMetrics(name=f"xregion:{policy.value}")
-        extra_latency_s = 0.0
+        for name in self.region_names:
+            metrics.cold_starts_by_region.setdefault(name, 0)
+        if not traces:
+            return metrics
+        if self.resolve_engine(policy) == "vector":
+            self._run_vector(traces, policy, keepalive_s, metrics)
+        else:
+            self._run_event(traces, policy, keepalive_s, metrics)
+        return metrics
+
+    def remote_share(self, metrics: EvalMetrics) -> float:
+        """Fraction of cold starts placed away from home — read directly
+        off the metrics (pure; works on merged shard results too)."""
+        return metrics.remote_cold_share(self.region_names[0])
+
+    # -- event-driven reference engine -----------------------------------------
+
+    def _run_event(
+        self, traces, policy: RoutingPolicy, keepalive_s: float, metrics: EvalMetrics
+    ) -> None:
+        specs = [t.spec for t in traces]
+        function_ids = np.array([s.function_id for s in specs], dtype=np.int64)
+        n_regions = len(self.profiles)
+        samplers = [
+            [self._sampler(spec, ridx) for ridx in range(n_regions)]
+            for spec in specs
+        ]
 
         merged_t = np.concatenate([t.arrivals for t in traces])
         merged_fn = np.concatenate(
@@ -124,46 +256,411 @@ class CrossRegionEvaluator:
             merged_t[order], merged_fn[order], merged_exec[order],
         )
 
-        # Per function, per region: list of pods as [warm_until, busy_until].
-        warm: list[dict[int, list[list[float]]]] = [dict() for _ in traces]
-        region_states = [self.home] + self.remotes
+        router = self._router(policy)
+        interval = tick_interval([router]) if router else 60.0
+        machine = (
+            TickMachine([router], specs, function_ids, interval)
+            if router else None
+        )
+        current_route = RouteDirective(region=0, penalty_s=0.0)
 
-        for t, fn, exec_s in zip(merged_t, merged_fn, merged_exec):
-            t = float(t)
-            spec = traces[fn].spec
+        # Per (function, region): pod columns [warm_until, busy_until] in
+        # creation order; expiry is the death-time rule (warm_until <= t).
+        pods: list[list[list[list[float]]]] = [
+            [[] for _ in range(n_regions)] for _ in traces
+        ]
+        cold_t: list[float] = []
+        cold_w: list[float] = []
+        latency: list[float] = []
+        region_counts = [0] * n_regions
+        span_cold_fn: list[int] = []
+        span_cold_t: list[float] = []
+        span_cold_w: list[float] = []
+        span_cold_r: list[int] = []
+        span_edge = 0
+
+        def do_tick(tick: int) -> None:
+            nonlocal current_route, span_edge
+            now = tick * interval
+            hi = int(np.searchsorted(merged_t, now, side="left"))
+            action = machine.step(
+                tick,
+                arrive_fn=merged_fn[span_edge:hi],
+                arrive_t=merged_t[span_edge:hi],
+                alive_pods=0,
+                congestion=0.0,
+                cold_fn=np.asarray(span_cold_fn, dtype=np.int64),
+                cold_t=np.asarray(span_cold_t, dtype=np.float64),
+                cold_wait=np.asarray(span_cold_w, dtype=np.float64),
+                cold_region=np.asarray(span_cold_r, dtype=np.int64),
+            )
+            span_edge = hi
+            span_cold_fn.clear()
+            span_cold_t.clear()
+            span_cold_w.clear()
+            span_cold_r.clear()
+            if action.route is not None:
+                current_route = action.route
+
+        ai = 0
+        n = merged_t.size
+        next_tick = 0
+        while ai < n:
+            t = float(merged_t[ai])
+            if machine is not None:
+                while next_tick * interval <= t:
+                    do_tick(next_tick)
+                    next_tick += 1
+            fn = int(merged_fn[ai])
+            exec_s = float(merged_exec[ai])
+            ai += 1
             metrics.requests += 1
+            fn_pods = pods[fn]
             served = False
-            for ridx in range(len(region_states)):
-                pods = warm[fn].get(ridx, [])
-                pods[:] = [p for p in pods if p[0] > t]  # drop expired
-                for pod in pods:
+            for ridx in range(n_regions):
+                region_pods = fn_pods[ridx]
+                if not region_pods:
+                    continue
+                region_pods[:] = [p for p in region_pods if p[0] > t]
+                for pod in region_pods:
                     if pod[1] <= t:
-                        pod[1] = t + float(exec_s)
+                        pod[1] = t + exec_s
                         pod[0] = pod[1] + keepalive_s
                         metrics.warm_hits += 1
-                        extra_latency_s += self.rtt_s if ridx > 0 else 0.0
+                        if ridx > 0:
+                            latency.append(self.rtt_s)
                         served = True
                         break
                 if served:
                     break
             if served:
                 continue
-            if policy is RoutingPolicy.HOME_ONLY:
-                state, penalty, ridx = self.home, 0.0, 0
+            ridx, penalty = current_route.region, current_route.penalty_s
+            wait = samplers[fn][ridx].next_total(0.0)
+            cold_t.append(t)
+            cold_w.append(wait + penalty)
+            if penalty:
+                latency.append(penalty)
+            region_counts[ridx] += 1
+            if machine is not None:
+                span_cold_fn.append(fn)
+                span_cold_t.append(t)
+                span_cold_w.append(wait)
+                span_cold_r.append(ridx)
+            end = t + wait + exec_s
+            fn_pods[ridx].append([end + keepalive_s, end])
+
+        metrics.record_cold_batch(
+            np.asarray(cold_w, dtype=np.float64), np.asarray(cold_t, dtype=np.float64)
+        )
+        metrics.total_delay_s = (
+            float(np.sum(np.asarray(latency, dtype=np.float64))) if latency else 0.0
+        )
+        for name, count in zip(self.region_names, region_counts):
+            metrics.record_region_cold(name, count)
+
+    # -- vectorized tick-partitioned engine ------------------------------------
+
+    def _run_vector(
+        self, traces, policy: RoutingPolicy, keepalive_s: float, metrics: EvalMetrics
+    ) -> None:
+        specs = [t.spec for t in traces]
+        function_ids = np.array([s.function_id for s in specs], dtype=np.int64)
+        n_fns = len(specs)
+        n_regions = len(self.profiles)
+        samplers = [
+            [self._sampler(spec, ridx) for ridx in range(n_regions)]
+            for spec in specs
+        ]
+        fn_t = [np.asarray(t.arrivals, dtype=np.float64) for t in traces]
+        fn_e = [np.asarray(t.exec_s, dtype=np.float64) for t in traces]
+        for arrivals in fn_t:
+            if arrivals.size and np.any(np.diff(arrivals) < 0):
+                raise ValueError(
+                    "the vector engine needs per-function arrivals sorted in "
+                    "time; use engine='event' for unsorted streams"
+                )
+
+        all_t = np.concatenate(fn_t)
+        all_fn = np.concatenate(
+            [np.full(a.size, i, dtype=np.int64) for i, a in enumerate(fn_t)]
+        )
+        order = np.argsort(all_t, kind="stable")
+        inv = np.empty(order.size, dtype=np.int64)
+        inv[order] = np.arange(order.size)
+        merged_pos: list[np.ndarray] = []
+        offset = 0
+        for a in fn_t:
+            merged_pos.append(inv[offset:offset + a.size])
+            offset += a.size
+
+        router = self._router(policy)
+        interval = tick_interval([router]) if router else 60.0
+        t_last = max((float(a[-1]) for a in fn_t if a.size), default=-1.0)
+        n_ticks = (
+            last_tick_index(t_last, interval) + 1
+            if (router is not None and t_last >= 0) else 0
+        )
+        span_index = SpanIndex(all_t[order], all_fn[order], interval)
+
+        home_route = RouteDirective(region=0, penalty_s=0.0)
+
+        def replay(i: int, schedule):
+            for sampler in samplers[i]:
+                sampler.reset()
+            return _replay_fn_cross_region(
+                fn_t[i], fn_e[i], merged_pos[i], keepalive_s, n_regions,
+                samplers[i], self.rtt_s, schedule, interval, n_ticks,
+            )
+
+        if router is None:
+            outcomes = [replay(i, None) for i in range(n_fns)]
+        else:
+            # Initial guess: the seeded-EMA decision, held constant (the
+            # routing trajectory usually settles near it, so the first
+            # repair round touches few functions).
+            guess = [self._router(policy).decide(0, 0.0).route] * n_ticks
+            schedule = None
+            used_rel: list = [None] * n_fns
+            outcomes = [replay(i, guess) for i in range(n_fns)]
+            for i in range(n_fns):
+                used_rel[i] = _route_rel(outcomes[i], guess, interval, n_ticks)
+            converged = False
+            for _round in range(self._MAX_REPAIR_ROUNDS):
+                schedule = self._route_schedule(
+                    router, specs, function_ids, interval, n_ticks,
+                    span_index, outcomes,
+                )
+                rels = [
+                    _route_rel(outcomes[i], schedule, interval, n_ticks)
+                    for i in range(n_fns)
+                ]
+                affected = [i for i in range(n_fns) if rels[i] != used_rel[i]]
+                if not affected:
+                    converged = True
+                    break
+                for i in affected:
+                    outcomes[i] = replay(i, schedule)
+                    used_rel[i] = _route_rel(
+                        outcomes[i], schedule, interval, n_ticks
+                    )
+            if not converged:
+                # Oscillating routing feedback: replay sequentially from a
+                # clean evaluator (exact, merely slower). Instance-level
+                # tuning carries over.
+                fallback = CrossRegionEvaluator(
+                    home=self.profiles[0],
+                    remotes=tuple(self.profiles[1:]),
+                    rtt_s=self.rtt_s,
+                    seed=self._rngs.seed,
+                    engine="event",
+                )
+                fallback.improvement_gate = self.improvement_gate
+                fallback._run_event(traces, policy, keepalive_s, metrics)
+                return
+
+        # Canonical assembly (the event loop's processing order).
+        metrics.requests = sum(o["requests"] for o in outcomes)
+        metrics.warm_hits = sum(o["warm_hits"] for o in outcomes)
+        cold_t = np.concatenate([o["cold_t"] for o in outcomes])
+        cold_w = np.concatenate([o["cold_w"] for o in outcomes])
+        cold_pos = np.concatenate([o["cold_pos"] for o in outcomes])
+        cold_order = np.argsort(cold_pos, kind="stable")
+        metrics.record_cold_batch(cold_w[cold_order], cold_t[cold_order])
+        lat_v = np.concatenate([o["lat_v"] for o in outcomes])
+        if lat_v.size:
+            lat_pos = np.concatenate([o["lat_pos"] for o in outcomes])
+            metrics.total_delay_s = float(
+                np.sum(lat_v[np.argsort(lat_pos, kind="stable")])
+            )
+        region_counts = np.zeros(n_regions, dtype=np.int64)
+        for o in outcomes:
+            region_counts += o["region_counts"]
+        for name, count in zip(self.region_names, region_counts.tolist()):
+            metrics.record_region_cold(name, count)
+
+    def _route_schedule(
+        self, router, specs, function_ids, interval, n_ticks, span_index, outcomes
+    ):
+        """One sequential router-machine pass over the tick clock."""
+        machine = TickMachine(
+            [copy.deepcopy(router)], specs, function_ids, interval
+        )
+        cold_t = np.concatenate([o["cold_t"] for o in outcomes])
+        cold_raw = np.concatenate([o["cold_raw"] for o in outcomes])
+        cold_r = np.concatenate([o["cold_region"] for o in outcomes])
+        cold_fn = np.concatenate(
+            [
+                np.full(o["cold_t"].size, i, dtype=np.int64)
+                for i, o in enumerate(outcomes)
+            ]
+        )
+        cold_pos = np.concatenate([o["cold_pos"] for o in outcomes])
+        cold_order = np.argsort(cold_pos, kind="stable")
+        cold_t = cold_t[cold_order]
+        cold_raw = cold_raw[cold_order]
+        cold_r = cold_r[cold_order]
+        cold_fn = cold_fn[cold_order]
+        cold_edges = np.searchsorted(
+            cold_t, np.arange(n_ticks) * interval, side="left"
+        )
+        arr_edges = span_index.edges(n_ticks)
+        schedule = []
+        for k in range(n_ticks):
+            arrive_fn, arrive_t = span_index.span(k, arr_edges)
+            lo, hi = (0, 0) if k == 0 else (int(cold_edges[k - 1]), int(cold_edges[k]))
+            action = machine.step(
+                k,
+                arrive_fn=arrive_fn,
+                arrive_t=arrive_t,
+                alive_pods=0,
+                congestion=0.0,
+                cold_fn=cold_fn[lo:hi],
+                cold_t=cold_t[lo:hi],
+                cold_wait=cold_raw[lo:hi],
+                cold_region=cold_r[lo:hi],
+            )
+            schedule.append(action.route)
+        return schedule
+
+
+def _route_rel(outcome, schedule, interval_s: float, n_ticks: int):
+    """What a routing schedule makes a function's replay read: the route
+    directive governing each of its cold starts."""
+    cold_t = outcome["cold_t"]
+    if not cold_t.size or n_ticks == 0:
+        return ()
+    k = tick_indices_of(cold_t, interval_s, n_ticks)
+    return tuple(schedule[ki] for ki in k.tolist())
+
+
+def _replay_fn_cross_region(
+    t: np.ndarray,
+    e: np.ndarray,
+    merged_pos: np.ndarray,
+    keepalive_s: float,
+    n_regions: int,
+    samplers,
+    rtt_s: float,
+    schedule,
+    interval_s: float,
+    n_ticks: int,
+) -> dict:
+    """Exact per-function cross-region replay under a routing schedule.
+
+    Scalar port of the event loop's per-request logic for one function —
+    same region-order warm search, same creation-order pod scan, same
+    float updates — with the steady single-pod warm chain consumed
+    wholesale between deviation candidates (warm hits never read the
+    routing schedule, so chains jump whatever the routing history).
+    """
+    n = t.size
+    region_pods: list[list[list[float]]] = [[] for _ in range(n_regions)]
+    warm_hits = 0
+    cold_t_l: list[float] = []
+    cold_w_l: list[float] = []
+    cold_raw_l: list[float] = []
+    cold_r_l: list[int] = []
+    cold_p_l: list[int] = []
+    lat_v_l: list[float] = []
+    lat_p_l: list[int] = []
+    region_counts = np.zeros(n_regions, dtype=np.int64)
+
+    tl = t.tolist()
+    el = e.tolist()
+    ml = merged_pos.tolist()
+    if n > 1:
+        idle_end = t + e
+        steady_prev = idle_end[:-1]
+        deviating = (t[1:] >= steady_prev + keepalive_s) | (t[1:] < steady_prev)
+        cand_list = (np.flatnonzero(deviating) + 1).tolist()
+    else:
+        idle_end = t + e
+        cand_list = []
+    cand_list.append(n)
+    ci = 0
+
+    # The single alive pod, when there is exactly one: (region, pod ref).
+    ai = 0
+    while ai < n:
+        tk = tl[ai]
+        # Steady-chain jump: exactly one pod anywhere, idle and warm.
+        single = None
+        total = 0
+        for ridx in range(n_regions):
+            pods = region_pods[ridx]
+            if pods:
+                pods[:] = [p for p in pods if p[0] > tk]
+                total += len(pods)
+                if len(pods) == 1 and total == 1:
+                    single = (ridx, pods[0])
+                if total > 1:
+                    single = None
+                    break
+        if total == 1 and single is not None:
+            ridx, pod = single
+            if pod[1] <= tk:  # idle and (warm_until > tk already ensured)
+                while cand_list[ci] <= ai:
+                    ci += 1
+                limit = cand_list[ci]
+                warm_hits += limit - ai
+                if ridx > 0:
+                    lat_v_l.extend([rtt_s] * (limit - ai))
+                    lat_p_l.extend(ml[ai:limit])
+                end = float(idle_end[limit - 1])
+                pod[1] = end
+                pod[0] = end + keepalive_s
+                ai = limit
+                continue
+        # Exact scalar step (the event loop's warm search).
+        exec_s = el[ai]
+        served = False
+        for ridx in range(n_regions):
+            pods = region_pods[ridx]
+            if not pods:
+                continue
+            pods[:] = [p for p in pods if p[0] > tk]
+            for pod in pods:
+                if pod[1] <= tk:
+                    pod[1] = tk + exec_s
+                    pod[0] = pod[1] + keepalive_s
+                    warm_hits += 1
+                    if ridx > 0:
+                        lat_v_l.append(rtt_s)
+                        lat_p_l.append(ml[ai])
+                    served = True
+                    break
+            if served:
+                break
+        if not served:
+            if schedule is None or not n_ticks:
+                ridx, penalty = 0, 0.0
             else:
-                state, penalty = self._best_region(spec)
-                ridx = region_states.index(state)
-            cold = state.sample_cold(spec)
-            metrics.record_cold(cold + penalty, t)
-            extra_latency_s += penalty
-            end = t + cold + float(exec_s)
-            warm[fn].setdefault(ridx, []).append([end + keepalive_s, end])
+                directive = schedule[tick_index_of(tk, interval_s, n_ticks)]
+                ridx, penalty = directive.region, directive.penalty_s
+            wait = samplers[ridx].next_total(0.0)
+            cold_t_l.append(tk)
+            cold_w_l.append(wait + penalty)
+            cold_raw_l.append(wait)
+            cold_r_l.append(ridx)
+            cold_p_l.append(ml[ai])
+            if penalty:
+                lat_v_l.append(penalty)
+                lat_p_l.append(ml[ai])
+            region_counts[ridx] += 1
+            end = tk + wait + exec_s
+            region_pods[ridx].append([end + keepalive_s, end])
+        ai += 1
 
-        metrics.total_delay_s = float(extra_latency_s)
-        return metrics
-
-    def remote_share(self, metrics: EvalMetrics) -> float:
-        """Fraction of cold starts placed away from home in the last run."""
-        remote = sum(r.cold_starts for r in self.remotes)
-        total = remote + self.home.cold_starts
-        return remote / total if total else 0.0
+    return {
+        "requests": n,
+        "warm_hits": warm_hits,
+        "cold_t": np.asarray(cold_t_l, dtype=np.float64),
+        "cold_w": np.asarray(cold_w_l, dtype=np.float64),
+        "cold_raw": np.asarray(cold_raw_l, dtype=np.float64),
+        "cold_region": np.asarray(cold_r_l, dtype=np.int64),
+        "cold_pos": np.asarray(cold_p_l, dtype=np.int64),
+        "lat_v": np.asarray(lat_v_l, dtype=np.float64),
+        "lat_pos": np.asarray(lat_p_l, dtype=np.int64),
+        "region_counts": region_counts,
+    }

@@ -13,24 +13,27 @@ with the same keep-alive semantics as the trace generator.
 
 Two engines share one semantics:
 
-* ``engine="vector"`` — the structure-of-arrays fast path
-  (:mod:`~repro.mitigation.vector_engine`): per-function numpy scans for
-  the uncoupled configurations (any per-function keep-alive policy, no
-  pre-warming, no peak shaving), typically an order of magnitude faster
-  than the event loop (``benchmarks/bench_evaluator.py``).
-* ``engine="event"`` — the reference event loop, required for *coupled*
-  policies (pre-warm plans and peak shaving react to region-wide state on
-  a shared tick clock).
-* ``engine="auto"`` (default) — vector when the configuration is
-  uncoupled, event otherwise.
+* ``engine="vector"`` — the structure-of-arrays path
+  (:mod:`~repro.mitigation.vector_engine`): pure per-function numpy
+  walks for the uncoupled configurations, and a **tick-partitioned
+  mode** for coupled tick-phase policies (pre-warming, peak shaving):
+  given the per-tick decision schedule every function replays
+  independently, and the schedule itself is found by fixed-point repair
+  (see :meth:`RegionEvaluator._run_vector_coupled`).
+* ``engine="event"`` — the sequential reference loop, driving the same
+  :class:`~repro.mitigation.base.TickPolicy` machines through the same
+  span columns inline.
+* ``engine="auto"`` (default) — vector everywhere except span-coupled
+  legacy shavers (per-arrival ``delay_for`` state), which need event.
 
 Both engines price the k-th cold start of a function from the same
-per-function :class:`~repro.sim.latency.FunctionColdSampler` draw and look
-congestion up in the same exogenous :class:`CongestionProfile`, and both
-assemble their metrics in one canonical order — so for any uncoupled
-configuration they produce **bit-identical** :class:`EvalMetrics`
-(``tests/test_vector_engine.py`` sweeps seeds x policies x jobs x
-channels).
+per-function :class:`~repro.sim.latency.FunctionColdSampler` draw, look
+congestion up in the same exogenous :class:`CongestionProfile`, and feed
+policies through the shared :class:`~repro.mitigation.tick.TickMachine`,
+assembling metrics in one canonical order — so for every configuration
+the vector engine accepts they produce **bit-identical**
+:class:`EvalMetrics` (``tests/test_vector_engine.py`` sweeps seeds x
+policies x jobs x channels, coupled configurations included).
 
 Congestion model: earlier versions fed the sampled latencies back into a
 rolling count of the replay's own cold starts, which coupled every
@@ -44,13 +47,36 @@ what renders the baseline embarrassingly parallel across functions.
 
 from __future__ import annotations
 
+import copy
 import heapq
 
 import numpy as np
 
 from repro.cluster.autoscaler import FixedKeepAlive, KeepAlivePolicy
-from repro.mitigation.base import EvalMetrics, PeakShaver, PrewarmPolicy
-from repro.mitigation.vector_engine import FunctionReplay, replay_function
+from repro.mitigation.base import (
+    EvalMetrics,
+    PeakShaver,
+    PrewarmPolicy,
+    ShaveDirective,
+    TickPolicy,
+)
+from repro.mitigation.tick import (
+    EMPTY_F,
+    EMPTY_I,
+    SpanIndex,
+    TickMachine,
+    canonical_event_order,
+    last_tick_index,
+    tick_indices_of,
+    tick_interval,
+)
+from repro.mitigation.vector_engine import (
+    FunctionReplay,
+    _congestion_values,
+    lift_replay,
+    replay_function,
+    replay_function_coupled,
+)
 from repro.sim.latency import LatencyModel
 from repro.sim.rng import RngFactory
 from repro.workload.catalog import SizeClass
@@ -149,14 +175,125 @@ class CongestionProfile:
 
 def _last_tick_index(limit: float) -> int:
     """Largest k with ``k * 60.0 <= limit`` under exact float comparison."""
-    if limit < 0.0:
-        return -1
-    k = int(limit / 60.0)
-    while (k + 1) * 60.0 <= limit:
-        k += 1
-    while k > 0 and k * 60.0 > limit:
-        k -= 1
-    return k
+    return last_tick_index(limit, 60.0)
+
+
+def _prewarm_by_fn(schedule, spec_by_id) -> dict[int, tuple]:
+    """Per-function ``(tick, target)`` pre-warm slices of a schedule.
+
+    Mirrors the event engine's application rule: unknown function ids and
+    non-positive targets are dropped; entries keep (tick, plan) order.
+    """
+    by_fn: dict[int, list] = {}
+    for k, action in enumerate(schedule):
+        for function_id, target in action.prewarm:
+            fn = spec_by_id.get(function_id)
+            if fn is None or target <= 0:
+                continue
+            by_fn.setdefault(fn, []).append((k, int(target)))
+    return {fn: tuple(entries) for fn, entries in by_fn.items()}
+
+
+def _shave_relevance(shave_fp, interval_s, n_ticks, congestion):
+    """Change detector: what a shave schedule makes a function's replay *read*.
+
+    Returns ``rel(outcome)`` — the time-ordered tuple of the function's
+    delay-eligible moments (cold-bound original arrivals, past delayed
+    arrivals) that fall under an *active* directive, each paired with the
+    parameters that determine the delay. A replay only consults the shave
+    schedule at exactly these moments, so two schedules with identical
+    active-read sequences replay the function identically — decision
+    flips at ticks nobody reads never force a re-replay (or block
+    convergence). For the built-in pure directive the active test is
+    exact (gauge flag at the tick, profile trigger at the arrival
+    minute); unknown directive types are kept whole in the fingerprint
+    (conservative: any schedule change re-replays the function).
+    """
+    if not any(d is not None for d in shave_fp):
+        return lambda outcome: ()
+    present = np.array([d is not None for d in shave_fp], dtype=bool)
+    pure = np.array(
+        [d is None or type(d) is ShaveDirective for d in shave_fp], dtype=bool
+    )
+    gauge_active = np.array(
+        [bool(d is not None and getattr(d, "gauge_active", True)) for d in shave_fp],
+        dtype=bool,
+    )
+    trigger = np.array(
+        [
+            d.congestion_trigger if d is not None and type(d) is ShaveDirective
+            else -np.inf
+            for d in shave_fp
+        ],
+        dtype=np.float64,
+    )
+    max_delay = np.array(
+        [
+            d.max_delay_s if d is not None and type(d) is ShaveDirective else 0.0
+            for d in shave_fp
+        ],
+        dtype=np.float64,
+    )
+
+    def rel(outcome):
+        cand = outcome.cold_times[~outcome.cold_delayed]
+        if outcome.delay_t.size:
+            cand = np.sort(np.concatenate([cand, outcome.delay_t]), kind="stable")
+        if not cand.size:
+            return ()
+        k = tick_indices_of(cand, interval_s, n_ticks)
+        active = present[k] & (
+            ~pure[k]
+            | gauge_active[k]
+            | (_congestion_values(congestion, cand) > trigger[k])
+        )
+        if not active.any():
+            return ()
+        reads = []
+        for t, ki in zip(cand[active].tolist(), k[active].tolist()):
+            directive = shave_fp[ki]
+            reads.append(
+                (t, max_delay[ki]) if type(directive) is ShaveDirective
+                else (t, directive)
+            )
+        return tuple(reads)
+
+    return rel
+
+
+class _DuckPrewarmAdapter(PrewarmPolicy):
+    """Tick shim for duck-typed pre-warm policies (observe/plan only)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.interval_s = float(getattr(inner, "interval_s", 60.0))
+
+    def observe(self, spec, t):
+        self.inner.observe(spec, t)
+
+    def plan(self, now):
+        return self.inner.plan(now)
+
+    def describe(self) -> str:
+        describe = getattr(self.inner, "describe", None)
+        return describe() if describe else type(self.inner).__name__
+
+
+class _DuckShaverAdapter(PeakShaver):
+    """Tick shim for duck-typed peak shavers (observe_load/delay_for only)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def observe_load(self, now, alive_pods):
+        self.inner.observe_load(now, alive_pods)
+
+    def delay_for(self, spec, now, congestion=0.0):
+        return self.inner.delay_for(spec, now, congestion)
+
+    def describe(self) -> str:
+        describe = getattr(self.inner, "describe", None)
+        return describe() if describe else type(self.inner).__name__
 
 
 class RegionEvaluator:
@@ -203,34 +340,72 @@ class RegionEvaluator:
 
         Pre-warm plans and peak shaving react to region-wide signals on a
         shared tick clock; keep-alive policies and concurrency overrides
-        are per-function constants, so they stay uncoupled.
+        are per-function constants, so they stay uncoupled. Coupled
+        configurations replay on the tick-partitioned vector mode (or the
+        event loop) rather than the pure per-function fast path.
         """
         return self.prewarm_policy is not None or self.peak_shaver is not None
 
+    def _tick_policies(self) -> list[TickPolicy]:
+        """The run's policies, normalised onto the tick protocol.
+
+        :class:`TickPolicy` instances (which includes every
+        :class:`PrewarmPolicy`/:class:`PeakShaver` subclass) pass through;
+        duck-typed legacy objects get wrapped in the compatibility shims.
+        """
+        policies: list[TickPolicy] = []
+        if self.prewarm_policy is not None:
+            policy = self.prewarm_policy
+            policies.append(
+                policy if isinstance(policy, TickPolicy)
+                else _DuckPrewarmAdapter(policy)
+            )
+        if self.peak_shaver is not None:
+            shaver = self.peak_shaver
+            policies.append(
+                shaver if isinstance(shaver, TickPolicy)
+                else _DuckShaverAdapter(shaver)
+            )
+        return policies
+
     def resolve_engine(self) -> str:
-        """The engine ``run`` will use (``"vector"`` or ``"event"``)."""
+        """The engine ``run`` will use (``"vector"`` or ``"event"``).
+
+        Every tick-protocol policy — including the built-in pre-warm,
+        peak-shaving, and legacy pre-warm subclasses through the shim —
+        replays on either engine bit-identically; only ``span_coupled``
+        policies (legacy per-arrival shavers whose ``delay_for`` state
+        depends on cross-function call order) force the event engine.
+        """
         if self.engine == "event":
             return "event"
+        blockers = [p for p in self._tick_policies() if p.span_coupled]
         if self.engine == "vector":
-            if self.coupled():
+            if blockers:
+                names = ", ".join(p.describe() for p in blockers)
                 raise ValueError(
-                    "engine='vector' cannot replay coupled policies "
-                    "(pre-warming / peak shaving share region-wide state); "
-                    "use engine='event' or 'auto'"
+                    f"engine='vector' cannot replay span-coupled policies "
+                    f"({names}): their per-arrival state depends on the "
+                    f"cross-function call order inside a tick span; use "
+                    f"engine='event' or 'auto'"
                 )
             return "vector"
-        return "event" if self.coupled() else "vector"
+        return "event" if blockers else "vector"
 
     # -- shared per-function setup ---------------------------------------------
 
     def _sampler_for(self, spec):
+        # ``fresh`` (not the memoized ``stream``): every run rebuilds the
+        # per-function draw stream from its deterministic path seed, so a
+        # reused evaluator replays identically whichever engine (or how
+        # many speculative block draws) a prior run consumed.
         return self._latency.function_sampler(
             runtime=spec.runtime,
             is_large=spec.config.size_class is SizeClass.LARGE,
             has_deps=spec.has_dependencies,
             code_size_mb=spec.code_size_mb,
             dep_size_mb=max(spec.dep_size_mb, 0.5),
-            rng=self._rngs.stream(
+            rng=self._rngs.fresh(
                 f"eval/{self.profile.name}/f{spec.function_id}"
             ),
         )
@@ -248,14 +423,23 @@ class RegionEvaluator:
         horizon_s: float | None = None,
         name: str = "",
     ) -> EvalMetrics:
-        """Replay ``traces``; returns the metrics of this policy run."""
+        """Replay ``traces``; returns the metrics of this policy run.
+
+        Policy instances are consumed per run: the event engine steps
+        them in place, the vectorized engine steps deep copies (identical
+        metrics; post-run policy state is only defined under
+        ``engine="event"`` — see :class:`~repro.mitigation.base.TickPolicy`).
+        """
         if horizon_s is None:
             horizon_s = max(
                 (float(t.arrivals[-1]) for t in traces if t.arrivals.size), default=0.0
             ) + 120.0
         metrics = EvalMetrics(name=name or self._default_name())
         if self.resolve_engine() == "vector":
-            self._run_vector(traces, horizon_s, metrics)
+            if self.coupled():
+                self._run_vector_coupled(traces, horizon_s, metrics)
+            else:
+                self._run_vector(traces, horizon_s, metrics)
         else:
             self._run_event(traces, horizon_s, metrics)
         return metrics
@@ -352,6 +536,326 @@ class RegionEvaluator:
         else:
             metrics.pod_seconds = 0.0
 
+    # -- tick-partitioned coupled vector mode ----------------------------------
+
+    #: Repair rounds before the coupled vector mode concedes the decision
+    #: schedule will not settle and replays on the event engine instead
+    #: (exact either way; the cap only bounds wasted work).
+    _MAX_REPAIR_ROUNDS = 10
+
+    def _run_vector_coupled(
+        self, traces: list[FunctionTrace], horizon_s: float, metrics: EvalMetrics
+    ) -> None:
+        """Coupled policies on the vector engine: ticks partition the replay.
+
+        The tick protocol confines all cross-function coupling to tick
+        boundaries: given the per-tick decision schedule, every function
+        replays independently (``replay_function_coupled``), and functions
+        no decision touches keep their uncoupled fast-walk outcome. The
+        schedule itself is found by fixed-point repair: replay under a
+        candidate schedule, re-run the policy machine over the resulting
+        outcome columns, and re-replay only the functions whose relevant
+        decisions changed. Decisions at tick ``k`` depend only on spans
+        before ``k``, so a self-consistent (schedule, outcome) pair is
+        unique and equals the event engine's sequential trajectory —
+        which is what makes the two engines bit-identical for coupled
+        policies.
+        """
+        congestion = CongestionProfile.from_traces(traces, horizon_s)
+        specs = [t.spec for t in traces]
+        spec_by_id = {s.function_id: i for i, s in enumerate(specs)}
+        function_ids = np.array([s.function_id for s in specs], dtype=np.int64)
+        n_fns = len(specs)
+        kas = [self.keepalive_policy.keepalive_for(s, 0.0) for s in specs]
+        concs = [self._concurrency(s) for s in specs]
+        samplers = [self._sampler_for(s) for s in specs]
+        sync = [s.synchronous for s in specs]
+        policies = self._tick_policies()
+        interval = tick_interval(policies)
+
+        fn_t: list[np.ndarray] = []
+        fn_e: list[np.ndarray] = []
+        for trace in traces:
+            arrivals = np.asarray(trace.arrivals, dtype=np.float64)
+            if arrivals.size and np.any(np.diff(arrivals) < 0):
+                raise ValueError(
+                    "the vector engine needs per-function arrivals sorted in "
+                    "time (the generator always produces them sorted); use "
+                    "engine='event' for unsorted streams"
+                )
+            fn_t.append(arrivals)
+            fn_e.append(np.asarray(trace.exec_s, dtype=np.float64))
+
+        all_t = np.concatenate(fn_t) if fn_t else EMPTY_F
+        all_fn = (
+            np.concatenate(
+                [np.full(a.size, i, dtype=np.int64) for i, a in enumerate(fn_t)]
+            )
+            if fn_t else EMPTY_I
+        )
+        order = np.argsort(all_t, kind="stable")
+        inv = np.empty(order.size, dtype=np.int64)
+        inv[order] = np.arange(order.size)
+        merged_pos: list[np.ndarray] = []
+        offset = 0
+        for a in fn_t:
+            merged_pos.append(inv[offset:offset + a.size])
+            offset += a.size
+        span_index = SpanIndex(all_t[order], all_fn[order], interval)
+
+        def fast_outcome(i: int):
+            samplers[i].reset()
+            return lift_replay(
+                replay_function(
+                    fn_t[i], fn_e[i], kas[i], concs[i],
+                    self.queue_patience_s, samplers[i], congestion,
+                ),
+                merged_pos[i], fn_t[i],
+            )
+
+        base = [fast_outcome(i) for i in range(n_fns)]
+        outcomes = list(base)
+        neutral = ((), ())
+        used_rel: list = [neutral] * n_fns
+        # Policies with outcome-free decision streams (every pre-warm
+        # policy — legacy subclasses included — and the built-in shaver,
+        # whose directive only reads exogenous signals) need no
+        # fixed-point verification pass: once the tick count settles
+        # (delayed re-arrivals can extend the clock), the schedule and
+        # every relevance fingerprint are reproducible by construction.
+        outcome_free = all(p.outcome_free_decisions for p in policies)
+        n_ticks, gauge = 0, EMPTY_F
+        prev_n_ticks = -1
+        converged = False
+        for _round in range(self._MAX_REPAIR_ROUNDS):
+            n_ticks, gauge = self._pod_gauge(outcomes, horizon_s, interval)
+            if outcome_free and _round > 0 and n_ticks == prev_n_ticks:
+                converged = True
+                break
+            prev_n_ticks = n_ticks
+            schedule = self._compute_schedule(
+                policies, specs, function_ids, interval, n_ticks,
+                span_index, gauge, outcomes, congestion,
+            )
+            prewarm_by_fn = _prewarm_by_fn(schedule, spec_by_id)
+            shave_fp = tuple(action.shave for action in schedule)
+            rel_of = _shave_relevance(shave_fp, interval, n_ticks, congestion)
+            rels = [
+                (
+                    prewarm_by_fn.get(i, ()),
+                    () if sync[i] else rel_of(outcomes[i]),
+                )
+                for i in range(n_fns)
+            ]
+            affected = [i for i in range(n_fns) if rels[i] != used_rel[i]]
+            if not affected:
+                # Every function's outcome already reads this schedule the
+                # way it was produced — the (schedule, outcomes) pair is
+                # self-consistent, i.e. the event engine's trajectory.
+                converged = True
+                break
+            shave_schedule = (
+                [action.shave for action in schedule]
+                if any(d is not None for d in shave_fp) else None
+            )
+            for i in affected:
+                if rels[i] == neutral and (
+                    sync[i] or rel_of(base[i]) == ()
+                ):
+                    # The schedule stopped touching this function AND its
+                    # decision-free outcome reads nothing under the new
+                    # schedule either — only then is the cached base
+                    # outcome the exact replay under this schedule. (The
+                    # second check matters: a base cold moment can fall
+                    # under an active directive even when the previously
+                    # coupled outcome's moments all went inactive.)
+                    outcomes[i] = base[i]
+                    used_rel[i] = neutral
+                else:
+                    samplers[i].reset()
+                    outcomes[i] = replay_function_coupled(
+                        fn_t[i], fn_e[i], merged_pos[i], kas[i], concs[i],
+                        self.queue_patience_s, samplers[i], congestion,
+                        specs[i], sync[i], self.prewarm_grace_s,
+                        interval, n_ticks,
+                        prewarm_by_fn.get(i, ()), shave_schedule,
+                    )
+                    used_rel[i] = (
+                        prewarm_by_fn.get(i, ()),
+                        () if sync[i] else rel_of(outcomes[i]),
+                    )
+        if not converged:
+            # The decision schedule oscillated past the round budget (a
+            # pathological feedback loop); replay sequentially from a clean
+            # evaluator — exact by construction, merely slower.
+            RegionEvaluator(
+                self.profile,
+                keepalive_policy=self.keepalive_policy,
+                prewarm_policy=self.prewarm_policy,
+                peak_shaver=self.peak_shaver,
+                seed=self._rngs.seed,
+                concurrency_override=self.concurrency_override,
+                queue_patience_s=self.queue_patience_s,
+                prewarm_grace_s=self.prewarm_grace_s,
+                engine="event",
+            )._run_event(traces, horizon_s, metrics)
+            return
+        self._assemble_coupled(
+            outcomes, n_ticks, gauge, interval, horizon_s, metrics
+        )
+
+    @staticmethod
+    def _pod_gauge(outcomes, horizon_s: float, interval_s: float):
+        """Tick count and alive-pod gauge implied by the current outcomes.
+
+        The same interval-counting identity the uncoupled path uses: ticks
+        fire while replay events (arrivals *and* delayed re-arrivals)
+        remain, never past the horizon, and a pod is counted at every tick
+        strictly inside ``(created, death)``.
+        """
+        t_last = max(
+            (o.last_event_t for o in outcomes), default=-np.inf
+        )
+        if not np.isfinite(t_last) or t_last < 0.0:
+            return 0, EMPTY_F
+        n_ticks = last_tick_index(min(t_last, horizon_s), interval_s) + 1
+        if n_ticks <= 0:
+            return 0, EMPTY_F
+        grid = np.arange(n_ticks) * interval_s
+        all_created = np.concatenate(
+            [o.pod_created for o in outcomes]
+        ) if outcomes else EMPTY_F
+        all_death = np.concatenate(
+            [o.pod_death for o in outcomes]
+        ) if outcomes else EMPTY_F
+        lo = np.searchsorted(grid, all_created, side="right")
+        hi = np.searchsorted(grid, all_death, side="left")
+        mask = hi > lo
+        delta = np.bincount(
+            lo[mask], minlength=n_ticks + 1
+        ) - np.bincount(hi[mask].clip(max=n_ticks), minlength=n_ticks + 1)
+        return n_ticks, np.cumsum(delta[:n_ticks])
+
+    def _compute_schedule(
+        self, policies, specs, function_ids, interval, n_ticks,
+        span_index, gauge, outcomes, congestion,
+    ):
+        """One sequential policy-machine pass over the tick clock.
+
+        Policies are deep-copied so the pass never disturbs the caller's
+        instances (the repair loop replays the machine per round); the
+        span columns are sliced from the canonical event-ordered arrays,
+        so the machine sees byte-identical inputs to the event engine's
+        inline stepping once the outcomes are self-consistent.
+        """
+        machine = TickMachine(
+            copy.deepcopy(policies), specs, function_ids, interval
+        )
+        cold_t = np.concatenate([o.cold_times for o in outcomes]) if outcomes else EMPTY_F
+        cold_w = np.concatenate([o.cold_waits for o in outcomes]) if outcomes else EMPTY_F
+        cold_fn = (
+            np.concatenate(
+                [
+                    np.full(o.cold_times.size, i, dtype=np.int64)
+                    for i, o in enumerate(outcomes)
+                ]
+            )
+            if outcomes else EMPTY_I
+        )
+        cold_delayed = (
+            np.concatenate([o.cold_delayed for o in outcomes])
+            if outcomes else np.zeros(0, dtype=bool)
+        )
+        cold_tie = (
+            np.concatenate([o.cold_tiebreak for o in outcomes])
+            if outcomes else EMPTY_I
+        )
+        cold_order = canonical_event_order(cold_t, cold_delayed, cold_tie)
+        cold_t = cold_t[cold_order]
+        cold_w = cold_w[cold_order]
+        cold_fn = cold_fn[cold_order]
+        cold_edges = np.searchsorted(
+            cold_t, np.arange(n_ticks) * interval, side="left"
+        )
+        arr_edges = span_index.edges(n_ticks)
+        schedule = []
+        for k in range(n_ticks):
+            arrive_fn, arrive_t = span_index.span(k, arr_edges)
+            lo, hi = (0, 0) if k == 0 else (int(cold_edges[k - 1]), int(cold_edges[k]))
+            schedule.append(
+                machine.step(
+                    k,
+                    arrive_fn=arrive_fn,
+                    arrive_t=arrive_t,
+                    alive_pods=int(gauge[k]),
+                    congestion=congestion.at(k * interval),
+                    cold_fn=cold_fn[lo:hi],
+                    cold_t=cold_t[lo:hi],
+                    cold_wait=cold_w[lo:hi],
+                    cold_region=np.zeros(hi - lo, dtype=np.int64),
+                )
+            )
+        return schedule
+
+    def _assemble_coupled(
+        self, outcomes, n_ticks, gauge, interval, horizon_s, metrics
+    ) -> None:
+        """Fold converged per-function outcomes into canonical metrics.
+
+        Every batched float accumulation runs in the event engine's
+        processing order: cold sketches by (time, original-before-delayed,
+        merged position), delay totals by the delaying arrival's merged
+        position, pod credits in (trace, creation) order with the shared
+        expiry/closeout rule.
+        """
+        metrics.requests = sum(o.requests for o in outcomes)
+        metrics.warm_hits = sum(o.warm_hits for o in outcomes)
+        metrics.prewarm_hits = sum(o.prewarm_hits for o in outcomes)
+        metrics.prewarm_creations = sum(o.prewarm_creations for o in outcomes)
+        metrics.delayed_requests = int(sum(o.delay_s.size for o in outcomes))
+        delay_s = np.concatenate([o.delay_s for o in outcomes]) if outcomes else EMPTY_F
+        if delay_s.size:
+            delay_pos = np.concatenate([o.delay_pos for o in outcomes])
+            metrics.total_delay_s = float(
+                np.sum(delay_s[np.argsort(delay_pos, kind="stable")])
+            )
+        cold_t = np.concatenate([o.cold_times for o in outcomes]) if outcomes else EMPTY_F
+        cold_w = np.concatenate([o.cold_waits for o in outcomes]) if outcomes else EMPTY_F
+        cold_delayed = (
+            np.concatenate([o.cold_delayed for o in outcomes])
+            if outcomes else np.zeros(0, dtype=bool)
+        )
+        cold_tie = (
+            np.concatenate([o.cold_tiebreak for o in outcomes])
+            if outcomes else EMPTY_I
+        )
+        cold_order = canonical_event_order(cold_t, cold_delayed, cold_tie)
+        metrics.record_cold_batch(cold_w[cold_order], cold_t[cold_order])
+        if n_ticks > 0:
+            metrics.record_tick_batch(gauge)
+        last_tick_time = (n_ticks - 1) * interval if n_ticks else -np.inf
+        credit_parts = []
+        prewarm_parts = []
+        for o in outcomes:
+            if not o.pod_created.size:
+                continue
+            expiry_seen = max(o.last_event_t, last_tick_time)
+            credits = np.where(
+                o.pod_death <= expiry_seen,
+                np.minimum(o.pod_death, horizon_s) - o.pod_created,
+                horizon_s - o.pod_created,
+            )
+            credits = np.maximum(credits, 0.0)
+            credit_parts.append(credits)
+            if o.pod_prewarmed.any():
+                prewarm_parts.append(credits[o.pod_prewarmed])
+        metrics.pod_seconds = (
+            float(np.sum(np.concatenate(credit_parts))) if credit_parts else 0.0
+        )
+        metrics.prewarm_pod_seconds = (
+            float(np.sum(np.concatenate(prewarm_parts))) if prewarm_parts else 0.0
+        )
+
     # -- event-driven reference engine -----------------------------------------
 
     def _run_event(
@@ -360,6 +864,9 @@ class RegionEvaluator:
         congestion = CongestionProfile.from_traces(traces, horizon_s)
         specs = [t.spec for t in traces]
         spec_by_id = {s.function_id: i for i, s in enumerate(specs)}
+        function_ids = np.array(
+            [s.function_id for s in specs], dtype=np.int64
+        )
         n_fns = len(specs)
         kas = [self.keepalive_policy.keepalive_for(s, 0.0) for s in specs]
         concs = [self._concurrency(s) for s in specs]
@@ -394,22 +901,23 @@ class RegionEvaluator:
         seq = 0
         grace = self.prewarm_grace_s
 
-        # Peak shaving reacts to the *replay's own* allocation bursts (a
-        # stampede signal the exogenous workload profile smooths away):
-        # rolling last-minute cold starts against the run's mean rate.
-        recent_colds: list[float] = []
-        total_colds = 0
-        first_cold: float | None = None
-
-        def live_congestion(now: float) -> float:
-            nonlocal recent_colds
-            recent_colds = [x for x in recent_colds if now - x < 60.0]
-            if first_cold is None or now <= first_cold:
-                return 0.0
-            mean = total_colds / max((now - first_cold) / 60.0, 1.0)
-            if mean <= 0:
-                return 0.0
-            return float(np.clip(len(recent_colds) / mean - 1.0, 0.0, 3.0))
+        # Tick-phase policy protocol: the machine observes each span's
+        # arrival/outcome columns at the tick and decides the next span's
+        # actions; within a span the current action is the whole coupling
+        # surface (the property the vectorized engine replays exactly).
+        policies = self._tick_policies()
+        interval = tick_interval(policies)
+        machine = (
+            TickMachine(policies, specs, function_ids, interval)
+            if policies else None
+        )
+        current_shave = None
+        delayed_counts = [0] * n_fns
+        delay_values: list[float] = []
+        span_cold_fn: list[int] = []
+        span_cold_t: list[float] = []
+        span_cold_w: list[float] = []
+        span_edge = 0
 
         def pod_ka(fn: int, p: int) -> float:
             ka = kas[fn]
@@ -452,11 +960,9 @@ class RegionEvaluator:
                 active_fns.discard(fn)
 
         def handle_request(fn: int, now: float, exec_s: float, was_delayed: bool) -> None:
-            nonlocal seq, total_colds, first_cold
+            nonlocal seq
             spec = specs[fn]
             metrics.requests += 1
-            if self.prewarm_policy is not None:
-                self.prewarm_policy.observe(spec, now)
             expire(fn, now)
             conc = concs[fn]
             fn_ready = ready[fn]
@@ -493,18 +999,21 @@ class RegionEvaluator:
                     fn_last[best] = end
                 metrics.warm_hits += 1
                 return
-            # Cold-bound: maybe shave the peak instead.
+            # Cold-bound: maybe shave the peak instead. The directive was
+            # frozen at the tick; the stampede trigger reads the exogenous
+            # profile at the arrival's own minute.
             if (
-                self.peak_shaver is not None
+                current_shave is not None
                 and not was_delayed
                 and not spec.synchronous
             ):
-                delay = self.peak_shaver.delay_for(
-                    spec, now, max(live_congestion(now), congestion.at(now))
+                delay = current_shave.delay_for(
+                    spec, now, congestion.at(now), delayed_counts[fn]
                 )
                 if delay > 0:
+                    delayed_counts[fn] += 1
                     metrics.delayed_requests += 1
-                    metrics.total_delay_s += delay
+                    delay_values.append(delay)
                     metrics.requests -= 1  # re-counted when it re-arrives
                     heapq.heappush(delayed, (now + delay, seq, fn, exec_s))
                     seq += 1
@@ -512,26 +1021,42 @@ class RegionEvaluator:
             cold = samplers[fn].next_total(congestion.at(now))
             cold_t.append(now)
             cold_w.append(cold)
-            if self.peak_shaver is not None:
-                if first_cold is None:
-                    first_cold = now
-                recent_colds.append(now)
-                total_colds += 1
+            if machine is not None:
+                span_cold_fn.append(fn)
+                span_cold_t.append(now)
+                span_cold_w.append(cold)
             end = now + cold + exec_s
             new_pod(fn, now, now + cold, end, [end], is_prewarmed=False)
 
-        def do_tick(now: float) -> None:
+        def do_tick(tick: int) -> None:
+            nonlocal current_shave, span_edge
+            now = tick * interval
             n_alive = 0
             for fn in list(active_fns):
                 expire(fn, now)
                 n_alive += len(alive[fn])
             metrics.record_tick(n_alive)
-            if self.peak_shaver is not None:
-                self.peak_shaver.observe_load(now, n_alive)
-            if self.prewarm_policy is None:
+            if machine is None:
                 return
-            plan = self.prewarm_policy.plan(now)
-            for function_id, target in plan.items():
+            hi = int(np.searchsorted(all_t, now, side="left"))
+            n_cold = len(span_cold_fn)
+            action = machine.step(
+                tick,
+                arrive_fn=all_fn[span_edge:hi],
+                arrive_t=all_t[span_edge:hi],
+                alive_pods=n_alive,
+                congestion=congestion.at(now),
+                cold_fn=np.asarray(span_cold_fn, dtype=np.int64),
+                cold_t=np.asarray(span_cold_t, dtype=np.float64),
+                cold_wait=np.asarray(span_cold_w, dtype=np.float64),
+                cold_region=np.zeros(n_cold, dtype=np.int64),
+            )
+            span_edge = hi
+            span_cold_fn.clear()
+            span_cold_t.clear()
+            span_cold_w.clear()
+            current_shave = action.shave
+            for function_id, target in action.prewarm:
                 fn = spec_by_id.get(function_id)
                 if fn is None or target <= 0:
                     continue
@@ -546,20 +1071,18 @@ class RegionEvaluator:
                     metrics.prewarm_creations += 1
                     new_pod(fn, now, now, now, [], is_prewarmed=True)
 
-        # Merge arrivals, delayed re-arrivals, and minute ticks.
+        # Merge arrivals, delayed re-arrivals, and ticks on the exact
+        # ``k * interval`` grid (a tick ties with an event fire first).
         ai = 0
         n = all_t.size
-        tick_time = 0.0
-        interval = (
-            self.prewarm_policy.interval_s if self.prewarm_policy is not None else 60.0
-        )
+        next_tick = 0
         while ai < n or delayed:
             t_arrival = all_t[ai] if ai < n else np.inf
             t_delayed = delayed[0][0] if delayed else np.inf
             t_event = min(t_arrival, t_delayed)
-            while tick_time <= t_event and tick_time <= horizon_s:
-                do_tick(tick_time)
-                tick_time += interval
+            while next_tick * interval <= t_event and next_tick * interval <= horizon_s:
+                do_tick(next_tick)
+                next_tick += 1
             if t_delayed < t_arrival:
                 t, _seq, fn, exec_s = heapq.heappop(delayed)
                 handle_request(fn, float(t), float(exec_s), was_delayed=True)
@@ -569,6 +1092,10 @@ class RegionEvaluator:
                     was_delayed=False,
                 )
                 ai += 1
+        metrics.total_delay_s = (
+            float(np.sum(np.asarray(delay_values, dtype=np.float64)))
+            if delay_values else 0.0
+        )
 
         # Cold-start sketches in one canonical batch (same arrays, same
         # float accumulation order as the vector engine's sorted batch).
@@ -601,8 +1128,5 @@ class RegionEvaluator:
 
     def _default_name(self) -> str:
         parts = [self.keepalive_policy.describe()]
-        if self.prewarm_policy is not None:
-            parts.append(self.prewarm_policy.describe())
-        if self.peak_shaver is not None:
-            parts.append(self.peak_shaver.describe())
+        parts.extend(p.describe() for p in self._tick_policies())
         return "+".join(parts)

@@ -11,12 +11,25 @@ back by a bounded, load-proportional delay.
 
 from __future__ import annotations
 
-from repro.mitigation.base import PeakShaver
+from repro.mitigation.base import (
+    LegacyShaveDirective,
+    PeakShaver,
+    ShaveDirective,
+    TickAction,
+)
 from repro.workload.function import FunctionSpec
 
 
 class AsyncPeakShaver(PeakShaver):
     """Delays cold-bound async requests while the pod gauge is peaking.
+
+    Tick-native: the gauge EMA updates at tick boundaries
+    (:meth:`observe_batch`) and :meth:`decide` freezes the span's shaving
+    rule into a pure :class:`~repro.mitigation.base.ShaveDirective` —
+    gauge trigger decided at the tick, stampede trigger evaluated per
+    arrival against the exogenous congestion profile, delays staggered by
+    a function-local golden-ratio smear. No per-arrival shared state, so
+    the vectorized engine replays it bit-identically to the event loop.
 
     Attributes:
         max_delay_s: upper bound on added latency (the async deadline).
@@ -25,9 +38,14 @@ class AsyncPeakShaver(PeakShaver):
             shaving consolidates allocations instead of fragmenting them.
             (The ablation bench shows delays beyond the keep-alive
             *increase* peak allocations.)
-        trigger_ratio: shaving starts when the gauge exceeds this multiple
-            of the long-run mean gauge.
-        ema_alpha: smoothing for the long-run mean.
+        trigger_ratio: gauge multiple the *legacy* per-arrival
+            :meth:`delay_for` triggers on. The engines apply the tick
+            directive from :meth:`decide` instead, whose gauge component
+            is :meth:`gauge_peaking` (constant ``False`` here), so this
+            knob only affects direct ``delay_for`` callers and
+            subclasses reading :attr:`load_ratio`.
+        ema_alpha: smoothing for the long-run mean gauge EMA (updated at
+            every tick; read by ``load_ratio``-based subclass criteria).
     """
 
     def __init__(
@@ -66,6 +84,58 @@ class AsyncPeakShaver(PeakShaver):
     #: excess cold-start intensity beyond which shaving kicks in, whatever
     #: the standing pod gauge says (detects allocation stampedes).
     congestion_trigger: float = 0.5
+
+    #: Vector-safe when the directive below is the pure built-in one. A
+    #: subclass overriding the per-arrival :meth:`delay_for` hook keeps
+    #: its pre-tick semantics through the legacy bridge, whose call-order
+    #: state makes the replay span-coupled (event engine).
+    @property
+    def span_coupled(self) -> bool:  # type: ignore[override]
+        return type(self).delay_for is not AsyncPeakShaver.delay_for
+
+    @property
+    def outcome_free_decisions(self) -> bool:
+        """The built-in directive never reads the gauge (``gauge_peaking``
+        is constant), so the decision stream is outcome-free. Any
+        subclass overriding a hook that could route replay outcomes into
+        the decision stream — ``decide``, ``gauge_peaking``, or the
+        observation path feeding them — re-enters the fixed-point
+        verification loop (conservative but safe)."""
+        cls = type(self)
+        return (
+            cls.decide is AsyncPeakShaver.decide
+            and cls.gauge_peaking is AsyncPeakShaver.gauge_peaking
+            and cls.delay_for is AsyncPeakShaver.delay_for
+            and cls.observe_batch is PeakShaver.observe_batch
+            and cls.observe_load is AsyncPeakShaver.observe_load
+        )
+
+    def gauge_peaking(self, tick: int, now: float) -> bool:
+        """Whether the standing pod gauge justifies shaving the next span.
+
+        Deliberately ``False`` for the built-in shaver: on diurnal fleets
+        the lagging gauge mean flags every afternoon as a "peak", while
+        the allocation stampedes the paper targets live in the exogenous
+        congestion profile — which the directive below triggers on per
+        arrival. Subclasses with a calibrated gauge criterion can return
+        :attr:`load_ratio`-based decisions here (the tick EMA keeps
+        updating either way); the vectorized engine replays such outcome
+        feedback through fixed-point repair.
+        """
+        return False
+
+    def decide(self, tick: int, now: float) -> TickAction:
+        if type(self).delay_for is not AsyncPeakShaver.delay_for:
+            # Honour an overridden per-arrival hook: bridge it verbatim
+            # (the replay then runs on the event engine, see span_coupled).
+            return TickAction(shave=LegacyShaveDirective(self))
+        return TickAction(
+            shave=ShaveDirective(
+                gauge_active=self.gauge_peaking(tick, now),
+                congestion_trigger=self.congestion_trigger,
+                max_delay_s=self.max_delay_s,
+            )
+        )
 
     def delay_for(self, spec: FunctionSpec, now: float, congestion: float = 0.0) -> float:
         gauge_peaking = self.load_ratio > self.trigger_ratio

@@ -20,7 +20,7 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.mitigation.base import PrewarmPolicy
+from repro.mitigation.base import PrewarmPolicy, TickAction, TickColumns
 from repro.workload.function import FunctionSpec
 
 _MINUTES_PER_DAY = 1440
@@ -50,6 +50,12 @@ class TimerPrewarmPolicy(PrewarmPolicy):
         self.min_period_s = min_period_s
         self._last_seen: dict[int, float] = {}
         self._period: dict[int, float] = {}
+        # Incremental plan columns: slot-per-eligible-fid arrays updated
+        # only for fids whose state changed since the last decide().
+        self._slot: dict[int, int] = {}
+        self._slot_fid = np.zeros(0, dtype=np.int64)
+        self._slot_fire = np.zeros(0, dtype=np.float64)
+        self._dirty: set[int] = set()
 
     def observe(self, spec: FunctionSpec, t: float) -> None:
         if not spec.is_timer_driven:
@@ -63,6 +69,51 @@ class TimerPrewarmPolicy(PrewarmPolicy):
                 # Robust EMA of the firing period.
                 self._period[fid] = gap if prev is None else 0.7 * prev + 0.3 * gap
         self._last_seen[fid] = t
+        self._dirty.add(fid)
+
+    def _overrides_legacy_hooks(self) -> bool:
+        """A subclass customizing the pre-tick per-arrival API keeps its
+        semantics: the native fast paths defer to the base-class bridge,
+        which routes every arrival/plan through the overridden hooks."""
+        cls = type(self)
+        return (
+            cls.observe is not TimerPrewarmPolicy.observe
+            or cls.plan is not TimerPrewarmPolicy.plan
+        )
+
+    def observe_batch(self, cols: TickColumns) -> None:
+        """Tick-protocol observation: only timer arrivals touch state.
+
+        Same sequential (fid, gap) EMA updates as per-arrival
+        :meth:`observe`; the timer mask just skips the arrivals the
+        per-arrival path would have ignored anyway.
+        """
+        if self._overrides_legacy_hooks():
+            PrewarmPolicy.observe_batch(self, cols)
+            return
+        if not cols.arrive_fn.size:
+            return
+        # The mask is keyed by trace index; re-derive it whenever the
+        # workload's function-id layout changes (a policy instance may be
+        # reused across runs on different workloads).
+        timer_mask = getattr(self, "_timer_mask", None)
+        mask_fids = getattr(self, "_timer_mask_fids", None)
+        if timer_mask is None or not np.array_equal(
+            mask_fids, cols.function_ids
+        ):
+            timer_mask = np.array(
+                [s.is_timer_driven for s in cols.specs], dtype=bool
+            )
+            self._timer_mask = timer_mask
+            self._timer_mask_fids = np.array(cols.function_ids, copy=True)
+        sel = timer_mask[cols.arrive_fn]
+        if not sel.any():
+            return
+        specs = cols.specs
+        for fn, t in zip(
+            cols.arrive_fn[sel].tolist(), cols.arrive_t[sel].tolist()
+        ):
+            self.observe(specs[fn], t)
 
     def plan(self, now: float) -> dict[int, int]:
         plan: dict[int, int] = {}
@@ -77,6 +128,40 @@ class TimerPrewarmPolicy(PrewarmPolicy):
                 plan[fid] = 1
         return plan
 
+    def decide(self, tick: int, now: float) -> TickAction:
+        """Vectorized :meth:`plan`: only dirty fids touch the plan columns,
+        so the common tick costs two array ops instead of a dict scan."""
+        if self._overrides_legacy_hooks():
+            return PrewarmPolicy.decide(self, tick, now)
+        if self._dirty:
+            for fid in self._dirty:
+                period = self._period.get(fid)
+                if period is None or period < self.min_period_s:
+                    slot = self._slot.get(fid)
+                    if slot is not None:
+                        self._slot_fire[slot] = -np.inf  # never in window
+                    continue
+                slot = self._slot.get(fid)
+                if slot is None:
+                    slot = self._slot[fid] = len(self._slot)
+                    if slot >= self._slot_fid.size:
+                        grow = max(64, 2 * self._slot_fid.size)
+                        self._slot_fid = np.resize(self._slot_fid, grow)
+                        self._slot_fire = np.resize(self._slot_fire, grow)
+                    self._slot_fid[slot] = fid
+                self._slot_fire[slot] = self._last_seen[fid] + period
+            self._dirty.clear()
+        n = len(self._slot)
+        if not n:
+            return TickAction()
+        until_fire = self._slot_fire[:n] - now
+        mask = (until_fire >= 0.0) & (until_fire <= self.lead_s + self.interval_s)
+        if not mask.any():
+            return TickAction()
+        return TickAction(
+            prewarm=tuple((int(fid), 1) for fid in self._slot_fid[:n][mask])
+        )
+
     def describe(self) -> str:
         return f"timer-prewarm(lead={self.lead_s:g}s)"
 
@@ -87,6 +172,13 @@ class HistogramPrewarmPolicy(PrewarmPolicy):
     Counts arrivals per function per minute-of-day; once a function has at
     least ``min_observations`` arrivals, the policy keeps a warm pod during
     minutes whose historical arrival probability exceeds ``threshold``.
+
+    Under the tick protocol the policy is fully vectorized: the histograms
+    live in one ``(n_functions, 1440)`` matrix keyed by trace index,
+    updated per span with one scattered add and planned per tick with one
+    row-window reduction — no per-arrival or per-function Python in either
+    replay engine. The legacy per-arrival :meth:`observe`/:meth:`plan`
+    pair keeps its original dict-backed implementation for direct users.
     """
 
     def __init__(
@@ -106,6 +198,12 @@ class HistogramPrewarmPolicy(PrewarmPolicy):
         self._observations: dict[int, int] = defaultdict(int)
         self._days_seen: float = 1.0
         self._start: float | None = None
+        # Tick-protocol state (engine path), allocated on the first batch:
+        # ``_win[f, m]`` is the rolling ``[m, m + smooth)`` window count,
+        # maintained incrementally so decide() reads one column per tick.
+        self._win: np.ndarray | None = None
+        self._obs: np.ndarray | None = None
+        self._fids: np.ndarray | None = None
 
     def observe(self, spec: FunctionSpec, t: float) -> None:
         if self._start is None:
@@ -114,6 +212,50 @@ class HistogramPrewarmPolicy(PrewarmPolicy):
         minute = int((t % 86_400.0) // 60.0)
         self._histograms[spec.function_id][minute] += 1.0
         self._observations[spec.function_id] += 1
+
+    def _overrides_legacy_hooks(self) -> bool:
+        """Subclasses customizing the pre-tick per-arrival API go through
+        the base-class bridge (dict-backed observe/plan) instead of the
+        matrix fast path, keeping their overrides live."""
+        cls = type(self)
+        return (
+            cls.observe is not HistogramPrewarmPolicy.observe
+            or cls.plan is not HistogramPrewarmPolicy.plan
+        )
+
+    def observe_batch(self, cols: TickColumns) -> None:
+        if self._overrides_legacy_hooks():
+            PrewarmPolicy.observe_batch(self, cols)
+            return
+        # State is keyed by trace index; reallocate whenever the
+        # workload's function-id layout changes (a policy instance may be
+        # reused across runs on different workloads).
+        if self._win is None or not np.array_equal(
+            self._fids, cols.function_ids
+        ):
+            n = len(cols.specs)
+            self._win = np.zeros((n, _MINUTES_PER_DAY), dtype=np.float64)
+            self._obs = np.zeros(n, dtype=np.int64)
+            self._fids = np.array(cols.function_ids, dtype=np.int64, copy=True)
+        if not cols.arrive_fn.size:
+            return
+        t = cols.arrive_t
+        if self._start is None:
+            self._start = float(t[0])
+        self._days_seen = max((float(t[-1]) - self._start) / 86_400.0, 1.0)
+        minutes = ((t % 86_400.0) // 60.0).astype(np.int64)
+        # An arrival at minute m lands in every window [m - o, m - o +
+        # smooth) for o < smooth_minutes (counts are integers: exact
+        # whatever the accumulation order).
+        for offset in range(self.smooth_minutes):
+            np.add.at(
+                self._win,
+                (cols.arrive_fn, (minutes - offset) % _MINUTES_PER_DAY),
+                1.0,
+            )
+        self._obs += np.bincount(
+            cols.arrive_fn, minlength=self._obs.size
+        ).astype(np.int64)
 
     def _probability(self, fid: int, minute: int) -> float:
         hist = self._histograms[fid]
@@ -136,6 +278,21 @@ class HistogramPrewarmPolicy(PrewarmPolicy):
             if self._probability(fid, minute) >= self.threshold:
                 plan[fid] = 1
         return plan
+
+    def decide(self, tick: int, now: float) -> TickAction:
+        if self._overrides_legacy_hooks():
+            return PrewarmPolicy.decide(self, tick, now)
+        if self._win is None:
+            return TickAction()
+        minute = int((now % 86_400.0) // 60.0)
+        window = self._win[:, minute]
+        prob = 1.0 - np.exp(-(window / self._days_seen))
+        eligible = (self._obs >= self.min_observations) & (prob >= self.threshold)
+        if not eligible.any():
+            return TickAction()
+        return TickAction(
+            prewarm=tuple((int(fid), 1) for fid in self._fids[eligible])
+        )
 
     def describe(self) -> str:
         return f"histogram-prewarm(p>{self.threshold:g})"

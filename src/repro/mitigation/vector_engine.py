@@ -42,10 +42,13 @@ produced them.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.mitigation.tick import tick_index_of
 
 #: Upper bound on arrivals priced per speculation attempt.
 _SPEC_CHUNK = 1024
@@ -62,6 +65,9 @@ class FunctionReplay:
 
     ``pod_death`` is the pod's final ``last_activity + keepalive`` —
     uncapped; the caller applies horizon/closeout credit rules.
+    ``cold_idx`` holds the arrival ordinals that went cold (the coupled
+    tick driver maps them to global merged positions for canonical event
+    ordering).
     """
 
     requests: int
@@ -70,11 +76,12 @@ class FunctionReplay:
     cold_waits: np.ndarray
     pod_created: np.ndarray
     pod_death: np.ndarray
+    cold_idx: np.ndarray
 
 
 def _empty_replay() -> FunctionReplay:
     z = np.zeros(0, dtype=np.float64)
-    return FunctionReplay(0, 0, z, z, z.copy(), z.copy())
+    return FunctionReplay(0, 0, z, z, z.copy(), z.copy(), np.zeros(0, np.int64))
 
 
 def replay_function(t, e, ka, conc, patience, sampler, congestion) -> FunctionReplay:
@@ -82,6 +89,300 @@ def replay_function(t, e, ka, conc, patience, sampler, congestion) -> FunctionRe
     if t.size == 0:
         return _empty_replay()
     return _replay_walk(t, e, ka, conc, patience, sampler, congestion)
+
+
+@dataclass
+class CoupledReplay:
+    """One function's replay outcome under a tick decision schedule.
+
+    Extends :class:`FunctionReplay`'s columns with everything the coupled
+    policies touch: delayed-arrival events (original time, delay seconds,
+    delaying arrival's merged position), per-pod pre-warm flags, and the
+    canonical tie-break columns that let the caller reproduce the event
+    loop's processing order exactly (``cold_delayed`` marks colds whose
+    triggering request was a delayed re-arrival; ``cold_tiebreak`` is the
+    merged position of the original — for re-arrivals, the delaying —
+    arrival).
+    """
+
+    requests: int
+    warm_hits: int
+    prewarm_hits: int
+    prewarm_creations: int
+    cold_times: np.ndarray
+    cold_waits: np.ndarray
+    cold_delayed: np.ndarray
+    cold_tiebreak: np.ndarray
+    delay_t: np.ndarray
+    delay_s: np.ndarray
+    delay_pos: np.ndarray
+    pod_created: np.ndarray
+    pod_death: np.ndarray
+    pod_prewarmed: np.ndarray
+    last_event_t: float
+
+
+def lift_replay(replay: FunctionReplay, merged_pos: np.ndarray, t: np.ndarray) -> CoupledReplay:
+    """View an uncoupled fast-walk outcome as a (decision-free) coupled one."""
+    n_pods = replay.pod_created.size
+    z = np.zeros(0, dtype=np.float64)
+    return CoupledReplay(
+        requests=replay.requests,
+        warm_hits=replay.warm_hits,
+        prewarm_hits=0,
+        prewarm_creations=0,
+        cold_times=replay.cold_times,
+        cold_waits=replay.cold_waits,
+        cold_delayed=np.zeros(replay.cold_times.size, dtype=bool),
+        cold_tiebreak=merged_pos[replay.cold_idx],
+        delay_t=z, delay_s=z.copy(), delay_pos=np.zeros(0, dtype=np.int64),
+        pod_created=replay.pod_created,
+        pod_death=replay.pod_death,
+        pod_prewarmed=np.zeros(n_pods, dtype=bool),
+        last_event_t=float(t[-1]) if t.size else -np.inf,
+    )
+
+
+def replay_function_coupled(
+    t: np.ndarray,
+    e: np.ndarray,
+    merged_pos: np.ndarray,
+    ka: float,
+    conc: int,
+    patience: float,
+    sampler,
+    congestion,
+    spec,
+    sync: bool,
+    grace: float,
+    interval_s: float,
+    n_ticks: int,
+    prewarm_ticks,
+    shave_schedule,
+) -> CoupledReplay:
+    """Exact per-function replay under a fixed tick decision schedule.
+
+    A scalar port of the event engine's per-request pod bookkeeping for
+    *one* function — same slot-search rule (earliest feasible start, ties
+    to the earliest created pod), same queue-patience, pre-warm grace and
+    death-time semantics, same float operations per request — driven by
+    the function's own arrivals, its delayed re-arrivals, and the schedule
+    slice that concerns it: ``prewarm_ticks`` (ascending ``(tick,
+    target)`` pairs naming this function) and ``shave_schedule`` (the
+    per-tick shave directives, or ``None`` when no shaver runs). Given the
+    schedule, the function replays independently of every other function,
+    which is what lets the tick-partitioned vector engine re-replay only
+    the functions a decision actually touches.
+    """
+    n = t.size
+    created: list[float] = []
+    ready: list[float] = []
+    last: list[float] = []
+    ends: list[list[float]] = []
+    prewarmed: list[bool] = []
+    touched: list[bool] = []
+    alive: list[int] = []
+
+    warm_hits = prewarm_hits = prewarm_creations = 0
+    cold_t_l: list[float] = []
+    cold_w_l: list[float] = []
+    cold_d_l: list[bool] = []
+    cold_m_l: list[int] = []
+    delay_t_l: list[float] = []
+    delay_s_l: list[float] = []
+    delay_p_l: list[int] = []
+    pending: list[tuple[float, int, float, int]] = []  # (time, seq, exec, delayer pos)
+    grace_ka = ka if ka > grace else grace
+
+    def expire(now: float) -> None:
+        keep = []
+        for p in alive:
+            death = last[p] + (grace_ka if prewarmed[p] and not touched[p] else ka)
+            if now < death:
+                keep.append(p)
+        alive[:] = keep
+
+    def new_pod(created_at, ready_at, last_at, pod_ends, is_prewarmed):
+        p = len(created)
+        created.append(created_at)
+        ready.append(ready_at)
+        last.append(last_at)
+        ends.append(pod_ends)
+        prewarmed.append(is_prewarmed)
+        touched.append(not is_prewarmed)
+        alive.append(p)
+
+    def apply_prewarm(now: float, target: int) -> None:
+        nonlocal prewarm_creations
+        expire(now)
+        idle = 0
+        for p in alive:
+            if ready[p] <= now:
+                pod_ends = [x for x in ends[p] if x > now]
+                ends[p] = pod_ends
+                if not pod_ends:
+                    idle += 1
+        for _ in range(target - idle):
+            prewarm_creations += 1
+            new_pod(now, now, now, [], True)
+
+    def handle(now: float, exec_s: float, was_delayed: bool, mpos: int) -> None:
+        nonlocal warm_hits, prewarm_hits
+        expire(now)
+        best = -1
+        best_start = np.inf
+        for p in alive:
+            pod_ends = [x for x in ends[p] if x > now]
+            ends[p] = pod_ends
+            if len(pod_ends) < conc:
+                start = now if now >= ready[p] else ready[p]
+            else:
+                start = min(pod_ends)
+                if start < ready[p]:
+                    start = ready[p]
+                if start - now > patience:
+                    continue
+            if start < best_start:
+                best, best_start = p, start
+        if best >= 0:
+            if prewarmed[best] and not touched[best]:
+                prewarm_hits += 1
+            touched[best] = True
+            pod_ends = ends[best]
+            if len(pod_ends) >= conc:
+                pod_ends.remove(min(pod_ends))
+            end = best_start + exec_s
+            pod_ends.append(end)
+            if end > last[best]:
+                last[best] = end
+            warm_hits += 1
+            return
+        if shave_schedule is not None and not was_delayed and not sync:
+            directive = shave_schedule[tick_index_of(now, interval_s, n_ticks)]
+            if directive is not None:
+                delay = directive.delay_for(
+                    spec, now, congestion.at(now), len(delay_s_l)
+                )
+                if delay > 0:
+                    delay_t_l.append(now)
+                    delay_s_l.append(delay)
+                    delay_p_l.append(mpos)
+                    heapq.heappush(
+                        pending, (now + delay, len(delay_s_l), exec_s, mpos)
+                    )
+                    return
+        cold = sampler.next_total(congestion.at(now))
+        cold_t_l.append(now)
+        cold_w_l.append(cold)
+        cold_d_l.append(was_delayed)
+        cold_m_l.append(mpos)
+        end = now + cold + exec_s
+        new_pod(now, now + cold, end, [end], False)
+
+    tl = t.tolist()
+    el = e.tolist()
+    ml = merged_pos.tolist()
+    prewarm_ticks = list(prewarm_ticks)
+    # Steady-chain jump (the PR 4 fast-walk trick, schedule-aware): runs
+    # of idle-warm single-pod arrivals end at exactly ``t + e``, never
+    # consult the shave schedule (only cold-bound arrivals read it) and
+    # never change the pre-warm tick outcome — so they are consumed
+    # wholesale up to the next deviation candidate or this function's
+    # next pre-warm tick.
+    if conc == 1 and n > 1:
+        idle_end = t + e
+        steady_prev = idle_end[:-1]
+        deviating = (t[1:] >= steady_prev + ka) | (t[1:] < steady_prev)
+        candidates = np.flatnonzero(deviating) + 1
+        cand_list = candidates.tolist()
+    else:
+        idle_end = t + e
+        cand_list = []
+    cand_list.append(n)  # sentinel
+    ci = 0
+    pi = 0
+    ai = 0
+    last_event_t = -np.inf
+    while ai < n or pending:
+        t_arrival = tl[ai] if ai < n else np.inf
+        t_delayed = pending[0][0] if pending else np.inf
+        t_event = t_arrival if t_arrival <= t_delayed else t_delayed
+        while pi < len(prewarm_ticks) and prewarm_ticks[pi][0] * interval_s <= t_event:
+            apply_prewarm(
+                prewarm_ticks[pi][0] * interval_s, prewarm_ticks[pi][1]
+            )
+            pi += 1
+        if t_delayed < t_arrival:
+            now, _seq, exec_s, mpos = heapq.heappop(pending)
+            handle(float(now), float(exec_s), True, int(mpos))
+            last_event_t = float(now)
+            continue
+        if conc == 1 and not pending:
+            tk = t_arrival
+            expire(tk)
+            if alive:
+                calm = True
+                for p in alive:
+                    if last[p] > tk:
+                        calm = False  # an in-flight pod: exact scalar step
+                        break
+                b = alive[0]
+                if calm and touched[b] and tk < last[b] + ka:
+                    # Every pod idle: the earliest-created pod keeps
+                    # winning the slot tie and serves each steady arrival
+                    # at exactly ``t + e`` — jump to the next deviation
+                    # candidate, capped at this function's next pre-warm
+                    # tick (the tick must observe the true pod state).
+                    while cand_list[ci] <= ai:
+                        ci += 1
+                    limit = cand_list[ci]
+                    if pi < len(prewarm_ticks):
+                        limit = min(
+                            limit,
+                            bisect.bisect_left(
+                                tl, prewarm_ticks[pi][0] * interval_s, ai
+                            ),
+                        )
+                    if limit > ai:
+                        warm_hits += limit - ai
+                        end = float(idle_end[limit - 1])
+                        last[b] = end
+                        ends[b] = [end]
+                        last_event_t = tl[limit - 1]
+                        ai = limit
+                        continue
+        handle(tl[ai], el[ai], False, ml[ai])
+        last_event_t = tl[ai]
+        ai += 1
+    # Ticks past this function's last event still fired globally (other
+    # functions kept the clock running); apply their pre-warm targets.
+    for tick, target in prewarm_ticks[pi:]:
+        apply_prewarm(tick * interval_s, target)
+
+    death = np.array(
+        [
+            last[p] + (grace_ka if prewarmed[p] and not touched[p] else ka)
+            for p in range(len(created))
+        ],
+        dtype=np.float64,
+    )
+    return CoupledReplay(
+        requests=n,
+        warm_hits=warm_hits,
+        prewarm_hits=prewarm_hits,
+        prewarm_creations=prewarm_creations,
+        cold_times=np.asarray(cold_t_l, dtype=np.float64),
+        cold_waits=np.asarray(cold_w_l, dtype=np.float64),
+        cold_delayed=np.asarray(cold_d_l, dtype=bool),
+        cold_tiebreak=np.asarray(cold_m_l, dtype=np.int64),
+        delay_t=np.asarray(delay_t_l, dtype=np.float64),
+        delay_s=np.asarray(delay_s_l, dtype=np.float64),
+        delay_pos=np.asarray(delay_p_l, dtype=np.int64),
+        pod_created=np.asarray(created, dtype=np.float64),
+        pod_death=death,
+        pod_prewarmed=np.asarray(prewarmed, dtype=bool),
+        last_event_t=last_event_t,
+    )
 
 
 def _congestion_values(congestion, times: np.ndarray) -> np.ndarray:
@@ -575,4 +876,5 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
         cold_waits=cold_waits,
         pod_created=np.asarray(pod_created, dtype=np.float64),
         pod_death=np.asarray(pod_death, dtype=np.float64),
+        cold_idx=cold_idx,
     )

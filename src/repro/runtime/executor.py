@@ -298,11 +298,11 @@ class EvaluationTask:
 def make_policy_evaluator(profile, policy: str, seed: int, engine: str = "auto"):
     """Build the §5 evaluator configuration named ``policy``.
 
-    With ``engine="auto"`` (default) the uncoupled configurations
-    (``baseline``, ``dynamic-keepalive``) take the vectorized fast path
-    and the coupled ones (pre-warming, peak shaving) the event loop;
-    ``engine="vector"`` raises for coupled policies rather than silently
-    degrading.
+    Every named configuration — uncoupled (``baseline``,
+    ``dynamic-keepalive``) *and* coupled (pre-warming, peak shaving) —
+    replays bit-identically on either engine: the coupled policies are
+    tick-protocol machines, which ``engine="auto"`` (default) runs on the
+    vectorized tick-partitioned path.
     """
     from repro.mitigation import (
         AsyncPeakShaver,
@@ -427,33 +427,51 @@ def evaluate_policies(
 
 @dataclass(frozen=True)
 class CrossRegionTask:
-    """One function-group shard of a §5 cross-region replay."""
+    """One function-group shard of a §5 cross-region replay.
+
+    ``engine`` picks the replay engine — routing is a tick-protocol
+    policy, so the vectorized tick-partitioned replay and the event loop
+    are bit-identical; the choice only changes wall-clock.
+    """
 
     spec: ShardSpec
     remotes: tuple[str, ...]
     policy: str
     rtt_s: float
     keepalive_s: float
+    engine: str = "auto"
 
 
 @dataclass(frozen=True)
 class CrossRegionResult:
-    """Merged cross-region replay outcome."""
+    """Merged cross-region replay outcome.
+
+    Routing shares are pure functions of the metrics (per-region
+    cold-start placements live on
+    :attr:`EvalMetrics.cold_starts_by_region` and merge by addition), so
+    the result carries no evaluator state — only the home region name the
+    shares are read against.
+    """
 
     metrics: EvalMetrics
-    home_cold_starts: int
-    remote_cold_starts: int
+    home: str = ""
+
+    @property
+    def home_cold_starts(self) -> int:
+        return self.metrics.cold_starts_by_region.get(self.home, 0)
+
+    @property
+    def remote_cold_starts(self) -> int:
+        counts = self.metrics.cold_starts_by_region
+        return sum(counts.values()) - counts.get(self.home, 0)
 
     @property
     def remote_share(self) -> float:
         """Fraction of cold starts placed away from the home region."""
-        total = self.home_cold_starts + self.remote_cold_starts
-        return self.remote_cold_starts / total if total else 0.0
+        return self.metrics.remote_cold_share(self.home)
 
     def _shm_state(self) -> dict:
-        return {"metrics": self.metrics,
-                "home_cold_starts": self.home_cold_starts,
-                "remote_cold_starts": self.remote_cold_starts}
+        return {"metrics": self.metrics, "home": self.home}
 
     @classmethod
     def _from_shm_state(cls, state: dict) -> "CrossRegionResult":
@@ -471,7 +489,7 @@ def run_cross_region_shard(task: CrossRegionTask) -> CrossRegionResult:
     cold-start EMA that steers routing is estimated *shard-locally* (each
     shard warms up its own estimate), which is the one documented deviation
     from an unsharded replay. ``n_groups=1`` reproduces the unsharded
-    evaluator bit for bit.
+    evaluator bit for bit — under either engine.
     """
     from repro.mitigation.cross_region import CrossRegionEvaluator, RoutingPolicy
     from repro.mitigation.evaluator import build_workload_shard
@@ -490,15 +508,12 @@ def run_cross_region_shard(task: CrossRegionTask) -> CrossRegionResult:
         remotes=task.remotes,
         rtt_s=task.rtt_s,
         seed=spec.shard_seed,
+        engine=task.engine,
     )
     metrics = evaluator.run(
         traces, policy=RoutingPolicy(task.policy), keepalive_s=task.keepalive_s
     )
-    return CrossRegionResult(
-        metrics=metrics,
-        home_cold_starts=evaluator.home.cold_starts,
-        remote_cold_starts=sum(r.cold_starts for r in evaluator.remotes),
-    )
+    return CrossRegionResult(metrics=metrics, home=evaluator.region_names[0])
 
 
 def evaluate_cross_region(
@@ -520,16 +535,17 @@ def evaluate_cross_region(
     """Sharded §5 cross-region replay with a deterministic merge.
 
     The shard plan depends only on ``(home, seed, days, scale, n_groups,
-    eval_seed)`` — never on ``jobs`` or ``channel`` — and shard metrics
-    reduce through :meth:`EvalMetrics.merge` in plan order as they arrive
-    (the parent holds one in-flight shard, not the whole list), so any
-    worker count and result transport merges bit-identically. Per-region
-    EMA routing state is shard-local (see :func:`run_cross_region_shard`).
+    eval_seed)`` — never on ``jobs``, ``channel``, or ``engine`` — and
+    shard metrics reduce through :meth:`EvalMetrics.merge` in plan order
+    as they arrive (the parent holds one in-flight shard, not the whole
+    list), so any worker count, result transport, and replay engine
+    merges bit-identically. Per-region EMA routing state is shard-local
+    (see :func:`run_cross_region_shard`).
 
-    Cross-region routing is *coupled* (the cold-start EMA that steers
-    placement updates with every sampled cold start), so the replay always
-    runs on the event engine: ``engine`` accepts ``"auto"``/``"event"``
-    and rejects ``"vector"`` with a clear error.
+    Routing is a tick-phase policy (the per-region cold-start EMA updates
+    at tick boundaries), so every engine replays it: ``"vector"`` takes
+    the tick-partitioned structure-of-arrays path, ``"event"`` the
+    sequential reference, and ``"auto"`` (default) the vector path.
     """
     from repro.mitigation.cross_region import DEFAULT_INTER_REGION_RTT_S
     from repro.mitigation.evaluator import ENGINES
@@ -537,12 +553,6 @@ def evaluate_cross_region(
 
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
-    if engine == "vector":
-        raise ValueError(
-            "engine='vector' cannot replay the cross-region evaluator: "
-            "routing is coupled through the per-region cold-start EMA; "
-            "use engine='auto' or 'event'"
-        )
 
     plan = ShardPlan.for_evaluation(
         home, seed=seed, days=days, scale=scale, n_groups=n_groups,
@@ -555,19 +565,15 @@ def evaluate_cross_region(
             policy=policy,
             rtt_s=rtt_s if rtt_s is not None else DEFAULT_INTER_REGION_RTT_S,
             keepalive_s=keepalive_s,
+            engine=engine,
         )
         for spec in plan
     ]
     executor = ParallelExecutor(jobs=jobs, channel=channel,
                                 shm_min_bytes=shm_min_bytes)
     merged = EvalMetrics(name=f"xregion:{policy}")
-    home_cold = remote_cold = 0
+    home_name = ""
     for part in executor.imap(run_cross_region_shard, tasks):
         merged.merge(part.metrics)
-        home_cold += part.home_cold_starts
-        remote_cold += part.remote_cold_starts
-    return CrossRegionResult(
-        metrics=merged,
-        home_cold_starts=home_cold,
-        remote_cold_starts=remote_cold,
-    )
+        home_name = part.home
+    return CrossRegionResult(metrics=merged, home=home_name)

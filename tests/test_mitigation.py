@@ -189,7 +189,24 @@ class TestPeakShaving:
         from repro.workload.generator import FunctionTrace
         from repro.workload.regions import region_profile
 
-        traces = []
+        # A steady background function keeps the busy-minute baseline low,
+        # so the in-phase session minutes register as allocation stampedes
+        # in the exogenous congestion profile (the shaver's trigger).
+        background_arrivals = np.arange(0.0, 4200.0, 120.0)
+        background_execs = np.full(background_arrivals.size, 0.2)
+        background = FunctionTrace(
+            spec=FunctionSpec(
+                function_id=1999, user_id=1, runtime=Runtime.PYTHON3,
+                triggers=(TIMER_A,), config=ResourceConfig(300, 128),
+                mean_exec_s=0.2, cpu_millicores=100, memory_mb=64,
+                arrival_kind="timer", timer_period_s=120.0,
+            ),
+            arrivals=background_arrivals, exec_s=background_execs,
+            lifecycle=reconstruct_function_pods(
+                background_arrivals, background_execs
+            ),
+        )
+        traces = [background]
         for i in range(30):
             # Sessions of 8 requests over 5 s, every 10 minutes, all
             # functions in phase (stampede triggers the shaver).
@@ -214,8 +231,11 @@ class TestPeakShaving:
         short = RegionEvaluator(
             profile, peak_shaver=AsyncPeakShaver(max_delay_s=45.0), seed=3
         ).run(traces)
+        # The deterministic stagger smears re-arrivals ~max_delay/8 apart;
+        # once that spacing exceeds the 60 s keep-alive, consecutive
+        # re-arrivals stop sharing pods and allocations fragment.
         long = RegionEvaluator(
-            profile, peak_shaver=AsyncPeakShaver(max_delay_s=400.0), seed=3
+            profile, peak_shaver=AsyncPeakShaver(max_delay_s=700.0), seed=3
         ).run(traces)
         assert long.cold_starts > short.cold_starts
 

@@ -70,11 +70,14 @@ class TestCodecRoundTrip:
         assert back == payload
 
     def test_cross_region_result_round_trip(self):
-        result = CrossRegionResult(
-            metrics=_metrics(3), home_cold_starts=7, remote_cold_starts=13
-        )
+        metrics = _metrics(3)
+        metrics.record_region_cold("R1", 7)
+        metrics.record_region_cold("R3", 13)
+        result = CrossRegionResult(metrics=metrics, home="R1")
         back = from_shm(to_shm(result, min_bytes=0))
         assert back == result
+        assert back.home_cold_starts == 7
+        assert back.remote_cold_starts == 13
         assert back.remote_share == result.remote_share
 
     def test_widened_histogram_round_trip_merges_exactly(self):

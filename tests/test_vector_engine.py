@@ -1,6 +1,8 @@
 """Engine equivalence: the vectorized replay is bit-identical to the event
-loop for every uncoupled configuration, across seeds, policies, jobs, and
-result channels — and coupled policies fall back correctly under ``auto``."""
+loop for every configuration — uncoupled *and* coupled tick-phase policies
+(pre-warming, peak shaving, cross-region routing) — across seeds, jobs,
+and result channels; legacy policy subclasses run unchanged through the
+base-class compatibility shim."""
 
 from __future__ import annotations
 
@@ -10,8 +12,13 @@ import pytest
 from repro.cluster.lifecycle import reconstruct_function_pods
 from repro.mitigation import (
     AsyncPeakShaver,
+    CrossRegionEvaluator,
     DynamicKeepAlive,
+    HistogramPrewarmPolicy,
+    PeakShaver,
+    PrewarmPolicy,
     RegionEvaluator,
+    RoutingPolicy,
     TimerPrewarmPolicy,
 )
 from repro.mitigation.evaluator import build_workload
@@ -29,6 +36,9 @@ def _assert_identical(a, b, label=""):
     assert a.pods_gauge == b.pods_gauge, label
     assert a.pod_seconds == b.pod_seconds, label
     assert a.warm_hits == b.warm_hits, label
+    assert a.prewarm_pod_seconds == b.prewarm_pod_seconds, label
+    assert a.total_delay_s == b.total_delay_s, label
+    assert a.cold_starts_by_region == b.cold_starts_by_region, label
 
 
 def _trace(fid, arrivals, exec_s, concurrency=1, timer=False):
@@ -146,6 +156,33 @@ class TestEngineEquivalence:
             evaluator.run([unsorted])
 
 
+class _LegacyShaver(PeakShaver):
+    """A pre-tick shaver subclass: per-arrival ``delay_for`` state only."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def delay_for(self, spec, now, congestion=0.0):
+        self.calls += 1  # call-order-dependent state: span-coupled
+        return 5.0 if congestion > 0.5 else 0.0
+
+
+class _LegacyPrewarm(PrewarmPolicy):
+    """A pre-tick pre-warm subclass: only observe()/plan() implemented,
+    exactly as third-party code written against the pre-tick API."""
+
+    def __init__(self):
+        self.seen: dict[int, float] = {}
+
+    def observe(self, spec, t):
+        if spec.is_timer_driven:
+            self.seen[spec.function_id] = t
+
+    def plan(self, now):
+        # Keep a pod warm for every timer function seen in the last 10 min.
+        return {fid: 1 for fid, t in self.seen.items() if now - t < 600.0}
+
+
 class TestEngineSelection:
     def test_auto_picks_vector_for_uncoupled(self):
         from repro.workload.regions import region_profile
@@ -156,25 +193,37 @@ class TestEngineSelection:
             profile, keepalive_policy=DynamicKeepAlive()
         ).resolve_engine() == "vector"
 
-    def test_auto_falls_back_to_event_for_coupled(self):
+    def test_auto_picks_vector_for_coupled_tick_policies(self):
         from repro.workload.regions import region_profile
 
         profile = region_profile("R2")
         assert RegionEvaluator(
             profile, prewarm_policy=TimerPrewarmPolicy()
-        ).resolve_engine() == "event"
+        ).resolve_engine() == "vector"
         assert RegionEvaluator(
             profile, peak_shaver=AsyncPeakShaver()
-        ).resolve_engine() == "event"
+        ).resolve_engine() == "vector"
+        assert RegionEvaluator(
+            profile,
+            prewarm_policy=HistogramPrewarmPolicy(),
+            peak_shaver=AsyncPeakShaver(),
+        ).resolve_engine() == "vector"
+        # Legacy pre-warm subclasses are arrival-driven: vector-safe too.
+        assert RegionEvaluator(
+            profile, prewarm_policy=_LegacyPrewarm()
+        ).resolve_engine() == "vector"
 
-    def test_vector_refuses_coupled_policies(self):
+    def test_span_coupled_legacy_shaver_falls_back_to_event(self):
         from repro.workload.regions import region_profile
 
         profile = region_profile("R2")
+        assert RegionEvaluator(
+            profile, peak_shaver=_LegacyShaver()
+        ).resolve_engine() == "event"
         evaluator = RegionEvaluator(
-            profile, prewarm_policy=TimerPrewarmPolicy(), engine="vector"
+            profile, peak_shaver=_LegacyShaver(), engine="vector"
         )
-        with pytest.raises(ValueError, match="coupled"):
+        with pytest.raises(ValueError, match="span-coupled"):
             evaluator.resolve_engine()
 
     def test_unknown_engine_rejected(self):
@@ -183,12 +232,13 @@ class TestEngineSelection:
         with pytest.raises(ValueError, match="engine"):
             RegionEvaluator(region_profile("R2"), engine="warp")
 
-    def test_coupled_policy_runs_event_under_auto(self, r2_traces):
+    def test_coupled_policy_runs_under_auto(self, r2_traces):
         profile, traces = r2_traces
         metrics = RegionEvaluator(
             profile, prewarm_policy=TimerPrewarmPolicy(), seed=3
         ).run(traces)
         assert metrics.requests == sum(t.arrivals.size for t in traces)
+        assert metrics.prewarm_hits > 0
 
 
 class TestShardedEngineEquivalence:
@@ -216,31 +266,288 @@ class TestShardedEngineEquivalence:
         event = evaluate_policies(
             "R3", ("baseline", "timer-prewarm"), engine="event", **kwargs
         )
-        # baseline runs vectorized under auto yet merges identically;
-        # timer-prewarm is coupled, so auto == event by construction.
+        # Both policies replay vectorized under auto (timer-prewarm on the
+        # tick-partitioned mode) yet merge identically to the event loop.
         _assert_identical(auto["baseline"], event["baseline"], "baseline")
         _assert_identical(auto["timer-prewarm"], event["timer-prewarm"], "prewarm")
 
-    def test_vector_engine_rejected_for_coupled_policy_shards(self):
-        with pytest.raises(ValueError, match="coupled"):
-            evaluate_policies(
-                "R3", ("timer-prewarm",), seed=5, days=1, scale=0.1,
-                n_groups=1, engine="vector",
+    @pytest.mark.parametrize("jobs,channel", [(1, "pickle"), (2, "shm")])
+    def test_coupled_policy_shards_identical_across_engines(self, jobs, channel):
+        kwargs = dict(seed=5, days=1, scale=0.1, n_groups=4)
+        event = evaluate_policies(
+            "R3", ("timer-prewarm", "peak-shaving"), jobs=jobs,
+            channel=channel, engine="event", **kwargs
+        )
+        vector = evaluate_policies(
+            "R3", ("timer-prewarm", "peak-shaving"), jobs=jobs,
+            channel=channel, engine="vector", **kwargs
+        )
+        for policy in ("timer-prewarm", "peak-shaving"):
+            _assert_identical(
+                event[policy], vector[policy], f"{policy}/jobs={jobs}/{channel}"
             )
 
-    def test_cross_region_rejects_vector_engine(self):
-        with pytest.raises(ValueError, match="EMA"):
-            evaluate_cross_region(
-                "R1", remotes=("R3",), seed=5, days=1, scale=0.1,
-                engine="vector",
-            )
+    @pytest.mark.parametrize("jobs,channel", [(1, "pickle"), (2, "shm")])
+    def test_cross_region_shards_identical_across_engines(self, jobs, channel):
+        kwargs = dict(
+            remotes=("R3",), policy="best-region", seed=5, days=1,
+            scale=0.1, n_groups=4, jobs=jobs, channel=channel,
+        )
+        event = evaluate_cross_region("R1", engine="event", **kwargs)
+        vector = evaluate_cross_region("R1", engine="vector", **kwargs)
+        _assert_identical(event.metrics, vector.metrics, "xregion")
+        assert event.remote_share == vector.remote_share
+        assert vector.metrics.cold_starts_by_region["R3"] > 0
 
-    def test_cross_region_auto_still_runs(self):
+    def test_cross_region_auto_takes_vector(self):
         result = evaluate_cross_region(
             "R1", remotes=("R3",), seed=5, days=1, scale=0.05, n_groups=2,
             engine="auto",
         )
         assert result.metrics.requests > 0
+        assert sum(result.metrics.cold_starts_by_region.values()) == (
+            result.metrics.cold_starts
+        )
+
+
+class TestCoupledEngineEquivalence:
+    """The tentpole property: every coupled tick-phase configuration is
+    bit-identical between the engines, across seeds and policy mixes."""
+
+    CONFIGS = {
+        "timer-prewarm": lambda: dict(prewarm_policy=TimerPrewarmPolicy()),
+        "histogram-prewarm": lambda: dict(
+            prewarm_policy=HistogramPrewarmPolicy(
+                threshold=0.3, min_observations=20
+            )
+        ),
+        "peak-shaving": lambda: dict(
+            peak_shaver=AsyncPeakShaver(max_delay_s=120.0)
+        ),
+        "prewarm+shaving": lambda: dict(
+            prewarm_policy=TimerPrewarmPolicy(),
+            peak_shaver=AsyncPeakShaver(max_delay_s=45.0),
+        ),
+    }
+
+    @pytest.mark.parametrize("config", sorted(CONFIGS))
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_coupled_configs_bit_identical(self, r2_traces, config, seed):
+        profile, traces = r2_traces
+        make = self.CONFIGS[config]
+        event = RegionEvaluator(
+            profile, seed=seed, engine="event", **make()
+        ).run(traces)
+        vector = RegionEvaluator(
+            profile, seed=seed, engine="vector", **make()
+        ).run(traces)
+        _assert_identical(event, vector, f"{config}/seed={seed}")
+
+    @pytest.mark.parametrize("trigger", [1.05, 1.3, 2.0])
+    def test_gauge_feedback_shaver_subclass_bit_identical(
+        self, r2_traces, trigger
+    ):
+        """A subclass routing the replay's own pod gauge into its
+        directive exercises the genuine outcome-feedback fixed point
+        (including the cached-base restore path when decisions retreat) —
+        and must stay bit-identical or fall back to the exact event
+        replay."""
+
+        class GaugeShaver(AsyncPeakShaver):
+            def gauge_peaking(self, tick, now):
+                return self.load_ratio > self.trigger_ratio
+
+        profile, traces = r2_traces
+        event = RegionEvaluator(
+            profile, seed=1, engine="event",
+            peak_shaver=GaugeShaver(max_delay_s=45.0, trigger_ratio=trigger),
+        ).run(traces)
+        vector = RegionEvaluator(
+            profile, seed=1, engine="vector",
+            peak_shaver=GaugeShaver(max_delay_s=45.0, trigger_ratio=trigger),
+        ).run(traces)
+        _assert_identical(event, vector, f"gauge-feedback@{trigger}")
+
+    def test_gauge_feedback_subclass_is_not_outcome_free(self):
+        class GaugeShaver(AsyncPeakShaver):
+            def gauge_peaking(self, tick, now):
+                return self.load_ratio > self.trigger_ratio
+
+        class DecideShaver(AsyncPeakShaver):
+            def decide(self, tick, now):
+                return super().decide(tick, now)
+
+        assert AsyncPeakShaver().outcome_free_decisions
+        assert not GaugeShaver().outcome_free_decisions
+        assert not DecideShaver().outcome_free_decisions
+        assert TimerPrewarmPolicy().outcome_free_decisions
+
+    def test_shaving_actually_fires_in_the_sweep(self, r2_traces):
+        profile, traces = r2_traces
+        metrics = RegionEvaluator(
+            profile, seed=0, engine="vector",
+            peak_shaver=AsyncPeakShaver(max_delay_s=120.0),
+        ).run(traces)
+        assert metrics.delayed_requests > 0
+        assert metrics.total_delay_s > 0
+
+    def test_prewarming_actually_fires_in_the_sweep(self, r2_traces):
+        profile, traces = r2_traces
+        metrics = RegionEvaluator(
+            profile, seed=0, engine="vector",
+            prewarm_policy=TimerPrewarmPolicy(),
+        ).run(traces)
+        assert metrics.prewarm_hits > 0
+        assert metrics.prewarm_pod_seconds > 0
+
+    @pytest.mark.parametrize("route", ["home-only", "best-region"])
+    def test_cross_region_bit_identical(self, route):
+        _, traces = build_workload("R1", seed=6, days=1, scale=0.1)
+        results = {}
+        for engine in ("event", "vector"):
+            evaluator = CrossRegionEvaluator(
+                home="R1", remotes=("R3",), seed=2, engine=engine
+            )
+            results[engine] = evaluator.run(traces, policy=RoutingPolicy(route))
+            # Reuse is deterministic: a second run on the same instance
+            # replays from the same per-(function, region) stream seeds,
+            # whatever the first run's engine materialised.
+            rerun = evaluator.run(traces, policy=RoutingPolicy(route))
+            _assert_identical(results[engine], rerun, f"{route}/rerun")
+        _assert_identical(results["event"], results["vector"], route)
+
+    def test_explicit_horizon_coupled_bit_identical(self, r2_traces):
+        profile, traces = r2_traces
+        event = RegionEvaluator(
+            profile, seed=2, engine="event",
+            prewarm_policy=TimerPrewarmPolicy(),
+            peak_shaver=AsyncPeakShaver(max_delay_s=60.0),
+        ).run(traces, horizon_s=86_400.0)
+        vector = RegionEvaluator(
+            profile, seed=2, engine="vector",
+            prewarm_policy=TimerPrewarmPolicy(),
+            peak_shaver=AsyncPeakShaver(max_delay_s=60.0),
+        ).run(traces, horizon_s=86_400.0)
+        _assert_identical(event, vector, "horizon")
+
+
+class TestLegacyPolicyShim:
+    """Third-party subclasses written against the pre-tick per-arrival API
+    run unchanged through the base-class bridge."""
+
+    def test_legacy_prewarm_subclass_runs_and_matches_across_engines(
+        self, r2_traces
+    ):
+        profile, traces = r2_traces
+        event = RegionEvaluator(
+            profile, seed=3, engine="event", prewarm_policy=_LegacyPrewarm()
+        ).run(traces)
+        vector = RegionEvaluator(
+            profile, seed=3, engine="vector", prewarm_policy=_LegacyPrewarm()
+        ).run(traces)
+        _assert_identical(event, vector, "legacy-prewarm")
+        assert event.prewarm_creations > 0
+
+    def test_duck_typed_prewarm_object_is_shimmed(self, r2_traces):
+        class DuckPrewarm:  # no base class at all
+            def observe(self, spec, t):
+                pass
+
+            def plan(self, now):
+                return {}
+
+        profile, traces = r2_traces
+        metrics = RegionEvaluator(
+            profile, seed=3, prewarm_policy=DuckPrewarm()
+        ).run(traces)
+        assert metrics.requests == sum(t.arrivals.size for t in traces)
+
+    def test_concrete_prewarm_hook_overrides_are_honoured(self, r2_traces):
+        """Overriding plan()/observe() on the *concrete* built-in policies
+        (the pre-tick customization points) must keep working — the
+        native fast paths defer to the legacy bridge."""
+
+        class NeverPrewarm(TimerPrewarmPolicy):
+            def plan(self, now):
+                return {}
+
+        class CountingHistogram(HistogramPrewarmPolicy):
+            calls = 0
+
+            def observe(self, spec, t):
+                CountingHistogram.calls += 1
+                super().observe(spec, t)
+
+        profile, traces = r2_traces
+        never = RegionEvaluator(
+            profile, seed=3, prewarm_policy=NeverPrewarm()
+        ).run(traces)
+        assert never.prewarm_creations == 0
+
+        CountingHistogram.calls = 0
+        RegionEvaluator(
+            profile, seed=3, engine="event",
+            prewarm_policy=CountingHistogram(),
+        ).run(traces)
+        assert CountingHistogram.calls > 0
+
+        # And overridden-hook subclasses stay engine-equivalent.
+        event = RegionEvaluator(
+            profile, seed=3, engine="event", prewarm_policy=NeverPrewarm()
+        ).run(traces)
+        vector = RegionEvaluator(
+            profile, seed=3, engine="vector", prewarm_policy=NeverPrewarm()
+        ).run(traces)
+        _assert_identical(event, vector, "never-prewarm")
+
+    def test_asyncshaver_delay_for_override_is_honoured(self, r2_traces):
+        """Overriding the concrete shaver's per-arrival hook (the pre-tick
+        customization point) keeps its semantics: the bridge routes every
+        eligible arrival through it on the event engine."""
+
+        class NoDelay(AsyncPeakShaver):
+            def __init__(self, **kw):
+                super().__init__(**kw)
+                self.calls = 0
+
+            def delay_for(self, spec, now, congestion=0.0):
+                self.calls += 1
+                return 0.0
+
+        profile, traces = r2_traces
+        shaver = NoDelay(max_delay_s=120.0)
+        evaluator = RegionEvaluator(profile, seed=1, peak_shaver=shaver)
+        assert evaluator.resolve_engine() == "event"
+        assert not shaver.outcome_free_decisions
+        metrics = evaluator.run(traces)
+        assert shaver.calls > 0
+        assert metrics.delayed_requests == 0
+
+    def test_legacy_shaver_subclass_still_runs_on_event(self, r2_traces):
+        profile, traces = r2_traces
+        shaver = _LegacyShaver()
+        evaluator = RegionEvaluator(profile, seed=3, peak_shaver=shaver)
+        assert evaluator.resolve_engine() == "event"
+        metrics = evaluator.run(traces)
+        assert metrics.requests == sum(t.arrivals.size for t in traces)
+        assert shaver.calls > 0  # the bridge consulted the legacy hook
+
+    def test_legacy_prewarm_state_matches_per_arrival_semantics(self):
+        """The bridge feeds observe() the same (spec, t) stream the
+        pre-tick evaluator did — state after a replay proves it."""
+        policy = _LegacyPrewarm()
+        _, traces = build_workload("R3", seed=5, days=1, scale=0.05)
+        from repro.workload.regions import region_profile
+
+        RegionEvaluator(
+            region_profile("R3"), seed=1, prewarm_policy=policy,
+            engine="event",
+        ).run(traces)
+        timer_fids = {
+            t.spec.function_id for t in traces
+            if t.spec.is_timer_driven and t.arrivals.size
+        }
+        assert set(policy.seen) == timer_fids
 
 
 class TestCliEngine:
@@ -250,16 +557,23 @@ class TestCliEngine:
         from repro.cli.main import main
 
         assert main(["mitigate", *self._FAST, "-p", "baseline",
+                     "-p", "timer-prewarm", "-p", "peak-shaving",
                      "--engine", "vector"]) == 0
         vector_out = capsys.readouterr().out
         assert main(["mitigate", *self._FAST, "-p", "baseline",
+                     "-p", "timer-prewarm", "-p", "peak-shaving",
                      "--engine", "event"]) == 0
         event_out = capsys.readouterr().out
         assert vector_out == event_out
 
-    def test_mitigate_stream_rejects_vector(self):
+    def test_mitigate_stream_engine_invariant(self, capsys):
         from repro.cli.main import main
 
-        with pytest.raises(SystemExit, match="vector"):
-            main(["mitigate", "--stream", "--regions", "R1", "--remotes", "R3",
-                  "--days", "1", "--engine", "vector"])
+        base = ["mitigate", "--stream", "--regions", "R1", "--remotes", "R3",
+                "--route", "best-region", "--days", "1", "--scale", "0.05",
+                "--seed", "5"]
+        assert main([*base, "--engine", "vector"]) == 0
+        vector_out = capsys.readouterr().out
+        assert main([*base, "--engine", "event"]) == 0
+        event_out = capsys.readouterr().out
+        assert vector_out == event_out
