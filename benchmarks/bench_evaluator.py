@@ -33,6 +33,7 @@ from repro.mitigation import (
     TimerPrewarmPolicy,
 )
 from repro.mitigation.evaluator import RegionEvaluator, build_workload
+from repro.obs.telemetry import profiled
 
 EVAL_SEED = 1
 #: min-of-N timing; the container this trajectory is recorded on shares
@@ -86,6 +87,17 @@ def _min_wall(make_evaluator, traces, name="baseline", reps=REPS):
     return best, metrics
 
 
+def _vector_counters(make_evaluator, traces, name="baseline") -> dict:
+    """Deterministic replay counters from one profiled vector run.
+
+    Separate from the timed reps so wall-clock trajectory points stay
+    instrumentation-free; the counters themselves are jobs/order-invariant.
+    """
+    with profiled() as tel:
+        make_evaluator().run(traces, name=name)
+        return {k: tel.counters[k] for k in sorted(tel.counters)}
+
+
 def _identical(a, b) -> bool:
     return (
         a.summary() == b.summary()
@@ -133,6 +145,12 @@ def test_vector_engine_speedup(r2_workload, r1_workload, emit):
             "event_wall_s": wall_event,
             "vector_wall_s": wall_vector,
             "speedup": wall_event / wall_vector,
+            "counters": _vector_counters(
+                lambda: RegionEvaluator(
+                    profile, seed=EVAL_SEED, engine="vector"
+                ),
+                traces,
+            ),
         }
 
     speedup = total_event / total_vector
@@ -211,6 +229,12 @@ def test_coupled_policy_speedup(coupled_workload, emit):
             "event_wall_s": wall_event,
             "vector_wall_s": wall_vector,
             "speedup": wall_event / wall_vector,
+            "counters": _vector_counters(
+                lambda: RegionEvaluator(
+                    profile, seed=EVAL_SEED, engine="vector", **make_config()
+                ),
+                traces, name=name,
+            ),
         }
     speedup = total_event / total_vector
     results["total"] = {

@@ -22,6 +22,8 @@ from pathlib import Path
 
 from repro.analysis.report import format_table
 from repro.mitigation import CrossRegionEvaluator, RoutingPolicy
+from repro.obs.profile import build_profile, dominant_cost_center, write_profile
+from repro.obs.telemetry import merge_telemetry, profiled
 
 REPS = 3
 _RESULTS_DIR = Path(__file__).parent / "results"
@@ -56,6 +58,7 @@ def test_cross_region_routing(benchmark, r1_workload, emit):
     # metrics, wall-clock recorded as a trajectory point.
     results = {"workload": {"region": "R1", "requests": requests}, "reps": REPS,
                "routes": {}}
+    route_telemetry = {}
     for policy in (RoutingPolicy.HOME_ONLY, RoutingPolicy.BEST_REGION):
         wall_event, m_event = _min_wall("event", traces, policy)
         wall_vector, m_vector = _min_wall("vector", traces, policy)
@@ -63,6 +66,13 @@ def test_cross_region_routing(benchmark, r1_workload, emit):
         assert m_event.cold_wait == m_vector.cold_wait
         assert m_event.cold_starts_by_region == m_vector.cold_starts_by_region
         assert m_event.total_delay_s == m_vector.total_delay_s
+        # One profiled vector replay per route — outside the timed reps, so
+        # the wall-clock trajectory stays instrumentation-free.
+        with profiled() as tel:
+            CrossRegionEvaluator(
+                home="R1", remotes=("R3",), seed=2, engine="vector"
+            ).run(traces, policy=policy)
+            route_telemetry[policy.value] = tel.snapshot()
         results["routes"][policy.value] = {
             "cold_starts": m_event.cold_starts,
             "mean_cold_s": m_event.mean_cold_wait_s(),
@@ -70,6 +80,10 @@ def test_cross_region_routing(benchmark, r1_workload, emit):
             "event_wall_s": wall_event,
             "vector_wall_s": wall_vector,
             "speedup": wall_event / wall_vector,
+            "counters": {
+                k: route_telemetry[policy.value].counters[k]
+                for k in sorted(route_telemetry[policy.value].counters)
+            },
         }
     results["mean_cold_improvement"] = (
         home.mean_cold_wait_s() / routed.mean_cold_wait_s()
@@ -87,6 +101,46 @@ def test_cross_region_routing(benchmark, r1_workload, emit):
     (_RESULTS_DIR / "BENCH_mitigation_crossregion.json").write_text(
         json.dumps(results, indent=2) + "\n"
     )
+
+    # The committed profile: counters naming where the cross-region vector
+    # path spends its work relative to the event engine (ROADMAP item).
+    merged = merge_telemetry(list(route_telemetry.values()))
+    doc = build_profile(merged, meta={
+        "command": "bench:crossregion-vector",
+        "workload": {"region": "R1", "remotes": ["R3"],
+                     "requests": requests, "functions": len(traces)},
+        "routes": sorted(route_telemetry),
+    })
+    c = doc["counters"]
+    scalar = c.get("xregion/replay/scalar_arrivals", 0)
+    jumped = c.get("xregion/replay/jumped_arrivals", 0)
+    replays = c.get("xregion/replay/calls", 0)
+    dom = dominant_cost_center(doc)
+    doc["findings"] = {
+        "speedup_vs_event": {
+            route: round(results["routes"][route]["speedup"], 3)
+            for route in results["routes"]
+        },
+        "dominant_cost_center": None if dom is None else
+            {"timer": dom[0], "wall_s": round(dom[1], 6)},
+        "repair_rounds": c.get("xregion/repair/rounds", 0),
+        "functions_rereplayed": c.get("xregion/repair/functions_rereplayed", 0),
+        "event_fallbacks": c.get("xregion/repair/event_fallbacks", 0),
+        "replay_calls": replays,
+        "replays_per_function": round(replays / max(len(traces) * 2, 1), 3),
+        "scalar_arrival_share": round(scalar / max(scalar + jumped, 1), 4),
+        "note": (
+            "Why the cross-region vector path trails the event engine: the "
+            "fixed-point repair loop replays every fingerprint-missed "
+            "function once per round (replays_per_function > 1 means "
+            "whole-trace re-replays), each replay steps scalar Python "
+            "between steady-stretch jumps (scalar_arrival_share of "
+            "arrivals are stepped one by one), and the shared tick machine "
+            "re-runs per round — the event engine pays each cost exactly "
+            "once in its single sequential pass."
+        ),
+    }
+    write_profile(doc, _RESULTS_DIR / "PROFILE_crossregion_vector.json")
 
     # Mean cold wait (including the RTT penalty) improves substantially.
     assert routed.mean_cold_wait_s() < 0.6 * home.mean_cold_wait_s()

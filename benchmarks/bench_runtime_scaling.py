@@ -28,6 +28,7 @@ import time
 from pathlib import Path
 
 from repro.analysis.report import format_table
+from repro.obs.telemetry import profiled
 from repro.workload.generator import generate_multi_region
 
 BENCH_REGIONS = ("R1", "R2", "R3", "R4")
@@ -46,10 +47,41 @@ def _usable_cores() -> int:
     return os.cpu_count() or 1
 
 
+def _cgroup_cpu_quota() -> float | None:
+    """Effective CPU limit in cores from the cgroup, or None if unlimited.
+
+    Containers frequently advertise the host's core count while the cgroup
+    caps actual CPU time — the reason a "4 cores" runner can fail a 4-worker
+    speedup. Reads cgroup v2 (``cpu.max``) then v1 (``cfs_quota_us``).
+    """
+    try:
+        quota, period = Path("/sys/fs/cgroup/cpu.max").read_text().split()
+        if quota != "max":
+            return int(quota) / int(period)
+    except (OSError, ValueError):
+        pass
+    try:
+        quota = int(Path("/sys/fs/cgroup/cpu/cpu.cfs_quota_us").read_text())
+        period = int(Path("/sys/fs/cgroup/cpu/cpu.cfs_period_us").read_text())
+        if quota > 0 and period > 0:
+            return quota / period
+    except (OSError, ValueError):
+        pass
+    return None
+
+
 def test_runtime_scaling(emit):
     wall: dict[int, float] = {}
     summaries: dict[int, dict] = {}
+    telemetry = None
     for jobs in JOB_COUNTS:
+        # The 2-worker point doubles as the telemetry trajectory: the
+        # per-shard envelope adds well under 1% to multi-second shards,
+        # and wall[2] feeds no assertion (only wall[1]/wall[4] does).
+        profile_this = jobs == 2
+        if profile_this:
+            ctx = profiled()
+            tel = ctx.__enter__()
         started = time.perf_counter()
         bundles = generate_multi_region(
             BENCH_REGIONS,
@@ -60,6 +92,9 @@ def test_runtime_scaling(emit):
             chunk_days=BENCH_CHUNK_DAYS,
         )
         wall[jobs] = time.perf_counter() - started
+        if profile_this:
+            telemetry = tel.snapshot()
+            ctx.__exit__(None, None, None)
         summaries[jobs] = {name: bundle.summary() for name, bundle in bundles.items()}
 
     total_requests = sum(s["requests"] for s in summaries[1].values())
@@ -78,6 +113,8 @@ def test_runtime_scaling(emit):
         for jobs in JOB_COUNTS
     ]
     cores = _usable_cores()
+    quota = _cgroup_cpu_quota()
+    effective_cores = cores if quota is None else min(cores, quota)
     emit(
         "runtime_scaling",
         format_table(rows)
@@ -95,6 +132,9 @@ def test_runtime_scaling(emit):
                     "seed": BENCH_SEED,
                 },
                 "cores": cores,
+                "cpu_count": os.cpu_count(),
+                "cgroup_cpu_quota": quota,
+                "effective_cores": effective_cores,
                 "serial_requests_per_s": serial_rps,
                 "per_jobs": {
                     str(jobs): {
@@ -104,6 +144,24 @@ def test_runtime_scaling(emit):
                     for jobs in JOB_COUNTS
                 },
                 "requests": total_requests,
+                "scaling_claim": {
+                    "claim": ">1.8x speedup at 4 workers",
+                    "verified": bool(effective_cores >= 4
+                                     and wall[1] / wall[4] > 1.8),
+                    "speedup_at_4": wall[1] / wall[4],
+                    "reason": (None if effective_cores >= 4 else
+                               f"only {effective_cores:g} effective core(s) "
+                               f"(cpu_count={os.cpu_count()}, "
+                               f"cgroup quota={quota}) — claim not testable "
+                               f"on this machine"),
+                },
+                "telemetry": None if telemetry is None else {
+                    "profiled_jobs": 2,
+                    "counters": {k: telemetry.counters[k]
+                                 for k in sorted(telemetry.counters)},
+                    "volatile": {k: telemetry.volatile[k]
+                                 for k in sorted(telemetry.volatile)},
+                },
             },
             indent=2,
         )
@@ -114,8 +172,10 @@ def test_runtime_scaling(emit):
     for jobs in JOB_COUNTS[1:]:
         assert summaries[jobs] == summaries[1], f"jobs={jobs} diverged from serial"
 
-    # Scaling: only meaningful when the hardware can actually run 4 workers.
-    if cores >= 4:
+    # Scaling: only meaningful when the hardware can actually run 4 workers
+    # — and a cgroup quota below 4 cores makes the claim untestable even
+    # when os.cpu_count() says otherwise (recorded as unverified above).
+    if effective_cores >= 4:
         assert wall[1] / wall[4] > 1.8, (
             f"expected >1.8x speedup at 4 workers, got {wall[1] / wall[4]:.2f}x"
         )

@@ -48,6 +48,8 @@ import math
 
 import numpy as np
 
+from repro.obs.telemetry import get_telemetry
+
 from repro.trace.tables import (
     COMPONENT_COLUMNS,
     FunctionTable,
@@ -249,6 +251,10 @@ class LogHistogram:
         """Append ``added`` empty bins on the lattice (hi moves up)."""
         if added <= 0:
             return
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count_many((("hist/widen_up", 1),
+                            ("hist/widen_bins", added)))
         self.counts = np.concatenate(
             [self.counts, np.zeros(added, dtype=np.int64)]
         )
@@ -260,6 +266,10 @@ class LogHistogram:
         """Prepend ``added`` empty bins on the lattice (lo moves down)."""
         if added <= 0:
             return
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count_many((("hist/widen_down", 1),
+                            ("hist/widen_bins", added)))
         self.counts = np.concatenate(
             [np.zeros(added, dtype=np.int64), self.counts]
         )
@@ -1323,6 +1333,7 @@ class RegionAccumulator:
                 f"cannot merge accumulators of regions {self.region!r} and "
                 f"{other.region!r}"
             )
+        get_telemetry().count("accumulators/merges")
         if self.figures != other.figures:
             raise ValueError(
                 "cannot merge RegionAccumulators pruned to different figure "

@@ -8,11 +8,12 @@ whole paper reproduction is drivable without writing Python.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from pathlib import Path
 
 from repro.analysis.report import format_table
+from repro.obs import telemetry as obs
 from repro.core.findings import extract_findings
 from repro.core.study import StreamingTraceStudy, TraceStudy
 from repro.trace.hashing import IdHasher
@@ -71,6 +72,15 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
                               "shm parks their arrays in shared-memory blocks "
                               "(pickle-free, for very large shards). Never "
                               "changes results, only how they travel")
+    profiling = parser.add_argument_group("profiling")
+    profiling.add_argument(
+        "--profile", nargs="?", const="", default=None, metavar="PATH",
+        help="collect telemetry (counters, phase spans, memory high-water) "
+             "and write a versioned profile JSON plus a Chrome trace-event "
+             "companion (PATH.trace.json, loadable in Perfetto). PATH "
+             "defaults to profile_<command>.json. Inspect with "
+             "'repro profile PATH'. Never changes results",
+    )
 
 
 def _load_study(args: argparse.Namespace):
@@ -115,15 +125,18 @@ def _load_study(args: argparse.Namespace):
             bundles[bundle.region] = bundle
         return TraceStudy(bundles)
     regions = tuple(name.strip() for name in args.regions.split(",") if name.strip())
-    started = time.time()
     cls = StreamingTraceStudy if stream else TraceStudy
-    study = cls.generate(
-        regions=regions, seed=args.seed, days=args.days, scale=args.scale,
-        jobs=args.jobs, chunk_days=args.chunk_days or None,
-        channel=args.channel,
-    )
+    # Monotonic span timing (perf_counter underneath) instead of wall-clock
+    # time.time(); when --profile is active the span also lands in the
+    # profile as cli/<command>/load_study.
+    with obs.get_telemetry().span("load_study") as span:
+        study = cls.generate(
+            regions=regions, seed=args.seed, days=args.days, scale=args.scale,
+            jobs=args.jobs, chunk_days=args.chunk_days or None,
+            channel=args.channel,
+        )
     mode = "streamed" if stream else "generated"
-    print(f"{mode} {len(regions)} region(s) in {time.time() - started:.1f}s "
+    print(f"{mode} {len(regions)} region(s) in {span.elapsed:.1f}s "
           f"(jobs={args.jobs})",
           file=sys.stderr)
     return study
@@ -379,6 +392,20 @@ def _mitigate_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import render_report, validate_profile
+
+    path = Path(args.path)
+    if not path.is_file():
+        raise SystemExit(f"no profile at {path}")
+    try:
+        doc = validate_profile(json.loads(path.read_text()))
+    except ValueError as exc:
+        raise SystemExit(f"{path}: {exc}") from exc
+    print(render_report(doc))
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     study = _load_study(args)
     results = check_calibration(study)
@@ -500,13 +527,48 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 60)")
     mitigate.set_defaults(func=cmd_mitigate)
 
+    profile = commands.add_parser(
+        "profile", help="summarise a profile JSON written by --profile"
+    )
+    profile.add_argument("path", metavar="PROFILE.json",
+                         help="profile document written by any command's "
+                              "--profile flag")
+    profile.set_defaults(func=cmd_profile)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    profile_to = getattr(args, "profile", None)
+    if profile_to is None:
+        return args.func(args)
+    from repro.obs.profile import (
+        build_profile,
+        write_chrome_trace,
+        write_profile,
+    )
+
+    tel = obs.enable(track="main")
+    try:
+        with tel.span(f"cli/{args.command}"):
+            status = args.func(args)
+        tel.sample_memory()
+        snapshot = tel.snapshot()
+    finally:
+        obs.disable()
+    meta = {"command": args.command,
+            "argv": list(argv) if argv is not None else sys.argv[1:]}
+    for key in ("jobs", "channel", "engine", "seed", "days", "scale"):
+        if hasattr(args, key):
+            meta[key] = getattr(args, key)
+    doc = build_profile(snapshot, meta)
+    path = Path(profile_to) if profile_to else Path(f"profile_{args.command}.json")
+    write_profile(doc, path)
+    trace = write_chrome_trace(doc, path.with_suffix(".trace.json"))
+    print(f"profile: {path} (trace: {trace})", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via console script

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import copy
 import enum
+import warnings
 
 import numpy as np
 
@@ -50,6 +51,7 @@ from repro.mitigation.tick import (
     tick_indices_of,
     tick_interval,
 )
+from repro.obs.telemetry import get_telemetry
 from repro.sim.latency import LatencyModel, LatencyRegime
 from repro.sim.rng import RngFactory
 from repro.workload.catalog import SizeClass
@@ -222,10 +224,12 @@ class CrossRegionEvaluator:
             metrics.cold_starts_by_region.setdefault(name, 0)
         if not traces:
             return metrics
-        if self.resolve_engine(policy) == "vector":
-            self._run_vector(traces, policy, keepalive_s, metrics)
-        else:
-            self._run_event(traces, policy, keepalive_s, metrics)
+        engine = self.resolve_engine(policy)
+        with get_telemetry().span(f"xregion/route/{policy.value}[{engine}]"):
+            if engine == "vector":
+                self._run_vector(traces, policy, keepalive_s, metrics)
+            else:
+                self._run_event(traces, policy, keepalive_s, metrics)
         return metrics
 
     def remote_share(self, metrics: EvalMetrics) -> float:
@@ -413,6 +417,7 @@ class CrossRegionEvaluator:
                 samplers[i], self.rtt_s, schedule, interval, n_ticks,
             )
 
+        tel = get_telemetry()
         if router is None:
             outcomes = [replay(i, None) for i in range(n_fns)]
         else:
@@ -426,7 +431,9 @@ class CrossRegionEvaluator:
             for i in range(n_fns):
                 used_rel[i] = _route_rel(outcomes[i], guess, interval, n_ticks)
             converged = False
+            n_rounds = n_rereplayed = n_rel_hits = n_rel_misses = 0
             for _round in range(self._MAX_REPAIR_ROUNDS):
+                n_rounds += 1
                 schedule = self._route_schedule(
                     router, specs, function_ids, interval, n_ticks,
                     span_index, outcomes,
@@ -436,15 +443,34 @@ class CrossRegionEvaluator:
                     for i in range(n_fns)
                 ]
                 affected = [i for i in range(n_fns) if rels[i] != used_rel[i]]
+                n_rel_misses += len(affected)
+                n_rel_hits += n_fns - len(affected)
                 if not affected:
                     converged = True
                     break
                 for i in affected:
                     outcomes[i] = replay(i, schedule)
+                    n_rereplayed += 1
                     used_rel[i] = _route_rel(
                         outcomes[i], schedule, interval, n_ticks
                     )
+            if tel.enabled:
+                tel.count_many((
+                    ("xregion/repair/rounds", n_rounds),
+                    ("xregion/repair/functions_rereplayed", n_rereplayed),
+                    ("xregion/repair/fingerprint_hits", n_rel_hits),
+                    ("xregion/repair/fingerprint_misses", n_rel_misses),
+                ))
             if not converged:
+                warnings.warn(
+                    f"cross-region routing repair did not settle within "
+                    f"{self._MAX_REPAIR_ROUNDS} rounds for "
+                    f"{metrics.name!r}; replaying on the sequential event "
+                    "engine (exact, slower)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                tel.count("xregion/repair/event_fallbacks")
                 # Oscillating routing feedback: replay sequentially from a
                 # clean evaluator (exact, merely slower). Instance-level
                 # tuning carries over.
@@ -580,6 +606,10 @@ def _replay_fn_cross_region(
     cand_list.append(n)
     ci = 0
 
+    # Regime counters: local ints, flushed once at the end (zero-overhead
+    # discipline — see repro.obs.telemetry).
+    x_jumps = x_jumped = x_scalar = 0
+
     # The single alive pod, when there is exactly one: (region, pod ref).
     ai = 0
     while ai < n:
@@ -603,6 +633,8 @@ def _replay_fn_cross_region(
                 while cand_list[ci] <= ai:
                     ci += 1
                 limit = cand_list[ci]
+                x_jumps += 1
+                x_jumped += limit - ai
                 warm_hits += limit - ai
                 if ridx > 0:
                     lat_v_l.extend([rtt_s] * (limit - ai))
@@ -650,8 +682,17 @@ def _replay_fn_cross_region(
             region_counts[ridx] += 1
             end = tk + wait + exec_s
             region_pods[ridx].append([end + keepalive_s, end])
+        x_scalar += 1
         ai += 1
 
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count_many((
+            ("xregion/replay/calls", 1),
+            ("xregion/replay/scalar_arrivals", x_scalar),
+            ("xregion/replay/chain_jumps", x_jumps),
+            ("xregion/replay/jumped_arrivals", x_jumped),
+        ))
     return {
         "requests": n,
         "warm_hits": warm_hits,

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import copy
 import heapq
+import warnings
 
 import numpy as np
 
@@ -77,6 +78,7 @@ from repro.mitigation.vector_engine import (
     replay_function,
     replay_function_coupled,
 )
+from repro.obs.telemetry import get_telemetry
 from repro.sim.latency import LatencyModel
 from repro.sim.rng import RngFactory
 from repro.workload.catalog import SizeClass
@@ -627,7 +629,11 @@ class RegionEvaluator:
         n_ticks, gauge = 0, EMPTY_F
         prev_n_ticks = -1
         converged = False
+        tel = get_telemetry()
+        n_rounds = n_rereplayed = n_base_reuses = 0
+        n_rel_hits = n_rel_misses = 0
         for _round in range(self._MAX_REPAIR_ROUNDS):
+            n_rounds += 1
             n_ticks, gauge = self._pod_gauge(outcomes, horizon_s, interval)
             if outcome_free and _round > 0 and n_ticks == prev_n_ticks:
                 converged = True
@@ -648,6 +654,8 @@ class RegionEvaluator:
                 for i in range(n_fns)
             ]
             affected = [i for i in range(n_fns) if rels[i] != used_rel[i]]
+            n_rel_misses += len(affected)
+            n_rel_hits += n_fns - len(affected)
             if not affected:
                 # Every function's outcome already reads this schedule the
                 # way it was produced — the (schedule, outcomes) pair is
@@ -671,7 +679,9 @@ class RegionEvaluator:
                     # coupled outcome's moments all went inactive.)
                     outcomes[i] = base[i]
                     used_rel[i] = neutral
+                    n_base_reuses += 1
                 else:
+                    n_rereplayed += 1
                     samplers[i].reset()
                     outcomes[i] = replay_function_coupled(
                         fn_t[i], fn_e[i], merged_pos[i], kas[i], concs[i],
@@ -684,10 +694,27 @@ class RegionEvaluator:
                         prewarm_by_fn.get(i, ()),
                         () if sync[i] else rel_of(outcomes[i]),
                     )
+        if tel.enabled:
+            tel.count_many((
+                ("evaluator/repair/rounds", n_rounds),
+                ("evaluator/repair/functions_rereplayed", n_rereplayed),
+                ("evaluator/repair/base_reuses", n_base_reuses),
+                ("evaluator/repair/fingerprint_hits", n_rel_hits),
+                ("evaluator/repair/fingerprint_misses", n_rel_misses),
+            ))
         if not converged:
             # The decision schedule oscillated past the round budget (a
             # pathological feedback loop); replay sequentially from a clean
             # evaluator — exact by construction, merely slower.
+            warnings.warn(
+                f"coupled fixed-point repair did not settle within "
+                f"{self._MAX_REPAIR_ROUNDS} rounds for "
+                f"{metrics.name or self._default_name()!r}; replaying on the "
+                "sequential event engine (exact, slower)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            tel.count("evaluator/repair/event_fallbacks")
             RegionEvaluator(
                 self.profile,
                 keepalive_policy=self.keepalive_policy,
@@ -899,6 +926,7 @@ class RegionEvaluator:
         cold_w: list[float] = []
         delayed: list[tuple[float, int, int, float]] = []  # (time, seq, fn, exec)
         seq = 0
+        n_sweeps = 0
         grace = self.prewarm_grace_s
 
         # Tick-phase policy protocol: the machine observes each span's
@@ -942,6 +970,8 @@ class RegionEvaluator:
             active_fns.add(fn)
 
         def expire(fn: int, now: float) -> None:
+            nonlocal n_sweeps
+            n_sweeps += 1
             still = []
             fn_created = created[fn]
             fn_credit = credit[fn]
@@ -1096,6 +1126,12 @@ class RegionEvaluator:
             float(np.sum(np.asarray(delay_values, dtype=np.float64)))
             if delay_values else 0.0
         )
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count_many((
+                ("event/ticks", next_tick),
+                ("event/expiry_sweeps", n_sweeps),
+            ))
 
         # Cold-start sketches in one canonical batch (same arrays, same
         # float accumulation order as the vector engine's sorted batch).

@@ -23,11 +23,13 @@ processed *after* the tick.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.mitigation.base import TickAction, TickColumns, TickPolicy
+from repro.obs.telemetry import get_telemetry
 
 EMPTY_I = np.zeros(0, dtype=np.int64)
 EMPTY_F = np.zeros(0, dtype=np.float64)
@@ -129,6 +131,9 @@ class TickMachine:
         self.specs = specs
         self.function_ids = function_ids
         self.interval_s = float(interval_s)
+        self._timer_keys = [
+            f"tick/policy/{type(p).__name__}_s" for p in self.policies
+        ]
 
     def step(
         self,
@@ -152,9 +157,25 @@ class TickMachine:
             cold_fn=cold_fn, cold_t=cold_t, cold_wait=cold_wait,
             cold_region=cold_region,
         )
-        for policy in self.policies:
+        tel = get_telemetry()
+        if not tel.enabled:
+            for policy in self.policies:
+                policy.observe_batch(cols)
+            return combine_actions([p.decide(tick, now) for p in self.policies])
+        # Profiled path: same observe-all-then-decide-all order, each
+        # policy's share of the tick accumulated on its own timer.
+        tel.count("tick/steps")
+        perf = time.perf_counter
+        for policy, key in zip(self.policies, self._timer_keys):
+            t0 = perf()
             policy.observe_batch(cols)
-        return combine_actions([p.decide(tick, now) for p in self.policies])
+            tel.time_add(key, perf() - t0)
+        actions = []
+        for policy, key in zip(self.policies, self._timer_keys):
+            t0 = perf()
+            actions.append(policy.decide(tick, now))
+            tel.time_add(key, perf() - t0)
+        return combine_actions(actions)
 
 
 def canonical_event_order(

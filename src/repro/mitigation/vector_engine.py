@@ -49,6 +49,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.mitigation.tick import tick_index_of
+from repro.obs.telemetry import get_telemetry
 
 #: Upper bound on arrivals priced per speculation attempt.
 _SPEC_CHUNK = 1024
@@ -366,6 +367,12 @@ def replay_function_coupled(
         ],
         dtype=np.float64,
     )
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count_many((
+            ("vector/coupled/replays", 1),
+            ("vector/coupled/scalar_arrivals", n),
+        ))
     return CoupledReplay(
         requests=n,
         warm_hits=warm_hits,
@@ -476,6 +483,12 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
     # warm hits common even across >keep-alive gaps, so a >ka gap run is
     # an upper bound on a cold run, not a promise).
     spec_w = 64
+    # Regime counters, accumulated as plain local ints at transitions and
+    # flushed in one batch at the end — the disabled-telemetry cost stays
+    # O(transitions), never O(arrivals).
+    w_spec_blocks = w_spec_accept = w_scalar_cold = 0
+    w_chain_scalar = w_chain_jumps = w_jump_arrivals = 0
+    w_episode_entries = w_episode_scalar = 0
 
     while i < n:
         if mode == "cold":
@@ -491,6 +504,8 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
                     dead[:-1] = t[i + 1 : i + m] >= ends[:-1] + ka
                     dead[-1] = True  # no later arrival: block may close
                 accept = m if dead.all() else int(np.argmin(dead)) + 1
+                w_spec_blocks += 1
+                w_spec_accept += accept
                 spec_w = min(_SPEC_CHUNK, max(_SPEC_MIN_RUN, 2 * accept))
                 sampler.advance(accept)
                 flush_singles()
@@ -518,6 +533,7 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
                 # Tight scalar loop over a dense cold stretch: pods that
                 # die before the next arrival never leave this branch.
                 next_total = sampler.next_total
+                i0 = i
                 while True:
                     wait = next_total(float(cvals[i]))
                     cold_pos.append(i)
@@ -541,6 +557,7 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
                     open_pod = len(pod_created) - 1
                     mode = "chain"
                     break
+                w_scalar_cold += i - i0
             continue
 
         if mode == "chain" and conc == 1:
@@ -574,9 +591,11 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
                         pool = []
                         open_pod = -1
                         mode = "episode"
+                        w_episode_entries += 1
                         i += 1
                         break
                     e_prev = e_prev + el[i]
+                    w_chain_scalar += 1
                     i += 1
                     continue
                 # Idle-warm: this arrival (and every steady position up to
@@ -584,6 +603,8 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
                 while candidates[ci] <= i:
                     ci += 1
                 d = candidates[ci]
+                w_chain_jumps += 1
+                w_jump_arrivals += d - i
                 e_prev = float(idle_end_np[d - 1])
                 i = d
             else:
@@ -648,6 +669,7 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
                             ep_alive = [0, 1]
                             open_pod = -1
                             mode = "episode"
+                            w_episode_entries += 1
                             i += 1
                             break
                         ends.remove(mn)
@@ -655,6 +677,7 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
                     ends.append(end)
                     if end > last:
                         last = end
+                    w_chain_scalar += 1
                     i += 1
                     continue
                 # Pod idle here: jump to the next candidate, folding the
@@ -662,6 +685,8 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
                 while candidates[ci] <= i:
                     ci += 1
                 d = candidates[ci]
+                w_chain_jumps += 1
+                w_jump_arrivals += d - i
                 seg = idle_end_np[i:d]
                 segmax = float(seg.max())
                 if segmax > last:
@@ -719,6 +744,8 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
                         while candidates[ci] <= i:
                             ci += 1
                         d = candidates[ci]
+                        w_chain_jumps += 1
+                        w_jump_arrivals += d - i
                         _, p0 = pool.pop(b)
                         new_end = float(idle_end_np[d - 1])
                         if d < n and new_end > tl[d]:
@@ -742,6 +769,7 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
                         )
                     else:
                         heapq.heapreplace(heap, (end0 + el[i], p0))
+                w_episode_scalar += 1
                 i += 1
             if i < n:
                 if pool:
@@ -792,6 +820,8 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
                 while candidates[ci] <= i:
                     ci += 1
                 d = candidates[ci]
+                w_chain_jumps += 1
+                w_jump_arrivals += d - i
                 seg = idle_end_np[i:d]
                 segmax = float(seg.max())
                 if segmax > ep_last[b]:
@@ -838,6 +868,7 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
                 ep_ends.append([end2])
                 ep_pod.append(len(pod_created) - 1)
                 ep_alive.append(len(ep_pod) - 1)
+            w_episode_scalar += 1
             i += 1
         if i < n:
             if ep_alive:
@@ -863,6 +894,19 @@ def _replay_walk(t, e, ka, conc, patience, sampler, congestion) -> FunctionRepla
             pod_death[ep_pod[p]] = ep_last[p] + ka
 
     flush_singles()
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count_many((
+            ("vector/functions", 1),
+            ("vector/spec/blocks", w_spec_blocks),
+            ("vector/spec/accepted", w_spec_accept),
+            ("vector/cold/scalar_arrivals", w_scalar_cold),
+            ("vector/chain/scalar_arrivals", w_chain_scalar),
+            ("vector/chain/jumps", w_chain_jumps),
+            ("vector/chain/jumped_arrivals", w_jump_arrivals),
+            ("vector/episode/entries", w_episode_entries),
+            ("vector/episode/scalar_arrivals", w_episode_scalar),
+        ))
     cold_idx = (
         np.concatenate(cold_blocks[0::2]) if cold_blocks else np.zeros(0, np.int64)
     )

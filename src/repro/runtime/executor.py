@@ -12,13 +12,17 @@ derived seeds.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
+import time
 from collections import deque
 from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.mitigation.base import EvalMetrics
+from repro.obs import telemetry as obs
+from repro.obs.telemetry import TelemetryEnvelope
 from repro.runtime.merge import (
     SHM_MIN_BYTES,
     discard_shm,
@@ -89,6 +93,50 @@ class _ShmTask:
         return to_shm(self.fn(item), min_bytes=self.min_bytes)
 
 
+class _ProfiledTask:
+    """Wraps a shard task so its telemetry rides back with the result.
+
+    In the worker: activates a *fresh* per-task telemetry (forked workers
+    inherit the parent's, pool workers are reused — both must not leak
+    counts between shards), runs the task — including any inner
+    :class:`_ShmTask`, so shm park costs are counted — then snapshots and
+    returns a :class:`~repro.obs.telemetry.TelemetryEnvelope`. Per-shard
+    wall/CPU time and the worker's memory high-water ride along; the
+    parent folds every envelope in plan order, keeping the deterministic
+    counter section identical for any ``jobs``/``channel``.
+    """
+
+    def __init__(self, fn: Callable, channel: str):
+        self.fn = fn
+        self.channel = channel
+
+    def __call__(self, item):
+        tel = obs.enable(track=f"pid{os.getpid()}")
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        result = None
+        try:
+            with tel.span("runtime/shard"):
+                result = self.fn(item)
+        finally:
+            tel.vcount("runtime/shards")
+            tel.time_add("runtime/shard_wall_s", time.perf_counter() - wall0)
+            tel.time_add("runtime/shard_cpu_s", time.process_time() - cpu0)
+            tel.sample_memory()
+            if self.channel == "pickle":
+                # The pool is about to pickle this result anyway; a profiled
+                # run pays one extra serialization to report payload sizes.
+                try:
+                    payload = len(pickle.dumps(result, protocol=5))
+                except Exception:
+                    payload = 0
+                tel.vcount("runtime/pickle/results")
+                tel.vcount("runtime/payload_bytes", payload)
+            snapshot = tel.snapshot()
+            obs.disable()
+        return TelemetryEnvelope(result, snapshot)
+
+
 class ParallelExecutor:
     """Runs shard tasks serially (``jobs=1``) or on a process pool.
 
@@ -146,6 +194,8 @@ class ParallelExecutor:
         if method != "fork":
             _check_task_portable(fn, method)
         task = fn if self.channel == "pickle" else _ShmTask(fn, self.shm_min_bytes)
+        if obs.get_telemetry().enabled:
+            task = _ProfiledTask(task, self.channel)
         workers = min(self.jobs, len(items))
         # One consistent submission bound: jobs + 1 outstanding futures,
         # trimmed to the item count so short plans never over- or
@@ -162,7 +212,11 @@ class ParallelExecutor:
                     if next_index < len(items):
                         pending.append(pool.submit(task, items[next_index]))
                         next_index += 1
-                    yield from_shm(result)
+                    result = from_shm(result)
+                    if type(result) is TelemetryEnvelope:
+                        obs.get_telemetry().merge(result.telemetry)
+                        result = from_shm(result.result)
+                    yield result
             finally:
                 # An abandoned generator (or a failed shard) must not leak
                 # the shared-memory blocks of results never consumed.
@@ -170,7 +224,10 @@ class ParallelExecutor:
                     future = pending.popleft()
                     if not future.cancel():
                         try:
-                            discard_shm(future.result())
+                            leftover = future.result()
+                            if type(leftover) is TelemetryEnvelope:
+                                leftover = leftover.result
+                            discard_shm(leftover)
                         except Exception:
                             pass
 

@@ -55,6 +55,12 @@ from repro.analysis.accumulators import (
     merge_accumulators,
 )
 from repro.mitigation.base import EvalMetrics
+from repro.obs.telemetry import (
+    Telemetry,
+    TelemetryEnvelope,
+    get_telemetry,
+    merge_telemetry,
+)
 from repro.sim.metrics import MetricRegistry
 from repro.trace.tables import (
     FunctionTable,
@@ -224,6 +230,7 @@ def merge_shard_results(parts: Sequence):
 register_reducer(TraceBundle, merge_bundles)
 register_reducer(EvalMetrics, merge_eval_metrics)
 register_reducer(MetricRegistry, merge_registries)
+register_reducer(Telemetry, merge_telemetry)
 register_reducer(dict, merge_counts)
 for _accumulator_type in (
     RegionAccumulator,
@@ -427,7 +434,11 @@ def to_shm(result, min_bytes: int = SHM_MIN_BYTES):
         offset = -(-total // _SHM_ALIGN) * _SHM_ALIGN
         descriptors.append((array.dtype.str, array.shape, offset))
         total = offset + array.nbytes
+    tel = get_telemetry()
     if not arrays or total < min_bytes:
+        if tel.enabled:
+            tel.vcount("runtime/shm/small_fallbacks")
+            tel.vcount("runtime/payload_bytes", total)
         return result
     try:
         from multiprocessing import shared_memory
@@ -435,6 +446,10 @@ def to_shm(result, min_bytes: int = SHM_MIN_BYTES):
         block = shared_memory.SharedMemory(create=True, size=max(total, 1))
     except (ImportError, OSError):
         return result
+    if tel.enabled:
+        tel.vcount("runtime/shm/blocks")
+        tel.vcount("runtime/payload_bytes", total)
+        tel.vcount("runtime/shm/bytes", total)
     try:
         for array, (_, _, offset) in zip(arrays, descriptors):
             dest = np.ndarray(array.shape, dtype=array.dtype,
@@ -554,5 +569,7 @@ for _shm_type in (
     RequestTable,
     PodTable,
     TraceBundle,
+    Telemetry,
+    TelemetryEnvelope,
 ):
     register_shm_type(_shm_type)
