@@ -10,8 +10,10 @@ Two committed properties:
   async peak shaving, and their combination) bit-identically and >= 3x
   faster serial over the committed coupled-policy workload. Histogram
   pre-warming rides along as an informational row: it targets the popular
-  functions whose overlap blips are the remaining scalar cost (the open
-  ROADMAP episode-vectorization item), so it reports ~1x today.
+  functions whose saturated multi-pod episodes used to fall back to the
+  scalar walk; the batched slot-exhaustion sweep and the analytic prewarm
+  sweep (the former ROADMAP episode-vectorization item) now carry it
+  comfortably past 1x.
 
 Results land in ``benchmarks/results/evaluator*.txt`` (human tables) and
 ``benchmarks/results/BENCH_evaluator*.json`` (machine-readable trajectory

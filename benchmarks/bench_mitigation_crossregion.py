@@ -114,7 +114,14 @@ def test_cross_region_routing(benchmark, r1_workload, emit):
     c = doc["counters"]
     scalar = c.get("xregion/replay/scalar_arrivals", 0)
     jumped = c.get("xregion/replay/jumped_arrivals", 0)
+    block = c.get("xregion/replay/block_arrivals", 0)
+    interleaved = c.get("xregion/replay/interleaved_arrivals", 0)
+    vectorized = jumped + block + interleaved
     replays = c.get("xregion/replay/calls", 0)
+    ticks_replayed = c.get("repair/ticks_replayed", 0)
+    ticks_restored = c.get("repair/ticks_restored", 0)
+    hits = c.get("repair/fingerprint_hits", 0)
+    checked = hits + c.get("repair/fingerprint_misses", 0)
     dom = dominant_cost_center(doc)
     doc["findings"] = {
         "speedup_vs_event": {
@@ -123,21 +130,30 @@ def test_cross_region_routing(benchmark, r1_workload, emit):
         },
         "dominant_cost_center": None if dom is None else
             {"timer": dom[0], "wall_s": round(dom[1], 6)},
-        "repair_rounds": c.get("xregion/repair/rounds", 0),
-        "functions_rereplayed": c.get("xregion/repair/functions_rereplayed", 0),
-        "event_fallbacks": c.get("xregion/repair/event_fallbacks", 0),
+        "repair_rounds": c.get("repair/rounds", 0),
+        "functions_rereplayed": c.get("repair/functions_rereplayed", 0),
+        "event_fallbacks": c.get("repair/event_fallbacks", 0),
+        "fingerprint_hit_rate": round(hits / checked, 4) if checked else None,
+        "ticks_restored_share": round(
+            ticks_restored / (ticks_replayed + ticks_restored), 4
+        ) if ticks_replayed + ticks_restored else None,
         "replay_calls": replays,
         "replays_per_function": round(replays / max(len(traces) * 2, 1), 3),
-        "scalar_arrival_share": round(scalar / max(scalar + jumped, 1), 4),
+        "scalar_arrival_share": round(scalar / max(scalar + vectorized, 1), 4),
         "note": (
-            "Why the cross-region vector path trails the event engine: the "
-            "fixed-point repair loop replays every fingerprint-missed "
-            "function once per round (replays_per_function > 1 means "
-            "whole-trace re-replays), each replay steps scalar Python "
-            "between steady-stretch jumps (scalar_arrival_share of "
-            "arrivals are stepped one by one), and the shared tick machine "
-            "re-runs per round — the event engine pays each cost exactly "
-            "once in its single sequential pass."
+            "Why the cross-region vector path now beats the event engine "
+            "on both routes: almost every arrival is retired by a batched "
+            "kernel — steady-stretch chain jumps, whole-block cold pricing, "
+            "and the two-pod interleave walk together leave only "
+            "scalar_arrival_share of arrivals to scalar Python — while the "
+            "unified repair driver amortizes the fixed-point rounds through "
+            "fingerprint reuse (fingerprint_hit_rate of per-function "
+            "schedules verify without a re-replay) and binds the "
+            "single-router schedule through the router's flat tick pass "
+            "(ticks_restored_share is populated instead when a policy set "
+            "takes the checkpointed machine pass). The event engine still "
+            "pays full sequential price for every arrival in its single "
+            "pass."
         ),
     }
     write_profile(doc, _RESULTS_DIR / "PROFILE_crossregion_vector.json")

@@ -30,9 +30,7 @@ with death-time expiry — no per-arrival region-list identity scans.
 
 from __future__ import annotations
 
-import copy
 import enum
-import warnings
 
 import numpy as np
 
@@ -44,10 +42,12 @@ from repro.mitigation.base import (
     TickPolicy,
 )
 from repro.mitigation.tick import (
+    EMPTY_F,
+    RepairDriver,
+    SchedulePass,
     SpanIndex,
     TickMachine,
     last_tick_index,
-    tick_index_of,
     tick_indices_of,
     tick_interval,
 )
@@ -61,6 +61,14 @@ from repro.workload.regions import REGION_PROFILES, RegionProfile
 from repro.mitigation.evaluator import ENGINES as _ENGINES
 
 DEFAULT_INTER_REGION_RTT_S = 0.120  # round trip, tens-to-hundreds of ms
+
+#: Upper bound on cold starts priced per batched slot-exhaustion sweep.
+_COLD_BLOCK_CAP = 1024
+
+#: Warm-up guess refinement passes (cheap gap-rule re-pricing rounds run
+#: before the first exact replay; each saves re-replays when it moves the
+#: guess closer to the bound schedule's fixed point).
+_WARMUP_REFINEMENTS = 2
 
 
 class RoutingPolicy(str, enum.Enum):
@@ -124,6 +132,51 @@ class BestRegionRouter(TickPolicy):
                 best, best_cost, penalty = ridx, cost, self.rtt_s
         return TickAction(route=RouteDirective(region=best, penalty_s=penalty))
 
+    def bind_flat(
+        self, cold_t: np.ndarray, cold_wait: np.ndarray,
+        cold_region: np.ndarray, interval_s: float, n_ticks: int,
+    ) -> list[RouteDirective]:
+        """Flat restatement of a :class:`SchedulePass` bind over this
+        router alone: fold each cold into the EMA in canonical order and
+        emit ``decide``'s directive at every tick boundary — the same
+        arithmetic, minus the machine scaffolding. The warm-up guess
+        binds through this (a guess schedule only seeds the fixed
+        point, so the cheap path is free to exist); the repair rounds
+        always bind through the checkpointed machine pass.
+        """
+        emas = list(self.emas)
+        alpha = self.alpha
+        rtt = self.rtt_s
+        gate = self.improvement_gate
+        n_regions = len(emas)
+        edges = np.searchsorted(
+            cold_t, np.arange(n_ticks) * interval_s, side="left"
+        ).tolist()
+        rl = cold_region.tolist()
+        wl = cold_wait.tolist()
+        by_region = [
+            RouteDirective(region=0, penalty_s=0.0)
+        ] + [
+            RouteDirective(region=r, penalty_s=rtt)
+            for r in range(1, n_regions)
+        ]
+        out: list[RouteDirective] = []
+        ci = 0
+        for k in range(n_ticks):
+            hi = edges[k]
+            while ci < hi:
+                r = rl[ci]
+                emas[r] += alpha * (wl[ci] - emas[r])
+                ci += 1
+            best = 0
+            best_cost = emas[0] * gate
+            for ridx in range(1, n_regions):
+                cost = emas[ridx] + rtt
+                if cost < best_cost:
+                    best, best_cost = ridx, cost
+            out.append(by_region[best])
+        return out
+
     def describe(self) -> str:
         return "best-region"
 
@@ -131,9 +184,12 @@ class BestRegionRouter(TickPolicy):
 class CrossRegionEvaluator:
     """Replays a workload with optional cross-region cold-start routing."""
 
-    #: Repair rounds before the vector mode concedes and replays on the
-    #: event engine (exact either way).
-    _MAX_REPAIR_ROUNDS = 10
+    #: One repair-round budget for every engine — the shared driver's.
+    _MAX_REPAIR_ROUNDS = RepairDriver._MAX_REPAIR_ROUNDS
+
+    #: Checkpoint the router machine between repair rounds (tests flip
+    #: this off to prove the restored-prefix path is bit-identical).
+    _REPAIR_CHECKPOINT = True
 
     def __init__(
         self,
@@ -409,68 +465,167 @@ class CrossRegionEvaluator:
 
         home_route = RouteDirective(region=0, penalty_s=0.0)
 
+        col_cache: dict = {}
+        prep_cache: list = [None] * n_fns
+
         def replay(i: int, schedule):
             for sampler in samplers[i]:
                 sampler.reset()
+            cols = None
+            if schedule is not None and n_ticks:
+                # One (region, penalty) column extraction per schedule,
+                # shared by every replay of the round.
+                key = id(schedule)
+                cols = col_cache.get(key)
+                if cols is None:
+                    col_cache.clear()
+                    cols = col_cache[key] = _schedule_cols(schedule, n_ticks)
+            prep = prep_cache[i]
+            if prep is None:
+                prep = prep_cache[i] = _replay_prep(
+                    fn_t[i], fn_e[i], merged_pos[i], keepalive_s,
+                    interval, n_ticks,
+                )
             return _replay_fn_cross_region(
                 fn_t[i], fn_e[i], merged_pos[i], keepalive_s, n_regions,
                 samplers[i], self.rtt_s, schedule, interval, n_ticks,
+                sched_cols=cols, prep=prep,
             )
 
-        tel = get_telemetry()
         if router is None:
             outcomes = [replay(i, None) for i in range(n_fns)]
         else:
-            # Initial guess: the seeded-EMA decision, held constant (the
-            # routing trajectory usually settles near it, so the first
-            # repair round touches few functions).
-            guess = [self._router(policy).decide(0, 0.0).route] * n_ticks
-            schedule = None
+            # Initial guess: a warm-up tick pass over *approximate* cold
+            # starts — the keep-alive gap rule (an arrival is cold when
+            # the previous execution plus keep-alive has lapsed), priced
+            # from the seeded region's zero-congestion draw columns. The
+            # guess only seeds the fixed point (any starting schedule
+            # converges to the same self-consistent trajectory), but a
+            # gap-rule trajectory lands close enough that the first
+            # repair round touches far fewer functions than a constant
+            # directive would.
+            guess_router = self._router(policy)
+            ridx0 = guess_router.decide(0, 0.0).route.region
+            ac_t: list[np.ndarray] = []
+            ac_fn: list[np.ndarray] = []
+            ac_w: list[np.ndarray] = []
+            for i in range(n_fns):
+                tv = fn_t[i]
+                if not tv.size:
+                    continue
+                mask = np.empty(tv.size, dtype=bool)
+                mask[0] = True
+                if tv.size > 1:
+                    mask[1:] = tv[1:] >= (tv[:-1] + fn_e[i][:-1]) + keepalive_s
+                ct = tv[mask]
+                _, za = samplers[i][ridx0].zero_cols(ct.size)
+                ac_t.append(ct)
+                ac_fn.append(np.full(ct.size, i, dtype=np.int64))
+                ac_w.append(za[:ct.size])
+            act = np.concatenate(ac_t) if ac_t else EMPTY_F
+            acf = np.concatenate(ac_fn) if ac_fn else np.empty(0, dtype=np.int64)
+            acw = np.concatenate(ac_w) if ac_w else EMPTY_F
+            ao = np.argsort(act, kind="stable")
+            act_s = act[ao]
+            acf_s = acf[ao]
+
+            bind_flat = getattr(guess_router, "bind_flat", None)
+            if bind_flat is None:
+                warm_pass = SchedulePass(
+                    [guess_router], specs, function_ids, interval,
+                    span_index, checkpoint=False,
+                )
+
+                def bind_flat(cold_t, cold_wait, cold_region, iv, nt):
+                    return [
+                        action.route
+                        for action in warm_pass.run(
+                            nt, cold_t=cold_t, cold_wait=cold_wait,
+                            cold_fn=acf_s, cold_region=cold_region,
+                        )
+                    ]
+
+            guess = bind_flat(
+                act_s, acw[ao],
+                np.full(act.size, ridx0, dtype=np.int64),
+                interval, n_ticks,
+            )
+            # Refine the guess to the gap rule's own fixed point: route
+            # each approximate cold through the directive the previous
+            # guess puts at its tick, re-price it from that region's
+            # zero-congestion column (per-function cursors, time order —
+            # exactly how the real replay consumes them), and bind
+            # again. Each iteration is one cheap tick pass; the payoff
+            # is fingerprint hits in the first exact repair round.
+            if act_s.size:
+                aks = tick_indices_of(act_s, interval, n_ticks)
+                for _ in range(_WARMUP_REFINEMENTS):
+                    g_r, _ = _schedule_cols(guess, n_ticks)
+                    regions = g_r[aks]
+                    waits = np.empty(act_s.size, dtype=np.float64)
+                    for i in range(n_fns):
+                        fmask = acf_s == i
+                        for r in range(n_regions):
+                            mask = fmask & (regions == r)
+                            cnt = int(mask.sum())
+                            if cnt:
+                                _, za = samplers[i][r].zero_cols(cnt)
+                                waits[mask] = za[:cnt]
+                    refined = bind_flat(
+                        act_s, waits, regions, interval, n_ticks
+                    )
+                    settled = refined == guess
+                    guess = refined
+                    if settled:
+                        break
             used_rel: list = [None] * n_fns
             outcomes = [replay(i, guess) for i in range(n_fns)]
             for i in range(n_fns):
                 used_rel[i] = _route_rel(outcomes[i], guess, interval, n_ticks)
-            converged = False
-            n_rounds = n_rereplayed = n_rel_hits = n_rel_misses = 0
-            for _round in range(self._MAX_REPAIR_ROUNDS):
-                n_rounds += 1
-                schedule = self._route_schedule(
-                    router, specs, function_ids, interval, n_ticks,
-                    span_index, outcomes,
-                )
-                rels = [
-                    _route_rel(outcomes[i], schedule, interval, n_ticks)
-                    for i in range(n_fns)
-                ]
-                affected = [i for i in range(n_fns) if rels[i] != used_rel[i]]
-                n_rel_misses += len(affected)
-                n_rel_hits += n_fns - len(affected)
-                if not affected:
-                    converged = True
-                    break
-                for i in affected:
-                    outcomes[i] = replay(i, schedule)
-                    n_rereplayed += 1
-                    used_rel[i] = _route_rel(
-                        outcomes[i], schedule, interval, n_ticks
+            repair_flat = getattr(router, "bind_flat", None)
+            sched_pass = None if repair_flat is not None else SchedulePass(
+                [router], specs, function_ids, interval, span_index,
+                checkpoint=self._REPAIR_CHECKPOINT,
+            )
+
+            def bind_schedule(round_idx: int, outcomes_):
+                cold_t = np.concatenate([o["cold_t"] for o in outcomes_])
+                cold_raw = np.concatenate([o["cold_raw"] for o in outcomes_])
+                cold_r = np.concatenate([o["cold_region"] for o in outcomes_])
+                cold_pos = np.concatenate([o["cold_pos"] for o in outcomes_])
+                cold_order = np.argsort(cold_pos, kind="stable")
+                if repair_flat is not None:
+                    # Single-router policy set: the router's flat bind
+                    # folds the identical floats in the identical
+                    # canonical order, so the schedule is bit-identical
+                    # to a machine pass at a fraction of the cost.
+                    return repair_flat(
+                        cold_t[cold_order], cold_raw[cold_order],
+                        cold_r[cold_order], interval, n_ticks,
                     )
-            if tel.enabled:
-                tel.count_many((
-                    ("xregion/repair/rounds", n_rounds),
-                    ("xregion/repair/functions_rereplayed", n_rereplayed),
-                    ("xregion/repair/fingerprint_hits", n_rel_hits),
-                    ("xregion/repair/fingerprint_misses", n_rel_misses),
-                ))
-            if not converged:
-                warnings.warn(
-                    f"cross-region routing repair did not settle within "
-                    f"{self._MAX_REPAIR_ROUNDS} rounds for "
-                    f"{metrics.name!r}; replaying on the sequential event "
-                    "engine (exact, slower)",
-                    RuntimeWarning,
-                    stacklevel=2,
+                cold_fn = np.concatenate([
+                    np.full(o["cold_t"].size, i, dtype=np.int64)
+                    for i, o in enumerate(outcomes_)
+                ])
+                actions = sched_pass.run(
+                    n_ticks,
+                    cold_t=cold_t[cold_order],
+                    cold_wait=cold_raw[cold_order],
+                    cold_fn=cold_fn[cold_order],
+                    cold_region=cold_r[cold_order],
                 )
-                tel.count("xregion/repair/event_fallbacks")
+                return [action.route for action in actions]
+
+            driver = RepairDriver(
+                n_fns,
+                bind_schedule=bind_schedule,
+                fingerprint=lambda i, outcome, sched: _route_rel(
+                    outcome, sched, interval, n_ticks
+                ),
+                replay=replay,
+                what="cross-region routing",
+            )
+            if not driver.run(outcomes, used_rel, name=metrics.name):
                 # Oscillating routing feedback: replay sequentially from a
                 # clean evaluator (exact, merely slower). Instance-level
                 # tuning carries over.
@@ -505,51 +660,6 @@ class CrossRegionEvaluator:
         for name, count in zip(self.region_names, region_counts.tolist()):
             metrics.record_region_cold(name, count)
 
-    def _route_schedule(
-        self, router, specs, function_ids, interval, n_ticks, span_index, outcomes
-    ):
-        """One sequential router-machine pass over the tick clock."""
-        machine = TickMachine(
-            [copy.deepcopy(router)], specs, function_ids, interval
-        )
-        cold_t = np.concatenate([o["cold_t"] for o in outcomes])
-        cold_raw = np.concatenate([o["cold_raw"] for o in outcomes])
-        cold_r = np.concatenate([o["cold_region"] for o in outcomes])
-        cold_fn = np.concatenate(
-            [
-                np.full(o["cold_t"].size, i, dtype=np.int64)
-                for i, o in enumerate(outcomes)
-            ]
-        )
-        cold_pos = np.concatenate([o["cold_pos"] for o in outcomes])
-        cold_order = np.argsort(cold_pos, kind="stable")
-        cold_t = cold_t[cold_order]
-        cold_raw = cold_raw[cold_order]
-        cold_r = cold_r[cold_order]
-        cold_fn = cold_fn[cold_order]
-        cold_edges = np.searchsorted(
-            cold_t, np.arange(n_ticks) * interval, side="left"
-        )
-        arr_edges = span_index.edges(n_ticks)
-        schedule = []
-        for k in range(n_ticks):
-            arrive_fn, arrive_t = span_index.span(k, arr_edges)
-            lo, hi = (0, 0) if k == 0 else (int(cold_edges[k - 1]), int(cold_edges[k]))
-            action = machine.step(
-                k,
-                arrive_fn=arrive_fn,
-                arrive_t=arrive_t,
-                alive_pods=0,
-                congestion=0.0,
-                cold_fn=cold_fn[lo:hi],
-                cold_t=cold_t[lo:hi],
-                cold_wait=cold_raw[lo:hi],
-                cold_region=cold_r[lo:hi],
-            )
-            schedule.append(action.route)
-        return schedule
-
-
 def _route_rel(outcome, schedule, interval_s: float, n_ticks: int):
     """What a routing schedule makes a function's replay read: the route
     directive governing each of its cold starts."""
@@ -558,6 +668,49 @@ def _route_rel(outcome, schedule, interval_s: float, n_ticks: int):
         return ()
     k = tick_indices_of(cold_t, interval_s, n_ticks)
     return tuple(schedule[ki] for ki in k.tolist())
+
+
+def _schedule_cols(schedule, n_ticks: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-tick ``(region, penalty)`` columns of a routing schedule."""
+    return (
+        np.fromiter((d.region for d in schedule), dtype=np.int64, count=n_ticks),
+        np.fromiter(
+            (d.penalty_s for d in schedule), dtype=np.float64, count=n_ticks
+        ),
+    )
+
+
+def _replay_prep(
+    t: np.ndarray, e: np.ndarray, merged_pos: np.ndarray,
+    keepalive_s: float, interval_s: float, n_ticks: int,
+) -> tuple:
+    """Schedule-independent per-function replay state, computed once per
+    evaluator run and shared by every repair round's re-replay: the
+    scalar list views, idle ends, deviation candidates, sparse-gap
+    flags, and per-arrival tick indices."""
+    n = t.size
+    idle_end = t + e
+    if n > 1:
+        steady_prev = idle_end[:-1]
+        expiry_gap = t[1:] >= steady_prev + keepalive_s
+        deviating = expiry_gap | (t[1:] < steady_prev)
+        cand_list = (np.flatnonzero(deviating) + 1).tolist()
+        # Necessary condition for a *sparse* cold run to continue past
+        # arrival ``j``: even a zero-wait pod created at ``j`` dies
+        # before ``j + 1`` (waits only push the real death later).
+        sparse_list = expiry_gap.tolist()
+    else:
+        cand_list = []
+        sparse_list = []
+    cand_list.append(n)
+    ks = (
+        tick_indices_of(t, interval_s, n_ticks)
+        if n_ticks else np.empty(0, dtype=np.int64)
+    )
+    return (
+        t.tolist(), e.tolist(), merged_pos.tolist(), idle_end,
+        cand_list, sparse_list, ks,
+    )
 
 
 def _replay_fn_cross_region(
@@ -571,14 +724,40 @@ def _replay_fn_cross_region(
     schedule,
     interval_s: float,
     n_ticks: int,
+    sched_cols=None,
+    prep=None,
 ) -> dict:
     """Exact per-function cross-region replay under a routing schedule.
 
     Scalar port of the event loop's per-request logic for one function —
     same region-order warm search, same creation-order pod scan, same
-    float updates — with the steady single-pod warm chain consumed
-    wholesale between deviation candidates (warm hits never read the
-    routing schedule, so chains jump whatever the routing history).
+    float updates — with two wholesale regimes replacing per-arrival
+    stepping wherever the trajectory is forced:
+
+    * *steady chains*: when the first alive pod in scan order is idle it
+      must serve (earlier pods are dead forever, later pods are never
+      reached), so the warm chain is consumed to the next deviation
+      candidate whatever other pods exist;
+    * *cold blocks*: a run of arrivals is provably all-cold when every
+      existing pod is busy or dead at each arrival (a searchsorted sweep
+      over the creation-sorted busy/warm columns — slot exhaustion) and
+      every pod the block itself creates is still busy (prefix-min of
+      the new busy ends) or already dead (prefix-max of the new warm
+      ends) at each later arrival. The run is then priced in one batched
+      slice of the sampler's zero-congestion totals column under one
+      governing route directive, accepting the longest valid prefix.
+      This covers both sparse stretches (every pod dies between
+      arrivals) and saturated bursts (arrivals outpace pod turnaround).
+
+    Cold pricing reads each region sampler's cached zero-congestion
+    totals column directly (cross-region replay never models
+    congestion), with one local cursor per region committed via
+    ``advance`` at the end. ``sched_cols`` optionally carries the
+    schedule's per-tick ``(region, penalty)`` arrays so repeated replays
+    under one schedule share the extraction. Dead pods are skipped
+    lazily during the scan (expiry is by death time, so removal timing
+    is semantically free) and compacted only when a region accumulates
+    them.
     """
     n = t.size
     region_pods: list[list[list[float]]] = [[] for _ in range(n_regions)]
@@ -592,98 +771,336 @@ def _replay_fn_cross_region(
     lat_p_l: list[int] = []
     region_counts = np.zeros(n_regions, dtype=np.int64)
 
-    tl = t.tolist()
-    el = e.tolist()
-    ml = merged_pos.tolist()
-    if n > 1:
-        idle_end = t + e
-        steady_prev = idle_end[:-1]
-        deviating = (t[1:] >= steady_prev + keepalive_s) | (t[1:] < steady_prev)
-        cand_list = (np.flatnonzero(deviating) + 1).tolist()
-    else:
-        idle_end = t + e
-        cand_list = []
-    cand_list.append(n)
+    if prep is None:
+        prep = _replay_prep(t, e, merged_pos, keepalive_s, interval_s, n_ticks)
+    tl, el, ml, idle_end, cand_list, sparse_list, ks = prep
     ci = 0
+
+    # Governing route directive per arrival, resolved once (the exact
+    # vectorized twin of the per-event ``tick_index_of`` lookup).
+    if schedule is not None and n_ticks:
+        if sched_cols is None:
+            sched_cols = _schedule_cols(schedule, n_ticks)
+        gov_r = sched_cols[0][ks]
+        gov_p = sched_cols[1][ks]
+        gov_r_l = gov_r.tolist()
+        gov_p_l = gov_p.tolist()
+    else:
+        gov_r = gov_p = None
+        gov_r_l = gov_p_l = None
+
+    # Zero-congestion cold pricing: one cached totals column and one
+    # local cursor per region, committed to the samplers at the end.
+    zt_l: list = [None] * n_regions
+    zt_a: list = [None] * n_regions
+    zcur = [0] * n_regions
 
     # Regime counters: local ints, flushed once at the end (zero-overhead
     # discipline — see repro.obs.telemetry).
     x_jumps = x_jumped = x_scalar = 0
+    x_blocks = x_block_arrivals = 0
+    x_il = x_il_arrivals = 0
 
-    # The single alive pod, when there is exactly one: (region, pod ref).
+    # Chain-jump RTT latency, recorded as [start, limit) spans and
+    # materialised vectorized at the end (assembly re-sorts every latency
+    # entry by merged position, so accumulation order is free).
+    rtt_sp_s: list[int] = []
+    rtt_sp_e: list[int] = []
+
+    # Batched-sweep pacing: enter after a short scalar cold streak (or a
+    # sparse gap), speculate ``spec_w`` arrivals, and track the accepted
+    # width so saturated bursts grow toward the cap while choppy regimes
+    # fall back to cheap scalar steps.
+    cold_streak = 0
+    spec_w = 64
+
     ai = 0
     while ai < n:
         tk = tl[ai]
-        # Steady-chain jump: exactly one pod anywhere, idle and warm.
-        single = None
-        total = 0
+        # One scan, event order (region-major, creation order): find the
+        # first alive & idle pod, remembering the alive-but-busy pods —
+        # potential stealers — that precede it.
+        serve_pod = None
+        serve_r = 0
+        n_busy = 0
+        blk_pod = blk2_pod = None
+        blk_r = blk2_r = 0
         for ridx in range(n_regions):
             pods = region_pods[ridx]
-            if pods:
-                pods[:] = [p for p in pods if p[0] > tk]
-                total += len(pods)
-                if len(pods) == 1 and total == 1:
-                    single = (ridx, pods[0])
-                if total > 1:
-                    single = None
+            if not pods:
+                continue
+            dead = 0
+            for pod in pods:
+                if pod[0] <= tk:
+                    dead += 1
+                    continue
+                if pod[1] <= tk:
+                    serve_pod = pod
+                    serve_r = ridx
                     break
-        if total == 1 and single is not None:
-            ridx, pod = single
-            if pod[1] <= tk:  # idle and (warm_until > tk already ensured)
+                n_busy += 1
+                blk2_pod = blk_pod
+                blk2_r = blk_r
+                blk_pod = pod
+                blk_r = ridx
+            if dead >= 8:
+                pods[:] = [p for p in pods if p[0] > tk]
+            if serve_pod is not None:
+                break
+        if serve_pod is not None:
+            if n_busy == 0:
+                # Steady-chain jump: the serving pod is the first alive
+                # pod anywhere, so it keeps serving (and stays warm)
+                # until the next deviation candidate.
                 while cand_list[ci] <= ai:
                     ci += 1
                 limit = cand_list[ci]
                 x_jumps += 1
                 x_jumped += limit - ai
                 warm_hits += limit - ai
-                if ridx > 0:
-                    lat_v_l.extend([rtt_s] * (limit - ai))
-                    lat_p_l.extend(ml[ai:limit])
+                if serve_r > 0:
+                    rtt_sp_s.append(ai)
+                    rtt_sp_e.append(limit)
                 end = float(idle_end[limit - 1])
-                pod[1] = end
-                pod[0] = end + keepalive_s
+                serve_pod[1] = end
+                serve_pod[0] = end + keepalive_s
+                cold_streak = 0
                 ai = limit
                 continue
-        # Exact scalar step (the event loop's warm search).
-        exec_s = el[ai]
-        served = False
-        for ridx in range(n_regions):
-            pods = region_pods[ridx]
-            if not pods:
+            if n_busy == 1 and blk_r == serve_r:
+                # Two-lane walk: exactly one alive-but-busy pod A
+                # precedes the server B in scan order — the dominant
+                # depth-1 burst shape. Step arrivals with just the two
+                # lane states: A serves whenever it is idle and warm
+                # (scan precedence), otherwise B does, and any other
+                # configuration (both busy, a lane found dead) falls
+                # back to the full scan. Each comparison is the exact
+                # float test the scan would make (warm ends are always
+                # busy + keepalive, recomputed with the identical add),
+                # so the walk is bit-identical while skipping the
+                # per-arrival pod scan entirely.
+                ab = blk_pod[1]
+                aw = blk_pod[0]
+                bb = serve_pod[1]
+                bw = serve_pod[0]
+                k = ai
+                while k < n:
+                    tkk = tl[k]
+                    if tkk >= ab:
+                        if tkk >= aw:
+                            break
+                        ab = tkk + el[k]
+                        aw = ab + keepalive_s
+                    elif tkk >= bb:
+                        if tkk >= bw:
+                            break
+                        bb = tkk + el[k]
+                        bw = bb + keepalive_s
+                    else:
+                        break
+                    k += 1
+                L = k - ai
+                serve_pod[1] = bb
+                serve_pod[0] = bw
+                blk_pod[1] = ab
+                blk_pod[0] = aw
+                warm_hits += L
+                if serve_r > 0:
+                    rtt_sp_s.append(ai)
+                    rtt_sp_e.append(k)
+                if L > 1:
+                    x_il += 1
+                    x_il_arrivals += L
+                else:
+                    x_scalar += 1
+                cold_streak = 0
+                ai = k
                 continue
-            pods[:] = [p for p in pods if p[0] > tk]
-            for pod in pods:
-                if pod[1] <= tk:
-                    pod[1] = tk + exec_s
-                    pod[0] = pod[1] + keepalive_s
-                    warm_hits += 1
-                    if ridx > 0:
-                        lat_v_l.append(rtt_s)
-                        lat_p_l.append(ml[ai])
-                    served = True
-                    break
-            if served:
-                break
-        if not served:
-            if schedule is None or not n_ticks:
-                ridx, penalty = 0, 0.0
-            else:
-                directive = schedule[tick_index_of(tk, interval_s, n_ticks)]
-                ridx, penalty = directive.region, directive.penalty_s
-            wait = samplers[ridx].next_total(0.0)
-            cold_t_l.append(tk)
-            cold_w_l.append(wait + penalty)
-            cold_raw_l.append(wait)
-            cold_r_l.append(ridx)
-            cold_p_l.append(ml[ai])
-            if penalty:
-                lat_v_l.append(penalty)
+            if n_busy == 2 and blk_r == serve_r and blk2_r == serve_r:
+                # Three-lane walk — the same shape one burst level
+                # deeper (two alive-but-busy pods A, B precede the
+                # server C in scan order).
+                ab = blk2_pod[1]
+                aw = blk2_pod[0]
+                bb = blk_pod[1]
+                bw = blk_pod[0]
+                cb = serve_pod[1]
+                cw = serve_pod[0]
+                k = ai
+                while k < n:
+                    tkk = tl[k]
+                    if tkk >= ab:
+                        if tkk >= aw:
+                            break
+                        ab = tkk + el[k]
+                        aw = ab + keepalive_s
+                    elif tkk >= bb:
+                        if tkk >= bw:
+                            break
+                        bb = tkk + el[k]
+                        bw = bb + keepalive_s
+                    elif tkk >= cb:
+                        if tkk >= cw:
+                            break
+                        cb = tkk + el[k]
+                        cw = cb + keepalive_s
+                    else:
+                        break
+                    k += 1
+                L = k - ai
+                serve_pod[1] = cb
+                serve_pod[0] = cw
+                blk_pod[1] = bb
+                blk_pod[0] = bw
+                blk2_pod[1] = ab
+                blk2_pod[0] = aw
+                warm_hits += L
+                if serve_r > 0:
+                    rtt_sp_s.append(ai)
+                    rtt_sp_e.append(k)
+                if L > 1:
+                    x_il += 1
+                    x_il_arrivals += L
+                else:
+                    x_scalar += 1
+                cold_streak = 0
+                ai = k
+                continue
+            # Exact scalar warm hit (an alive-but-busy pod precedes the
+            # server, so it could steal a later arrival — no chain).
+            serve_pod[1] = tk + el[ai]
+            serve_pod[0] = serve_pod[1] + keepalive_s
+            warm_hits += 1
+            if serve_r > 0:
+                lat_v_l.append(rtt_s)
                 lat_p_l.append(ml[ai])
-            region_counts[ridx] += 1
-            end = tk + wait + exec_s
-            region_pods[ridx].append([end + keepalive_s, end])
+            x_scalar += 1
+            cold_streak = 0
+            ai += 1
+            continue
+        # Cold start under the governing route directive.
+        if gov_r_l is None:
+            ridx, penalty = 0, 0.0
+        else:
+            ridx = gov_r_l[ai]
+            penalty = gov_p_l[ai]
+        if ai + 1 < n and (cold_streak >= 2 or sparse_list[ai]):
+            # Batched slot-exhaustion sweep over the cold run.
+            m = min(n - ai, spec_w)
+            if m > 1 and gov_r_l is not None:
+                # One governing directive per block: shrink to the
+                # longest prefix the first arrival's directive covers.
+                bad = (gov_r[ai:ai + m] != ridx) | (gov_p[ai:ai + m] != penalty)
+                if bad.any():
+                    m = int(np.argmax(bad))
+            if m > 1:
+                tb = t[ai:ai + m]
+                # Static sweep: an arrival can only stay cold while every
+                # pre-existing pod is busy or dead. Pods keep the exact
+                # invariant warm = busy + keepalive, so sorting by busy
+                # end sorts warm ends too, and the idle-warm test reduces
+                # to one searchsorted per arrival against the stored
+                # float columns.
+                prior = [
+                    (pod[1], pod[0])
+                    for pods in region_pods
+                    for pod in pods
+                    if pod[0] > tk
+                ]
+                if prior:
+                    prior.sort()
+                    busy_arr = np.fromiter(
+                        (p[0] for p in prior), dtype=np.float64, count=len(prior)
+                    )
+                    warm_arr = np.maximum.accumulate(np.fromiter(
+                        (p[1] for p in prior), dtype=np.float64, count=len(prior)
+                    ))
+                    wpad = np.concatenate(([-np.inf], warm_arr))
+                    ok_static = wpad[np.searchsorted(busy_arr, tb, side="right")] <= tb
+                else:
+                    ok_static = None
+                cur = zcur[ridx]
+                za = zt_a[ridx]
+                if za is None or za.size < cur + m:
+                    zt_l[ridx], za = samplers[ridx].zero_cols(cur + m)
+                    zt_a[ridx] = za
+                waits = za[cur:cur + m]
+                nb = (tb + waits) + e[ai:ai + m]
+                nw = nb + keepalive_s
+                # In-block sweep: every pod the block creates must be
+                # still busy (prefix-min busy end) or already dead
+                # (prefix-max warm end) at each later arrival.
+                minb = np.minimum.accumulate(nb)
+                maxw = np.maximum.accumulate(nw)
+                ok = np.empty(m, dtype=bool)
+                ok[0] = True
+                ok[1:] = (minb[:-1] > tb[1:]) | (maxw[:-1] <= tb[1:])
+                if ok_static is not None:
+                    ok[1:] &= ok_static[1:]
+                acc = m if bool(ok.all()) else max(int(np.argmin(ok)), 1)
+                zcur[ridx] = cur + acc
+                cold_t_l.extend(tb[:acc].tolist())
+                cold_w_l.extend((waits[:acc] + penalty).tolist())
+                cold_raw_l.extend(waits[:acc].tolist())
+                cold_r_l.extend([ridx] * acc)
+                cold_p_l.extend(ml[ai:ai + acc])
+                if penalty:
+                    lat_v_l.extend([penalty] * acc)
+                    lat_p_l.extend(ml[ai:ai + acc])
+                region_counts[ridx] += acc
+                # Keep only pods that can still serve a future arrival
+                # (expiry is by death time, so dropping the already-dead
+                # ones is semantically free).
+                if ai + acc < n:
+                    tnext = tl[ai + acc]
+                    pods_r = region_pods[ridx]
+                    for bv, wv in zip(nb[:acc].tolist(), nw[:acc].tolist()):
+                        if wv > tnext:
+                            pods_r.append([wv, bv])
+                x_blocks += 1
+                x_block_arrivals += acc
+                spec_w = min(_COLD_BLOCK_CAP, max(64, 2 * acc))
+                cold_streak = 2
+                ai += acc
+                continue
+        # Exact scalar cold start.
+        cur = zcur[ridx]
+        zl = zt_l[ridx]
+        if zl is None or cur >= len(zl):
+            zl, zt_a[ridx] = samplers[ridx].zero_cols(cur + 1)
+            zt_l[ridx] = zl
+        wait = zl[cur]
+        zcur[ridx] = cur + 1
+        cold_t_l.append(tk)
+        cold_w_l.append(wait + penalty)
+        cold_raw_l.append(wait)
+        cold_r_l.append(ridx)
+        cold_p_l.append(ml[ai])
+        if penalty:
+            lat_v_l.append(penalty)
+            lat_p_l.append(ml[ai])
+        region_counts[ridx] += 1
+        end = tk + wait + el[ai]
+        region_pods[ridx].append([end + keepalive_s, end])
         x_scalar += 1
+        cold_streak += 1
         ai += 1
+
+    for ridx in range(n_regions):
+        if zcur[ridx]:
+            samplers[ridx].advance(zcur[ridx])
+
+    lat_v = np.asarray(lat_v_l, dtype=np.float64)
+    lat_p = np.asarray(lat_p_l, dtype=np.int64)
+    if rtt_sp_s:
+        st = np.asarray(rtt_sp_s, dtype=np.int64)
+        ln = np.asarray(rtt_sp_e, dtype=np.int64) - st
+        total = int(ln.sum())
+        idx = np.arange(total, dtype=np.int64) + np.repeat(
+            st - np.concatenate(([0], np.cumsum(ln)[:-1])), ln
+        )
+        lat_v = np.concatenate([lat_v, np.full(total, rtt_s)])
+        lat_p = np.concatenate([lat_p, merged_pos[idx]])
 
     tel = get_telemetry()
     if tel.enabled:
@@ -692,6 +1109,10 @@ def _replay_fn_cross_region(
             ("xregion/replay/scalar_arrivals", x_scalar),
             ("xregion/replay/chain_jumps", x_jumps),
             ("xregion/replay/jumped_arrivals", x_jumped),
+            ("xregion/replay/cold_blocks", x_blocks),
+            ("xregion/replay/block_arrivals", x_block_arrivals),
+            ("xregion/replay/interleave_jumps", x_il),
+            ("xregion/replay/interleaved_arrivals", x_il_arrivals),
         ))
     return {
         "requests": n,
@@ -701,7 +1122,7 @@ def _replay_fn_cross_region(
         "cold_raw": np.asarray(cold_raw_l, dtype=np.float64),
         "cold_region": np.asarray(cold_r_l, dtype=np.int64),
         "cold_pos": np.asarray(cold_p_l, dtype=np.int64),
-        "lat_v": np.asarray(lat_v_l, dtype=np.float64),
-        "lat_pos": np.asarray(lat_p_l, dtype=np.int64),
+        "lat_v": lat_v,
+        "lat_pos": lat_p,
         "region_counts": region_counts,
     }

@@ -47,9 +47,7 @@ what renders the baseline embarrassingly parallel across functions.
 
 from __future__ import annotations
 
-import copy
 import heapq
-import warnings
 
 import numpy as np
 
@@ -64,6 +62,8 @@ from repro.mitigation.base import (
 from repro.mitigation.tick import (
     EMPTY_F,
     EMPTY_I,
+    RepairDriver,
+    SchedulePass,
     SpanIndex,
     TickMachine,
     canonical_event_order,
@@ -540,10 +540,12 @@ class RegionEvaluator:
 
     # -- tick-partitioned coupled vector mode ----------------------------------
 
-    #: Repair rounds before the coupled vector mode concedes the decision
-    #: schedule will not settle and replays on the event engine instead
-    #: (exact either way; the cap only bounds wasted work).
-    _MAX_REPAIR_ROUNDS = 10
+    #: One repair-round budget for every engine — the shared driver's.
+    _MAX_REPAIR_ROUNDS = RepairDriver._MAX_REPAIR_ROUNDS
+
+    #: Checkpoint the policy machine between repair rounds (tests flip
+    #: this off to prove the restored-prefix path is bit-identical).
+    _REPAIR_CHECKPOINT = True
 
     def _run_vector_coupled(
         self, traces: list[FunctionTrace], horizon_s: float, metrics: EvalMetrics
@@ -626,95 +628,113 @@ class RegionEvaluator:
         # (delayed re-arrivals can extend the clock), the schedule and
         # every relevance fingerprint are reproducible by construction.
         outcome_free = all(p.outcome_free_decisions for p in policies)
-        n_ticks, gauge = 0, EMPTY_F
-        prev_n_ticks = -1
-        converged = False
-        tel = get_telemetry()
-        n_rounds = n_rereplayed = n_base_reuses = 0
-        n_rel_hits = n_rel_misses = 0
-        for _round in range(self._MAX_REPAIR_ROUNDS):
-            n_rounds += 1
-            n_ticks, gauge = self._pod_gauge(outcomes, horizon_s, interval)
-            if outcome_free and _round > 0 and n_ticks == prev_n_ticks:
-                converged = True
-                break
-            prev_n_ticks = n_ticks
-            schedule = self._compute_schedule(
-                policies, specs, function_ids, interval, n_ticks,
-                span_index, gauge, outcomes, congestion,
+        clock = {"n_ticks": 0, "gauge": EMPTY_F}
+        sched_pass = SchedulePass(
+            policies, specs, function_ids, interval, span_index,
+            tick_congestion=lambda k: congestion.at(k * interval),
+            checkpoint=self._REPAIR_CHECKPOINT,
+        )
+
+        def prepare_round(round_idx: int, outcomes_) -> bool:
+            # Policies with outcome-free decision streams need no
+            # fixed-point verification pass: once the tick count settles
+            # (delayed re-arrivals can extend the clock), the schedule and
+            # every relevance fingerprint are reproducible by construction.
+            n_ticks, gauge = self._pod_gauge(outcomes_, horizon_s, interval)
+            settled = (
+                outcome_free and round_idx > 0
+                and n_ticks == clock["n_ticks"]
+            )
+            clock["n_ticks"], clock["gauge"] = n_ticks, gauge
+            return settled
+
+        def bind_schedule(round_idx: int, outcomes_):
+            n_ticks = clock["n_ticks"]
+            cold_t = np.concatenate(
+                [o.cold_times for o in outcomes_]
+            ) if outcomes_ else EMPTY_F
+            cold_w = np.concatenate(
+                [o.cold_waits for o in outcomes_]
+            ) if outcomes_ else EMPTY_F
+            cold_fn = (
+                np.concatenate([
+                    np.full(o.cold_times.size, i, dtype=np.int64)
+                    for i, o in enumerate(outcomes_)
+                ])
+                if outcomes_ else EMPTY_I
+            )
+            cold_delayed = (
+                np.concatenate([o.cold_delayed for o in outcomes_])
+                if outcomes_ else np.zeros(0, dtype=bool)
+            )
+            cold_tie = (
+                np.concatenate([o.cold_tiebreak for o in outcomes_])
+                if outcomes_ else EMPTY_I
+            )
+            cold_order = canonical_event_order(cold_t, cold_delayed, cold_tie)
+            schedule = sched_pass.run(
+                n_ticks,
+                cold_t=cold_t[cold_order],
+                cold_wait=cold_w[cold_order],
+                cold_fn=cold_fn[cold_order],
+                cold_region=np.zeros(cold_t.size, dtype=np.int64),
+                gauge=clock["gauge"],
             )
             prewarm_by_fn = _prewarm_by_fn(schedule, spec_by_id)
             shave_fp = tuple(action.shave for action in schedule)
             rel_of = _shave_relevance(shave_fp, interval, n_ticks, congestion)
-            rels = [
-                (
-                    prewarm_by_fn.get(i, ()),
-                    () if sync[i] else rel_of(outcomes[i]),
-                )
-                for i in range(n_fns)
-            ]
-            affected = [i for i in range(n_fns) if rels[i] != used_rel[i]]
-            n_rel_misses += len(affected)
-            n_rel_hits += n_fns - len(affected)
-            if not affected:
-                # Every function's outcome already reads this schedule the
-                # way it was produced — the (schedule, outcomes) pair is
-                # self-consistent, i.e. the event engine's trajectory.
-                converged = True
-                break
             shave_schedule = (
                 [action.shave for action in schedule]
                 if any(d is not None for d in shave_fp) else None
             )
-            for i in affected:
-                if rels[i] == neutral and (
-                    sync[i] or rel_of(base[i]) == ()
-                ):
-                    # The schedule stopped touching this function AND its
-                    # decision-free outcome reads nothing under the new
-                    # schedule either — only then is the cached base
-                    # outcome the exact replay under this schedule. (The
-                    # second check matters: a base cold moment can fall
-                    # under an active directive even when the previously
-                    # coupled outcome's moments all went inactive.)
-                    outcomes[i] = base[i]
-                    used_rel[i] = neutral
-                    n_base_reuses += 1
-                else:
-                    n_rereplayed += 1
-                    samplers[i].reset()
-                    outcomes[i] = replay_function_coupled(
-                        fn_t[i], fn_e[i], merged_pos[i], kas[i], concs[i],
-                        self.queue_patience_s, samplers[i], congestion,
-                        specs[i], sync[i], self.prewarm_grace_s,
-                        interval, n_ticks,
-                        prewarm_by_fn.get(i, ()), shave_schedule,
-                    )
-                    used_rel[i] = (
-                        prewarm_by_fn.get(i, ()),
-                        () if sync[i] else rel_of(outcomes[i]),
-                    )
-        if tel.enabled:
-            tel.count_many((
-                ("evaluator/repair/rounds", n_rounds),
-                ("evaluator/repair/functions_rereplayed", n_rereplayed),
-                ("evaluator/repair/base_reuses", n_base_reuses),
-                ("evaluator/repair/fingerprint_hits", n_rel_hits),
-                ("evaluator/repair/fingerprint_misses", n_rel_misses),
-            ))
-        if not converged:
+            return prewarm_by_fn, rel_of, shave_schedule, n_ticks
+
+        def fingerprint(i: int, outcome, ctx):
+            prewarm_by_fn, rel_of = ctx[0], ctx[1]
+            return (
+                prewarm_by_fn.get(i, ()),
+                () if sync[i] else rel_of(outcome),
+            )
+
+        def reuse_base(i: int, rel, ctx):
+            # The schedule stopped touching this function AND its
+            # decision-free outcome reads nothing under the new schedule
+            # either — only then is the cached base outcome the exact
+            # replay under this schedule. (The second check matters: a
+            # base cold moment can fall under an active directive even
+            # when the previously coupled outcome's moments all went
+            # inactive.)
+            rel_of = ctx[1]
+            if rel == neutral and (sync[i] or rel_of(base[i]) == ()):
+                return base[i]
+            return None
+
+        def replay(i: int, ctx):
+            prewarm_by_fn, _, shave_schedule, n_ticks = ctx
+            samplers[i].reset()
+            return replay_function_coupled(
+                fn_t[i], fn_e[i], merged_pos[i], kas[i], concs[i],
+                self.queue_patience_s, samplers[i], congestion,
+                specs[i], sync[i], self.prewarm_grace_s,
+                interval, n_ticks,
+                prewarm_by_fn.get(i, ()), shave_schedule,
+            )
+
+        driver = RepairDriver(
+            n_fns,
+            bind_schedule=bind_schedule,
+            fingerprint=fingerprint,
+            replay=replay,
+            prepare_round=prepare_round,
+            reuse_base=reuse_base,
+            what="coupled fixed-point",
+        )
+        if not driver.run(
+            outcomes, used_rel, name=metrics.name or self._default_name()
+        ):
             # The decision schedule oscillated past the round budget (a
             # pathological feedback loop); replay sequentially from a clean
             # evaluator — exact by construction, merely slower.
-            warnings.warn(
-                f"coupled fixed-point repair did not settle within "
-                f"{self._MAX_REPAIR_ROUNDS} rounds for "
-                f"{metrics.name or self._default_name()!r}; replaying on the "
-                "sequential event engine (exact, slower)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            tel.count("evaluator/repair/event_fallbacks")
             RegionEvaluator(
                 self.profile,
                 keepalive_policy=self.keepalive_policy,
@@ -728,7 +748,8 @@ class RegionEvaluator:
             )._run_event(traces, horizon_s, metrics)
             return
         self._assemble_coupled(
-            outcomes, n_ticks, gauge, interval, horizon_s, metrics
+            outcomes, clock["n_ticks"], clock["gauge"], interval, horizon_s,
+            metrics,
         )
 
     @staticmethod
@@ -762,67 +783,6 @@ class RegionEvaluator:
             lo[mask], minlength=n_ticks + 1
         ) - np.bincount(hi[mask].clip(max=n_ticks), minlength=n_ticks + 1)
         return n_ticks, np.cumsum(delta[:n_ticks])
-
-    def _compute_schedule(
-        self, policies, specs, function_ids, interval, n_ticks,
-        span_index, gauge, outcomes, congestion,
-    ):
-        """One sequential policy-machine pass over the tick clock.
-
-        Policies are deep-copied so the pass never disturbs the caller's
-        instances (the repair loop replays the machine per round); the
-        span columns are sliced from the canonical event-ordered arrays,
-        so the machine sees byte-identical inputs to the event engine's
-        inline stepping once the outcomes are self-consistent.
-        """
-        machine = TickMachine(
-            copy.deepcopy(policies), specs, function_ids, interval
-        )
-        cold_t = np.concatenate([o.cold_times for o in outcomes]) if outcomes else EMPTY_F
-        cold_w = np.concatenate([o.cold_waits for o in outcomes]) if outcomes else EMPTY_F
-        cold_fn = (
-            np.concatenate(
-                [
-                    np.full(o.cold_times.size, i, dtype=np.int64)
-                    for i, o in enumerate(outcomes)
-                ]
-            )
-            if outcomes else EMPTY_I
-        )
-        cold_delayed = (
-            np.concatenate([o.cold_delayed for o in outcomes])
-            if outcomes else np.zeros(0, dtype=bool)
-        )
-        cold_tie = (
-            np.concatenate([o.cold_tiebreak for o in outcomes])
-            if outcomes else EMPTY_I
-        )
-        cold_order = canonical_event_order(cold_t, cold_delayed, cold_tie)
-        cold_t = cold_t[cold_order]
-        cold_w = cold_w[cold_order]
-        cold_fn = cold_fn[cold_order]
-        cold_edges = np.searchsorted(
-            cold_t, np.arange(n_ticks) * interval, side="left"
-        )
-        arr_edges = span_index.edges(n_ticks)
-        schedule = []
-        for k in range(n_ticks):
-            arrive_fn, arrive_t = span_index.span(k, arr_edges)
-            lo, hi = (0, 0) if k == 0 else (int(cold_edges[k - 1]), int(cold_edges[k]))
-            schedule.append(
-                machine.step(
-                    k,
-                    arrive_fn=arrive_fn,
-                    arrive_t=arrive_t,
-                    alive_pods=int(gauge[k]),
-                    congestion=congestion.at(k * interval),
-                    cold_fn=cold_fn[lo:hi],
-                    cold_t=cold_t[lo:hi],
-                    cold_wait=cold_w[lo:hi],
-                    cold_region=np.zeros(hi - lo, dtype=np.int64),
-                )
-            )
-        return schedule
 
     def _assemble_coupled(
         self, outcomes, n_ticks, gauge, interval, horizon_s, metrics

@@ -59,6 +59,10 @@ _SPEC_CHUNK = 1024
 #: exceeds the scalar path's cost).
 _SPEC_MIN_RUN = 8
 
+#: Arrivals examined per batched slot-exhaustion sweep in the coupled
+#: multi-slot walk (``replay_function_coupled``, conc > 1).
+_EP_CHUNK = 2048
+
 
 @dataclass
 class FunctionReplay:
@@ -213,19 +217,36 @@ def replay_function_coupled(
         touched.append(not is_prewarmed)
         alive.append(p)
 
-    def apply_prewarm(now: float, target: int) -> None:
-        nonlocal prewarm_creations
-        expire(now)
-        idle = 0
-        for p in alive:
-            if ready[p] <= now:
-                pod_ends = [x for x in ends[p] if x > now]
-                ends[p] = pod_ends
-                if not pod_ends:
-                    idle += 1
-        for _ in range(target - idle):
-            prewarm_creations += 1
-            new_pod(now, now, now, [], True)
+    def sweep_prewarm(t_limit: float) -> None:
+        """Apply every pending pre-warm tick at or before ``t_limit``.
+
+        Between two events no pod is served, so each pod's idleness over
+        the swept ticks is a fixed window ``[last, death)`` — ``last``
+        bounds both its latest slot end and its readiness — and a tick's
+        idle count is a pair of comparisons per pod instead of a full
+        ``expire`` + slot-prune pass per tick.
+        """
+        nonlocal pi, prewarm_creations
+        idle_spans = [
+            (
+                last[p],
+                last[p]
+                + (grace_ka if prewarmed[p] and not touched[p] else ka),
+            )
+            for p in alive
+        ]
+        while pi < n_pt:
+            tick_t = prewarm_ticks[pi][0] * interval_s
+            if tick_t > t_limit:
+                break
+            target = prewarm_ticks[pi][1]
+            pi += 1
+            idle_spans = [s for s in idle_spans if s[1] > tick_t]
+            idle = sum(1 for s in idle_spans if s[0] <= tick_t)
+            for _ in range(target - idle):
+                prewarm_creations += 1
+                new_pod(tick_t, tick_t, tick_t, [], True)
+                idle_spans.append((tick_t, tick_t + grace_ka))
 
     def handle(now: float, exec_s: float, was_delayed: bool, mpos: int) -> None:
         nonlocal warm_hits, prewarm_hits
@@ -284,12 +305,16 @@ def replay_function_coupled(
     el = e.tolist()
     ml = merged_pos.tolist()
     prewarm_ticks = list(prewarm_ticks)
+    n_pt = len(prewarm_ticks)
     # Steady-chain jump (the PR 4 fast-walk trick, schedule-aware): runs
     # of idle-warm single-pod arrivals end at exactly ``t + e``, never
-    # consult the shave schedule (only cold-bound arrivals read it) and
-    # never change the pre-warm tick outcome — so they are consumed
-    # wholesale up to the next deviation candidate or this function's
-    # next pre-warm tick.
+    # consult the shave schedule (only cold-bound arrivals read it) — so
+    # they are consumed wholesale up to the next deviation candidate.
+    # Pre-warm ticks inside the jumped span are swept analytically: with
+    # every pod idle and the serving pod winning each slot tie, the only
+    # state a tick can observe is the idle count, which is derivable from
+    # the serving pod's busy window and the other pods' fixed death
+    # times — so a pre-warm tick reduces to "create when short".
     if conc == 1 and n > 1:
         idle_end = t + e
         steady_prev = idle_end[:-1]
@@ -300,19 +325,20 @@ def replay_function_coupled(
         idle_end = t + e
         cand_list = []
     cand_list.append(n)  # sentinel
+    # Multi-slot sweeps assume ``end > t`` so an arrival can never be
+    # confused with an already-finished slot of a later arrival.
+    e_pos = conc > 1 and n > 0 and bool(np.all(e > 0.0))
     ci = 0
     pi = 0
     ai = 0
+    jumped = swept = 0
     last_event_t = -np.inf
     while ai < n or pending:
         t_arrival = tl[ai] if ai < n else np.inf
         t_delayed = pending[0][0] if pending else np.inf
         t_event = t_arrival if t_arrival <= t_delayed else t_delayed
-        while pi < len(prewarm_ticks) and prewarm_ticks[pi][0] * interval_s <= t_event:
-            apply_prewarm(
-                prewarm_ticks[pi][0] * interval_s, prewarm_ticks[pi][1]
-            )
-            pi += 1
+        if pi < n_pt and prewarm_ticks[pi][0] * interval_s <= t_event:
+            sweep_prewarm(t_event)
         if t_delayed < t_arrival:
             now, _seq, exec_s, mpos = heapq.heappop(pending)
             handle(float(now), float(exec_s), True, int(mpos))
@@ -332,24 +358,162 @@ def replay_function_coupled(
                     # Every pod idle: the earliest-created pod keeps
                     # winning the slot tie and serves each steady arrival
                     # at exactly ``t + e`` — jump to the next deviation
-                    # candidate, capped at this function's next pre-warm
-                    # tick (the tick must observe the true pod state).
+                    # candidate. Pre-warm ticks inside the span are swept
+                    # in place: at tick T the serving pod is idle iff its
+                    # previous arrival's end is <= T, every other alive
+                    # pod is idle until its (already fixed) death time,
+                    # and a pod created mid-sweep dies at T + grace, past
+                    # every earlier death — one ascending list suffices.
                     while cand_list[ci] <= ai:
                         ci += 1
                     limit = cand_list[ci]
-                    if pi < len(prewarm_ticks):
-                        limit = min(
-                            limit,
-                            bisect.bisect_left(
-                                tl, prewarm_ticks[pi][0] * interval_s, ai
-                            ),
+                    t_span_end = tl[limit - 1]
+                    if (
+                        pi < len(prewarm_ticks)
+                        and prewarm_ticks[pi][0] * interval_s <= t_span_end
+                    ):
+                        deaths = sorted(
+                            last[p]
+                            + (
+                                grace_ka
+                                if prewarmed[p] and not touched[p]
+                                else ka
+                            )
+                            for p in alive
+                            if p != b
                         )
-                    if limit > ai:
-                        warm_hits += limit - ai
-                        end = float(idle_end[limit - 1])
-                        last[b] = end
-                        ends[b] = [end]
-                        last_event_t = tl[limit - 1]
+                        j = ai + 1
+                        while pi < len(prewarm_ticks):
+                            tick_t = prewarm_ticks[pi][0] * interval_s
+                            if tick_t > t_span_end:
+                                break
+                            target = prewarm_ticks[pi][1]
+                            pi += 1
+                            while j < limit and tl[j] < tick_t:
+                                j += 1
+                            d0 = 0
+                            while d0 < len(deaths) and deaths[d0] <= tick_t:
+                                d0 += 1
+                            if d0:
+                                del deaths[:d0]
+                            idle = len(deaths)
+                            if idle_end[j - 1] <= tick_t:
+                                idle += 1
+                            for _ in range(target - idle):
+                                prewarm_creations += 1
+                                new_pod(tick_t, tick_t, tick_t, [], True)
+                                deaths.append(tick_t + grace_ka)
+                    warm_hits += limit - ai
+                    jumped += limit - ai
+                    end = float(idle_end[limit - 1])
+                    last[b] = end
+                    ends[b] = [end]
+                    last_event_t = t_span_end
+                    ai = limit
+                    continue
+        elif e_pos and not pending:
+            # Batched slot-exhaustion sweep (conc > 1): while the
+            # earliest-created pod has a free slot (and is ready), it
+            # wins every slot tie at ``start = now`` — even against
+            # idle pods later in scan order — so each arrival runs
+            # ``[t, t + e)`` on it regardless of overlap. The pod's
+            # in-flight count at arrival i is then a rank: the number
+            # of span ends still above ``t[i]`` (``e > 0`` makes ends
+            # of later arrivals invisible to earlier ranks). One sort
+            # + searchsorted per chunk finds the longest prefix that
+            # never exhausts the ``conc`` slots or outlives the pod.
+            tk = t_arrival
+            expire(tk)
+            if alive:
+                b = alive[0]
+                if touched[b] and ready[b] <= tk:
+                    e0 = [x for x in ends[b] if x > tk]
+                    ends[b] = e0
+                    if len(e0) < conc:
+                        lo = ai
+                        hi = lo + _EP_CHUNK
+                        if hi > n:
+                            hi = n
+                        t_ch = t[lo:hi]
+                        end_ch = idle_end[lo:hi]
+                        order = np.sort(end_ch)
+                        inflight = np.arange(t_ch.size) - np.searchsorted(
+                            order, t_ch, side="right"
+                        )
+                        if e0:
+                            e0s = np.sort(np.asarray(e0, dtype=np.float64))
+                            inflight += len(e0) - np.searchsorted(
+                                e0s, t_ch, side="right"
+                            )
+                        viol = inflight >= conc
+                        m_prev = np.maximum.accumulate(
+                            np.concatenate(([last[b]], end_ch[:-1]))
+                        )
+                        viol |= t_ch >= m_prev + ka
+                        nz = np.flatnonzero(viol)
+                        acc = int(nz[0]) if nz.size else t_ch.size
+                        limit = lo + acc
+                        t_last = tl[limit - 1]
+                        if (
+                            pi < len(prewarm_ticks)
+                            and prewarm_ticks[pi][0] * interval_s <= t_last
+                        ):
+                            # In-span pre-warm ticks, analytically: the
+                            # serving pod is idle at tick T iff no span
+                            # end is still above T; every other pod is
+                            # idle on a fixed ``[last, death)`` window.
+                            idle_spans = [
+                                (
+                                    last[p],
+                                    last[p]
+                                    + (
+                                        grace_ka
+                                        if prewarmed[p] and not touched[p]
+                                        else ka
+                                    ),
+                                )
+                                for p in alive
+                                if p != b
+                            ]
+                            while pi < len(prewarm_ticks):
+                                tick_t = prewarm_ticks[pi][0] * interval_s
+                                if tick_t > t_last:
+                                    break
+                                target = prewarm_ticks[pi][1]
+                                pi += 1
+                                idle_spans = [
+                                    s for s in idle_spans if s[1] > tick_t
+                                ]
+                                idle = sum(
+                                    1 for s in idle_spans if s[0] <= tick_t
+                                )
+                                jt = bisect.bisect_left(tl, tick_t, lo, limit)
+                                busy = (jt - lo) - int(
+                                    np.searchsorted(
+                                        order, tick_t, side="right"
+                                    )
+                                )
+                                if e0:
+                                    busy += sum(1 for x in e0 if x > tick_t)
+                                if busy == 0:
+                                    idle += 1
+                                for _ in range(target - idle):
+                                    prewarm_creations += 1
+                                    new_pod(tick_t, tick_t, tick_t, [], True)
+                                    idle_spans.append(
+                                        (tick_t, tick_t + grace_ka)
+                                    )
+                        keep = [x for x in e0 if x > t_last]
+                        keep.extend(
+                            x for x in end_ch[:acc].tolist() if x > t_last
+                        )
+                        ends[b] = keep
+                        m = float(end_ch[:acc].max())
+                        if m > last[b]:
+                            last[b] = m
+                        warm_hits += acc
+                        swept += acc
+                        last_event_t = t_last
                         ai = limit
                         continue
         handle(tl[ai], el[ai], False, ml[ai])
@@ -357,8 +521,8 @@ def replay_function_coupled(
         ai += 1
     # Ticks past this function's last event still fired globally (other
     # functions kept the clock running); apply their pre-warm targets.
-    for tick, target in prewarm_ticks[pi:]:
-        apply_prewarm(tick * interval_s, target)
+    if pi < n_pt:
+        sweep_prewarm(np.inf)
 
     death = np.array(
         [
@@ -371,7 +535,9 @@ def replay_function_coupled(
     if tel.enabled:
         tel.count_many((
             ("vector/coupled/replays", 1),
-            ("vector/coupled/scalar_arrivals", n),
+            ("vector/coupled/scalar_arrivals", n - jumped - swept),
+            ("vector/coupled/chain_jumped", jumped),
+            ("vector/coupled/slot_swept", swept),
         ))
     return CoupledReplay(
         requests=n,

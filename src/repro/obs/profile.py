@@ -159,6 +159,38 @@ def dominant_cost_center(doc: dict) -> tuple[str, float] | None:
     return name, leaves[name]
 
 
+def _render_repair_section(counters: dict) -> list[str]:
+    """Fixed-point repair-loop summary from the unified ``repair/*``
+    counters both replay drivers emit (see ``mitigation.tick``)."""
+    if not any(k.startswith("repair/") for k in counters):
+        return []
+    rounds = counters.get("repair/rounds", 0)
+    rereplayed = counters.get("repair/functions_rereplayed", 0)
+    hits = counters.get("repair/fingerprint_hits", 0)
+    misses = counters.get("repair/fingerprint_misses", 0)
+    replayed = counters.get("repair/ticks_replayed", 0)
+    restored = counters.get("repair/ticks_restored", 0)
+    fallbacks = counters.get("repair/event_fallbacks", 0)
+    lines = ["repair loop (fixed-point schedule repair):"]
+    lines.append(f"  rounds to converge      {rounds:>14,}")
+    lines.append(f"  functions re-replayed   {rereplayed:>14,}")
+    checked = hits + misses
+    if checked:
+        lines.append(
+            f"  fingerprint hit rate    {hits / checked:>13.1%}"
+            f"  ({hits:,}/{checked:,})"
+        )
+    ticks = replayed + restored
+    if ticks:
+        lines.append(
+            f"  ticks replayed          {replayed:>14,}"
+            f"  (checkpoint restored {restored:,} of {ticks:,})"
+        )
+    if fallbacks:
+        lines.append(f"  event-engine fallbacks  {fallbacks:>14,}")
+    return lines
+
+
 def render_report(doc: dict) -> str:
     """Human-readable profile summary (the ``repro profile`` subcommand)."""
     lines: list[str] = []
@@ -172,6 +204,7 @@ def render_report(doc: dict) -> str:
     if dominant is not None:
         lines.append(f"dominant cost center: {dominant[0]} "
                      f"({dominant[1]:.3f}s accumulated)")
+    lines.extend(_render_repair_section(doc["counters"]))
     if doc["counters"]:
         lines.append("counters (deterministic):")
         width = max(len(k) for k in doc["counters"])

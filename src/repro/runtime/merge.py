@@ -51,6 +51,7 @@ from repro.analysis.accumulators import (
     PodIntervalAccumulator,
     RegionAccumulator,
     StreamingMoments,
+    TDigest,
     TickGauge,
     merge_accumulators,
 )
@@ -236,6 +237,7 @@ for _accumulator_type in (
     RegionAccumulator,
     StreamingMoments,
     LogHistogram,
+    TDigest,
     BinnedSeries,
     TickGauge,
     GroupedCounts,
@@ -556,6 +558,7 @@ def shm_available() -> bool:
 for _shm_type in (
     StreamingMoments,
     LogHistogram,
+    TDigest,
     BinnedSeries,
     TickGauge,
     GroupedCounts,

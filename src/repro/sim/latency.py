@@ -532,6 +532,44 @@ class FunctionColdSampler:
         parts = parts + self._np("_sched")[sl] * (1.0 + self._gain_sched * c)
         return parts * self._np("_res")[sl]
 
+    def zero_cols(self, n: int) -> tuple[list, np.ndarray]:
+        """Zero-congestion totals for draws ``[0, capacity)``; cursor unmoved.
+
+        Returns the same column twice — as a plain list (fast scalar
+        indexing) and as the ndarray it came from (fast slicing) — grown
+        to cover at least ``n`` draws. Zero congestion makes every draw's
+        price independent of replay state, so the whole column can be
+        materialised once per capacity block and indexed by cursor: the
+        element-wise arithmetic mirrors :meth:`_total` operation for
+        operation, hence bit-identical totals.
+        """
+        self._ensure(n)
+        arr = self._np_cache.get("_ztot")
+        if arr is None:
+            if self._is_custom:
+                alloc = self._np("_custom")
+            else:
+                u = self._np("_u_stage")
+                p3 = self._p3_zero
+                alloc = np.where(
+                    u < p3,
+                    self._np("_alloc3"),
+                    np.where(
+                        u < p3 + self._p2_zero,
+                        self._np("_alloc2"),
+                        self._np("_alloc1"),
+                    ),
+                )
+            if self._is_http:
+                alloc = alloc + self._np("_http")
+            parts = alloc + self._np("_code")
+            if self._has_deps:
+                parts = parts + self._np("_dep")
+            parts = parts + self._np("_sched")
+            arr = self._np_cache["_ztot"] = parts * self._np("_res")
+            self._np_cache["_ztot_list"] = arr.tolist()
+        return self._np_cache["_ztot_list"], arr
+
     def advance(self, n: int) -> None:
         """Consume ``n`` draws (they were accepted by the caller)."""
         self._cursor += n

@@ -220,6 +220,28 @@ class TestProfileDocument:
         assert "vector/functions" in text
         assert PROFILE_SCHEMA in text
 
+    def test_render_report_repair_section(self):
+        doc = self._doc()
+        doc["counters"].update({
+            "repair/rounds": 3,
+            "repair/functions_rereplayed": 17,
+            "repair/fingerprint_hits": 1171,
+            "repair/fingerprint_misses": 17,
+            "repair/ticks_replayed": 5000,
+            "repair/ticks_restored": 5080,
+        })
+        text = render_report(doc)
+        assert "repair loop" in text
+        assert "rounds to converge" in text
+        # hit rate = 1171 / 1188
+        assert "98.6%" in text
+        assert "checkpoint restored 5,080 of 10,080" in text
+        # no event fallbacks happened, so the line is omitted
+        assert "event-engine fallbacks" not in text
+
+    def test_render_report_no_repair_section_without_counters(self):
+        assert "repair loop" not in render_report(self._doc())
+
     def test_dominant_cost_center_folds_shard_prefix(self):
         tel = Telemetry()
         tel.time_add("cli/mitigate", 10.0)
@@ -350,9 +372,8 @@ class TestEventFallback:
                     peak_shaver=_NeverSettlingShaver(),
                 ).run(traces, name="oscillating")
             counters = dict(tel.counters)
-        assert counters["evaluator/repair/event_fallbacks"] == 1
-        assert (counters["evaluator/repair/rounds"]
-                == RegionEvaluator._MAX_REPAIR_ROUNDS)
+        assert counters["repair/event_fallbacks"] == 1
+        assert counters["repair/rounds"] == RegionEvaluator._MAX_REPAIR_ROUNDS
         # The fallback replays on the event engine — exact, not degraded.
         event = RegionEvaluator(
             profile, seed=5, engine="event",
@@ -367,8 +388,8 @@ class TestEventFallback:
                 profile, seed=5, engine="vector",
                 prewarm_policy=TimerPrewarmPolicy(),
             ).run(traces)
-            assert "evaluator/repair/event_fallbacks" not in tel.counters
-            assert tel.counters["evaluator/repair/rounds"] >= 1
+            assert "repair/event_fallbacks" not in tel.counters
+            assert tel.counters["repair/rounds"] >= 1
 
 
 # --- CLI ---------------------------------------------------------------------
