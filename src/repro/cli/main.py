@@ -8,12 +8,22 @@ whole paper reproduction is drivable without writing Python.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 from pathlib import Path
 
 from repro.analysis.report import format_table
 from repro.obs import telemetry as obs
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    FAULTS_ENV,
+    SHARD_RETRIES_ENV,
+    SHARD_TIMEOUT_ENV,
+    FaultPlan,
+)
+from repro.runtime.executor import DEFAULT_SHARD_RETRIES
 from repro.core.findings import extract_findings
 from repro.core.study import StreamingTraceStudy, TraceStudy
 from repro.trace.hashing import IdHasher
@@ -72,6 +82,23 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
                               "shm parks their arrays in shared-memory blocks "
                               "(pickle-free, for very large shards). Never "
                               "changes results, only how they travel")
+    runtime.add_argument("--shard-timeout", type=float, default=None, metavar="S",
+                         help="wall-clock seconds a shard may run without a "
+                              "heartbeat before the supervisor declares it "
+                              "hung, rebuilds the pool, and retries it "
+                              "(default: no timeout)")
+    runtime.add_argument("--shard-retries", type=int, default=None, metavar="N",
+                         help="re-executions a failed shard gets before the "
+                              "run aborts with a ShardError (default "
+                              f"{DEFAULT_SHARD_RETRIES}; retried shards are "
+                              "bit-identical, so results never change)")
+    runtime.add_argument("--inject-faults", default=None, metavar="SPEC",
+                         help="fault-injection plan for the sharded runtime, "
+                              "e.g. 'crash@1' or 'hang@*=5,raise@2*2' "
+                              "(KIND@TARGET[*TIMES][=VALUE]; kinds: "
+                              f"{', '.join(FAULT_KINDS)}). Testing aid: a "
+                              "recovered run is bit-identical to a fault-free "
+                              "one")
     profiling = parser.add_argument_group("profiling")
     profiling.add_argument(
         "--profile", nargs="?", const="", default=None, metavar="PATH",
@@ -538,9 +565,56 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+@contextlib.contextmanager
+def _supervision_env(args: argparse.Namespace):
+    """Export the supervision flags as env vars for the dispatch.
+
+    Commands build :class:`~repro.runtime.executor.ParallelExecutor`
+    instances several layers down (study, generator, stream); rather than
+    threading three parameters through every call site, the executor's
+    constructor reads ``REPRO_INJECT_FAULTS`` / ``REPRO_SHARD_TIMEOUT`` /
+    ``REPRO_SHARD_RETRIES`` as fallbacks. Prior values are restored on
+    exit so ``main()`` stays re-entrant for tests.
+    """
+    pairs: list[tuple[str, str]] = []
+    spec = getattr(args, "inject_faults", None)
+    if spec is not None:
+        try:
+            FaultPlan.parse(spec)
+        except ValueError as exc:
+            raise SystemExit(f"--inject-faults: {exc}") from exc
+        pairs.append((FAULTS_ENV, spec))
+    timeout = getattr(args, "shard_timeout", None)
+    if timeout is not None:
+        if timeout <= 0:
+            raise SystemExit("--shard-timeout must be > 0 seconds")
+        pairs.append((SHARD_TIMEOUT_ENV, repr(timeout)))
+    retries = getattr(args, "shard_retries", None)
+    if retries is not None:
+        if retries < 0:
+            raise SystemExit("--shard-retries must be >= 0")
+        pairs.append((SHARD_RETRIES_ENV, str(retries)))
+    saved = {name: os.environ.get(name) for name, _ in pairs}
+    for name, value in pairs:
+        os.environ[name] = value
+    try:
+        yield
+    finally:
+        for name, previous in saved.items():
+            if previous is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = previous
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    with _supervision_env(args):
+        return _dispatch(args, argv)
+
+
+def _dispatch(args: argparse.Namespace, argv: list[str] | None) -> int:
     profile_to = getattr(args, "profile", None)
     if profile_to is None:
         return args.func(args)
@@ -560,8 +634,9 @@ def main(argv: list[str] | None = None) -> int:
         obs.disable()
     meta = {"command": args.command,
             "argv": list(argv) if argv is not None else sys.argv[1:]}
-    for key in ("jobs", "channel", "engine", "seed", "days", "scale"):
-        if hasattr(args, key):
+    for key in ("jobs", "channel", "engine", "seed", "days", "scale",
+                "shard_timeout", "shard_retries", "inject_faults"):
+        if hasattr(args, key) and getattr(args, key) is not None:
             meta[key] = getattr(args, key)
     doc = build_profile(snapshot, meta)
     path = Path(profile_to) if profile_to else Path(f"profile_{args.command}.json")

@@ -56,7 +56,7 @@ from repro.sim.latency import LatencyModel, LatencyRegime
 from repro.sim.rng import RngFactory
 from repro.workload.catalog import SizeClass
 from repro.workload.generator import FunctionTrace
-from repro.workload.regions import REGION_PROFILES, RegionProfile
+from repro.workload.regions import RegionProfile
 
 from repro.mitigation.evaluator import ENGINES as _ENGINES
 
@@ -204,9 +204,11 @@ class CrossRegionEvaluator:
         if engine not in _ENGINES:
             raise ValueError(f"unknown engine {engine!r} (choose from {_ENGINES})")
         self._rngs = RngFactory(seed)
-        home_profile = REGION_PROFILES[home] if isinstance(home, str) else home
+        from repro.mitigation.evaluator import _resolve_region
+
+        home_profile = _resolve_region(home)
         self.profiles: list[RegionProfile] = [home_profile] + [
-            REGION_PROFILES[r] if isinstance(r, str) else r for r in remotes
+            _resolve_region(r) for r in remotes
         ]
         self.region_names = [p.name for p in self.profiles]
         self.rtt_s = rtt_s

@@ -89,6 +89,24 @@ from repro.workload.regions import REGION_PROFILES, RegionProfile
 ENGINES = ("auto", "vector", "event")
 
 
+def _resolve_region(region: str | RegionProfile) -> RegionProfile:
+    """Region name → profile, failing with the valid names spelled out.
+
+    A bare ``KeyError`` from a pool worker is useless once it has crossed
+    the process boundary; sharded runs wrap this in a
+    :class:`~repro.runtime.faults.ShardError` that also names the shard.
+    """
+    if not isinstance(region, str):
+        return region
+    try:
+        return REGION_PROFILES[region]
+    except KeyError:
+        raise ValueError(
+            f"unknown region {region!r} (choose from "
+            f"{sorted(REGION_PROFILES)})"
+        ) from None
+
+
 def build_workload(
     region: str | RegionProfile,
     seed: int = 0,
@@ -96,7 +114,7 @@ def build_workload(
     scale: float = 0.3,
 ) -> tuple[RegionProfile, list[FunctionTrace]]:
     """Generate a (profile, traces) workload for policy experiments."""
-    profile = REGION_PROFILES[region] if isinstance(region, str) else region
+    profile = _resolve_region(region)
     if scale != 1.0:
         profile = profile.scaled(scale)
     generator = WorkloadGenerator(profile, seed=seed, days=days)
@@ -122,7 +140,7 @@ def build_workload_shard(
     """
     if not 0 <= group < n_groups:
         raise ValueError(f"group must be in [0, {n_groups}), got {group}")
-    profile = REGION_PROFILES[region] if isinstance(region, str) else region
+    profile = _resolve_region(region)
     if scale != 1.0:
         profile = profile.scaled(scale)
     generator = WorkloadGenerator(profile, seed=seed, days=days)

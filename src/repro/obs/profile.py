@@ -191,6 +191,29 @@ def _render_repair_section(counters: dict) -> list[str]:
     return lines
 
 
+def _render_faults_section(volatile: dict) -> list[str]:
+    """Supervision summary from the ``runtime/faults/*`` counters the
+    fault-tolerant executor emits (see ``runtime.executor``). All volatile:
+    how often recovery machinery fired depends on jobs/channel/timing."""
+    rows = [
+        ("shard retries", "runtime/faults/retries"),
+        ("shard timeouts", "runtime/faults/timeouts"),
+        ("pool rebuilds", "runtime/faults/pool_rebuilds"),
+        ("shm blocks reaped", "runtime/faults/shm_reaped"),
+        ("shm->pickle fallbacks", "runtime/faults/channel_fallbacks"),
+        ("pool->serial fallbacks", "runtime/faults/serial_fallbacks"),
+        ("cleanup errors", "runtime/cleanup_errors"),
+    ]
+    if not any(volatile.get(key) for _, key in rows):
+        return []
+    lines = ["fault tolerance (supervised shard recovery):"]
+    for label, key in rows:
+        count = volatile.get(key, 0)
+        if count:
+            lines.append(f"  {label:<22}  {int(count):>14,}")
+    return lines
+
+
 def render_report(doc: dict) -> str:
     """Human-readable profile summary (the ``repro profile`` subcommand)."""
     lines: list[str] = []
@@ -205,6 +228,7 @@ def render_report(doc: dict) -> str:
         lines.append(f"dominant cost center: {dominant[0]} "
                      f"({dominant[1]:.3f}s accumulated)")
     lines.extend(_render_repair_section(doc["counters"]))
+    lines.extend(_render_faults_section(doc["volatile"]))
     if doc["counters"]:
         lines.append("counters (deterministic):")
         width = max(len(k) for k in doc["counters"])

@@ -26,6 +26,17 @@ and the CLI. Design constraints, in order:
    pickle payload bytes); ``timers``/``gauges``/``spans`` hold wall-clock
    and memory readings. Equality tests and CI compare ``counters`` only.
 
+   The supervised executor's recovery counters are volatile by the same
+   rule — how often machinery fired depends on jobs/channel/timing, never
+   on results. The ``runtime/faults/*`` family: ``retries`` (shard
+   re-executions), ``timeouts`` (heartbeat-declared hangs),
+   ``pool_rebuilds`` (broken pools replaced), ``shm_reaped`` (orphaned
+   shared-memory blocks unlinked by the parent ledger),
+   ``channel_fallbacks`` (shards degraded shm->pickle),
+   ``serial_fallbacks`` (runs degraded pool->serial); plus
+   ``runtime/cleanup_errors`` (discard failures during teardown, counted
+   instead of silently swallowed).
+
 Span times use :func:`time.perf_counter` (monotonic); span ``t0`` is
 relative to the owning telemetry's epoch, and each telemetry carries a
 ``track`` label (``main`` in the parent, ``pid<N>`` in workers) that maps

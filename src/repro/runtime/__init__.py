@@ -20,6 +20,8 @@ natural axes:
 """
 
 from repro.runtime.executor import (
+    DEFAULT_SHARD_RETRIES,
+    MAX_POOL_REBUILDS,
     RESULT_CHANNELS,
     CrossRegionResult,
     CrossRegionTask,
@@ -34,6 +36,13 @@ from repro.runtime.executor import (
     run_directory_analysis,
     run_evaluation_shard,
     run_generation_shard,
+)
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    ShardError,
 )
 from repro.runtime.merge import (
     SHM_MIN_BYTES,
@@ -52,6 +61,7 @@ from repro.runtime.merge import (
     register_shm_type,
     shm_available,
     to_shm,
+    unlink_shm_block,
 )
 from repro.runtime.shards import (
     MAX_WINDOWS,
@@ -80,11 +90,18 @@ __all__ = [
     "ChunkedBundleWriter",
     "CrossRegionResult",
     "CrossRegionTask",
+    "DEFAULT_SHARD_RETRIES",
     "EvaluationTask",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "MAX_POOL_REBUILDS",
     "MAX_WINDOWS",
     "ParallelExecutor",
     "RESULT_CHANNELS",
     "SHM_MIN_BYTES",
+    "ShardError",
     "ShardPlan",
     "ShardSpec",
     "ShmResult",
@@ -121,4 +138,5 @@ __all__ = [
     "run_evaluation_shard",
     "run_generation_shard",
     "stream_generation",
+    "unlink_shm_block",
 ]

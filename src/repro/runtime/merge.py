@@ -420,13 +420,22 @@ def _unregister_from_tracker(raw_name: str) -> None:
         pass
 
 
-def to_shm(result, min_bytes: int = SHM_MIN_BYTES):
+def to_shm(result, min_bytes: int = SHM_MIN_BYTES, name: str | None = None,
+           strict: bool = False):
     """Park ``result``'s arrays in a shared-memory block; return the handle.
 
     Falls back to returning ``result`` unchanged (the pickle path) when its
     arrays total fewer than ``min_bytes`` bytes or a block cannot be
     created, so callers can always send the return value across a process
-    boundary.
+    boundary. With ``strict=True`` allocation failures raise instead of
+    silently falling back — the supervised executor uses this so a worker
+    can *report* the degradation (warning + counter) rather than hide it.
+
+    ``name`` pins the block's name. The supervised executor names every
+    block deterministically and records the name in a parent-side ledger
+    *before* handoff, so blocks parked by workers that die mid-shard can be
+    reaped by name; a stale block left by a killed earlier attempt under
+    the same name is replaced.
     """
     arrays: list[np.ndarray] = []
     header = _pack_value(result, arrays)
@@ -445,8 +454,18 @@ def to_shm(result, min_bytes: int = SHM_MIN_BYTES):
     try:
         from multiprocessing import shared_memory
 
-        block = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        try:
+            block = shared_memory.SharedMemory(create=True,
+                                               size=max(total, 1), name=name)
+        except FileExistsError:
+            if name is None:
+                raise
+            unlink_shm_block(name)  # stale block from a killed attempt
+            block = shared_memory.SharedMemory(create=True,
+                                               size=max(total, 1), name=name)
     except (ImportError, OSError):
+        if strict:
+            raise
         return result
     if tel.enabled:
         tel.vcount("runtime/shm/blocks")
@@ -540,6 +559,32 @@ def discard_shm(result) -> None:
         block.unlink()
     except (ImportError, OSError):  # pragma: no cover - already freed
         pass
+
+
+def unlink_shm_block(name: str) -> bool:
+    """Best-effort unlink of a shared-memory block by name.
+
+    The supervised executor's reaper: blocks are named before handoff, so
+    one parked by a worker that died (or whose result was never consumed)
+    can be swept without holding a handle. Returns ``True`` when a block
+    existed and was removed, ``False`` when there was nothing to reap.
+    """
+    if not name:
+        return False
+    try:
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    except (ImportError, OSError):  # pragma: no cover - no shm support
+        return False
+    try:
+        block.unlink()
+    except FileNotFoundError:  # pragma: no cover - concurrent reap
+        pass
+    block.close()
+    return True
 
 
 def shm_available() -> bool:

@@ -99,7 +99,10 @@ def iter_bundle_chunks(bundle: TraceBundle, chunk_s: float) -> Iterator[TraceChu
 
 
 def stream_generation(
-    plan, jobs: int = 1, channel: str = "pickle"
+    plan, jobs: int = 1, channel: str = "pickle",
+    shard_timeout_s: float | None = None,
+    shard_retries: int | None = None,
+    faults=None,
 ) -> Iterator[tuple[object, TraceBundle]]:
     """Execute a generation plan, yielding ``(ShardSpec, bundle)`` lazily.
 
@@ -109,11 +112,15 @@ def stream_generation(
     :func:`~repro.runtime.merge.merge_bundles`. ``channel="shm"`` ships each
     window's arrays through shared memory instead of the pool's pickle pipe
     (see :class:`~repro.runtime.executor.ParallelExecutor`).
+    ``shard_timeout_s``/``shard_retries``/``faults`` pass through to the
+    executor's supervision layer (crash/hang recovery, fault injection).
     """
     from repro.runtime.executor import ParallelExecutor, run_generation_shard
 
     shards = list(plan)
-    executor = ParallelExecutor(jobs=jobs, channel=channel)
+    executor = ParallelExecutor(jobs=jobs, channel=channel,
+                                shard_timeout_s=shard_timeout_s,
+                                shard_retries=shard_retries, faults=faults)
     results = executor.imap(run_generation_shard, shards)
     for spec, bundle in zip(shards, results):
         yield spec, bundle
