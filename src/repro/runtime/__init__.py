@@ -16,21 +16,34 @@ natural axes:
 * :mod:`~repro.runtime.merge` — associative reducers with documented
   per-metric equality guarantees, plus the shared-memory (pickle-free)
   shard-result codec (:func:`~repro.runtime.merge.to_shm` /
-  :func:`~repro.runtime.merge.from_shm`).
+  :func:`~repro.runtime.merge.from_shm`);
+* :mod:`~repro.runtime.arena` — the pooled shm arena
+  (:class:`~repro.runtime.arena.ShmArena`): size-classed blocks leased
+  per shard for dispatched inputs and results, recycled on merge instead
+  of created/unlinked per shard.
 """
 
+from repro.runtime.arena import (
+    ARENA_ENV,
+    DEFAULT_ARENA_MB,
+    ArenaLease,
+    ShmArena,
+)
 from repro.runtime.executor import (
     DEFAULT_SHARD_RETRIES,
     MAX_POOL_REBUILDS,
     RESULT_CHANNELS,
+    AnalysisChunkTask,
     CrossRegionResult,
     CrossRegionTask,
     EvaluationTask,
     ParallelExecutor,
+    analyze_bundle_chunks,
     evaluate_cross_region,
     evaluate_policies,
     make_policy_evaluator,
     run_analysis_shard,
+    run_chunk_analysis,
     run_chunk_directory_analysis,
     run_cross_region_shard,
     run_directory_analysis,
@@ -43,6 +56,7 @@ from repro.runtime.faults import (
     FaultPlan,
     InjectedFault,
     ShardError,
+    ShardInputError,
 )
 from repro.runtime.merge import (
     SHM_MIN_BYTES,
@@ -57,10 +71,12 @@ from repro.runtime.merge import (
     merge_eval_metrics,
     merge_registries,
     merge_shard_results,
+    pack_into,
     register_reducer,
     register_shm_type,
     shm_available,
     to_shm,
+    to_shm_leased,
     unlink_shm_block,
 )
 from repro.runtime.shards import (
@@ -85,11 +101,15 @@ from repro.runtime.stream import (
 )
 
 __all__ = [
+    "ARENA_ENV",
+    "AnalysisChunkTask",
+    "ArenaLease",
     "CHUNK_FORMAT_VERSION",
     "ChunkDirectoryError",
     "ChunkedBundleWriter",
     "CrossRegionResult",
     "CrossRegionTask",
+    "DEFAULT_ARENA_MB",
     "DEFAULT_SHARD_RETRIES",
     "EvaluationTask",
     "FAULT_KINDS",
@@ -102,12 +122,15 @@ __all__ = [
     "RESULT_CHANNELS",
     "SHM_MIN_BYTES",
     "ShardError",
+    "ShardInputError",
     "ShardPlan",
     "ShardSpec",
+    "ShmArena",
     "ShmResult",
     "StreamingSummary",
     "TraceChunk",
     "WINDOW_ID_STRIDE",
+    "analyze_bundle_chunks",
     "dedupe_functions",
     "discard_shm",
     "from_shm",
@@ -125,13 +148,16 @@ __all__ = [
     "merge_eval_metrics",
     "merge_registries",
     "merge_shard_results",
+    "pack_into",
     "partition_days",
     "read_chunk_manifest",
     "register_reducer",
     "register_shm_type",
     "shm_available",
     "to_shm",
+    "to_shm_leased",
     "run_analysis_shard",
+    "run_chunk_analysis",
     "run_chunk_directory_analysis",
     "run_cross_region_shard",
     "run_directory_analysis",

@@ -1,0 +1,269 @@
+"""Pooled shared-memory arena: size-classed blocks leased across shards.
+
+PR 3's shm result channel allocates one ``shared_memory`` block per shard
+result and unlinks it the moment the parent rebuilds — correct, but every
+shard pays block creation (``shm_open`` + ``ftruncate`` + ``mmap``), first-
+touch page faults while the worker writes, and an unlink. The arena
+amortises all of that arrow/plasma-style: the parent owns one pool of
+size-classed blocks, *leases* one per shard for the input payload and one
+for the result, and a returned lease goes back on the free list instead of
+being unlinked — the next shard reuses warm pages under a recycled name.
+
+Lifecycle and safety:
+
+* **Inputs** (parent → worker): the parent writes the packed payload into a
+  leased block; the worker rebuilds read-only zero-copy views and never
+  unlinks. The lease is *renewed* across retries (contents are immutable,
+  so a re-executed shard reads the same block) and returned when the
+  shard's result is consumed or the run ends.
+* **Results** (worker → parent): the parent pre-leases a block sized to the
+  result high-water mark; the worker writes into it when the result fits
+  (falling back to a fresh ledgered block otherwise, which the parent then
+  *adopts* into the pool). The parent rebuilds zero-copy views and the
+  lease returns only when the last rebuilt array dies
+  (:func:`repro.runtime.merge.from_shm` attaches ``weakref.finalize``
+  hooks), so a recycled block can never be overwritten under live views —
+  ``executor.run()`` collecting every result is as safe as a fold-merge.
+* **Teardown**: :meth:`ShmArena.close` unlinks every owned name, busy or
+  free. Views keep working (POSIX keeps the mapping alive past the
+  unlink); ``/dev/shm`` is left clean, which the leak fixtures and the CI
+  chaos job assert. Finalizers firing after close are no-ops.
+
+The pool is capped (``--shm-arena-mb``); under pressure free blocks are
+evicted smallest-first and, when nothing evictable remains, a lease is
+declined — the caller degrades to the inline-pickle / fresh-block path,
+one more rung of the PR 9 graceful-degradation ladder. Every transition
+is counted in the volatile ``runtime/arena/*`` telemetry family.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.obs import telemetry as obs
+from repro.runtime.merge import unlink_shm_block
+
+__all__ = ["ARENA_ENV", "DEFAULT_ARENA_MB", "ArenaLease", "ShmArena"]
+
+#: Default arena cap in MiB; ``0`` disables the arena (and with it the shm
+#: input channel), restoring the PR 3 block-per-result behaviour.
+DEFAULT_ARENA_MB = 256
+
+#: Environment variable through which ``--shm-arena-mb`` reaches every
+#: nested executor (same pattern as ``REPRO_INJECT_FAULTS``).
+ARENA_ENV = "REPRO_SHM_ARENA_MB"
+
+#: Smallest block the arena allocates; sub-``shm_min_bytes`` payloads travel
+#: inline, so tinier classes would never be leased.
+_MIN_BLOCK_BYTES = 64 * 1024
+
+
+def _size_class(nbytes: int) -> int:
+    """Power-of-two block size >= ``nbytes`` (floor ``_MIN_BLOCK_BYTES``).
+
+    Geometric classes waste at most half a block but let one freed block
+    serve any later payload up to its capacity, which is what pushes the
+    reuse rate up once shard sizes stabilise.
+    """
+    size = _MIN_BLOCK_BYTES
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+@dataclass(frozen=True)
+class ArenaLease:
+    """A checked-out block: its ``/dev/shm`` name and usable capacity."""
+
+    name: str
+    capacity: int
+
+
+class ShmArena:
+    """One run's pool of reusable shared-memory blocks (parent-owned).
+
+    Thread-safe: leases are taken on the submission path but released from
+    ``weakref.finalize`` callbacks, which fire on whatever thread drops the
+    last view (the pool's queue-management threads included).
+    """
+
+    def __init__(self, max_bytes: int, token: str = "arena"):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.token = token
+        self.closed = False
+        self.high_water = 0
+        self._lock = threading.RLock()
+        self._capacity: dict[str, int] = {}  # every name the arena owns
+        self._free: list[str] = []
+        self._busy: set[str] = set()
+        self._seq = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._capacity.values())
+
+    def _evict_until(self, needed: int) -> None:
+        """Unlink free blocks (smallest first) until ``needed`` bytes fit.
+
+        Smallest-first keeps the large blocks — the expensive ones to
+        recreate and the ones any payload can reuse.
+        """
+        tel = obs.get_telemetry()
+        while self._free and self.total_bytes + needed > self.max_bytes:
+            victim = min(self._free, key=self._capacity.__getitem__)
+            self._free.remove(victim)
+            del self._capacity[victim]
+            unlink_shm_block(victim)
+            tel.vcount("runtime/arena/evicted")
+
+    def lease(self, nbytes: int) -> ArenaLease | None:
+        """Check out a block of capacity >= ``nbytes``.
+
+        Prefers the smallest adequate free block (a reuse); otherwise
+        allocates a fresh size-classed one under the cap. Returns ``None``
+        when the cap cannot be met even after evicting every free block —
+        the caller falls back to inline pickle (inputs) or a fresh
+        ledgered block (results).
+        """
+        tel = obs.get_telemetry()
+        needed = max(int(nbytes), 1)
+        with self._lock:
+            if self.closed:
+                return None
+            best = None
+            for name in self._free:
+                cap = self._capacity[name]
+                if cap >= needed and (best is None
+                                      or cap < self._capacity[best]):
+                    best = name
+            if best is not None:
+                self._free.remove(best)
+                self._busy.add(best)
+                tel.vcount("runtime/arena/leases")
+                tel.vcount("runtime/arena/reuses")
+                return ArenaLease(best, self._capacity[best])
+            size = _size_class(needed)
+            self._evict_until(size)
+            if self.total_bytes + size > self.max_bytes:
+                tel.vcount("runtime/arena/declined")
+                return None
+            try:
+                from multiprocessing import shared_memory
+
+                self._seq += 1
+                name = f"repro-{self.token}-arena{self._seq}"
+                block = shared_memory.SharedMemory(create=True, size=size,
+                                                   name=name)
+            except (ImportError, OSError, FileExistsError):
+                tel.vcount("runtime/arena/declined")
+                return None
+            raw_name = getattr(block, "_name", block.name)
+            block.close()
+            _untrack(raw_name)
+            self._capacity[name] = size
+            self._busy.add(name)
+            if self.total_bytes > self.high_water:
+                self.high_water = self.total_bytes
+                tel.gauge_max("runtime/arena/high_water_bytes",
+                              float(self.high_water))
+            tel.vcount("runtime/arena/leases")
+            tel.vcount("runtime/arena/allocs")
+            tel.vcount("runtime/arena/alloc_bytes", size)
+            return ArenaLease(name, size)
+
+    def adopt(self, name: str, nbytes: int) -> bool:
+        """Take ownership of an externally created block as a busy lease.
+
+        Used for worker-created result blocks (the result outgrew its
+        pre-lease, or no size estimate existed yet): instead of unlink-on-
+        read, the block joins the pool and is recycled once its views die.
+        Refused — caller keeps the unlink-on-read path — when the arena is
+        closed, already owns the name, or the cap cannot absorb it.
+        """
+        tel = obs.get_telemetry()
+        size = max(int(nbytes), 1)
+        with self._lock:
+            if self.closed or name in self._capacity:
+                return False
+            self._evict_until(size)
+            if self.total_bytes + size > self.max_bytes:
+                tel.vcount("runtime/arena/declined")
+                return False
+            self._capacity[name] = size
+            self._busy.add(name)
+            if self.total_bytes > self.high_water:
+                self.high_water = self.total_bytes
+                tel.gauge_max("runtime/arena/high_water_bytes",
+                              float(self.high_water))
+            tel.vcount("runtime/arena/adopted")
+            return True
+
+    def release(self, name: str) -> None:
+        """Return a lease to the free list. Idempotent; post-close no-op.
+
+        Called from the executor's consume path (inputs, unused
+        pre-leases) and from view finalizers (delivered results) — the
+        same name may see both, and finalizers may outlive the run.
+        """
+        with self._lock:
+            if name not in self._busy:
+                return
+            self._busy.discard(name)
+            if self.closed:  # close() already unlinked the name
+                return
+            self._free.append(name)
+            obs.get_telemetry().vcount("runtime/arena/recycled")
+
+    def close(self) -> int:
+        """Unlink every owned block and refuse further leases.
+
+        Busy leases are swept too (counted as ``runtime/arena/swept``):
+        live parent-side views survive the unlink — POSIX keeps the
+        mapping until the last reference dies — but the ``/dev/shm`` entry
+        is gone, so no fault path can strand a segment. Returns how many
+        blocks were unlinked.
+        """
+        with self._lock:
+            if self.closed:
+                return 0
+            self.closed = True
+            swept_busy = len(self._busy)
+            freed = 0
+            for name in self._capacity:
+                if unlink_shm_block(name):
+                    freed += 1
+            self._capacity.clear()
+            self._free.clear()
+            self._busy.clear()
+            if swept_busy:
+                obs.get_telemetry().vcount("runtime/arena/swept", swept_busy)
+            return freed
+
+    def stats(self) -> dict[str, int]:
+        """Point-in-time pool occupancy (tests and debugging)."""
+        with self._lock:
+            return {
+                "blocks": len(self._capacity),
+                "free": len(self._free),
+                "busy": len(self._busy),
+                "total_bytes": self.total_bytes,
+                "high_water_bytes": self.high_water,
+            }
+
+
+def _untrack(raw_name: str) -> None:
+    """Detach a block from this process's resource tracker.
+
+    The arena unlinks by name at close; leaving blocks registered would
+    have the tracker (shared with pool workers on 3.11, where *attaching*
+    registers too) unlink pooled blocks while they are still leased.
+    """
+    try:  # pragma: no cover - tracker layout is a CPython detail
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(raw_name, "shared_memory")
+    except Exception:
+        pass

@@ -1,0 +1,329 @@
+"""Pooled shm arena + zero-copy input channel: units and the fault matrix.
+
+Two layers under test. :class:`~repro.runtime.arena.ShmArena` alone —
+size classes, smallest-adequate reuse, eviction, cap declines, adoption,
+idempotent release, close-time sweeping. Then the arena wired into the
+executor via :func:`~repro.runtime.executor.analyze_bundle_chunks`, the
+canonical large-input workload: dispatched chunks park into leased blocks
+and travel as KB handles. The PR 9 invariants extend to the new
+direction:
+
+* every fault recovery — crash mid-lease, shm denial on dispatch, a
+  corrupt input header — merges **bit-identically** to the serial pickle
+  run, and
+* no path strands a ``/dev/shm`` block (autouse leak fixture, per test).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from multiprocessing import get_all_start_methods, shared_memory
+from pathlib import Path
+
+import pytest
+
+from repro.obs.telemetry import profiled
+from repro.runtime import (
+    ARENA_ENV,
+    FaultPlan,
+    ParallelExecutor,
+    ShmArena,
+    analyze_bundle_chunks,
+    iter_bundle_chunks,
+    shm_available,
+)
+from repro.runtime.arena import _MIN_BLOCK_BYTES, _size_class, _untrack
+from repro.runtime.executor import AnalysisChunkTask, run_chunk_analysis
+from repro.workload.generator import generate_region
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def _shm_blocks() -> set[str]:
+    if not _SHM_DIR.is_dir():
+        return set()
+    return {name for name in os.listdir(_SHM_DIR)
+            if name.startswith(("repro-", "psm_"))}
+
+
+@pytest.fixture(autouse=True)
+def require_shm():
+    if not shm_available():
+        pytest.skip("no shared-memory mount")
+
+
+@pytest.fixture(autouse=True)
+def no_shm_leaks():
+    """Every test in this file must leave /dev/shm exactly as it found it."""
+    before = _shm_blocks()
+    yield
+    leaked = _shm_blocks() - before
+    assert not leaked, f"leaked shared-memory blocks: {sorted(leaked)}"
+
+
+#: 3 h chunks over one day -> 8 shards; small enough for the spawn matrix.
+_CHUNK_S = 3 * 3600.0
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return generate_region("R3", seed=7, days=1, scale=0.05)
+
+
+def _canon(value):
+    """Pickle every leaf separately: a whole-object ``pickle.dumps`` also
+    encodes object-graph *aliasing* (memo refs), which worker round-trips
+    legitimately break while every value stays bit-identical."""
+    if isinstance(value, dict):
+        return {key: _canon(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canon(item) for item in value]
+    return pickle.dumps(value)
+
+
+def _fingerprint(accumulator) -> dict:
+    return _canon(vars(accumulator))
+
+
+@pytest.fixture(scope="module")
+def baseline(bundle):
+    """Serial pickle-channel merge: the bit-identity reference."""
+    return _fingerprint(
+        analyze_bundle_chunks(bundle, chunk_s=_CHUNK_S, jobs=1)
+    )
+
+
+def _run_chunks(bundle, **kwargs) -> dict:
+    return _fingerprint(
+        analyze_bundle_chunks(bundle, chunk_s=_CHUNK_S, **kwargs)
+    )
+
+
+# --- the pool alone ----------------------------------------------------------
+
+
+class TestShmArena:
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ShmArena(0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            ShmArena(-1)
+
+    def test_size_classes_are_power_of_two_with_floor(self):
+        assert _size_class(1) == _MIN_BLOCK_BYTES
+        assert _size_class(_MIN_BLOCK_BYTES) == _MIN_BLOCK_BYTES
+        assert _size_class(_MIN_BLOCK_BYTES + 1) == 2 * _MIN_BLOCK_BYTES
+        assert _size_class(3 * _MIN_BLOCK_BYTES) == 4 * _MIN_BLOCK_BYTES
+
+    def test_release_recycles_block_under_new_lease(self):
+        arena = ShmArena(32 * 1024 * 1024, token="t-reuse")
+        try:
+            first = arena.lease(100)
+            assert first is not None and first.capacity == _MIN_BLOCK_BYTES
+            arena.release(first.name)
+            second = arena.lease(200)
+            assert second is not None and second.name == first.name
+            assert arena.stats()["blocks"] == 1
+        finally:
+            arena.close()
+
+    def test_smallest_adequate_free_block_wins(self):
+        arena = ShmArena(32 * 1024 * 1024, token="t-fit")
+        try:
+            small = arena.lease(1)
+            large = arena.lease(4 * _MIN_BLOCK_BYTES)
+            arena.release(small.name)
+            arena.release(large.name)
+            # A tiny request must not burn the big block.
+            again = arena.lease(1)
+            assert again.name == small.name
+        finally:
+            arena.close()
+
+    def test_release_is_idempotent_and_foreign_names_are_ignored(self):
+        arena = ShmArena(32 * 1024 * 1024, token="t-idem")
+        try:
+            lease = arena.lease(1)
+            arena.release(lease.name)
+            arena.release(lease.name)  # double return: no-op
+            arena.release("repro-never-leased")  # foreign: no-op
+            assert arena.stats() == {
+                "blocks": 1, "free": 1, "busy": 0,
+                "total_bytes": _MIN_BLOCK_BYTES,
+                "high_water_bytes": _MIN_BLOCK_BYTES,
+            }
+        finally:
+            arena.close()
+
+    def test_cap_declines_then_eviction_makes_room(self):
+        arena = ShmArena(2 * _MIN_BLOCK_BYTES, token="t-cap")
+        try:
+            with profiled() as tel:
+                a = arena.lease(1)
+                b = arena.lease(1)
+                # Pool is full and nothing is free: the lease is declined.
+                assert arena.lease(1) is None
+                assert tel.volatile["runtime/arena/declined"] == 1
+                # Free both small blocks; a double-class request now evicts
+                # them (smallest first) to make room under the cap.
+                arena.release(a.name)
+                arena.release(b.name)
+                big = arena.lease(_MIN_BLOCK_BYTES + 1)
+                assert big is not None
+                assert big.capacity == 2 * _MIN_BLOCK_BYTES
+                assert tel.volatile["runtime/arena/evicted"] == 2
+            assert arena.stats()["blocks"] == 1
+        finally:
+            arena.close()
+
+    def test_oversized_lease_is_declined_not_raised(self):
+        arena = ShmArena(_MIN_BLOCK_BYTES, token="t-big")
+        try:
+            assert arena.lease(64 * 1024 * 1024) is None
+        finally:
+            arena.close()
+
+    def test_adopt_takes_ownership_and_refuses_duplicates(self):
+        arena = ShmArena(2 * _MIN_BLOCK_BYTES, token="t-adopt")
+        block = shared_memory.SharedMemory(
+            create=True, size=_MIN_BLOCK_BYTES, name="repro-t-adopt-ext"
+        )
+        _untrack(getattr(block, "_name", block.name))
+        block.close()
+        try:
+            assert arena.adopt("repro-t-adopt-ext", _MIN_BLOCK_BYTES)
+            assert not arena.adopt("repro-t-adopt-ext", _MIN_BLOCK_BYTES)
+            # Over-cap adoption is refused; caller keeps unlink-on-read.
+            assert not arena.adopt("repro-other", 8 * _MIN_BLOCK_BYTES)
+            arena.release("repro-t-adopt-ext")
+            # Once adopted, the block is recycled like any pooled one.
+            assert arena.lease(1).name == "repro-t-adopt-ext"
+        finally:
+            arena.close()
+
+    def test_close_sweeps_busy_blocks_and_disables_the_pool(self):
+        arena = ShmArena(32 * 1024 * 1024, token="t-close")
+        leased = arena.lease(1)
+        arena.lease(1)  # a second busy block
+        with profiled() as tel:
+            assert arena.close() == 2
+            assert tel.volatile["runtime/arena/swept"] == 2
+        assert arena.close() == 0  # idempotent
+        assert arena.lease(1) is None
+        arena.release(leased.name)  # finalizers may outlive the run: no-op
+        assert not arena.adopt("repro-late", 1)
+
+
+# --- arena wiring ------------------------------------------------------------
+
+
+class TestArenaWiring:
+    def test_env_fallback_and_validation(self, monkeypatch):
+        monkeypatch.setenv(ARENA_ENV, "64")
+        assert ParallelExecutor(jobs=2).arena_mb == 64
+        monkeypatch.delenv(ARENA_ENV)
+        with pytest.raises(ValueError, match="arena_mb"):
+            ParallelExecutor(jobs=2, arena_mb=-1)
+
+    def test_arena_disabled_merges_identically(self, bundle, baseline):
+        got = _run_chunks(bundle, jobs=2, channel="shm", shm_min_bytes=0,
+                          shm_arena_mb=0)
+        assert got == baseline
+
+    def test_arena_counters_fire_on_chunk_analysis(self, bundle, baseline):
+        with profiled() as tel:
+            got = _run_chunks(bundle, jobs=2, channel="shm", shm_min_bytes=0)
+            assert tel.volatile["runtime/dispatch/parked"] > 0
+            assert tel.volatile["runtime/arena/leases"] > 0
+            assert tel.volatile["runtime/arena/recycled"] > 0
+            assert tel.gauges["runtime/arena/high_water_bytes"] > 0
+        assert got == baseline
+
+
+# --- the fault matrix, input direction ---------------------------------------
+
+
+class TestInputChannelFaults:
+    def test_crash_mid_lease_recovers_bit_identical(self, bundle, baseline):
+        """A worker dies holding input + result leases; the retry re-reads
+        the immutable input block and the merge stays bit-identical."""
+        with pytest.warns(RuntimeWarning, match="pool broke"):
+            got = _run_chunks(bundle, jobs=2, channel="shm", shm_min_bytes=0,
+                              faults=FaultPlan.parse("crash@1"))
+        assert got == baseline
+
+    def test_deny_shm_ships_input_inline_and_result_by_pickle(self, bundle,
+                                                              baseline):
+        """deny-shm covers both directions: the parent skips parking the
+        shard's input (silent — nothing failed) and the worker refuses to
+        park its result (the counted, warned fallback)."""
+        with profiled() as tel:
+            with pytest.warns(RuntimeWarning, match="could not park"):
+                got = _run_chunks(bundle, jobs=2, channel="shm",
+                                  shm_min_bytes=0,
+                                  faults=FaultPlan.parse("deny-shm@1"))
+            assert tel.volatile["runtime/faults/channel_fallbacks"] == 1
+            assert tel.volatile["runtime/dispatch/inline"] >= 1
+            assert tel.volatile["runtime/dispatch/parked"] >= 1
+        assert got == baseline
+
+    def test_corrupt_input_header_degrades_dispatch_and_retries(self, bundle,
+                                                                baseline):
+        """A corrupt dispatched handle raises ShardInputError in the worker;
+        the supervisor re-dispatches that shard by inline pickle."""
+        with profiled() as tel:
+            with pytest.warns(RuntimeWarning,
+                              match="could not rebuild its shared-memory "
+                                    "input"):
+                got = _run_chunks(bundle, jobs=2, channel="shm",
+                                  shm_min_bytes=0,
+                                  faults=FaultPlan.parse(
+                                      "corrupt-shm-header@1"))
+            assert tel.volatile["runtime/faults/retries"] >= 1
+            assert tel.volatile["runtime/faults/channel_fallbacks"] >= 1
+        assert got == baseline
+
+    def test_plan_wide_fallback_warns_once_counts_every_shard(self, bundle,
+                                                              baseline):
+        n_chunks = len(list(iter_bundle_chunks(bundle, chunk_s=_CHUNK_S)))
+        with profiled() as tel:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                got = _run_chunks(bundle, jobs=2, channel="shm",
+                                  shm_min_bytes=0,
+                                  faults=FaultPlan.parse("deny-shm@**inf"))
+            parked = [w for w in caught
+                      if "could not park" in str(w.message)]
+            assert len(parked) == 1, "one warning per run per rung"
+            assert "channel_fallbacks" in str(parked[0].message)
+            assert tel.volatile["runtime/faults/channel_fallbacks"] == n_chunks
+        assert got == baseline
+
+
+# --- bit-identity across start methods and widths ----------------------------
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_shm_channel_with_arena_matches_pickle(self, bundle, baseline,
+                                                   start_method, jobs):
+        if start_method not in get_all_start_methods():
+            pytest.skip(f"{start_method} start method unavailable")
+        tasks = [
+            AnalysisChunkTask(
+                region=bundle.region, index=chunk.index,
+                functions=bundle.functions, meta=dict(bundle.meta),
+                chunk=chunk,
+            )
+            for chunk in iter_bundle_chunks(bundle, chunk_s=_CHUNK_S)
+        ]
+        executor = ParallelExecutor(jobs=jobs, channel="shm",
+                                    start_method=start_method,
+                                    shm_min_bytes=0)
+        merged = None
+        for acc in executor.imap(run_chunk_analysis, tasks):
+            merged = acc if merged is None else merged.merge(acc)
+        assert _fingerprint(merged) == baseline
